@@ -1,0 +1,152 @@
+//! Criterion benches that regenerate every paper figure at `bench` scale.
+//!
+//! Each bench runs the corresponding experiment end-to-end (workload →
+//! load balancer → cluster → Monitor); criterion's statistics then double
+//! as a regression guard on simulator throughput. The printed tables of
+//! the full-size experiments come from the `figN` binaries; these benches
+//! keep `cargo bench` exercising the exact same scenario definitions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyscale_bench::scenarios::{bitbrains, cpu_bound, mixed, network, Burst, Scale};
+use hyscale_bench::studies::{fig2_cpu_point, fig3_net_point, mem_point};
+use hyscale_core::{AlgorithmKind, SimulationDriver};
+use hyscale_sim::SimRng;
+use hyscale_workload::bitbrains::{aggregate_mean, SyntheticTrace};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_cpu_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for replicas in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, &r| {
+            b.iter(|| {
+                let point = fig2_cpu_point(r, 2.0);
+                assert!(point.mean_response_secs > 0.0);
+                point
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_net_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for replicas in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, &r| {
+            b.iter(|| {
+                let point = fig3_net_point(r);
+                assert!(point.mean_response_secs > 0.0);
+                point
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mem_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for replicas in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, &r| {
+            b.iter(|| mem_point(r, 512.0, 4, 110.0))
+        });
+    }
+    group.finish();
+}
+
+/// A scenario constructor parameterized by algorithm.
+type ScenarioMaker = Box<dyn Fn(AlgorithmKind) -> hyscale_core::ScenarioConfig>;
+
+fn bench_full_experiments(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let figures: [(&str, ScenarioMaker); 4] = [
+        (
+            "fig6_cpu_bound",
+            Box::new({
+                let scale = scale.clone();
+                move |k| cpu_bound(&scale, Burst::High, k)
+            }),
+        ),
+        (
+            "fig7_mixed",
+            Box::new({
+                let scale = scale.clone();
+                move |k| mixed(&scale, Burst::High, k)
+            }),
+        ),
+        (
+            "fig8_network",
+            Box::new({
+                let scale = scale.clone();
+                move |k| network(&scale, Burst::High, k)
+            }),
+        ),
+        (
+            "fig10_bitbrains",
+            Box::new({
+                let scale = scale.clone();
+                move |k| bitbrains(&scale, k)
+            }),
+        ),
+    ];
+    for (name, make) in figures {
+        let mut group = c.benchmark_group(name);
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8));
+        for kind in AlgorithmKind::ALL {
+            let config = make(kind);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &config,
+                |b, cfg| {
+                    b.iter(|| {
+                        let report = SimulationDriver::run(cfg).expect("scenario runs");
+                        assert!(report.requests.issued > 0);
+                        report.requests.completed
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_fig9_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_trace");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("generate_and_aggregate", |b| {
+        let config = SyntheticTrace {
+            vms: 100,
+            duration_secs: 3600.0,
+            interval_secs: 30.0,
+            ..SyntheticTrace::default()
+        };
+        b.iter(|| {
+            let traces = config.generate(&mut SimRng::seed_from(0xB17B));
+            aggregate_mean(&traces).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_mem_study,
+    bench_full_experiments,
+    bench_fig9_trace
+);
+criterion_main!(figures);

@@ -1,0 +1,144 @@
+//! Ablation studies on HyScale's design choices (DESIGN.md Sec. 6).
+//!
+//! 1. **Rescale-interval thrash guard** — run the high-burst CPU workload
+//!    with the paper's 3 s / 50 s intervals versus no intervals at all,
+//!    and count replica-count oscillations and removal-induced failures.
+//! 2. **Vertical-first ordering** — compare HyScaleCPU (vertical first,
+//!    horizontal fallback) with pure-horizontal Kubernetes at equal
+//!    targets, isolating the benefit of `docker update`.
+//! 3. **Co-location contention sweep** — rerun the comparison at several
+//!    contention coefficients to show the hybrid advantage grows with the
+//!    cost of stacking containers.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin ablation [-- --full]
+//! ```
+
+use hyscale_bench::runner::{scale_from_args, sweep};
+use hyscale_bench::scenarios::{cpu_bound, Burst};
+use hyscale_cluster::OverheadModel;
+use hyscale_core::{AlgorithmKind, PlacementPolicy, ScenarioConfig};
+use hyscale_metrics::Table;
+use hyscale_sim::SimDuration;
+
+fn no_gates(mut config: ScenarioConfig) -> ScenarioConfig {
+    config.hpa.scale_up_interval = SimDuration::ZERO;
+    config.hpa.scale_down_interval = SimDuration::ZERO;
+    config.hyscale.scale_up_interval = SimDuration::ZERO;
+    config.hyscale.scale_down_interval = SimDuration::ZERO;
+    config
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+
+    // --- Ablation 1: thrash guard -------------------------------------
+    println!("\n=== Ablation 1: rescale-interval thrash guard (high-burst CPU) ===");
+    let mut table = Table::new(vec![
+        "algorithm",
+        "gates",
+        "mean rt (ms)",
+        "failed %",
+        "removal %",
+        "spawns",
+        "removals",
+        "replica oscillations",
+    ]);
+    for kind in [AlgorithmKind::Kubernetes, AlgorithmKind::HyScaleCpu] {
+        for gated in [true, false] {
+            let mut config = cpu_bound(&scale, Burst::High, kind);
+            if !gated {
+                config = no_gates(config);
+            }
+            let rows = sweep(vec![(kind, config)], &scale.seeds)?;
+            let r = &rows[0].report;
+            table.row(vec![
+                kind.label().to_string(),
+                if gated {
+                    "3s/50s".into()
+                } else {
+                    "none".to_string()
+                },
+                format!("{:.1}", r.mean_response_ms()),
+                format!("{:.2}", r.requests.failed_pct()),
+                format!("{:.2}", r.requests.removal_failed_pct()),
+                r.scaling.spawns.to_string(),
+                r.scaling.removals.to_string(),
+                r.replicas.reversals().to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // --- Ablation 2 + 3: what does "hybrid" buy, and when? ---------------
+    // Vertical-only (ElasticDocker-style) and horizontal-only (Kubernetes)
+    // are the two halves of HyScale; the sweep shows the hybrid matching
+    // or beating both as the cost of stacking containers grows.
+    println!("=== Ablations 2–3: vertical vs horizontal vs hybrid across contention ===");
+    let mut table = Table::new(vec![
+        "colocation coeff",
+        "k8s rt (ms)",
+        "vertical rt (ms)",
+        "vertical failed %",
+        "hybrid rt (ms)",
+        "hybrid vs k8s",
+    ]);
+    for coeff in [0.0, 0.08, 0.17, 0.30] {
+        let mut rts = Vec::new();
+        let mut vertical_failed = 0.0;
+        for kind in [
+            AlgorithmKind::Kubernetes,
+            AlgorithmKind::VerticalOnly,
+            AlgorithmKind::HyScaleCpu,
+        ] {
+            let mut config = cpu_bound(&scale, Burst::Low, kind);
+            config.cluster.overheads = OverheadModel {
+                colocation_coeff: coeff,
+                ..OverheadModel::default()
+            };
+            let rows = sweep(vec![(kind, config)], &scale.seeds)?;
+            rts.push(rows[0].report.requests.mean_response_secs());
+            if kind == AlgorithmKind::VerticalOnly {
+                vertical_failed = rows[0].report.requests.failed_pct();
+            }
+        }
+        table.row(vec![
+            format!("{coeff:.2}"),
+            format!("{:.1}", rts[0] * 1e3),
+            format!("{:.1}", rts[1] * 1e3),
+            format!("{vertical_failed:.2}"),
+            format!("{:.1}", rts[2] * 1e3),
+            format!("{:.2}x", rts[0] / rts[2]),
+        ]);
+    }
+    println!("{table}");
+
+    // --- Ablation 4: placement policy (cost extension) ------------------
+    println!("=== Ablation 4: spread vs pack placement (low-burst CPU, hybrid) ===");
+    let mut table = Table::new(vec![
+        "placement",
+        "mean rt (ms)",
+        "failed %",
+        "mean busy nodes",
+        "busy node-hours",
+    ]);
+    for placement in [PlacementPolicy::Spread, PlacementPolicy::Pack] {
+        let mut config = cpu_bound(&scale, Burst::Low, AlgorithmKind::HyScaleCpu);
+        config.hyscale.placement = placement;
+        let rows = sweep(vec![(AlgorithmKind::HyScaleCpu, config)], &scale.seeds)?;
+        let r = &rows[0].report;
+        table.row(vec![
+            placement.to_string(),
+            format!("{:.1}", r.mean_response_ms()),
+            format!("{:.2}", r.requests.failed_pct()),
+            format!("{:.2}", r.cost.mean_busy_nodes()),
+            format!("{:.2}", r.cost.busy_node_hours()),
+        ]);
+    }
+    println!("{table}");
+    println!("expected: gates cut oscillations and removal failures; the hybrid");
+    println!("advantage over pure-horizontal scaling grows with the co-location");
+    println!("contention coefficient; packing trades some response time for");
+    println!("fewer powered-on machines (the paper's cost motivation)");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Figure 10: request statistics for the Bitbrains replay experiment
+//! (Sec. VI-B).
+//!
+//! The per-VM demand shapes of the (synthetic) Bitbrains `Rnd` trace
+//! drive mixed CPU+memory microservices. Paper expectations: the trace
+//! behaves like the mixed experiments — HyScaleCPU+Mem performs best by
+//! scaling both resources, and Kubernetes *outperforms* HyScaleCPU
+//! because each horizontal scale-out incidentally allocates more memory,
+//! reducing timed-out requests and swap.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin fig10 [-- --full]
+//! ```
+
+use hyscale_bench::runner::{cost_table, perf_table, scale_from_args, sla_table, sweep_all};
+use hyscale_bench::scenarios::bitbrains;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+    let rows = sweep_all(|k| bitbrains(&scale, k), &scale.seeds)?;
+    println!("\n=== Fig. 10 Bitbrains Rnd replay ===");
+    println!("{}", perf_table(&rows));
+    println!("{}", cost_table(&rows));
+    println!("{}", sla_table(&rows));
+    println!("paper: hybridmem best; kubernetes > hybrid (horizontal scale-out");
+    println!("       inadvertently allocates more memory per replica)");
+    Ok(())
+}

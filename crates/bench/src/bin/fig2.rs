@@ -1,0 +1,50 @@
+//! Figure 2: response times of horizontal scaling for the CPU tests
+//! (Sec. III-A).
+//!
+//! A CPU-bound microservice is given a fixed aggregate CPU share and
+//! split into 1–16 replicas, each on its own machine next to a
+//! progrium-stress antagonist; 640 client requests are served. The
+//! paper's findings: vertical (1 replica) is best; more replicas mean
+//! slower responses — per-replica JVM overhead, ~17% co-location
+//! contention, and a distribution cost growing logarithmically with the
+//! replica count.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin fig2
+//! ```
+
+use hyscale_bench::studies::fig2_cpu_point;
+use hyscale_metrics::Table;
+
+fn main() {
+    println!("Fig. 2: CPU horizontal scaling at constant aggregate share (2 cores)");
+    println!("640 requests; every machine also runs a stress antagonist.\n");
+    let mut table = Table::new(vec![
+        "replicas",
+        "mean rt (s)",
+        "makespan (s)",
+        "overhead vs vertical",
+    ]);
+    let baseline = fig2_cpu_point(1, 2.0);
+    for replicas in [1usize, 2, 4, 8, 16] {
+        let point = if replicas == 1 {
+            baseline
+        } else {
+            fig2_cpu_point(replicas, 2.0)
+        };
+        assert_eq!(point.failed, 0, "fig2 scenarios must not drop requests");
+        table.row(vec![
+            replicas.to_string(),
+            format!("{:.2}", point.mean_response_secs),
+            format!("{:.2}", point.makespan_secs),
+            format!(
+                "+{:.1}%",
+                (point.mean_response_secs / baseline.mean_response_secs - 1.0) * 100.0
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: response times increase with replica count; vertical wins;");
+    println!("       overhead mainly from the per-replica JVM + contention, with a");
+    println!("       logarithmic distribution component");
+}

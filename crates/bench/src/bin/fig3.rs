@@ -1,0 +1,49 @@
+//! Figure 3: response times of horizontal scaling for the network tests
+//! with a total bandwidth of 100 Mb/s (Sec. III-C).
+//!
+//! 640 iperf-style bulk streams push through 1–16 replicas, each holding
+//! a `tc` cap of `100/replicas` Mb/s on its own machine. The paper's
+//! finding: vertical network scaling is ≈ neutral, but horizontal
+//! scaling yields "a large decrease in execution time ... tapering off at
+//! around 8 replicas" as the per-machine transmit-queue contention is
+//! relieved until the aggregate 100 Mb/s allocation becomes the binding
+//! constraint.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin fig3
+//! ```
+
+use hyscale_bench::studies::fig3_net_point;
+use hyscale_metrics::Table;
+
+fn main() {
+    println!("Fig. 3: network horizontal scaling at 100 Mb/s total allocation");
+    println!("640 parallel bulk streams; tc cap = 100/replicas Mb/s each.\n");
+    let mut table = Table::new(vec![
+        "replicas",
+        "mean rt (s)",
+        "makespan (s)",
+        "speedup vs 1 replica",
+    ]);
+    let baseline = fig3_net_point(1);
+    for replicas in [1usize, 2, 4, 8, 16] {
+        let point = if replicas == 1 {
+            baseline
+        } else {
+            fig3_net_point(replicas)
+        };
+        assert_eq!(point.failed, 0, "fig3 scenarios must not drop requests");
+        table.row(vec![
+            replicas.to_string(),
+            format!("{:.2}", point.mean_response_secs),
+            format!("{:.2}", point.makespan_secs),
+            format!(
+                "{:.2}x",
+                baseline.mean_response_secs / point.mean_response_secs
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: large decrease in execution time with more replicas,");
+    println!("       tapering off at around 8 replicas");
+}

@@ -1,0 +1,28 @@
+//! Figure 6: CPU-bound experiments — % failed requests and average
+//! response times for all four algorithms under low-burst (6a) and
+//! high-burst (6b) client load.
+//!
+//! Paper expectations: HyScaleCPU+Mem fastest overall, Kubernetes slowest
+//! (1.49x / 1.43x HyScale speedups on low/high burst), HyScale up to 10x
+//! fewer failed requests, availability ≥ 99.8% everywhere.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin fig6 [-- --full]
+//! ```
+
+use hyscale_bench::runner::{cost_table, perf_table, scale_from_args, sla_table, sweep_all};
+use hyscale_bench::scenarios::{cpu_bound, Burst};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+    for burst in [Burst::Low, Burst::High] {
+        let rows = sweep_all(|k| cpu_bound(&scale, burst, k), &scale.seeds)?;
+        println!("\n=== Fig. 6 ({}) CPU-bound ===", burst.label());
+        println!("{}", perf_table(&rows));
+        println!("{}", cost_table(&rows));
+        println!("{}", sla_table(&rows));
+    }
+    println!("paper: hybrid/hybridmem ~1.4-1.5x faster than kubernetes;");
+    println!("       kubernetes up to 10x more failed requests; avail >= 99.8%");
+    Ok(())
+}

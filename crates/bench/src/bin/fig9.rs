@@ -1,0 +1,69 @@
+//! Figure 9: the Bitbrains `Rnd` workload trace — CPU and memory usage
+//! averaged over all microservices.
+//!
+//! The real GWA-T-12 dataset cannot ship with this repository; this
+//! binary plots the synthetic Bitbrains-like trace used by the fig10
+//! experiment (see DESIGN.md for the substitution rationale), in the same
+//! form as the paper's figure: the mean CPU% and memory% demand signal
+//! over time.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin fig9 [-- --full]
+//! ```
+
+use hyscale_bench::runner::scale_from_args;
+use hyscale_sim::SimRng;
+use hyscale_workload::bitbrains::{aggregate_mean, SyntheticTrace};
+
+/// Renders a value in [0, 100] as a crude ASCII bar.
+fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    format!("{:<width$}", "#".repeat(filled.min(width)))
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let config = SyntheticTrace {
+        vms: scale.services * 4,
+        duration_secs: scale.duration_secs,
+        interval_secs: 15.0,
+        ..SyntheticTrace::default()
+    };
+    // Same fixed seed as the fig10 experiment definition.
+    let traces = config.generate(&mut SimRng::seed_from(0xB17B));
+    let aggregate = aggregate_mean(&traces);
+
+    println!(
+        "\nFig. 9: synthetic Bitbrains Rnd trace, mean over {} VMs",
+        traces.len()
+    );
+    println!(
+        "{:>7}  {:>6}  {:<26}  {:>6}  {:<26}",
+        "t (s)", "cpu %", "", "mem %", ""
+    );
+    let stride = (aggregate.len() / 40).max(1);
+    for chunk in aggregate.chunks(stride) {
+        let t = chunk[0].0;
+        let cpu = chunk.iter().map(|c| c.1).sum::<f64>() / chunk.len() as f64;
+        let mem = chunk.iter().map(|c| c.2).sum::<f64>() / chunk.len() as f64;
+        println!(
+            "{t:>7.0}  {cpu:>6.1}  |{}|  {mem:>6.1}  |{}|",
+            bar(cpu, 24),
+            bar(mem, 24)
+        );
+    }
+    let cpus: Vec<f64> = aggregate.iter().map(|c| c.1).collect();
+    let mems: Vec<f64> = aggregate.iter().map(|c| c.2).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+    println!(
+        "\ncpu: mean {:.1}% max {:.1}% | mem: mean {:.1}% max {:.1}%",
+        mean(&cpus),
+        max(&cpus),
+        mean(&mems),
+        max(&mems)
+    );
+    println!("paper: bursty CPU demand with repeated peaks/troughs over a slowly");
+    println!("       varying memory baseline — the same behaviour as the");
+    println!("       low/high-burst mix workloads");
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness for the HyScale paper: every table and figure of the
+//! evaluation (Sec. III and Sec. VI) has a scenario definition here and a
+//! binary (`fig2` … `fig10`) that regenerates it. Criterion benches in
+//! `benches/figures.rs` run scaled-down variants of the same scenarios.
+//!
+//! Layout:
+//!
+//! * [`scenarios`] — paper-scale experiment configurations (Figs. 6–10),
+//!   parameterized by a [`scenarios::Scale`] so the same definition runs
+//!   full-size from the binaries and small from criterion.
+//! * [`studies`] — the Section III manual scaling studies (Figs. 2–3 and
+//!   the unplotted memory study), which bypass the autoscalers and drive
+//!   the cluster model directly.
+//! * [`runner`] — multi-algorithm sweeps (parallelized across OS threads)
+//!   and the common report table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scenarios;
+pub mod studies;

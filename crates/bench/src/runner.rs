@@ -1,0 +1,200 @@
+//! Multi-algorithm sweeps and report formatting.
+
+use hyscale_core::{AlgorithmKind, CoreError, RunReport, ScenarioConfig, SimulationDriver};
+use hyscale_metrics::{format_speedup, SlaPolicy, Table};
+
+/// One algorithm's (multi-seed) result in a figure.
+#[derive(Debug)]
+pub struct FigureRow {
+    /// The algorithm the row belongs to.
+    pub algorithm: AlgorithmKind,
+    /// Its merged report.
+    pub report: RunReport,
+}
+
+/// Runs each `(algorithm, config)` pair over `seeds`, in parallel across
+/// OS threads (each run is single-threaded and deterministic, so the
+/// parallelism cannot affect results).
+///
+/// # Errors
+///
+/// Propagates the first failing run's error.
+pub fn sweep(
+    configs: Vec<(AlgorithmKind, ScenarioConfig)>,
+    seeds: &[u64],
+) -> Result<Vec<FigureRow>, CoreError> {
+    let results: Vec<Result<FigureRow, CoreError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|(algorithm, config)| {
+                scope.spawn(move |_| {
+                    SimulationDriver::run_averaged(&config, seeds)
+                        .map(|report| FigureRow { algorithm, report })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    results.into_iter().collect()
+}
+
+/// Convenience: build-and-sweep all four algorithms through a scenario
+/// constructor.
+///
+/// # Errors
+///
+/// Propagates the first failing run's error.
+pub fn sweep_all<F>(make: F, seeds: &[u64]) -> Result<Vec<FigureRow>, CoreError>
+where
+    F: Fn(AlgorithmKind) -> ScenarioConfig,
+{
+    sweep(
+        AlgorithmKind::ALL.iter().map(|&k| (k, make(k))).collect(),
+        seeds,
+    )
+}
+
+/// The standard user-perceived-performance table the paper's Figs. 6–8
+/// and 10 report: response times plus the failure breakdown.
+pub fn perf_table(rows: &[FigureRow]) -> Table {
+    let k8s_mean = rows
+        .iter()
+        .find(|r| r.algorithm == AlgorithmKind::Kubernetes)
+        .map(|r| r.report.requests.mean_response_secs())
+        .unwrap_or(0.0);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean rt (ms)",
+        "p95 rt (ms)",
+        "failed %",
+        "removal %",
+        "connection %",
+        "avail %",
+        "speedup vs k8s",
+    ]);
+    for row in rows {
+        let r = &row.report.requests;
+        table.row(vec![
+            row.algorithm.label().to_string(),
+            format!("{:.1}", row.report.mean_response_ms()),
+            format!("{:.1}", r.response_times.percentile(95.0) * 1e3),
+            format!("{:.2}", r.failed_pct()),
+            format!("{:.2}", r.removal_failed_pct()),
+            format!("{:.2}", r.connection_failed_pct()),
+            format!("{:.2}", r.availability_pct()),
+            format_speedup(k8s_mean, r.mean_response_secs()),
+        ]);
+    }
+    table
+}
+
+/// A compact resource-efficiency table (the cost-model extension).
+pub fn cost_table(rows: &[FigureRow]) -> Table {
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean cores",
+        "mean busy nodes",
+        "container-hours",
+        "spawns",
+        "removals",
+        "vertical ops",
+    ]);
+    for row in rows {
+        table.row(vec![
+            row.algorithm.label().to_string(),
+            format!("{:.2}", row.report.cost.mean_cores()),
+            format!("{:.2}", row.report.cost.mean_busy_nodes()),
+            format!("{:.2}", row.report.cost.container_hours()),
+            row.report.scaling.spawns.to_string(),
+            row.report.scaling.removals.to_string(),
+            row.report.scaling.vertical.to_string(),
+        ]);
+    }
+    table
+}
+
+/// SLA-violation table (the paper's economic framing: penalties per
+/// violating request under a 1 s / 99.8% interactive SLA).
+pub fn sla_table(rows: &[FigureRow]) -> Table {
+    let policy = SlaPolicy::interactive();
+    let mut table = Table::new(vec![
+        "algorithm",
+        "violations",
+        "violation %",
+        "penalty",
+        "availability ok",
+    ]);
+    for row in rows {
+        let report = policy.evaluate(&row.report.requests);
+        table.row(vec![
+            row.algorithm.label().to_string(),
+            report.violations.to_string(),
+            format!("{:.2}", report.violation_pct),
+            format!("{:.2}", report.penalty),
+            if report.availability_met {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    table
+}
+
+/// Finds a row by algorithm.
+pub fn row(rows: &[FigureRow], algorithm: AlgorithmKind) -> Option<&FigureRow> {
+    rows.iter().find(|r| r.algorithm == algorithm)
+}
+
+/// Picks the experiment scale from the process arguments: `--full` runs
+/// the paper-size experiment (19 workers, 15 services, 1 h, 5 seeds),
+/// the default is the minutes-scale quick variant.
+pub fn scale_from_args() -> crate::scenarios::Scale {
+    if std::env::args().any(|a| a == "--full") {
+        println!("[scale: full — 19 workers, 15 services, 3600 s, 5 seeds]");
+        crate::scenarios::Scale::full()
+    } else {
+        println!("[scale: quick — pass --full for the paper-size run]");
+        crate::scenarios::Scale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{cpu_bound, Burst, Scale};
+
+    #[test]
+    fn sweep_runs_all_algorithms_in_parallel() {
+        let scale = Scale::bench();
+        let rows = sweep_all(|k| cpu_bound(&scale, Burst::Low, k), &[1]).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.report.requests.issued > 0, "{}", r.algorithm);
+        }
+        let table = perf_table(&rows);
+        assert_eq!(table.len(), 4);
+        let cost = cost_table(&rows);
+        assert_eq!(cost.len(), 4);
+        let sla = sla_table(&rows);
+        assert_eq!(sla.len(), 4);
+        assert!(row(&rows, AlgorithmKind::Network).is_some());
+        assert!(row(&rows, AlgorithmKind::None).is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_despite_threads() {
+        let scale = Scale::bench();
+        let run = || {
+            let rows = sweep_all(|k| cpu_bound(&scale, Burst::High, k), &[9]).unwrap();
+            rows.iter()
+                .map(|r| (r.algorithm, r.report.requests.completed, r.report.scaling))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

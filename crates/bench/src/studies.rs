@@ -1,0 +1,294 @@
+//! The Section III manual scaling studies (Figs. 2–3 and the unplotted
+//! memory study).
+//!
+//! These experiments bypass the autoscalers entirely: fixed allocations,
+//! fixed replica counts, a fixed batch of 640 client requests (the
+//! paper's setup), equal *aggregate* resources across scenarios, and an
+//! antagonist (progrium-stress stand-in) contending on every machine.
+
+use hyscale_cluster::{
+    Cluster, ClusterConfig, ContainerSpec, Cores, Mbps, MemMb, NodeSpec, OverheadModel, Request,
+    ServiceId,
+};
+use hyscale_sim::{SimDuration, SimTime};
+
+/// Result of one manual-scaling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyPoint {
+    /// Replica count of the scenario.
+    pub replicas: usize,
+    /// Mean response time over the batch, seconds.
+    pub mean_response_secs: f64,
+    /// Time until the whole batch drained, seconds.
+    pub makespan_secs: f64,
+    /// Requests that failed (timeout); should be zero in these studies.
+    pub failed: usize,
+}
+
+/// Ticks the cluster until every in-flight request drains (or `max_secs`
+/// passes) and returns (mean response seconds, makespan seconds, failed).
+fn drain(cluster: &mut Cluster, max_secs: f64) -> (f64, f64, usize) {
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let horizon = SimTime::from_secs(max_secs);
+    let mut sum_rt = 0.0;
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut makespan = 0.0;
+    while now < horizon {
+        let report = cluster.advance(now, dt);
+        for done in report.completed {
+            sum_rt += done.response_time.as_secs();
+            completed += 1;
+            makespan = done.finished.as_secs();
+        }
+        failed += report.failed.len();
+        now += dt;
+        if cluster.containers().all(|c| c.in_flight_count() == 0) {
+            break;
+        }
+    }
+    let mean = if completed > 0 {
+        sum_rt / completed as f64
+    } else {
+        0.0
+    };
+    (mean, makespan, failed)
+}
+
+/// Figure 2: CPU scaling. `replicas` microservice instances spread over
+/// `replicas` 4-core machines, with the *aggregate* CPU share held at
+/// `total_share` cores; every machine also runs a progrium-stress
+/// antagonist consuming the rest. 640 requests are issued up front and
+/// the batch is drained.
+///
+/// Vertical scaling is the `replicas = 1` point; the paper's finding is
+/// that response times *rise* with the replica count because each replica
+/// adds application (JVM) overhead, co-location contention, and
+/// distribution cost.
+pub fn fig2_cpu_point(replicas: usize, total_share: f64) -> StudyPoint {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut cluster = Cluster::new(ClusterConfig {
+        overheads: OverheadModel {
+            // The paper attributes most horizontal overhead to the
+            // application runtime; keep the default contention and a
+            // visible fan-out term.
+            fanout_latency_alpha: 0.02,
+            ..OverheadModel::default()
+        },
+    });
+    let svc = ServiceId::new(0);
+    let per_replica = total_share / replicas as f64;
+    let requests_per_replica = 640 / replicas;
+
+    for _ in 0..replicas {
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        // The microservice replica with its share of the aggregate.
+        let ctr = cluster
+            .start_container(
+                node,
+                ContainerSpec::new(svc)
+                    .with_cpu_request(Cores(per_replica))
+                    .with_mem_limit(MemMb(2048.0))
+                    // JVM-like per-replica runtime tax (Sec. III-A).
+                    .with_base_overhead(Cores(0.08), MemMb(128.0))
+                    .with_queue_cap(1024)
+                    .with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .expect("start replica");
+        // progrium-stress hogging the rest of the machine.
+        cluster
+            .start_container(
+                node,
+                ContainerSpec::new(ServiceId::new(99))
+                    .with_cpu_request(Cores(4.0 - per_replica))
+                    .with_startup_secs(0.0)
+                    .antagonist(),
+                SimTime::ZERO,
+            )
+            .expect("start antagonist");
+        for _ in 0..requests_per_replica {
+            let request = Request::new(svc, SimTime::ZERO, 0.05, MemMb(1.0), 0.0)
+                .with_timeout(SimDuration::from_secs(3600.0));
+            cluster
+                .admit_request(ctr, request, SimTime::ZERO)
+                .expect("admit");
+        }
+    }
+
+    let (mean, makespan, failed) = drain(&mut cluster, 3600.0);
+    StudyPoint {
+        replicas,
+        mean_response_secs: mean,
+        makespan_secs: makespan,
+        failed,
+    }
+}
+
+/// Figure 3: network scaling at a fixed total bandwidth of 100 Mb/s.
+/// `replicas` replicas each hold a `tc` cap of `100/replicas` Mb/s on
+/// their own machine; 640 concurrent transfer streams (the paper's client
+/// requests running iperf) are spread across them. On few machines the
+/// streams contend for the transmit queues and the microservice cannot
+/// even reach its `tc` allocation; spreading relieves the queues until
+/// the 100 Mb/s aggregate cap binds (tapering around 8 replicas).
+pub fn fig3_net_point(replicas: usize) -> StudyPoint {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut cluster = Cluster::new(ClusterConfig {
+        overheads: OverheadModel {
+            txq_contention_coeff: 2.0,
+            ..OverheadModel::default()
+        },
+    });
+    let svc = ServiceId::new(0);
+    let cap = Mbps(100.0 / replicas as f64);
+    let requests_per_replica = 640 / replicas;
+
+    for _ in 0..replicas {
+        let node = cluster.add_node(NodeSpec::uniform_worker().with_nic(Mbps(300.0)));
+        let ctr = cluster
+            .start_container(
+                node,
+                ContainerSpec::new(svc)
+                    .with_net_cap(cap)
+                    .with_mem_limit(MemMb(2048.0))
+                    .with_queue_cap(1024)
+                    // iperf opens one real kernel flow per stream.
+                    .with_net_flow_pool(None)
+                    .with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .expect("start replica");
+        for _ in 0..requests_per_replica {
+            // A bulk 2-megabit transfer per stream, negligible CPU.
+            let request = Request::new(svc, SimTime::ZERO, 0.0, MemMb(1.0), 2.0)
+                .with_timeout(SimDuration::from_secs(36000.0));
+            cluster
+                .admit_request(ctr, request, SimTime::ZERO)
+                .expect("admit");
+        }
+    }
+
+    let (mean, makespan, failed) = drain(&mut cluster, 36000.0);
+    StudyPoint {
+        replicas,
+        mean_response_secs: mean,
+        makespan_secs: makespan,
+        failed,
+    }
+}
+
+/// Section III-B memory study: equal aggregate memory (`total_mb`),
+/// split over `replicas` replicas; each in-flight request holds
+/// `mem_per_req_mb`. Horizontal replicas each pay the container/JVM base
+/// memory, so the same aggregate limit swaps earlier when split.
+pub fn mem_point(
+    replicas: usize,
+    total_mb: f64,
+    concurrent: usize,
+    mem_per_req_mb: f64,
+) -> StudyPoint {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let svc = ServiceId::new(0);
+    let per_replica_limit = total_mb / replicas as f64;
+    let per_replica_requests = concurrent / replicas;
+
+    for _ in 0..replicas {
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        let ctr = cluster
+            .start_container(
+                node,
+                ContainerSpec::new(svc)
+                    .with_cpu_request(Cores(4.0))
+                    .with_mem_limit(MemMb(per_replica_limit))
+                    .with_base_overhead(Cores(0.02), MemMb(64.0))
+                    .with_queue_cap(1024)
+                    .with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .expect("start replica");
+        for _ in 0..per_replica_requests {
+            let request = Request::new(svc, SimTime::ZERO, 0.5, MemMb(mem_per_req_mb), 0.0)
+                .with_timeout(SimDuration::from_secs(3600.0));
+            cluster
+                .admit_request(ctr, request, SimTime::ZERO)
+                .expect("admit");
+        }
+    }
+
+    let (mean, makespan, failed) = drain(&mut cluster, 3600.0);
+    StudyPoint {
+        replicas,
+        mean_response_secs: mean,
+        makespan_secs: makespan,
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_vertical_beats_horizontal() {
+        let one = fig2_cpu_point(1, 2.0);
+        let four = fig2_cpu_point(4, 2.0);
+        let eight = fig2_cpu_point(8, 2.0);
+        assert_eq!(one.failed + four.failed + eight.failed, 0);
+        assert!(
+            one.mean_response_secs < four.mean_response_secs,
+            "1: {:.2}s vs 4: {:.2}s",
+            one.mean_response_secs,
+            four.mean_response_secs
+        );
+        assert!(four.mean_response_secs < eight.mean_response_secs);
+    }
+
+    #[test]
+    fn fig3_horizontal_wins_then_tapers() {
+        let one = fig3_net_point(1);
+        let four = fig3_net_point(4);
+        let eight = fig3_net_point(8);
+        let sixteen = fig3_net_point(16);
+        assert!(one.mean_response_secs > four.mean_response_secs * 1.5);
+        assert!(four.mean_response_secs > eight.mean_response_secs);
+        // Tapering: 8 -> 16 improves far less than 4 -> 8 (relative).
+        let gain_48 = four.mean_response_secs / eight.mean_response_secs;
+        let gain_816 = eight.mean_response_secs / sixteen.mean_response_secs;
+        assert!(
+            gain_816 < gain_48,
+            "gain 4->8 {gain_48:.2} vs 8->16 {gain_816:.2}"
+        );
+    }
+
+    #[test]
+    fn memory_split_swaps_earlier() {
+        // Aggregate 512 MB; 4 concurrent 110 MB requests. Vertical:
+        // 64 base + 440 = 504 < 512, no swap. Split over 2: each replica
+        // holds 64 base + 220 = 284 > 256 -> swap, and swap dominates.
+        // (Concurrency <= cores/node so CPU gives every request one core
+        // in both scenarios; only memory differs.)
+        let vertical = mem_point(1, 512.0, 4, 110.0);
+        let split = mem_point(2, 512.0, 4, 110.0);
+        assert_eq!(vertical.failed + split.failed, 0);
+        assert!(
+            split.mean_response_secs > vertical.mean_response_secs * 2.0,
+            "vertical {:.2}s vs split {:.2}s",
+            vertical.mean_response_secs,
+            split.mean_response_secs
+        );
+    }
+
+    #[test]
+    fn memory_equal_when_not_swapping() {
+        // Plenty of headroom in both scenarios: near-equal response times
+        // (paper: "negligible differences ... between vertical and
+        // horizontal scaling scenarios" when not swapping).
+        let vertical = mem_point(1, 4096.0, 4, 40.0);
+        let split = mem_point(2, 4096.0, 4, 40.0);
+        let ratio = split.mean_response_secs / vertical.mean_response_secs;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,1267 @@
+//! The cluster state machine: placement, `docker update`, admission, and
+//! the per-tick fluid-flow advance.
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_sim::{SimDuration, SimTime};
+
+use crate::container::{Container, ContainerSpec, ContainerState};
+use crate::cpu::{CpuAllocator, CpuDemand};
+use crate::error::ClusterError;
+use crate::ids::{ContainerId, IdAllocator, NodeId, RequestId, ServiceId};
+use crate::memory::MemoryModel;
+use crate::network::{NetAllocator, NetDemand};
+use crate::node::{Node, NodeSpec};
+use crate::overhead::OverheadModel;
+use crate::request::{CompletedRequest, FailedRequest, FailureKind, InFlight, Request};
+use crate::stats::{ContainerUsage, NodeUsage, UsageWindow};
+use crate::{Cores, MemMb};
+
+/// Global configuration of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Empirical overhead coefficients (Sec. III calibration).
+    pub overheads: OverheadModel,
+}
+
+/// What happened during one tick of the fluid model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    /// Requests that finished during the tick.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests that failed during the tick (timeouts).
+    pub failed: Vec<FailedRequest>,
+}
+
+/// The simulated cluster: nodes, containers, and in-flight work.
+///
+/// All mutation goes through explicit operations that mirror what the
+/// paper's platform can do to a real Docker cluster:
+///
+/// * [`Cluster::start_container`] — `docker run` (horizontal scale-out),
+/// * [`Cluster::remove_container`] — `docker rm -f` (scale-in; aborts
+///   in-flight work as *removal failures*),
+/// * [`Cluster::update_container`] — `docker update` (vertical scaling),
+/// * [`Cluster::admit_request`] — a load balancer handing a request to a
+///   replica,
+/// * [`Cluster::advance`] — physics: one tick of CPU/memory/network flow.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    containers: Vec<Container>,
+    windows: Vec<UsageWindow>,
+    node_ids: IdAllocator,
+    container_ids: IdAllocator,
+    request_ids: IdAllocator,
+    mem_model: MemoryModel,
+    net_alloc: NetAllocator,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster {
+            mem_model: MemoryModel::new(config.overheads),
+            net_alloc: NetAllocator::new(config.overheads),
+            config,
+            nodes: Vec::new(),
+            containers: Vec::new(),
+            windows: Vec::new(),
+            node_ids: IdAllocator::default(),
+            container_ids: IdAllocator::default(),
+            request_ids: IdAllocator::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId::new(self.node_ids.next_u32());
+        self.nodes.push(Node::new(id, spec));
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes
+            .get(id.as_usize())
+            .filter(|n| !n.decommissioned())
+    }
+
+    /// Decommissions a node (paper future work: "dynamic addition and
+    /// removal of machines"). Every container on the node is removed;
+    /// their in-flight requests are returned as removal failures. The
+    /// node stops hosting, scheduling, and advertising resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] if the node does not exist
+    /// or was already decommissioned.
+    pub fn decommission_node(
+        &mut self,
+        id: NodeId,
+        now: SimTime,
+    ) -> Result<Vec<FailedRequest>, ClusterError> {
+        if self.node(id).is_none() {
+            return Err(ClusterError::UnknownNode(id));
+        }
+        let containers: Vec<ContainerId> = self.nodes[id.as_usize()].containers().to_vec();
+        let mut failures = Vec::new();
+        for ctr in containers {
+            if let Ok(mut aborted) = self.remove_container(ctr, now) {
+                failures.append(&mut aborted);
+            }
+        }
+        self.nodes[id.as_usize()].mark_decommissioned();
+        Ok(failures)
+    }
+
+    /// Iterates over all commissioned nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| !n.decommissioned())
+    }
+
+    /// Number of commissioned nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes().count()
+    }
+
+    /// Looks up a container (including removed ones).
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(id.as_usize())
+    }
+
+    /// Iterates over containers that have not been removed.
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers
+            .iter()
+            .filter(|c| c.state() != ContainerState::Removed)
+    }
+
+    /// Live (not removed) replicas of a service, in creation order.
+    pub fn service_replicas(&self, service: ServiceId) -> Vec<ContainerId> {
+        self.containers()
+            .filter(|c| c.service() == service && !c.spec().antagonist)
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// CPU and memory not yet promised to live containers on `node`
+    /// (capacity minus the sum of requests/limits). This is the quantity
+    /// nodes "advertise" to the Monitor for placement decisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for an invalid id.
+    pub fn free_resources(&self, node: NodeId) -> Result<(Cores, MemMb), ClusterError> {
+        let n = self.node(node).ok_or(ClusterError::UnknownNode(node))?;
+        let mut cpu = n.spec().cores;
+        let mut mem = n.spec().memory;
+        for &cid in n.containers() {
+            let c = &self.containers[cid.as_usize()];
+            if c.state() != ContainerState::Removed {
+                cpu -= c.spec().cpu_request;
+                mem -= c.spec().mem_limit;
+            }
+        }
+        Ok((cpu, mem))
+    }
+
+    /// Starts a container on `node` (`docker run`). The container begins
+    /// serving after its startup delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] or
+    /// [`ClusterError::InvalidSpec`]. Placement feasibility is *not*
+    /// enforced here — Docker happily oversubscribes a machine; admission
+    /// control is the Monitor's job (as in the paper).
+    pub fn start_container(
+        &mut self,
+        node: NodeId,
+        spec: ContainerSpec,
+        now: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        if self.node(node).is_none() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        spec.validate().map_err(ClusterError::InvalidSpec)?;
+        let id = ContainerId::new(self.container_ids.next_u32());
+        self.containers.push(Container::new(id, node, spec, now));
+        self.windows.push(UsageWindow::new());
+        self.nodes[node.as_usize()].attach(id);
+        Ok(id)
+    }
+
+    /// Force-removes a container (`docker rm -f`). Its in-flight requests
+    /// are aborted and returned as removal failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] if the container does
+    /// not exist or was already removed.
+    pub fn remove_container(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<FailedRequest>, ClusterError> {
+        let c = self
+            .containers
+            .get_mut(id.as_usize())
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        if c.state() == ContainerState::Removed {
+            return Err(ClusterError::UnknownContainer(id));
+        }
+        let node = c.node();
+        c.mark_removed();
+        let failures: Vec<FailedRequest> = c
+            .in_flight
+            .drain(..)
+            .map(|inflight| FailedRequest {
+                id: inflight.id,
+                service: inflight.request.service,
+                container: Some(id),
+                arrival: inflight.request.arrival,
+                failed_at: now,
+                kind: FailureKind::Removal,
+            })
+            .collect();
+        self.nodes[node.as_usize()].detach(id);
+        Ok(failures)
+    }
+
+    /// Applies a `docker update`: changes a container's CPU request and
+    /// memory limit in place. This is the vertical-scaling primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for an invalid or
+    /// removed container.
+    pub fn update_container(
+        &mut self,
+        id: ContainerId,
+        cpu: Cores,
+        mem: MemMb,
+    ) -> Result<(), ClusterError> {
+        let c = self.live_container_mut(id)?;
+        c.update_resources(cpu, mem);
+        Ok(())
+    }
+
+    /// Applies or lifts a `tc` egress cap on a container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for an invalid or
+    /// removed container.
+    pub fn update_net_cap(
+        &mut self,
+        id: ContainerId,
+        cap: Option<crate::Mbps>,
+    ) -> Result<(), ClusterError> {
+        let c = self.live_container_mut(id)?;
+        c.update_net_cap(cap);
+        Ok(())
+    }
+
+    /// Hands a request to a replica (what a load balancer does).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownContainer`] — no such container.
+    /// * [`ClusterError::NotAccepting`] — replica starting/removed or an
+    ///   antagonist.
+    /// * [`ClusterError::QueueFull`] — socket backlog exhausted.
+    pub fn admit_request(
+        &mut self,
+        id: ContainerId,
+        request: Request,
+        now: SimTime,
+    ) -> Result<RequestId, ClusterError> {
+        let req_id = RequestId::new(self.request_ids.next_u64());
+        let c = self
+            .containers
+            .get_mut(id.as_usize())
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        if c.spec().antagonist || !c.live(now) {
+            return Err(ClusterError::NotAccepting(id));
+        }
+        if c.in_flight.len() >= c.spec().queue_cap {
+            return Err(ClusterError::QueueFull(id));
+        }
+        c.in_flight.push(InFlight::new(req_id, request, now));
+        Ok(req_id)
+    }
+
+    /// Advances the fluid model by one tick starting at `now` and lasting
+    /// `dt`. Returns the requests that completed or timed out.
+    pub fn advance(&mut self, now: SimTime, dt: SimDuration) -> TickReport {
+        let dt_secs = dt.as_secs();
+        let end = now + dt;
+        let mut report = TickReport::default();
+        if dt_secs <= 0.0 {
+            return report;
+        }
+
+        for c in &mut self.containers {
+            c.mark_running_if_ready(now);
+        }
+
+        // Cache replica counts per service for fan-out latency.
+        let mut replica_counts: std::collections::HashMap<ServiceId, usize> =
+            std::collections::HashMap::new();
+        for c in self.containers.iter() {
+            if c.state() != ContainerState::Removed && !c.spec().antagonist {
+                *replica_counts.entry(c.service()).or_insert(0) += 1;
+            }
+        }
+
+        for node_idx in 0..self.nodes.len() {
+            self.advance_node(node_idx, now, end, dt_secs, &replica_counts, &mut report);
+        }
+        report
+    }
+
+    /// Snapshot (and reset) the usage windows of every container on a
+    /// node — what a Node Manager reports to the Monitor each period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for an invalid id.
+    pub fn node_usage_and_reset(&mut self, node: NodeId) -> Result<NodeUsage, ClusterError> {
+        if self.node(node).is_none() {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        let ids: Vec<ContainerId> = self.nodes[node.as_usize()].containers().to_vec();
+        let mut usage = NodeUsage {
+            node,
+            cpu_used: Cores::ZERO,
+            mem_used: MemMb::ZERO,
+            net_used: crate::Mbps::ZERO,
+            containers: Vec::with_capacity(ids.len()),
+        };
+        for id in ids {
+            let sample = self.windows[id.as_usize()].snapshot_and_reset(id);
+            usage.cpu_used += sample.cpu_used;
+            usage.mem_used += sample.mem_used;
+            usage.net_used += sample.net_used;
+            usage.containers.push(sample);
+        }
+        Ok(usage)
+    }
+
+    /// Peeks at one container's usage window without resetting it.
+    pub fn container_usage(&self, id: ContainerId) -> Option<ContainerUsage> {
+        self.windows.get(id.as_usize()).map(|w| w.peek(id))
+    }
+
+    fn live_container_mut(&mut self, id: ContainerId) -> Result<&mut Container, ClusterError> {
+        let c = self
+            .containers
+            .get_mut(id.as_usize())
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        if c.state() == ContainerState::Removed {
+            return Err(ClusterError::UnknownContainer(id));
+        }
+        Ok(c)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance_node(
+        &mut self,
+        node_idx: usize,
+        now: SimTime,
+        end: SimTime,
+        dt_secs: f64,
+        replica_counts: &std::collections::HashMap<ServiceId, usize>,
+        report: &mut TickReport,
+    ) {
+        let node_spec = *self.nodes[node_idx].spec();
+        let ids: Vec<ContainerId> = self.nodes[node_idx].containers().to_vec();
+        if ids.is_empty() {
+            return;
+        }
+
+        // --- Memory pressure per container ------------------------------
+        let mut slowdowns: Vec<f64> = Vec::with_capacity(ids.len());
+        let mut swapping: Vec<bool> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let c = &self.containers[id.as_usize()];
+            let pressure = self
+                .mem_model
+                .pressure(c.resident_mem(), c.spec().mem_limit);
+            slowdowns.push(pressure.slowdown);
+            swapping.push(pressure.is_swapping());
+        }
+
+        // --- CPU demands -------------------------------------------------
+        let mut cpu_demands: Vec<CpuDemand> = Vec::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let c = &self.containers[id.as_usize()];
+            let demand = if !c.live(now) {
+                0.0
+            } else if c.spec().antagonist {
+                // Stress containers try to hog the whole machine.
+                node_spec.cores.get() * dt_secs
+            } else {
+                // A swapping container is IO-bound: each request stalls on
+                // page faults and can use at most dt/slowdown of CPU time,
+                // leaving the CPU idle (not hogged) while it thrashes.
+                let base = c.spec().base_cpu.get() * dt_secs;
+                let thread_budget = dt_secs / slowdowns[i];
+                let requests: f64 = c
+                    .in_flight
+                    .iter()
+                    .filter(|r| r.wants_cpu())
+                    .map(|r| r.cpu_remaining.min(thread_budget))
+                    .sum();
+                base + requests
+            };
+            cpu_demands.push(CpuDemand::new(id, demand, c.spec().cpu_request.get()));
+        }
+        let active = cpu_demands.iter().filter(|d| d.demand > 1e-12).count();
+        let capacity =
+            node_spec.cores.get() * dt_secs * self.config.overheads.cpu_contention_factor(active);
+        let cpu_grants = CpuAllocator::allocate(capacity, &cpu_demands);
+
+        // --- Apply CPU progress -------------------------------------------
+        let mut cpu_used: Vec<f64> = vec![0.0; ids.len()];
+        for (i, grant) in cpu_grants.iter().enumerate() {
+            let id = ids[i];
+            let c = &mut self.containers[id.as_usize()];
+            if grant.granted <= 0.0 {
+                continue;
+            }
+            cpu_used[i] = grant.granted;
+            if c.spec().antagonist {
+                c.cpu_used_total += grant.granted;
+                continue;
+            }
+            let base = (c.spec().base_cpu.get() * dt_secs).min(grant.granted);
+            let mut budget = grant.granted - base;
+            c.cpu_used_total += grant.granted;
+            // Processor sharing among requests that still want CPU:
+            // round-robin equal split, honouring each request's per-tick
+            // single-thread bound.
+            let mut wanting: Vec<usize> = (0..c.in_flight.len())
+                .filter(|&r| c.in_flight[r].wants_cpu())
+                .collect();
+            let thread_budget = dt_secs / slowdowns[i];
+            let mut rounds = 0;
+            while budget > 1e-12 && !wanting.is_empty() && rounds < 32 {
+                rounds += 1;
+                let share = budget / wanting.len() as f64;
+                let mut still = Vec::with_capacity(wanting.len());
+                for &r in &wanting {
+                    let inflight = &mut c.in_flight[r];
+                    let need = inflight.cpu_remaining.min(thread_budget);
+                    let take = share.min(need);
+                    inflight.cpu_remaining = (inflight.cpu_remaining - take).max(0.0);
+                    budget -= take;
+                    if inflight.wants_cpu() && take >= need - 1e-12 {
+                        // hit its single-thread (stall-limited) bound
+                    } else if inflight.wants_cpu() {
+                        still.push(r);
+                    }
+                }
+                if still.len() == wanting.len() {
+                    break;
+                }
+                wanting = still;
+            }
+        }
+
+        // --- Network demands ----------------------------------------------
+        let mut net_demands: Vec<NetDemand> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let c = &self.containers[id.as_usize()];
+            let (demand, flows) = if !c.live(now) {
+                (0.0, 0)
+            } else if c.spec().antagonist {
+                if c.spec().net_request.get() > 0.0 {
+                    // A stress container opens a handful of bulk streams.
+                    (node_spec.nic.get() * dt_secs, 4)
+                } else {
+                    (0.0, 0)
+                }
+            } else {
+                let wanting = c.in_flight.iter().filter(|r| r.wants_net());
+                let (sum, count) =
+                    wanting.fold((0.0, 0usize), |(s, n), r| (s + r.megabits_remaining, n + 1));
+                let flows = match c.spec().net_flow_pool {
+                    Some(pool) => count.min(pool.max(1)),
+                    None => count,
+                };
+                (sum, flows)
+            };
+            let mut nd =
+                NetDemand::new(id, demand, c.spec().net_request.get()).with_flows(flows.max(1));
+            if let Some(cap) = c.spec().net_cap {
+                nd = nd.with_tc_cap(cap, dt_secs);
+            }
+            net_demands.push(nd);
+        }
+        let net_grants = self
+            .net_alloc
+            .allocate(node_spec.nic, dt_secs, &net_demands);
+
+        // --- Apply network progress -----------------------------------------
+        let mut net_sent: Vec<f64> = vec![0.0; ids.len()];
+        for (i, grant) in net_grants.iter().enumerate() {
+            let id = ids[i];
+            let c = &mut self.containers[id.as_usize()];
+            if grant.megabits <= 0.0 {
+                continue;
+            }
+            net_sent[i] = grant.megabits;
+            c.megabits_sent_total += grant.megabits;
+            if c.spec().antagonist {
+                continue;
+            }
+            let mut budget = grant.megabits;
+            let mut wanting: Vec<usize> = (0..c.in_flight.len())
+                .filter(|&r| c.in_flight[r].wants_net())
+                .collect();
+            let mut rounds = 0;
+            while budget > 1e-9 && !wanting.is_empty() && rounds < 32 {
+                rounds += 1;
+                let share = budget / wanting.len() as f64;
+                let mut still = Vec::with_capacity(wanting.len());
+                for &r in &wanting {
+                    let inflight = &mut c.in_flight[r];
+                    let take = share.min(inflight.megabits_remaining);
+                    inflight.megabits_remaining -= take;
+                    budget -= take;
+                    if inflight.wants_net() {
+                        still.push(r);
+                    }
+                }
+                if still.len() == wanting.len() {
+                    break;
+                }
+                wanting = still;
+            }
+        }
+
+        // --- Disk traffic ----------------------------------------------------
+        // Disk bandwidth is a per-node pool shared max-min fairly among
+        // containers with outstanding disk traffic (equal weights — the
+        // kernel's block-layer fairness), reusing the water-filling
+        // allocator. This is the paper's named future-work resource type.
+        let mut disk_demands: Vec<CpuDemand> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let c = &self.containers[id.as_usize()];
+            let demand = if !c.live(now) || c.spec().antagonist {
+                0.0
+            } else {
+                c.in_flight
+                    .iter()
+                    .filter(|r| r.wants_disk())
+                    .map(|r| r.disk_remaining)
+                    .sum()
+            };
+            disk_demands.push(CpuDemand::new(id, demand, 1.0));
+        }
+        let disk_capacity = node_spec.disk.get().max(0.0) * dt_secs;
+        let disk_grants = CpuAllocator::allocate(disk_capacity, &disk_demands);
+        let mut disk_done: Vec<f64> = vec![0.0; ids.len()];
+        for (i, grant) in disk_grants.iter().enumerate() {
+            let id = ids[i];
+            let c = &mut self.containers[id.as_usize()];
+            if grant.granted <= 0.0 {
+                continue;
+            }
+            disk_done[i] = grant.granted;
+            let mut budget = grant.granted;
+            let mut wanting: Vec<usize> = (0..c.in_flight.len())
+                .filter(|&r| c.in_flight[r].wants_disk())
+                .collect();
+            let mut rounds = 0;
+            while budget > 1e-9 && !wanting.is_empty() && rounds < 32 {
+                rounds += 1;
+                let share = budget / wanting.len() as f64;
+                let mut still = Vec::with_capacity(wanting.len());
+                for &r in &wanting {
+                    let inflight = &mut c.in_flight[r];
+                    let take = share.min(inflight.disk_remaining);
+                    inflight.disk_remaining -= take;
+                    budget -= take;
+                    if inflight.wants_disk() {
+                        still.push(r);
+                    }
+                }
+                if still.len() == wanting.len() {
+                    break;
+                }
+                wanting = still;
+            }
+        }
+
+        // --- Completions, timeouts, stats ------------------------------------
+        /// Time constant of the working-set throughput average (seconds).
+        const THROUGHPUT_TAU_SECS: f64 = 20.0;
+        for (i, &id) in ids.iter().enumerate() {
+            let fanout = {
+                let c = &self.containers[id.as_usize()];
+                let replicas = replica_counts.get(&c.service()).copied().unwrap_or(1);
+                // Stateless fan-out (log) plus, for stateful services,
+                // a linear state-synchronization cost per extra replica.
+                self.config.overheads.fanout_latency_secs(replicas)
+                    + c.spec().coordination_secs * replicas.saturating_sub(1) as f64
+            };
+            let c = &mut self.containers[id.as_usize()];
+            let mut completed_this_tick = 0usize;
+            let mut r = 0;
+            while r < c.in_flight.len() {
+                let done = c.in_flight[r].is_done();
+                let timed_out = !done && c.in_flight[r].request.deadline() <= end;
+                if done {
+                    completed_this_tick += 1;
+                    let inflight = c.in_flight.swap_remove(r);
+                    let finished = end + SimDuration::from_secs(fanout);
+                    report.completed.push(CompletedRequest {
+                        id: inflight.id,
+                        service: inflight.request.service,
+                        container: id,
+                        arrival: inflight.request.arrival,
+                        finished,
+                        response_time: finished.saturating_since(inflight.request.arrival),
+                    });
+                } else if timed_out {
+                    let inflight = c.in_flight.swap_remove(r);
+                    report.failed.push(FailedRequest {
+                        id: inflight.id,
+                        service: inflight.request.service,
+                        container: Some(id),
+                        arrival: inflight.request.arrival,
+                        failed_at: end,
+                        kind: FailureKind::Connection,
+                    });
+                } else {
+                    r += 1;
+                }
+            }
+            c.record_throughput(completed_this_tick, dt_secs, THROUGHPUT_TAU_SECS);
+            let resident = c.resident_mem();
+            let in_flight = c.in_flight.len();
+            self.windows[id.as_usize()].record_tick(
+                dt_secs,
+                cpu_used[i],
+                net_sent[i],
+                disk_done[i],
+                resident,
+                in_flight,
+                swapping[i],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mbps;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn ready_spec(svc: u32) -> ContainerSpec {
+        ContainerSpec::new(ServiceId::new(svc)).with_startup_secs(0.0)
+    }
+
+    fn run_until_drained(
+        cluster: &mut Cluster,
+        start: SimTime,
+        max_secs: f64,
+    ) -> (Vec<CompletedRequest>, Vec<FailedRequest>) {
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        let dt = SimDuration::from_millis(100);
+        let mut now = start;
+        let horizon = start + SimDuration::from_secs(max_secs);
+        while now < horizon {
+            let rep = cluster.advance(now, dt);
+            completed.extend(rep.completed);
+            failed.extend(rep.failed);
+            now += dt;
+            if cluster.containers().all(|c| c.in_flight_count() == 0) {
+                break;
+            }
+        }
+        (completed, failed)
+    }
+
+    #[test]
+    fn single_cpu_request_completes_in_expected_time() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(
+                node,
+                ready_spec(0).with_cpu_request(Cores(1.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let req = Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.45);
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, failed) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(failed.len(), 0);
+        assert_eq!(completed.len(), 1);
+        // 0.45 core-seconds on an uncontended node, single-thread bound:
+        // needs 5 ticks of 100 ms -> finishes at 0.5 s.
+        let rt = completed[0].response_time.as_secs();
+        assert!((0.45..0.65).contains(&rt), "response time {rt}");
+    }
+
+    #[test]
+    fn contention_with_antagonist_slows_service() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small().with_cores(Cores(1.0)));
+        let ctr = cl
+            .start_container(
+                node,
+                ready_spec(0).with_cpu_request(Cores(1.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let _hog = cl
+            .start_container(
+                node,
+                ready_spec(9).with_cpu_request(Cores(1.0)).antagonist(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let req = Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.2);
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(completed.len(), 1);
+        // Equal shares halve throughput; contention adds ~17% more.
+        let rt = completed[0].response_time.as_secs();
+        assert!(rt > 0.4, "expected >2x slowdown, got {rt}");
+    }
+
+    #[test]
+    fn removal_aborts_in_flight_requests() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            ctr,
+            Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 100.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let failures = cl.remove_container(ctr, SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::Removal);
+        // Second removal errors.
+        assert!(cl.remove_container(ctr, SimTime::from_secs(1.0)).is_err());
+        // Node no longer lists it, service has no replicas.
+        assert!(cl.service_replicas(ServiceId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn starting_containers_reject_requests() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(
+                node,
+                ContainerSpec::new(ServiceId::new(0)).with_startup_secs(5.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let req = Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.1);
+        assert_eq!(
+            cl.admit_request(ctr, req.clone(), SimTime::from_secs(1.0)),
+            Err(ClusterError::NotAccepting(ctr))
+        );
+        assert!(cl.admit_request(ctr, req, SimTime::from_secs(5.0)).is_ok());
+    }
+
+    #[test]
+    fn queue_cap_produces_queue_full() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0).with_queue_cap(2), SimTime::ZERO)
+            .unwrap();
+        let mk = || Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 10.0);
+        assert!(cl.admit_request(ctr, mk(), SimTime::ZERO).is_ok());
+        assert!(cl.admit_request(ctr, mk(), SimTime::ZERO).is_ok());
+        assert_eq!(
+            cl.admit_request(ctr, mk(), SimTime::ZERO),
+            Err(ClusterError::QueueFull(ctr))
+        );
+    }
+
+    #[test]
+    fn timeouts_become_connection_failures() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small().with_cores(Cores(0.1)));
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        let req = Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 50.0)
+            .with_timeout(SimDuration::from_secs(1.0));
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, failed) = run_until_drained(&mut cl, SimTime::ZERO, 5.0);
+        assert!(completed.is_empty());
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].kind, FailureKind::Connection);
+    }
+
+    #[test]
+    fn swapping_slows_progress_dramatically() {
+        let run = |mem_limit: f64| -> f64 {
+            let mut cl = cluster();
+            let node = cl.add_node(NodeSpec::uniform_worker());
+            let ctr = cl
+                .start_container(
+                    node,
+                    ready_spec(0)
+                        .with_cpu_request(Cores(4.0))
+                        .with_mem_limit(MemMb(mem_limit))
+                        .with_base_overhead(Cores(0.0), MemMb(64.0)),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            // 200 MB in-flight footprint.
+            let req = Request::new(ServiceId::new(0), SimTime::ZERO, 0.5, MemMb(200.0), 0.0);
+            cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+            let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 60.0);
+            completed[0].response_time.as_secs()
+        };
+        let fast = run(512.0); // no swap
+        let slow = run(128.0); // 136/264 swapped
+        assert!(
+            slow > fast * 5.0,
+            "swap should dominate: no-swap {fast}s vs swap {slow}s"
+        );
+    }
+
+    #[test]
+    fn network_request_completes_at_nic_rate() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small().with_nic(Mbps(100.0)));
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        // 50 megabits at 100 Mb/s -> 0.5 s.
+        let req = Request::net_bound(ServiceId::new(0), SimTime::ZERO, 50.0);
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(completed.len(), 1);
+        let rt = completed[0].response_time.as_secs();
+        assert!((0.5..0.8).contains(&rt), "response time {rt}");
+    }
+
+    #[test]
+    fn tc_cap_throttles_egress() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small().with_nic(Mbps(100.0)));
+        let ctr = cl
+            .start_container(node, ready_spec(0).with_net_cap(Mbps(10.0)), SimTime::ZERO)
+            .unwrap();
+        let req = Request::net_bound(ServiceId::new(0), SimTime::ZERO, 10.0);
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        let rt = completed[0].response_time.as_secs();
+        assert!(
+            rt >= 1.0,
+            "capped at 10 Mb/s, 10 Mb should take ≥1 s, got {rt}"
+        );
+    }
+
+    #[test]
+    fn disk_request_completes_at_disk_rate() {
+        let mut cl = cluster();
+        // 300 Mb/s disks (NodeSpec::small): 60 megabits -> ~0.2 s.
+        let node = cl.add_node(NodeSpec::small());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        let req = Request::disk_bound(ServiceId::new(0), SimTime::ZERO, 60.0);
+        cl.admit_request(ctr, req, SimTime::ZERO).unwrap();
+        let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(completed.len(), 1);
+        let rt = completed[0].response_time.as_secs();
+        assert!((0.2..0.5).contains(&rt), "response time {rt}");
+        // Disk usage shows up in the stats window.
+        let usage = cl.node_usage_and_reset(node).unwrap();
+        assert!(usage.containers[0].disk_used.get() > 0.0);
+    }
+
+    #[test]
+    fn disk_pool_is_shared_fairly() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small()); // 300 Mb/s disk
+        let a = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        let b = cl
+            .start_container(node, ready_spec(1), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            a,
+            Request::disk_bound(ServiceId::new(0), SimTime::ZERO, 150.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        cl.admit_request(
+            b,
+            Request::disk_bound(ServiceId::new(1), SimTime::ZERO, 150.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(completed.len(), 2);
+        // Each got ~half the pool: 150 Mb at 150 Mb/s -> ~1 s each.
+        for done in &completed {
+            let rt = done.response_time.as_secs();
+            assert!((0.9..1.3).contains(&rt), "response time {rt}");
+        }
+    }
+
+    #[test]
+    fn docker_update_changes_shares_live() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.update_container(ctr, Cores(2.0), MemMb(1024.0)).unwrap();
+        let c = cl.container(ctr).unwrap();
+        assert_eq!(c.spec().cpu_request, Cores(2.0));
+        assert_eq!(c.spec().mem_limit, MemMb(1024.0));
+        assert!(cl
+            .update_container(ContainerId::new(99), Cores(1.0), MemMb(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn free_resources_subtract_live_containers() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let (cpu0, mem0) = cl.free_resources(node).unwrap();
+        assert_eq!(cpu0, Cores(4.0));
+        assert_eq!(mem0, MemMb(8192.0));
+        let ctr = cl
+            .start_container(
+                node,
+                ready_spec(0)
+                    .with_cpu_request(Cores(1.5))
+                    .with_mem_limit(MemMb(512.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let (cpu1, mem1) = cl.free_resources(node).unwrap();
+        assert_eq!(cpu1, Cores(2.5));
+        assert_eq!(mem1, MemMb(7680.0));
+        cl.remove_container(ctr, SimTime::ZERO).unwrap();
+        let (cpu2, _) = cl.free_resources(node).unwrap();
+        assert_eq!(cpu2, Cores(4.0));
+    }
+
+    #[test]
+    fn usage_windows_report_cpu_and_reset() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(
+                node,
+                ready_spec(0).with_cpu_request(Cores(1.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        cl.admit_request(
+            ctr,
+            Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 100.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let usage = cl.node_usage_and_reset(node).unwrap();
+        assert_eq!(usage.containers.len(), 1);
+        // One single-threaded request on an idle 4-core box: ~1 core.
+        let cpu = usage.containers[0].cpu_used.get();
+        assert!((0.9..=1.1).contains(&cpu), "cpu {cpu}");
+        // Window reset: a fresh snapshot shows zero rates.
+        let again = cl.node_usage_and_reset(node).unwrap();
+        assert_eq!(again.containers[0].cpu_used, Cores::ZERO);
+    }
+
+    #[test]
+    fn service_replicas_excludes_antagonists_and_other_services() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let a = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        let _b = cl
+            .start_container(node, ready_spec(1), SimTime::ZERO)
+            .unwrap();
+        let _hog = cl
+            .start_container(node, ready_spec(0).antagonist(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(cl.service_replicas(ServiceId::new(0)), vec![a]);
+    }
+
+    #[test]
+    fn advance_with_zero_dt_is_a_no_op() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            ctr,
+            Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 1.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let rep = cl.advance(SimTime::ZERO, SimDuration::ZERO);
+        assert!(rep.completed.is_empty() && rep.failed.is_empty());
+        assert_eq!(cl.container(ctr).unwrap().in_flight_count(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut cl = cluster();
+        assert!(cl.free_resources(NodeId::new(0)).is_err());
+        assert!(cl.node_usage_and_reset(NodeId::new(0)).is_err());
+        assert!(cl
+            .start_container(
+                NodeId::new(0),
+                ContainerSpec::new(ServiceId::new(0)),
+                SimTime::ZERO
+            )
+            .is_err());
+        assert!(cl
+            .admit_request(
+                ContainerId::new(0),
+                Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.1),
+                SimTime::ZERO
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn stateful_services_pay_per_replica_coordination() {
+        let run = |replicas: usize, coordination: f64| -> f64 {
+            let mut cl = cluster();
+            let mut ctrs = Vec::new();
+            for _ in 0..replicas {
+                let node = cl.add_node(NodeSpec::uniform_worker());
+                let ctr = cl
+                    .start_container(
+                        node,
+                        ready_spec(0).with_coordination_secs(coordination),
+                        SimTime::ZERO,
+                    )
+                    .unwrap();
+                ctrs.push(ctr);
+            }
+            cl.admit_request(
+                ctrs[0],
+                Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.05),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+            completed[0].response_time.as_secs()
+        };
+        let single = run(1, 0.05);
+        let quad_stateless = run(4, 0.0);
+        let quad_stateful = run(4, 0.05);
+        // 3 extra replicas at 50 ms sync each = +150 ms over stateless.
+        assert!((quad_stateful - quad_stateless - 0.15).abs() < 1e-6);
+        assert!(single < quad_stateful);
+    }
+
+    #[test]
+    fn oversubscription_shows_negative_free_resources() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::small()); // 2 cores
+        for svc in 0..3 {
+            cl.start_container(
+                node,
+                ready_spec(svc).with_cpu_request(Cores(1.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let (cpu, _) = cl.free_resources(node).unwrap();
+        assert!(cpu.get() < 0.0, "docker-style oversubscription: {cpu}");
+    }
+
+    #[test]
+    fn net_cap_update_errors_on_removed_container() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.update_net_cap(ctr, Some(Mbps(10.0))).unwrap();
+        cl.remove_container(ctr, SimTime::ZERO).unwrap();
+        assert!(cl.update_net_cap(ctr, None).is_err());
+        assert!(cl.update_container(ctr, Cores(1.0), MemMb(1.0)).is_err());
+    }
+
+    #[test]
+    fn fanout_latency_grows_with_replica_count() {
+        let run = |replicas: usize| -> f64 {
+            let mut cl = cluster();
+            let mut first = None;
+            for _ in 0..replicas {
+                let node = cl.add_node(NodeSpec::uniform_worker());
+                let ctr = cl
+                    .start_container(node, ready_spec(0), SimTime::ZERO)
+                    .unwrap();
+                first.get_or_insert(ctr);
+            }
+            cl.admit_request(
+                first.unwrap(),
+                Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 0.05),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            let (completed, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+            completed[0].response_time.as_secs()
+        };
+        // Same request, same work; only the replica count (and thus the
+        // distribution/fan-out latency) differs.
+        assert!(run(8) > run(1));
+    }
+
+    #[test]
+    fn antagonist_consumes_cpu_in_stats() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let hog = cl
+            .start_container(
+                node,
+                ready_spec(9).with_cpu_request(Cores(4.0)).antagonist(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let usage = cl.container_usage(hog).unwrap();
+        assert!(usage.cpu_used.get() > 3.5, "hog used {:?}", usage.cpu_used);
+        // Antagonists never hold requests.
+        assert_eq!(usage.in_flight, 0);
+    }
+
+    #[test]
+    fn throughput_ewma_tracks_served_rate() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(
+                node,
+                ready_spec(0).with_mem_per_rps(MemMb(10.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Serve ~10 req/s of tiny requests for 60 s.
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for tick in 0..600 {
+            if tick % 10 == 0 {
+                cl.admit_request(
+                    ctr,
+                    Request::new(ServiceId::new(0), now, 0.01, MemMb(1.0), 0.0),
+                    now,
+                )
+                .unwrap();
+            }
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let c = cl.container(ctr).unwrap();
+        assert!(
+            (0.5..2.0).contains(&c.throughput_rps()),
+            "ewma {:.2} should approximate 1 req/s",
+            c.throughput_rps()
+        );
+        // The working set follows: base 64 + ~10 MB.
+        let resident = c.resident_mem().get();
+        assert!((70.0..85.0).contains(&resident), "resident {resident}");
+    }
+
+    #[test]
+    fn decommission_removes_containers_and_rejects_future_use() {
+        let mut cl = cluster();
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        let n1 = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(n0, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            ctr,
+            Request::cpu_bound(ServiceId::new(0), SimTime::ZERO, 100.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let failures = cl.decommission_node(n0, SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::Removal);
+        // The node is gone from every view.
+        assert!(cl.node(n0).is_none());
+        assert_eq!(cl.node_count(), 1);
+        assert!(cl.free_resources(n0).is_err());
+        assert!(cl
+            .start_container(n0, ready_spec(1), SimTime::from_secs(2.0))
+            .is_err());
+        // Double decommission errors; other nodes unaffected.
+        assert!(cl.decommission_node(n0, SimTime::from_secs(2.0)).is_err());
+        assert!(cl
+            .start_container(n1, ready_spec(1), SimTime::from_secs(2.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn nodes_can_be_commissioned_at_runtime() {
+        let mut cl = cluster();
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        assert_eq!(cl.node_count(), 1);
+        // Simulate time passing, then grow the cluster.
+        cl.advance(SimTime::ZERO, SimDuration::from_millis(100));
+        let n1 = cl.add_node(NodeSpec::small());
+        assert_eq!(cl.node_count(), 2);
+        assert_ne!(n0, n1);
+        let ctr = cl
+            .start_container(n1, ready_spec(0), SimTime::from_secs(1.0))
+            .unwrap();
+        assert_eq!(cl.container(ctr).unwrap().node(), n1);
+    }
+
+    #[test]
+    fn invalid_spec_rejected_at_start() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let bad = ContainerSpec::new(ServiceId::new(0)).with_cpu_request(Cores(-1.0));
+        assert!(matches!(
+            cl.start_container(node, bad, SimTime::ZERO),
+            Err(ClusterError::InvalidSpec(_))
+        ));
+    }
+}

@@ -1,0 +1,302 @@
+//! Proportional-share CPU allocation (Docker CPU shares semantics).
+//!
+//! Docker CPU shares give each container access time proportional to its
+//! share weight, but only when there is contention: the scheduler is
+//! work-conserving, so an idle container's entitlement flows to busy ones.
+//! This module implements that semantics as progressive filling
+//! (water-filling): every round, each unsatisfied container receives
+//! capacity proportional to its weight; containers whose demand is met drop
+//! out and their surplus is redistributed.
+//!
+//! The same allocator is reused for network bandwidth in
+//! [`crate::network`], with weights equal to the containers' network
+//! requests and caps equal to their `tc` limits.
+
+use crate::ids::ContainerId;
+
+/// One container's demand for a divisible resource in a tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuDemand {
+    /// Which container is asking.
+    pub container: ContainerId,
+    /// The maximum amount the container can use this tick
+    /// (e.g. core-seconds runnable by its in-flight requests).
+    pub demand: f64,
+    /// Scheduling weight (the container's `cpu_request` in cores; Docker
+    /// shares divided by 1024).
+    pub weight: f64,
+    /// Optional hard cap on the grant (used for `tc` network limits;
+    /// `f64::INFINITY` when uncapped).
+    pub cap: f64,
+}
+
+impl CpuDemand {
+    /// Creates an uncapped demand entry.
+    pub fn new(container: ContainerId, demand: f64, weight: f64) -> Self {
+        CpuDemand {
+            container,
+            demand,
+            weight,
+            cap: f64::INFINITY,
+        }
+    }
+
+    /// Adds a hard cap to the grant.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    fn effective_demand(&self) -> f64 {
+        self.demand.min(self.cap).max(0.0)
+    }
+}
+
+/// The allocator's grant to one container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuGrant {
+    /// Which container the grant belongs to.
+    pub container: ContainerId,
+    /// Amount granted this tick (same unit as the demand).
+    pub granted: f64,
+}
+
+/// Work-conserving weighted fair allocator.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_cluster::{ContainerId, CpuAllocator, CpuDemand};
+///
+/// // Two containers with shares 1024 and 2048 contending for 1 core-tick:
+/// let grants = CpuAllocator::allocate(
+///     1.0,
+///     &[
+///         CpuDemand::new(ContainerId::new(0), 10.0, 1.0),
+///         CpuDemand::new(ContainerId::new(1), 10.0, 2.0),
+///     ],
+/// );
+/// assert!((grants[0].granted - 1.0 / 3.0).abs() < 1e-9);
+/// assert!((grants[1].granted - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuAllocator;
+
+impl CpuAllocator {
+    /// Distributes `capacity` among `demands`, weight-proportionally and
+    /// work-conservingly. Grants never exceed a container's demand or cap,
+    /// and their sum never exceeds `capacity` (up to floating-point
+    /// round-off).
+    ///
+    /// Containers with zero weight receive capacity only after all
+    /// positive-weight containers are satisfied (matching Docker, where a
+    /// zero-share container is starved under contention but runs on an
+    /// otherwise idle machine).
+    pub fn allocate(capacity: f64, demands: &[CpuDemand]) -> Vec<CpuGrant> {
+        let mut grants: Vec<CpuGrant> = demands
+            .iter()
+            .map(|d| CpuGrant {
+                container: d.container,
+                granted: 0.0,
+            })
+            .collect();
+        if capacity <= 0.0 || demands.is_empty() {
+            return grants;
+        }
+
+        let mut remaining_capacity = capacity;
+        let mut outstanding: Vec<(usize, f64)> = demands
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.effective_demand() > 0.0 && d.weight > 0.0)
+            .map(|(i, d)| (i, d.effective_demand()))
+            .collect();
+
+        // Phase 1: weighted water-filling among positive-weight containers.
+        const MAX_ROUNDS: usize = 64;
+        let mut rounds = 0;
+        while !outstanding.is_empty() && remaining_capacity > 1e-12 && rounds < MAX_ROUNDS {
+            rounds += 1;
+            let total_weight: f64 = outstanding.iter().map(|&(i, _)| demands[i].weight).sum();
+            if total_weight <= 0.0 {
+                break;
+            }
+            let mut next_round = Vec::with_capacity(outstanding.len());
+            let capacity_this_round = remaining_capacity;
+            for &(i, need) in &outstanding {
+                let fair = capacity_this_round * demands[i].weight / total_weight;
+                let take = fair.min(need);
+                grants[i].granted += take;
+                remaining_capacity -= take;
+                let left = need - take;
+                if left > 1e-12 {
+                    next_round.push((i, left));
+                }
+            }
+            // If nobody was constrained by demand this round, we're done.
+            if next_round.len() == outstanding.len() {
+                break;
+            }
+            outstanding = next_round;
+        }
+
+        // Phase 2: leftover capacity flows to zero-weight containers
+        // (idle-machine semantics), split evenly by demand.
+        if remaining_capacity > 1e-12 {
+            let zero_weight: Vec<usize> = demands
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.weight <= 0.0 && d.effective_demand() > 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            if !zero_weight.is_empty() {
+                let share = remaining_capacity / zero_weight.len() as f64;
+                for i in zero_weight {
+                    let take = share.min(demands[i].effective_demand());
+                    grants[i].granted += take;
+                }
+            }
+        }
+
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctr(i: u32) -> ContainerId {
+        ContainerId::new(i)
+    }
+
+    fn total(grants: &[CpuGrant]) -> f64 {
+        grants.iter().map(|g| g.granted).sum()
+    }
+
+    #[test]
+    fn empty_demands_grant_nothing() {
+        assert!(CpuAllocator::allocate(4.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_container_takes_min_of_demand_and_capacity() {
+        let g = CpuAllocator::allocate(4.0, &[CpuDemand::new(ctr(0), 2.5, 1.0)]);
+        assert!((g[0].granted - 2.5).abs() < 1e-12);
+        let g = CpuAllocator::allocate(1.0, &[CpuDemand::new(ctr(0), 2.5, 1.0)]);
+        assert!((g[0].granted - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_splits_by_weight() {
+        // Paper's example: shares 1024 vs 2048 -> 1/3 vs 2/3 of access time.
+        let g = CpuAllocator::allocate(
+            3.0,
+            &[
+                CpuDemand::new(ctr(0), 100.0, 1.0),
+                CpuDemand::new(ctr(1), 100.0, 2.0),
+            ],
+        );
+        assert!((g[0].granted - 1.0).abs() < 1e-9);
+        assert!((g[1].granted - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_conserving_redistributes_idle_entitlement() {
+        // Container 1 wants almost nothing; its entitlement goes to 0.
+        let g = CpuAllocator::allocate(
+            2.0,
+            &[
+                CpuDemand::new(ctr(0), 100.0, 1.0),
+                CpuDemand::new(ctr(1), 0.1, 3.0),
+            ],
+        );
+        assert!((g[1].granted - 0.1).abs() < 1e-9);
+        assert!((g[0].granted - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grants_never_exceed_capacity() {
+        let demands: Vec<CpuDemand> = (0..10)
+            .map(|i| CpuDemand::new(ctr(i), (i as f64 + 1.0) * 0.3, 1.0 + i as f64))
+            .collect();
+        let g = CpuAllocator::allocate(2.0, &demands);
+        assert!(total(&g) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn grants_never_exceed_demand() {
+        let demands = [
+            CpuDemand::new(ctr(0), 0.5, 1.0),
+            CpuDemand::new(ctr(1), 0.25, 1.0),
+        ];
+        let g = CpuAllocator::allocate(10.0, &demands);
+        assert!((g[0].granted - 0.5).abs() < 1e-12);
+        assert!((g[1].granted - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caps_bound_the_grant() {
+        let demands = [
+            CpuDemand::new(ctr(0), 100.0, 1.0).with_cap(0.4),
+            CpuDemand::new(ctr(1), 100.0, 1.0),
+        ];
+        let g = CpuAllocator::allocate(2.0, &demands);
+        assert!((g[0].granted - 0.4).abs() < 1e-9);
+        assert!((g[1].granted - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_only_gets_leftovers() {
+        // Under contention, zero-weight container is starved.
+        let g = CpuAllocator::allocate(
+            1.0,
+            &[
+                CpuDemand::new(ctr(0), 10.0, 1.0),
+                CpuDemand::new(ctr(1), 10.0, 0.0),
+            ],
+        );
+        assert!((g[0].granted - 1.0).abs() < 1e-9);
+        assert_eq!(g[1].granted, 0.0);
+
+        // On an idle machine it runs.
+        let g = CpuAllocator::allocate(
+            1.0,
+            &[
+                CpuDemand::new(ctr(0), 0.2, 1.0),
+                CpuDemand::new(ctr(1), 10.0, 0.0),
+            ],
+        );
+        assert!((g[0].granted - 0.2).abs() < 1e-9);
+        assert!((g[1].granted - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_grants_nothing() {
+        let g = CpuAllocator::allocate(0.0, &[CpuDemand::new(ctr(0), 1.0, 1.0)]);
+        assert_eq!(g[0].granted, 0.0);
+    }
+
+    #[test]
+    fn negative_demand_treated_as_zero() {
+        let g = CpuAllocator::allocate(1.0, &[CpuDemand::new(ctr(0), -1.0, 1.0)]);
+        assert_eq!(g[0].granted, 0.0);
+    }
+
+    #[test]
+    fn three_way_weighted_split_with_one_small() {
+        let g = CpuAllocator::allocate(
+            6.0,
+            &[
+                CpuDemand::new(ctr(0), 1.0, 1.0),  // wants little
+                CpuDemand::new(ctr(1), 10.0, 1.0), // hungry
+                CpuDemand::new(ctr(2), 10.0, 2.0), // hungry, double weight
+            ],
+        );
+        // ctr0 satisfied at 1.0; remaining 5.0 split 1:2 -> 5/3, 10/3.
+        assert!((g[0].granted - 1.0).abs() < 1e-9);
+        assert!((g[1].granted - 5.0 / 3.0).abs() < 1e-9);
+        assert!((g[2].granted - 10.0 / 3.0).abs() < 1e-9);
+        assert!((total(&g) - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for cluster operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ContainerId, NodeId};
+use crate::{Cores, MemMb};
+
+/// Errors raised by cluster mutation and admission operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// Referenced a container that does not exist or was removed.
+    UnknownContainer(ContainerId),
+    /// A container could not be placed because the node lacks resources.
+    InsufficientResources {
+        /// The node that was asked to host the container.
+        node: NodeId,
+        /// CPU still available on the node.
+        cpu_free: Cores,
+        /// Memory still available on the node.
+        mem_free: MemMb,
+    },
+    /// A request was rejected because the replica's queue is full.
+    QueueFull(ContainerId),
+    /// A request was directed at a container that is not accepting work
+    /// (still starting or already stopping).
+    NotAccepting(ContainerId),
+    /// A container specification failed validation.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ClusterError::UnknownContainer(id) => write!(f, "unknown container {id}"),
+            ClusterError::InsufficientResources {
+                node,
+                cpu_free,
+                mem_free,
+            } => write!(
+                f,
+                "insufficient resources on {node}: {cpu_free} cores and {mem_free} MB free"
+            ),
+            ClusterError::QueueFull(id) => write!(f, "request queue full on {id}"),
+            ClusterError::NotAccepting(id) => write!(f, "container {id} is not accepting requests"),
+            ClusterError::InvalidSpec(reason) => write!(f, "invalid container spec: {reason}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ClusterError::UnknownNode(NodeId::new(1)).to_string(),
+            "unknown node node-1"
+        );
+        assert_eq!(
+            ClusterError::QueueFull(ContainerId::new(2)).to_string(),
+            "request queue full on ctr-2"
+        );
+        let e = ClusterError::InsufficientResources {
+            node: NodeId::new(0),
+            cpu_free: Cores(0.5),
+            mem_free: MemMb(100.0),
+        };
+        assert!(e.to_string().contains("insufficient resources"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ClusterError>();
+    }
+}

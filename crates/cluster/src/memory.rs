@@ -1,0 +1,156 @@
+//! Memory accounting and the swap model.
+//!
+//! Docker memory limits are hard in one direction: a container that
+//! exceeds its limit has the excess pages swapped to disk (Sec. III-B of
+//! the paper). The paper observes that raising the limit does not speed a
+//! service up, but *swapping drastically degrades it* — enough that the
+//! memory-blind algorithms (Kubernetes, HyScaleCPU) produce mass request
+//! failures on memory-bound loads. This module computes, per container per
+//! tick, how much of its resident set is swapped and the resulting
+//! progress slowdown.
+
+use serde::{Deserialize, Serialize};
+
+use crate::overhead::OverheadModel;
+use crate::MemMb;
+
+/// Snapshot of one container's memory pressure in a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPressure {
+    /// Resident set the container wants (base + per-request memory).
+    pub resident: MemMb,
+    /// The container's current memory limit.
+    pub limit: MemMb,
+    /// Megabytes swapped out (`max(resident - limit, 0)`, bounded by the
+    /// node's remaining physical headroom rules).
+    pub swapped: MemMb,
+    /// Fraction of the resident set that is swapped, in `[0, 1]`.
+    pub swapped_fraction: f64,
+    /// Divisor applied to the container's CPU progress this tick.
+    pub slowdown: f64,
+}
+
+impl MemoryPressure {
+    /// True if the container is currently swapping.
+    pub fn is_swapping(&self) -> bool {
+        self.swapped.get() > 0.0
+    }
+}
+
+/// Computes per-container memory pressure.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_cluster::{MemMb, MemoryModel, OverheadModel};
+///
+/// let model = MemoryModel::new(OverheadModel::default());
+/// let ok = model.pressure(MemMb(200.0), MemMb(256.0));
+/// assert!(!ok.is_swapping());
+/// let bad = model.pressure(MemMb(512.0), MemMb(256.0));
+/// assert!(bad.is_swapping());
+/// assert!(bad.slowdown > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    overheads: OverheadModel,
+}
+
+impl MemoryModel {
+    /// Creates a memory model with the given overhead coefficients.
+    pub fn new(overheads: OverheadModel) -> Self {
+        MemoryModel { overheads }
+    }
+
+    /// Computes the pressure for a container with the given resident set
+    /// and limit.
+    pub fn pressure(&self, resident: MemMb, limit: MemMb) -> MemoryPressure {
+        let resident = resident.max_zero();
+        let limit = limit.max_zero();
+        let swapped = (resident - limit).max_zero();
+        let swapped_fraction = if resident.get() > 0.0 {
+            (swapped.get() / resident.get()).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        MemoryPressure {
+            resident,
+            limit,
+            swapped,
+            swapped_fraction,
+            slowdown: self.overheads.swap_slowdown(swapped_fraction),
+        }
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::new(OverheadModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_limit_no_pressure() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb(100.0), MemMb(256.0));
+        assert!(!p.is_swapping());
+        assert_eq!(p.swapped, MemMb::ZERO);
+        assert_eq!(p.slowdown, 1.0);
+    }
+
+    #[test]
+    fn at_limit_no_pressure() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb(256.0), MemMb(256.0));
+        assert!(!p.is_swapping());
+    }
+
+    #[test]
+    fn over_limit_swaps_the_excess() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb(320.0), MemMb(256.0));
+        assert_eq!(p.swapped, MemMb(64.0));
+        assert!((p.swapped_fraction - 0.2).abs() < 1e-12);
+        assert!(p.slowdown > 1.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_overflow() {
+        let m = MemoryModel::default();
+        let mut prev = 0.0;
+        for resident in [256.0, 300.0, 400.0, 800.0, 1600.0] {
+            let p = m.pressure(MemMb(resident), MemMb(256.0));
+            assert!(p.slowdown >= prev);
+            prev = p.slowdown;
+        }
+    }
+
+    #[test]
+    fn zero_limit_swaps_everything() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb(100.0), MemMb::ZERO);
+        assert!((p.swapped_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(p.swapped, MemMb(100.0));
+    }
+
+    #[test]
+    fn zero_resident_is_neutral() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb::ZERO, MemMb::ZERO);
+        assert_eq!(p.swapped_fraction, 0.0);
+        assert_eq!(p.slowdown, 1.0);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let m = MemoryModel::default();
+        let p = m.pressure(MemMb(-5.0), MemMb(-10.0));
+        assert_eq!(p.resident, MemMb::ZERO);
+        assert_eq!(p.limit, MemMb::ZERO);
+        assert!(!p.is_swapping());
+    }
+}

@@ -1,0 +1,257 @@
+//! Egress network bandwidth allocation (`tc` + tx-queue contention).
+//!
+//! Docker has no native network resizing; the paper shapes egress traffic
+//! with `tc` hierarchical token buckets plus iptables. Two properties from
+//! Section III-C drive the model:
+//!
+//! * *vertical* network scaling is ≈ neutral — `tc` distributes a node's
+//!   bandwidth fairly and changing one container's cap just moves the
+//!   split;
+//! * *horizontal* network scaling wins — flows on one node contend for the
+//!   NIC's transmit queues, so spreading the same flows across machines
+//!   increases aggregate throughput until ~8 replicas, after which the
+//!   benefit tapers.
+//!
+//! The tx-queue contention is the `1/(1 + q·log2(f))` factor from
+//! [`OverheadModel::txq_contention_factor`] over the node's total kernel
+//! flows; tapering emerges naturally because with `r` replicas each node
+//! hosts `f/r` flows and the marginal relief shrinks.
+
+use crate::cpu::{CpuAllocator, CpuDemand, CpuGrant};
+use crate::ids::ContainerId;
+use crate::overhead::OverheadModel;
+use crate::Mbps;
+
+/// One container's egress demand for a tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetDemand {
+    /// Which container is sending.
+    pub container: ContainerId,
+    /// Megabits the container could send this tick if unconstrained.
+    pub megabits: f64,
+    /// Scheduling weight (the container's `net_request`, in Mb/s).
+    pub weight: f64,
+    /// `tc` cap in megabits for this tick (`f64::INFINITY` if uncapped).
+    pub cap_megabits: f64,
+    /// Number of kernel-level flows this container contributes to the
+    /// node's transmit queues — one per in-flight sending request (the
+    /// paper's iperf streams). Contention scales with flows, which is why
+    /// spreading the *same* flows over more machines helps (Fig. 3).
+    pub flows: usize,
+}
+
+impl NetDemand {
+    /// Creates an uncapped single-flow demand entry.
+    pub fn new(container: ContainerId, megabits: f64, weight: f64) -> Self {
+        NetDemand {
+            container,
+            megabits,
+            weight,
+            cap_megabits: f64::INFINITY,
+            flows: 1,
+        }
+    }
+
+    /// Applies a `tc` cap expressed in Mb/s over a tick of `dt_secs`.
+    pub fn with_tc_cap(mut self, cap: Mbps, dt_secs: f64) -> Self {
+        self.cap_megabits = cap.get() * dt_secs;
+        self
+    }
+
+    /// Sets the number of concurrent flows behind this demand.
+    pub fn with_flows(mut self, flows: usize) -> Self {
+        self.flows = flows;
+        self
+    }
+}
+
+/// The allocator's egress grant to one container for a tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetGrant {
+    /// Which container the grant belongs to.
+    pub container: ContainerId,
+    /// Megabits the container may send this tick.
+    pub megabits: f64,
+}
+
+/// Allocates a node's egress bandwidth among its sending containers.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_cluster::{ContainerId, Mbps, NetAllocator, NetDemand, OverheadModel};
+///
+/// let alloc = NetAllocator::new(OverheadModel::frictionless());
+/// let grants = alloc.allocate(
+///     Mbps(100.0),
+///     0.1, // a 100 ms tick
+///     &[NetDemand::new(ContainerId::new(0), 1e9, 50.0)],
+/// );
+/// // One flow gets the full NIC: 100 Mb/s * 0.1 s = 10 megabits.
+/// assert!((grants[0].megabits - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetAllocator {
+    overheads: OverheadModel,
+}
+
+impl NetAllocator {
+    /// Creates an allocator with the given overhead coefficients.
+    pub fn new(overheads: OverheadModel) -> Self {
+        NetAllocator { overheads }
+    }
+
+    /// Distributes the node's egress capacity for a tick of `dt_secs`
+    /// among `demands`. Applies tx-queue contention based on the total
+    /// number of *flows* (in-flight sending requests) with positive
+    /// demand, then weighted max-min fair sharing with `tc` caps (reusing
+    /// the CPU water-filling allocator — the same algorithm governs both
+    /// resources).
+    pub fn allocate(&self, nic: Mbps, dt_secs: f64, demands: &[NetDemand]) -> Vec<NetGrant> {
+        let flows: usize = demands
+            .iter()
+            .filter(|d| d.megabits > 0.0)
+            .map(|d| d.flows.max(1))
+            .sum();
+        let factor = self.overheads.txq_contention_factor(flows);
+        let capacity_megabits = nic.get().max(0.0) * dt_secs.max(0.0) * factor;
+
+        let cpu_demands: Vec<CpuDemand> = demands
+            .iter()
+            .map(|d| CpuDemand {
+                container: d.container,
+                demand: d.megabits,
+                weight: d.weight,
+                cap: d.cap_megabits,
+            })
+            .collect();
+        CpuAllocator::allocate(capacity_megabits, &cpu_demands)
+            .into_iter()
+            .map(|CpuGrant { container, granted }| NetGrant {
+                container,
+                megabits: granted,
+            })
+            .collect()
+    }
+}
+
+impl Default for NetAllocator {
+    fn default() -> Self {
+        NetAllocator::new(OverheadModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctr(i: u32) -> ContainerId {
+        ContainerId::new(i)
+    }
+
+    #[test]
+    fn single_flow_gets_full_nic() {
+        let a = NetAllocator::new(OverheadModel::default());
+        let g = a.allocate(Mbps(100.0), 1.0, &[NetDemand::new(ctr(0), 1e9, 1.0)]);
+        assert!((g[0].megabits - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_reduces_aggregate_throughput() {
+        let a = NetAllocator::new(OverheadModel::default());
+        let demands: Vec<NetDemand> = (0..4).map(|i| NetDemand::new(ctr(i), 1e9, 1.0)).collect();
+        let g = a.allocate(Mbps(100.0), 1.0, &demands);
+        let total: f64 = g.iter().map(|x| x.megabits).sum();
+        // 4 flows: total = 100 / (1 + 0.1 * log2(4)) = 100 / 1.2.
+        assert!(total < 100.0);
+        let expected = 100.0 / (1.0 + 0.1 * 2.0);
+        assert!((total - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fair_split_among_equal_flows() {
+        let a = NetAllocator::new(OverheadModel::frictionless());
+        let demands: Vec<NetDemand> = (0..5).map(|i| NetDemand::new(ctr(i), 1e9, 10.0)).collect();
+        let g = a.allocate(Mbps(100.0), 1.0, &demands);
+        for grant in &g {
+            assert!((grant.megabits - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tc_cap_limits_a_flow() {
+        let a = NetAllocator::new(OverheadModel::frictionless());
+        let demands = [
+            NetDemand::new(ctr(0), 1e9, 1.0).with_tc_cap(Mbps(10.0), 1.0),
+            NetDemand::new(ctr(1), 1e9, 1.0),
+        ];
+        let g = a.allocate(Mbps(100.0), 1.0, &demands);
+        assert!((g[0].megabits - 10.0).abs() < 1e-9);
+        assert!((g[1].megabits - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_flows_do_not_create_contention() {
+        let a = NetAllocator::new(OverheadModel::default());
+        let demands = [
+            NetDemand::new(ctr(0), 1e9, 1.0),
+            NetDemand::new(ctr(1), 0.0, 1.0), // idle
+        ];
+        let g = a.allocate(Mbps(100.0), 1.0, &demands);
+        assert!((g[0].megabits - 100.0).abs() < 1e-9);
+        assert_eq!(g[1].megabits, 0.0);
+    }
+
+    #[test]
+    fn horizontal_spreading_beats_colocation() {
+        // The Fig. 3 mechanism: 8 flows on one node vs 1 flow on each of 8
+        // nodes with 1/8 the NIC each. Spreading wins.
+        let a = NetAllocator::new(OverheadModel::default());
+        let colocated: Vec<NetDemand> = (0..8).map(|i| NetDemand::new(ctr(i), 1e9, 1.0)).collect();
+        let colocated_total: f64 = a
+            .allocate(Mbps(800.0), 1.0, &colocated)
+            .iter()
+            .map(|g| g.megabits)
+            .sum();
+
+        let spread_total: f64 = (0..8)
+            .map(|i| a.allocate(Mbps(100.0), 1.0, &[NetDemand::new(ctr(i), 1e9, 1.0)])[0].megabits)
+            .sum();
+        assert!(
+            spread_total > colocated_total * 1.2,
+            "spread {spread_total} vs colocated {colocated_total}"
+        );
+    }
+
+    #[test]
+    fn many_flows_in_one_container_contend_like_many_containers() {
+        let a = NetAllocator::new(OverheadModel::default());
+        // 8 flows bundled in one container...
+        let bundled = a.allocate(
+            Mbps(100.0),
+            1.0,
+            &[NetDemand::new(ctr(0), 1e9, 1.0).with_flows(8)],
+        );
+        // ...suffer the same tx-queue contention as 8 separate containers.
+        let spread: Vec<NetDemand> = (0..8).map(|i| NetDemand::new(ctr(i), 1e9, 1.0)).collect();
+        let spread_total: f64 = a
+            .allocate(Mbps(100.0), 1.0, &spread)
+            .iter()
+            .map(|g| g.megabits)
+            .sum();
+        assert!((bundled[0].megabits - spread_total).abs() < 1e-9);
+        // And spreading those 8 flows over 8 machines relieves it: each
+        // machine sees one flow at full factor.
+        let relieved: f64 = (0..8)
+            .map(|i| a.allocate(Mbps(100.0), 1.0, &[NetDemand::new(ctr(i), 1e9, 1.0)])[0].megabits)
+            .sum();
+        assert!(relieved > bundled[0].megabits * 1.2);
+    }
+
+    #[test]
+    fn zero_dt_grants_nothing() {
+        let a = NetAllocator::default();
+        let g = a.allocate(Mbps(100.0), 0.0, &[NetDemand::new(ctr(0), 1.0, 1.0)]);
+        assert_eq!(g[0].megabits, 0.0);
+    }
+}

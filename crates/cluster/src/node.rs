@@ -1,0 +1,161 @@
+//! Physical nodes (machines) of the simulated cluster.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ContainerId, NodeId};
+use crate::{Cores, Mbps, MemMb};
+
+/// Hardware specification of one node.
+///
+/// The paper's cluster nodes are homogeneous (2× dual-core Xeon 5120 =
+/// 4 cores, 8 GB DDR2, ~1 Gb/s NIC, 3 Gb/s SAS disks); heterogeneous
+/// clusters are supported by mixing specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Total CPU capacity.
+    pub cores: Cores,
+    /// Total physical memory.
+    pub memory: MemMb,
+    /// NIC egress capacity.
+    pub nic: Mbps,
+    /// Disk bandwidth available to swap traffic, expressed as the
+    /// equivalent CPU-progress divisor base (see
+    /// [`OverheadModel::swap_slowdown`](crate::OverheadModel::swap_slowdown)).
+    pub disk: Mbps,
+}
+
+impl NodeSpec {
+    /// The paper's worker-node hardware: 4 cores, 8 GB, 1 Gb/s NIC.
+    pub fn uniform_worker() -> Self {
+        NodeSpec {
+            cores: Cores(4.0),
+            memory: MemMb(8192.0),
+            nic: Mbps(1000.0),
+            disk: Mbps(3000.0),
+        }
+    }
+
+    /// A deliberately small node for unit tests and examples.
+    pub fn small() -> Self {
+        NodeSpec {
+            cores: Cores(2.0),
+            memory: MemMb(2048.0),
+            nic: Mbps(100.0),
+            disk: Mbps(300.0),
+        }
+    }
+
+    /// Builder-style override of the core count.
+    pub fn with_cores(mut self, cores: Cores) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder-style override of the memory size.
+    pub fn with_memory(mut self, memory: MemMb) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Builder-style override of the NIC capacity.
+    pub fn with_nic(mut self, nic: Mbps) -> Self {
+        self.nic = nic;
+        self
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec::uniform_worker()
+    }
+}
+
+/// A node and the containers currently placed on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    spec: NodeSpec,
+    containers: Vec<ContainerId>,
+    decommissioned: bool,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, spec: NodeSpec) -> Self {
+        Node {
+            id,
+            spec,
+            containers: Vec::new(),
+            decommissioned: false,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's hardware specification.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Containers currently placed on this node (any state).
+    pub fn containers(&self) -> &[ContainerId] {
+        &self.containers
+    }
+
+    pub(crate) fn attach(&mut self, container: ContainerId) {
+        debug_assert!(!self.containers.contains(&container));
+        self.containers.push(container);
+    }
+
+    pub(crate) fn detach(&mut self, container: ContainerId) {
+        self.containers.retain(|&c| c != container);
+    }
+
+    /// True once the machine has been removed from the cluster.
+    pub fn decommissioned(&self) -> bool {
+        self.decommissioned
+    }
+
+    pub(crate) fn mark_decommissioned(&mut self) {
+        self.decommissioned = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_worker_matches_paper_hardware() {
+        let spec = NodeSpec::uniform_worker();
+        assert_eq!(spec.cores, Cores(4.0));
+        assert_eq!(spec.memory, MemMb(8192.0));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let spec = NodeSpec::default()
+            .with_cores(Cores(8.0))
+            .with_memory(MemMb(16384.0))
+            .with_nic(Mbps(10_000.0));
+        assert_eq!(spec.cores, Cores(8.0));
+        assert_eq!(spec.memory, MemMb(16384.0));
+        assert_eq!(spec.nic, Mbps(10_000.0));
+    }
+
+    #[test]
+    fn attach_detach_containers() {
+        let mut node = Node::new(NodeId::new(0), NodeSpec::small());
+        let a = ContainerId::new(1);
+        let b = ContainerId::new(2);
+        node.attach(a);
+        node.attach(b);
+        assert_eq!(node.containers(), &[a, b]);
+        node.detach(a);
+        assert_eq!(node.containers(), &[b]);
+        node.detach(a); // idempotent
+        assert_eq!(node.containers(), &[b]);
+    }
+}

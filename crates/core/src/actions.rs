@@ -1,0 +1,153 @@
+//! Scaling actions emitted by the algorithms and applied by the Monitor.
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::{ContainerId, Cores, Mbps, MemMb, NodeId, ServiceId};
+
+/// One scaling decision.
+///
+/// Vertical actions map to `docker update`; `Spawn`/`Remove` are the
+/// horizontal primitives; `SetNetCap` is the `tc` reconfiguration used by
+/// network-aware policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingAction {
+    /// Vertically scale a replica: set its CPU request and/or memory
+    /// limit (unset fields keep their current value).
+    Update {
+        /// The replica to update.
+        container: ContainerId,
+        /// New CPU request, if changing.
+        cpu: Option<Cores>,
+        /// New memory limit, if changing.
+        mem: Option<MemMb>,
+    },
+    /// Horizontally scale out: start a new replica of `service` on `node`.
+    Spawn {
+        /// The service gaining a replica.
+        service: ServiceId,
+        /// Placement target.
+        node: NodeId,
+        /// Initial CPU request for the new replica.
+        cpu: Cores,
+        /// Initial memory limit for the new replica.
+        mem: MemMb,
+    },
+    /// Horizontally scale in: remove a replica (aborting its in-flight
+    /// requests as removal failures).
+    Remove {
+        /// The replica to remove.
+        container: ContainerId,
+    },
+    /// Reconfigure a replica's `tc` egress cap (`None` lifts the cap).
+    SetNetCap {
+        /// The replica to reconfigure.
+        container: ContainerId,
+        /// The new cap, or `None` for uncapped.
+        cap: Option<Mbps>,
+    },
+}
+
+impl ScalingAction {
+    /// True for vertical (in-place) actions.
+    pub fn is_vertical(&self) -> bool {
+        matches!(
+            self,
+            ScalingAction::Update { .. } | ScalingAction::SetNetCap { .. }
+        )
+    }
+
+    /// True for horizontal (replica-count-changing) actions.
+    pub fn is_horizontal(&self) -> bool {
+        matches!(
+            self,
+            ScalingAction::Spawn { .. } | ScalingAction::Remove { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ScalingAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingAction::Update {
+                container,
+                cpu,
+                mem,
+            } => {
+                write!(f, "update {container}")?;
+                if let Some(c) = cpu {
+                    write!(f, " cpu={c}")?;
+                }
+                if let Some(m) = mem {
+                    write!(f, " mem={m}MB")?;
+                }
+                Ok(())
+            }
+            ScalingAction::Spawn {
+                service,
+                node,
+                cpu,
+                mem,
+            } => {
+                write!(f, "spawn {service} on {node} (cpu={cpu}, mem={mem}MB)")
+            }
+            ScalingAction::Remove { container } => write!(f, "remove {container}"),
+            ScalingAction::SetNetCap { container, cap } => match cap {
+                Some(c) => write!(f, "tc {container} cap={c}Mbps"),
+                None => write!(f, "tc {container} uncapped"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let update = ScalingAction::Update {
+            container: ContainerId::new(0),
+            cpu: Some(Cores(1.0)),
+            mem: None,
+        };
+        let spawn = ScalingAction::Spawn {
+            service: ServiceId::new(0),
+            node: NodeId::new(1),
+            cpu: Cores(0.5),
+            mem: MemMb(256.0),
+        };
+        let remove = ScalingAction::Remove {
+            container: ContainerId::new(2),
+        };
+        let tc = ScalingAction::SetNetCap {
+            container: ContainerId::new(3),
+            cap: Some(Mbps(10.0)),
+        };
+        assert!(update.is_vertical() && !update.is_horizontal());
+        assert!(spawn.is_horizontal() && !spawn.is_vertical());
+        assert!(remove.is_horizontal());
+        assert!(tc.is_vertical());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = ScalingAction::Update {
+            container: ContainerId::new(5),
+            cpu: Some(Cores(1.5)),
+            mem: Some(MemMb(512.0)),
+        };
+        assert_eq!(a.to_string(), "update ctr-5 cpu=1.500 mem=512.000MB");
+        let s = ScalingAction::Spawn {
+            service: ServiceId::new(1),
+            node: NodeId::new(2),
+            cpu: Cores(0.25),
+            mem: MemMb(128.0),
+        };
+        assert!(s.to_string().contains("spawn svc-1 on node-2"));
+        let t = ScalingAction::SetNetCap {
+            container: ContainerId::new(1),
+            cap: None,
+        };
+        assert_eq!(t.to_string(), "tc ctr-1 uncapped");
+    }
+}

@@ -1,0 +1,944 @@
+//! The HyScale hybrid autoscaling algorithms (paper Sec. IV-B).
+//!
+//! Both algorithms compute, per microservice, the number of *missing*
+//! resources relative to a target utilization:
+//!
+//! ```text
+//! Missing_m = (Σ usage_r − Σ requested_r · Target_m) / Target_m
+//! ```
+//!
+//! A negative value triggers the **reclamation phase**: replicas are
+//! vertically scaled down toward `usage_r / (Target·0.9)`, and a replica
+//! whose allocation would fall below a minimum threshold (0.1 CPUs) is
+//! removed entirely. A positive value triggers the **acquisition phase**:
+//! replicas vertically acquire up to
+//! `Required_r = usage_r/(Target·0.9) − requested_r`, bounded by what
+//! their node has free; only if vertical scaling cannot cover the
+//! remainder is a new replica spawned — on a node *not* hosting the
+//! service that advertises at least the service's baseline memory and a
+//! minimum CPU allocation (0.25 CPUs).
+//!
+//! [`HyScaleCpu`] applies this to CPU only; [`HyScaleCpuMem`] runs the
+//! same machinery on CPU *and* memory (swap included in usage), with the
+//! removal and placement thresholds required to hold **mutually** on both
+//! dimensions.
+//!
+//! Horizontal actions are throttled by the rescale-interval gate;
+//! vertical actions are exempt ("vertical scaling must perform
+//! fine-grained adjustments quickly and frequently").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::{ContainerId, Cores, MemMb, NodeId};
+use hyscale_sim::SimDuration;
+
+use crate::actions::ScalingAction;
+use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
+use crate::view::{ClusterView, ServiceView};
+
+/// Parameters of the hybrid algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyScaleConfig {
+    /// CPU target utilization as a fraction of the request (0.5 = 50%).
+    pub cpu_target: f64,
+    /// Memory target utilization as a fraction of the limit.
+    pub mem_target: f64,
+    /// The paper's 0.9 headroom factor: vertical adjustments aim at
+    /// `usage / (target · headroom)`.
+    pub headroom: f64,
+    /// Lower bound on replicas per service (fault-tolerance floor).
+    pub min_replicas: usize,
+    /// Upper bound on replicas per service.
+    pub max_replicas: usize,
+    /// Replica removal threshold: an instance vertically scaled below
+    /// this CPU allocation is removed (paper: 0.1 CPUs).
+    pub min_cpu_remove: Cores,
+    /// Placement threshold: a node must advertise at least this much free
+    /// CPU to receive a new replica (paper: 0.25 CPUs).
+    pub min_cpu_spawn: Cores,
+    /// Memory analogue of the removal threshold (CPU+Mem variant).
+    pub min_mem_remove: MemMb,
+    /// Ignore vertical CPU adjustments smaller than this (anti-churn).
+    pub min_cpu_change: Cores,
+    /// Ignore vertical memory adjustments smaller than this (anti-churn).
+    pub min_mem_change: MemMb,
+    /// Minimum interval after a horizontal scale-up.
+    pub scale_up_interval: SimDuration,
+    /// Minimum interval after a horizontal scale-down.
+    pub scale_down_interval: SimDuration,
+    /// Node-selection policy for new replicas.
+    pub placement: PlacementPolicy,
+}
+
+impl Default for HyScaleConfig {
+    fn default() -> Self {
+        HyScaleConfig {
+            cpu_target: 0.5,
+            mem_target: 0.5,
+            headroom: 0.9,
+            min_replicas: 1,
+            max_replicas: 16,
+            min_cpu_remove: Cores(0.1),
+            min_cpu_spawn: Cores(0.25),
+            min_mem_remove: MemMb(48.0),
+            min_cpu_change: Cores(0.02),
+            min_mem_change: MemMb(8.0),
+            scale_up_interval: SimDuration::from_secs(3.0),
+            scale_down_interval: SimDuration::from_secs(50.0),
+            placement: PlacementPolicy::Spread,
+        }
+    }
+}
+
+impl HyScaleConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.cpu_target > 0.0 && self.cpu_target.is_finite()) {
+            return Err(format!(
+                "cpu_target must be positive, got {}",
+                self.cpu_target
+            ));
+        }
+        if !(self.mem_target > 0.0 && self.mem_target.is_finite()) {
+            return Err(format!(
+                "mem_target must be positive, got {}",
+                self.mem_target
+            ));
+        }
+        if !(0.0 < self.headroom && self.headroom <= 1.0) {
+            return Err(format!("headroom must be in (0,1], got {}", self.headroom));
+        }
+        if self.min_replicas == 0 {
+            return Err("min_replicas must be at least 1".to_string());
+        }
+        if self.max_replicas < self.min_replicas {
+            return Err("max_replicas must be >= min_replicas".to_string());
+        }
+        if self.min_cpu_remove.get() < 0.0 || self.min_cpu_spawn.get() <= 0.0 {
+            return Err("CPU thresholds must be non-negative/positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Free resources the algorithm tracks locally while planning a period,
+/// so successive acquisitions in one decision see depleted nodes.
+#[derive(Debug, Clone)]
+struct FreeMap {
+    cpu: HashMap<NodeId, f64>,
+    mem: HashMap<NodeId, f64>,
+}
+
+impl FreeMap {
+    fn from_view(view: &ClusterView) -> Self {
+        FreeMap {
+            cpu: view
+                .nodes
+                .iter()
+                .map(|n| (n.node, n.free_cpu.get()))
+                .collect(),
+            mem: view
+                .nodes
+                .iter()
+                .map(|n| (n.node, n.free_mem.get()))
+                .collect(),
+        }
+    }
+
+    fn cpu(&self, node: NodeId) -> f64 {
+        self.cpu.get(&node).copied().unwrap_or(0.0)
+    }
+
+    fn mem(&self, node: NodeId) -> f64 {
+        self.mem.get(&node).copied().unwrap_or(0.0)
+    }
+
+    fn take_cpu(&mut self, node: NodeId, amount: f64) {
+        *self.cpu.entry(node).or_insert(0.0) -= amount;
+    }
+
+    fn take_mem(&mut self, node: NodeId, amount: f64) {
+        *self.mem.entry(node).or_insert(0.0) -= amount;
+    }
+
+    fn give_cpu(&mut self, node: NodeId, amount: f64) {
+        *self.cpu.entry(node).or_insert(0.0) += amount;
+    }
+
+    fn give_mem(&mut self, node: NodeId, amount: f64) {
+        *self.mem.entry(node).or_insert(0.0) += amount;
+    }
+}
+
+/// The shared hybrid engine; `consider_memory` selects between the two
+/// published variants.
+#[derive(Debug)]
+struct HybridEngine {
+    config: HyScaleConfig,
+    gate: RescaleGate,
+    consider_memory: bool,
+}
+
+/// Planned vertical resize of one replica, accumulated across the CPU and
+/// memory passes before being emitted as a single `Update`.
+#[derive(Debug, Default, Clone, Copy)]
+struct PendingUpdate {
+    cpu: Option<f64>,
+    mem: Option<f64>,
+}
+
+impl HybridEngine {
+    fn new(config: HyScaleConfig, consider_memory: bool) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid HyScaleConfig: {e}");
+        }
+        HybridEngine {
+            gate: RescaleGate::new(config.scale_up_interval, config.scale_down_interval),
+            config,
+            consider_memory,
+        }
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        let mut free = FreeMap::from_view(view);
+        let mut actions = Vec::new();
+        for service in &view.services {
+            self.decide_service(view, service, &mut free, &mut actions);
+        }
+        actions
+    }
+
+    fn decide_service(
+        &mut self,
+        view: &ClusterView,
+        service: &ServiceView,
+        free: &mut FreeMap,
+        actions: &mut Vec<ScalingAction>,
+    ) {
+        let cfg = self.config;
+        let denom_cpu = cfg.cpu_target * cfg.headroom;
+        let denom_mem = cfg.mem_target * cfg.headroom;
+
+        // --- Step 0: enforce the replica-count envelope -------------------
+        let mut replica_count = service.replica_count();
+        if replica_count < cfg.min_replicas {
+            let spawned = self.spawn_replicas(
+                view,
+                service,
+                cfg.min_replicas - replica_count,
+                f64::INFINITY,
+                free,
+                actions,
+            );
+            replica_count += spawned;
+            // Fault-tolerance restoration is not throttled.
+        }
+        if replica_count == 0 {
+            return;
+        }
+
+        // --- Step 1: how many resources are missing overall? --------------
+        let sum_cpu_used = service.total_cpu_used().get();
+        let sum_cpu_req = service.total_cpu_requested().get();
+        let mut missing_cpu = (sum_cpu_used - sum_cpu_req * cfg.cpu_target) / cfg.cpu_target;
+
+        let sum_mem_used = service.total_mem_used().get();
+        let sum_mem_limit = service.total_mem_limit().get();
+        let mut missing_mem = if self.consider_memory {
+            (sum_mem_used - sum_mem_limit * cfg.mem_target) / cfg.mem_target
+        } else {
+            0.0
+        };
+
+        let mut pending: HashMap<ContainerId, PendingUpdate> = HashMap::new();
+        let mut removed: Vec<ContainerId> = Vec::new();
+
+        // --- Step 2: reclamation phase ------------------------------------
+        // (run per dimension; removals require the thresholds mutually.)
+        if missing_cpu < 0.0 || (self.consider_memory && missing_mem < 0.0) {
+            for replica in service.replicas.iter().filter(|r| r.ready) {
+                let cpu_desired = replica.cpu_used.get() / denom_cpu;
+                let mem_desired = if self.consider_memory {
+                    replica.mem_used.get() / denom_mem
+                } else {
+                    replica.mem_limit.get()
+                };
+
+                let cpu_below = cpu_desired < cfg.min_cpu_remove.get();
+                // Memory removal threshold: measured against the usage
+                // *above the application baseline* — every replica keeps
+                // its idle RSS (image + runtime) resident, so comparing
+                // raw usage would make removal impossible.
+                let mem_above_base = replica.mem_used.get() - service.base_mem.get();
+                let mem_below = mem_above_base < cfg.min_mem_remove.get();
+                let removable = if self.consider_memory {
+                    // CPU+Mem: "requiring the CPU and memory threshold
+                    // conditions to be met mutually".
+                    cpu_below && mem_below
+                } else {
+                    cpu_below
+                };
+
+                if removable
+                    && replica_count.saturating_sub(removed.len()) > cfg.min_replicas
+                    && self.gate.allows(service.service, view.now)
+                {
+                    removed.push(replica.container);
+                    actions.push(ScalingAction::Remove {
+                        container: replica.container,
+                    });
+                    // Reclaimed allocations flow back to the node and
+                    // count against the missing totals.
+                    free.give_cpu(replica.node, replica.cpu_requested.get());
+                    free.give_mem(replica.node, replica.mem_limit.get());
+                    missing_cpu += replica.cpu_requested.get();
+                    if self.consider_memory {
+                        missing_mem += replica.mem_limit.get();
+                    }
+                    continue;
+                }
+
+                // Vertical scale-down toward usage/(target·0.9).
+                if missing_cpu < 0.0 {
+                    let new_cpu = cpu_desired.max(cfg.min_cpu_remove.get());
+                    let reclaim = replica.cpu_requested.get() - new_cpu;
+                    if reclaim > cfg.min_cpu_change.get() {
+                        pending.entry(replica.container).or_default().cpu = Some(new_cpu);
+                        free.give_cpu(replica.node, reclaim);
+                        missing_cpu += reclaim;
+                    }
+                }
+                if self.consider_memory && missing_mem < 0.0 {
+                    // Never reclaim below the application's baseline plus
+                    // the removal threshold — a limit under the idle RSS
+                    // would force the replica straight into swap.
+                    let floor = service.base_mem.get() + cfg.min_mem_remove.get();
+                    let new_mem = mem_desired.max(floor);
+                    let reclaim = replica.mem_limit.get() - new_mem;
+                    if reclaim > cfg.min_mem_change.get() {
+                        pending.entry(replica.container).or_default().mem = Some(new_mem);
+                        free.give_mem(replica.node, reclaim);
+                        missing_mem += reclaim;
+                    }
+                }
+            }
+            if !removed.is_empty() {
+                self.gate.record_down(service.service, view.now);
+                replica_count -= removed.len();
+            }
+        }
+
+        // --- Step 3: acquisition phase -------------------------------------
+        if missing_cpu > 0.0 || (self.consider_memory && missing_mem > 0.0) {
+            for replica in service.replicas.iter().filter(|r| r.ready) {
+                if removed.contains(&replica.container) {
+                    continue;
+                }
+                if missing_cpu > 0.0 {
+                    let required = replica.cpu_used.get() / denom_cpu - replica.cpu_requested.get();
+                    if required > cfg.min_cpu_change.get() {
+                        let acquired = required.min(free.cpu(replica.node)).max(0.0);
+                        if acquired > cfg.min_cpu_change.get() {
+                            let new_cpu = replica.cpu_requested.get() + acquired;
+                            pending.entry(replica.container).or_default().cpu = Some(new_cpu);
+                            free.take_cpu(replica.node, acquired);
+                            missing_cpu -= acquired;
+                        }
+                    }
+                }
+                if self.consider_memory && missing_mem > 0.0 {
+                    let required = replica.mem_used.get() / denom_mem - replica.mem_limit.get();
+                    if required > cfg.min_mem_change.get() {
+                        let acquired = required.min(free.mem(replica.node)).max(0.0);
+                        if acquired > cfg.min_mem_change.get() {
+                            let new_mem = replica.mem_limit.get() + acquired;
+                            pending.entry(replica.container).or_default().mem = Some(new_mem);
+                            free.take_mem(replica.node, acquired);
+                            missing_mem -= acquired;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Emit the accumulated vertical updates (one per replica).
+        // Deterministic order: follow the service's replica order.
+        for replica in &service.replicas {
+            if let Some(update) = pending.get(&replica.container) {
+                actions.push(ScalingAction::Update {
+                    container: replica.container,
+                    cpu: update.cpu.map(Cores),
+                    mem: update.mem.map(MemMb),
+                });
+            }
+        }
+
+        // --- Step 4: horizontal scale-out for the uncovered remainder ------
+        let still_missing_cpu = missing_cpu > cfg.min_cpu_spawn.get() * 0.5;
+        let still_missing_mem = self.consider_memory && missing_mem > cfg.min_mem_change.get();
+        if (still_missing_cpu || still_missing_mem)
+            && replica_count < cfg.max_replicas
+            && self.gate.allows(service.service, view.now)
+        {
+            let spawned = self.spawn_replicas(
+                view,
+                service,
+                cfg.max_replicas - replica_count,
+                missing_cpu.max(0.0),
+                free,
+                actions,
+            );
+            if spawned > 0 {
+                self.gate.record_up(service.service, view.now);
+            }
+        }
+    }
+
+    /// Spawns up to `max_new` replicas to cover `cpu_needed` cores, on
+    /// nodes that do not already host the service and advertise at least
+    /// the baseline memory plus the minimum CPU threshold. Returns the
+    /// number of spawns planned.
+    fn spawn_replicas(
+        &self,
+        view: &ClusterView,
+        service: &ServiceView,
+        max_new: usize,
+        mut cpu_needed: f64,
+        free: &mut FreeMap,
+        actions: &mut Vec<ScalingAction>,
+    ) -> usize {
+        let cfg = self.config;
+        let hosting: Vec<NodeId> = service.replicas.iter().map(|r| r.node).collect();
+        let mut candidates: Vec<NodeId> = view
+            .nodes
+            .iter()
+            .map(|n| n.node)
+            .filter(|n| !hosting.contains(n))
+            .collect();
+        // Order candidates by the configured placement policy.
+        candidates.sort_by(|a, b| {
+            cfg.placement
+                .prefer(free.cpu(*a), a.index(), free.cpu(*b), b.index())
+        });
+
+        let base_mem_floor = service.base_mem.get().max(cfg.min_mem_remove.get());
+        let mut spawned = 0;
+        for node in candidates {
+            if spawned >= max_new || (cpu_needed <= 0.0 && spawned > 0) {
+                break;
+            }
+            let node_cpu = free.cpu(node);
+            let node_mem = free.mem(node);
+            if node_cpu < cfg.min_cpu_spawn.get() || node_mem < base_mem_floor {
+                continue; // paper's placement preconditions
+            }
+            let cpu_grant = cpu_needed
+                .max(cfg.min_cpu_spawn.get())
+                .min(node_cpu)
+                .min(service.template_cpu.get().max(cfg.min_cpu_spawn.get()));
+            let mem_grant = service.template_mem.get().min(node_mem).max(base_mem_floor);
+            actions.push(ScalingAction::Spawn {
+                service: service.service,
+                node,
+                cpu: Cores(cpu_grant),
+                mem: MemMb(mem_grant),
+            });
+            free.take_cpu(node, cpu_grant);
+            free.take_mem(node, mem_grant);
+            cpu_needed -= cpu_grant;
+            spawned += 1;
+        }
+        spawned
+    }
+}
+
+/// HyScaleCPU: the hybrid autoscaler on CPU usage only (Sec. IV-B.1).
+#[derive(Debug)]
+pub struct HyScaleCpu {
+    engine: HybridEngine,
+}
+
+impl HyScaleCpu {
+    /// Creates the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`HyScaleConfig::validate`]).
+    pub fn new(config: HyScaleConfig) -> Self {
+        HyScaleCpu {
+            engine: HybridEngine::new(config, false),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HyScaleConfig {
+        &self.engine.config
+    }
+}
+
+impl Autoscaler for HyScaleCpu {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        self.engine.decide(view)
+    }
+}
+
+/// HyScaleCPU+Mem: the hybrid autoscaler on CPU *and* memory
+/// (Sec. IV-B.2).
+#[derive(Debug)]
+pub struct HyScaleCpuMem {
+    engine: HybridEngine,
+}
+
+impl HyScaleCpuMem {
+    /// Creates the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`HyScaleConfig::validate`]).
+    pub fn new(config: HyScaleConfig) -> Self {
+        HyScaleCpuMem {
+            engine: HybridEngine::new(config, true),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HyScaleConfig {
+        &self.engine.config
+    }
+}
+
+impl Autoscaler for HyScaleCpuMem {
+    fn name(&self) -> &'static str {
+        "hybridmem"
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        self.engine.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{node, replica, view_of};
+    use hyscale_sim::SimTime;
+
+    fn cpu_algo() -> HyScaleCpu {
+        HyScaleCpu::new(HyScaleConfig::default())
+    }
+
+    fn mem_algo() -> HyScaleCpuMem {
+        HyScaleCpuMem::new(HyScaleConfig::default())
+    }
+
+    fn updates(actions: &[ScalingAction]) -> Vec<(ContainerId, Option<f64>, Option<f64>)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ScalingAction::Update {
+                    container,
+                    cpu,
+                    mem,
+                } => Some((*container, cpu.map(Cores::get), mem.map(MemMb::get))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn at_target_no_action() {
+        // usage 0.25, requested 0.5, target 0.5 => missing = 0.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.25, 0.5)],
+            vec![node(1, 4.0, 8192.0, vec![])],
+        );
+        assert!(cpu_algo().decide(&view).is_empty());
+    }
+
+    #[test]
+    fn overload_vertically_acquires_before_spawning() {
+        // usage 0.4 of 0.5 requested => missing = (0.4 - 0.25)/0.5 = 0.3.
+        // Node 0 has plenty free: the fix must be a vertical update, no
+        // spawn.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 3.0, 4096.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        let actions = cpu_algo().decide(&view);
+        assert_eq!(actions.len(), 1);
+        let ups = updates(&actions);
+        assert_eq!(ups.len(), 1);
+        // New request = usage/(0.5*0.9) = 0.888...
+        let new_cpu = ups[0].1.unwrap();
+        assert!((new_cpu - 0.4 / 0.45).abs() < 1e-9, "new cpu {new_cpu}");
+    }
+
+    #[test]
+    fn overload_with_full_node_spawns_elsewhere() {
+        // Node 0 has nothing free: vertical acquisition impossible, so the
+        // remainder must be covered horizontally on node 1 (which does not
+        // host the service).
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.0, 0.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        let actions = cpu_algo().decide(&view);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            ScalingAction::Spawn { node, cpu, .. } => {
+                assert_eq!(*node, NodeId::new(1));
+                assert!(cpu.get() >= 0.25);
+            }
+            other => panic!("expected spawn, got {other}"),
+        }
+    }
+
+    #[test]
+    fn spawn_avoids_nodes_hosting_the_service() {
+        // Only node 0 (hosting) has capacity: no spawn possible.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.0, 8192.0, vec![0])],
+        );
+        let actions = cpu_algo().decide(&view);
+        assert!(actions.iter().all(|a| !a.is_horizontal()));
+    }
+
+    #[test]
+    fn spawn_requires_baseline_memory_and_min_cpu() {
+        let view_no_mem = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.0, 0.0, vec![0]), node(1, 4.0, 10.0, vec![])], // 10 MB < base 64
+        );
+        assert!(cpu_algo()
+            .decide(&view_no_mem)
+            .iter()
+            .all(|a| !a.is_horizontal()));
+
+        let view_no_cpu = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.0, 0.0, vec![0]), node(1, 0.1, 8192.0, vec![])], // 0.1 < 0.25
+        );
+        assert!(cpu_algo()
+            .decide(&view_no_cpu)
+            .iter()
+            .all(|a| !a.is_horizontal()));
+    }
+
+    #[test]
+    fn underload_reclaims_vertically() {
+        // usage 0.09 of 1.0 requested: missing = (0.09-0.5)/0.5 < 0.
+        // Desired = 0.09/0.45 = 0.2 -> reclaim 0.8 cores.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.09, 1.0), replica(1, 1, 0.5, 0.55)],
+            vec![],
+        );
+        let actions = cpu_algo().decide(&view);
+        let ups = updates(&actions);
+        assert!(!ups.is_empty());
+        let (_, cpu, _) = ups[0];
+        assert!((cpu.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_allocation_is_removed_entirely() {
+        // Two replicas so min_replicas=1 allows one removal; replica 0's
+        // desired allocation 0.01/0.45 = 0.022 < 0.1 -> remove.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.01, 0.5), replica(1, 1, 0.3, 0.5)],
+            vec![],
+        );
+        let actions = cpu_algo().decide(&view);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ScalingAction::Remove { container } if *container == ContainerId::new(0))));
+    }
+
+    #[test]
+    fn never_removes_below_min_replicas() {
+        let view = view_of(0, vec![replica(0, 0, 0.0, 0.5)], vec![]);
+        let actions = cpu_algo().decide(&view);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, ScalingAction::Remove { .. })));
+    }
+
+    #[test]
+    fn restores_min_replicas_when_below() {
+        let config = HyScaleConfig {
+            min_replicas: 2,
+            ..HyScaleConfig::default()
+        };
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.2, 0.5)],
+            vec![node(1, 4.0, 8192.0, vec![])],
+        );
+        let actions = HyScaleCpu::new(config).decide(&view);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ScalingAction::Spawn { .. })));
+    }
+
+    #[test]
+    fn horizontal_gate_throttles_but_vertical_flows() {
+        let mut algo = cpu_algo();
+        let overloaded = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.0, 0.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        // First decision spawns.
+        assert!(algo.decide(&overloaded).iter().any(|a| a.is_horizontal()));
+        // Same timestamp: spawn gated. (No vertical possible on node 0.)
+        assert!(algo.decide(&overloaded).is_empty());
+
+        // Vertical scaling remains available during the gate window: give
+        // node 0 capacity and check an update is emitted while horizontal
+        // is still blocked.
+        let mut vertical_ok = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 3.0, 4096.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        vertical_ok.now = SimTime::from_secs(101.0); // inside the 3 s up-gate
+        let actions = algo.decide(&vertical_ok);
+        assert!(!actions.is_empty());
+        assert!(actions.iter().all(|a| a.is_vertical()));
+    }
+
+    #[test]
+    fn memory_variant_raises_limits_under_pressure() {
+        // Replica using 240 MB of a 256 MB limit: mem utilization 0.94 >
+        // target 0.5. HyScaleCPU+Mem must raise the limit; HyScaleCPU must
+        // not touch memory.
+        let mut r = replica(0, 0, 0.1, 0.5);
+        r.mem_used = MemMb(240.0);
+        r.mem_limit = MemMb(256.0);
+        r.swapping = true;
+        let view = view_of(0, vec![r], vec![node(0, 2.0, 4096.0, vec![0])]);
+
+        let mem_actions = mem_algo().decide(&view);
+        let ups = updates(&mem_actions);
+        assert_eq!(ups.len(), 1);
+        let new_mem = ups[0].2.expect("memory update");
+        assert!((new_mem - 240.0 / 0.45).abs() < 1e-6, "new limit {new_mem}");
+
+        let cpu_actions = cpu_algo().decide(&view);
+        assert!(updates(&cpu_actions)
+            .iter()
+            .all(|(_, _, mem)| mem.is_none()));
+    }
+
+    #[test]
+    fn memory_variant_requires_mutual_thresholds_for_removal() {
+        // Replica idle on CPU (would be removable for HyScaleCPU) but
+        // holding significant memory: CPU+Mem must keep it.
+        let mut idle_cpu_busy_mem = replica(0, 0, 0.01, 0.5);
+        idle_cpu_busy_mem.mem_used = MemMb(200.0);
+        idle_cpu_busy_mem.mem_limit = MemMb(256.0);
+        let other = replica(1, 1, 0.3, 0.5);
+        let view = view_of(0, vec![idle_cpu_busy_mem, other], vec![]);
+
+        let cpu_actions = cpu_algo().decide(&view);
+        assert!(cpu_actions
+            .iter()
+            .any(|a| matches!(a, ScalingAction::Remove { container } if *container == ContainerId::new(0))));
+
+        let mem_actions = mem_algo().decide(&view);
+        assert!(mem_actions
+            .iter()
+            .all(|a| !matches!(a, ScalingAction::Remove { .. })));
+    }
+
+    #[test]
+    fn memory_reclamation_lowers_oversized_limits() {
+        // 64 MB used of a 1024 MB limit: missing_mem < 0; desired would be
+        // 64/0.45 = 142 MB, above the reclamation floor (base_mem 64 +
+        // min_mem_remove 48 = 112 MB).
+        let mut r = replica(0, 0, 0.25, 0.5);
+        r.mem_used = MemMb(64.0);
+        r.mem_limit = MemMb(1024.0);
+        let view = view_of(0, vec![r], vec![node(0, 2.0, 4096.0, vec![0])]);
+        let actions = mem_algo().decide(&view);
+        let ups = updates(&actions);
+        assert_eq!(ups.len(), 1);
+        let new_mem = ups[0].2.unwrap();
+        assert!((new_mem - 64.0 / 0.45).abs() < 1e-6, "new limit {new_mem}");
+    }
+
+    #[test]
+    fn acquisition_is_bounded_by_node_free_resources() {
+        // Node has only 0.1 cores free; required is ~0.39.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![node(0, 0.1, 4096.0, vec![0])],
+        );
+        let actions = cpu_algo().decide(&view);
+        let ups = updates(&actions);
+        assert_eq!(ups.len(), 1);
+        let new_cpu = ups[0].1.unwrap();
+        assert!((new_cpu - 0.6).abs() < 1e-9, "bounded to +0.1: {new_cpu}");
+    }
+
+    #[test]
+    fn respects_max_replicas() {
+        let config = HyScaleConfig {
+            max_replicas: 1,
+            ..HyScaleConfig::default()
+        };
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 2.0, 0.5)],
+            vec![node(0, 0.0, 0.0, vec![0]), node(1, 8.0, 8192.0, vec![])],
+        );
+        let actions = HyScaleCpu::new(config).decide(&view);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, ScalingAction::Spawn { .. })));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(cpu_algo().name(), "hybrid");
+        assert_eq!(mem_algo().name(), "hybridmem");
+        assert_eq!(cpu_algo().config().cpu_target, 0.5);
+        assert_eq!(mem_algo().config().mem_target, 0.5);
+    }
+
+    #[test]
+    fn pack_placement_prefers_fuller_nodes() {
+        let config = HyScaleConfig {
+            placement: PlacementPolicy::Pack,
+            ..HyScaleConfig::default()
+        };
+        // Node 1 has less free CPU than node 2; both fit. Pack spawns on 1.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5)],
+            vec![
+                node(0, 0.0, 0.0, vec![0]),
+                node(1, 1.0, 8192.0, vec![]),
+                node(2, 4.0, 8192.0, vec![]),
+            ],
+        );
+        let actions = HyScaleCpu::new(config).decide(&view);
+        match actions.as_slice() {
+            [ScalingAction::Spawn { node, .. }] => assert_eq!(*node, NodeId::new(1)),
+            other => panic!("expected one spawn, got {other:?}"),
+        }
+        // Spread (default) picks node 2 instead.
+        let actions = cpu_algo().decide(&view);
+        match actions.as_slice() {
+            [ScalingAction::Spawn { node, .. }] => assert_eq!(*node, NodeId::new(2)),
+            other => panic!("expected one spawn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_replica_restore_is_limited_by_eligible_nodes() {
+        // min_replicas 4 but only 2 nodes exist (one hosting): at most one
+        // eligible node, so exactly one spawn is planned.
+        let config = HyScaleConfig {
+            min_replicas: 4,
+            ..HyScaleConfig::default()
+        };
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.2, 0.5)],
+            vec![node(0, 2.0, 4096.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        let actions = HyScaleCpu::new(config).decide(&view);
+        let spawns = actions
+            .iter()
+            .filter(|a| matches!(a, ScalingAction::Spawn { .. }))
+            .count();
+        assert_eq!(spawns, 1);
+    }
+
+    #[test]
+    fn idle_stateless_replica_is_removed_by_mem_variant() {
+        // CPU idle AND memory at baseline: the mutual condition holds,
+        // so HyScaleCPU+Mem removes the spare replica.
+        let mut idle = replica(0, 0, 0.01, 0.5);
+        idle.mem_used = MemMb(70.0); // base 64 + 6 above baseline < 48 threshold
+        let other = replica(1, 1, 0.3, 0.5);
+        let view = view_of(0, vec![idle, other], vec![]);
+        let actions = mem_algo().decide(&view);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ScalingAction::Remove { container } if *container == ContainerId::new(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HyScaleConfig")]
+    fn invalid_config_panics() {
+        let _ = HyScaleCpu::new(HyScaleConfig {
+            headroom: 0.0,
+            ..HyScaleConfig::default()
+        });
+    }
+
+    #[test]
+    fn config_validation_covers_fields() {
+        let ok = HyScaleConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(HyScaleConfig {
+            cpu_target: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(HyScaleConfig {
+            mem_target: f64::NAN,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(HyScaleConfig {
+            headroom: 1.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(HyScaleConfig {
+            min_replicas: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(HyScaleConfig {
+            max_replicas: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(HyScaleConfig {
+            min_cpu_spawn: Cores(0.0),
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+}

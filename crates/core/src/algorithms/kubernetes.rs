@@ -1,0 +1,482 @@
+//! The Kubernetes horizontal pod autoscaler baseline (paper Sec. IV-A.1).
+//!
+//! The control law, as the paper states it:
+//!
+//! ```text
+//! utilization_r = usage_r / requested_r
+//! NumReplicas_m = ceil( Σ_r utilization_r / Target_m )
+//! ```
+//!
+//! with two anti-thrashing mechanisms: rescaling happens only if
+//! `|avg(utilization)/Target − 1| > 0.1`, and minimum scale-up /
+//! scale-down intervals (3 s / 50 s in the paper's experiments) halt
+//! further rescaling after an operation.
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::{Cores, MemMb, NodeId};
+use hyscale_sim::SimDuration;
+
+use crate::actions::ScalingAction;
+use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
+use crate::view::{ClusterView, ReplicaView, ServiceView};
+
+/// Parameters of the horizontal autoscalers (Kubernetes and Network).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HpaConfig {
+    /// Target utilization as a fraction of the request (0.5 = 50%).
+    pub target: f64,
+    /// Tolerance band around the target inside which no rescaling
+    /// happens (the paper's 0.1).
+    pub tolerance: f64,
+    /// Lower bound on replicas per service.
+    pub min_replicas: usize,
+    /// Upper bound on replicas per service.
+    pub max_replicas: usize,
+    /// Minimum interval after a scale-up before any further rescaling.
+    pub scale_up_interval: SimDuration,
+    /// Minimum interval after a scale-down before any further rescaling.
+    pub scale_down_interval: SimDuration,
+    /// Node-selection policy for new replicas.
+    pub placement: PlacementPolicy,
+}
+
+impl Default for HpaConfig {
+    fn default() -> Self {
+        HpaConfig {
+            target: 0.5,
+            tolerance: 0.1,
+            min_replicas: 1,
+            max_replicas: 16,
+            scale_up_interval: SimDuration::from_secs(3.0),
+            scale_down_interval: SimDuration::from_secs(50.0),
+            placement: PlacementPolicy::Spread,
+        }
+    }
+}
+
+impl HpaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target > 0.0 && self.target.is_finite()) {
+            return Err(format!("target must be positive, got {}", self.target));
+        }
+        if !(0.0..1.0).contains(&self.tolerance) {
+            return Err(format!(
+                "tolerance must be in [0,1), got {}",
+                self.tolerance
+            ));
+        }
+        if self.min_replicas == 0 {
+            return Err("min_replicas must be at least 1".to_string());
+        }
+        if self.max_replicas < self.min_replicas {
+            return Err("max_replicas must be >= min_replicas".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Which per-replica utilization signal an HPA instance scales on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HpaMetric {
+    Cpu,
+    Network,
+}
+
+impl HpaMetric {
+    fn utilization(self, replica: &ReplicaView) -> f64 {
+        match self {
+            HpaMetric::Cpu => replica.cpu_utilization(),
+            HpaMetric::Network => replica.net_utilization(),
+        }
+    }
+}
+
+/// Google's Kubernetes horizontal autoscaling algorithm on CPU
+/// utilization — the paper's baseline.
+#[derive(Debug)]
+pub struct KubernetesHpa {
+    config: HpaConfig,
+    gate: RescaleGate,
+    metric: HpaMetric,
+    name: &'static str,
+}
+
+impl KubernetesHpa {
+    /// Creates the baseline with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`HpaConfig::validate`]).
+    pub fn new(config: HpaConfig) -> Self {
+        Self::with_metric(config, HpaMetric::Cpu, "kubernetes")
+    }
+
+    pub(crate) fn with_metric(config: HpaConfig, metric: HpaMetric, name: &'static str) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid HpaConfig: {e}");
+        }
+        KubernetesHpa {
+            gate: RescaleGate::new(config.scale_up_interval, config.scale_down_interval),
+            config,
+            metric,
+            name,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HpaConfig {
+        &self.config
+    }
+
+    fn decide_service(&mut self, view: &ClusterView, service: &ServiceView) -> Vec<ScalingAction> {
+        let mut actions = Vec::new();
+        let current = service.replica_count();
+        if current == 0 {
+            // Nothing to measure; restore the minimum replica count.
+            return self.spawn_n(view, service, self.config.min_replicas, &mut Vec::new());
+        }
+
+        let ready: Vec<&ReplicaView> = service.replicas.iter().filter(|r| r.ready).collect();
+        if ready.is_empty() {
+            return actions; // replicas still starting; wait.
+        }
+        let utilizations: Vec<f64> = ready.iter().map(|r| self.metric.utilization(r)).collect();
+        let sum_util: f64 = utilizations.iter().sum();
+        let avg_util = sum_util / utilizations.len() as f64;
+
+        // Tolerance band: |avg/target − 1| must exceed 0.1 to act.
+        if (avg_util / self.config.target - 1.0).abs() <= self.config.tolerance {
+            return actions;
+        }
+
+        let desired = ((sum_util / self.config.target).ceil() as usize)
+            .clamp(self.config.min_replicas, self.config.max_replicas);
+
+        if desired > current {
+            if !self.gate.allows(service.service, view.now) {
+                return actions;
+            }
+            let mut spawned = Vec::new();
+            actions.extend(self.spawn_n(view, service, desired - current, &mut spawned));
+            if !actions.is_empty() {
+                self.gate.record_up(service.service, view.now);
+            }
+        } else if desired < current {
+            if !self.gate.allows(service.service, view.now) {
+                return actions;
+            }
+            // Scale in: remove the replicas with the fewest requests in
+            // flight (least disruption; Kubernetes picks arbitrarily).
+            let mut by_load: Vec<&ReplicaView> = service.replicas.iter().collect();
+            by_load.sort_by_key(|r| (r.in_flight, r.container));
+            for replica in by_load.into_iter().take(current - desired) {
+                actions.push(ScalingAction::Remove {
+                    container: replica.container,
+                });
+            }
+            if !actions.is_empty() {
+                self.gate.record_down(service.service, view.now);
+            }
+        }
+        actions
+    }
+
+    /// Plans `n` spawns on the nodes with the most free CPU (Kubernetes'
+    /// spreading scheduler, approximately). Updates `spawned` with chosen
+    /// nodes so repeated calls see depleted capacity.
+    fn spawn_n(
+        &self,
+        view: &ClusterView,
+        service: &ServiceView,
+        n: usize,
+        spawned: &mut Vec<NodeId>,
+    ) -> Vec<ScalingAction> {
+        let mut actions = Vec::new();
+        let mut free: Vec<(NodeId, Cores, MemMb)> = view
+            .nodes
+            .iter()
+            .map(|nv| (nv.node, nv.free_cpu, nv.free_mem))
+            .collect();
+        for _ in 0..n {
+            // Order candidates by the configured placement policy
+            // (spread by default, as Kubernetes' scheduler does).
+            let placement = self.config.placement;
+            free.sort_by(|a, b| placement.prefer(a.1.get(), a.0.index(), b.1.get(), b.0.index()));
+            let Some(slot) = free.iter_mut().find(|(_, cpu, mem)| {
+                cpu.get() >= service.template_cpu.get() && mem.get() >= service.template_mem.get()
+            }) else {
+                break; // cluster full
+            };
+            slot.1 -= service.template_cpu;
+            slot.2 -= service.template_mem;
+            spawned.push(slot.0);
+            actions.push(ScalingAction::Spawn {
+                service: service.service,
+                node: slot.0,
+                cpu: service.template_cpu,
+                mem: service.template_mem,
+            });
+        }
+        actions
+    }
+}
+
+impl Autoscaler for KubernetesHpa {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        let mut actions = Vec::new();
+        for service in &view.services {
+            actions.extend(self.decide_service(view, service));
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{node, replica, view_of};
+    use hyscale_sim::SimTime;
+
+    fn hpa() -> KubernetesHpa {
+        KubernetesHpa::new(HpaConfig::default())
+    }
+
+    #[test]
+    fn at_target_no_action() {
+        // One replica at exactly 50% utilization of its request.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.25, 0.5)],
+            vec![node(1, 4.0, 8192.0, vec![])],
+        );
+        assert!(hpa().decide(&view).is_empty());
+    }
+
+    #[test]
+    fn inside_tolerance_band_no_action() {
+        // avg util 0.54/target 0.5 => ratio 1.08, inside ±0.1.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.27, 0.5)],
+            vec![node(1, 4.0, 8192.0, vec![])],
+        );
+        assert!(hpa().decide(&view).is_empty());
+    }
+
+    #[test]
+    fn overload_scales_up_by_ceil_rule() {
+        // util = 1.6 => desired = ceil(1.6/0.5) = 4 replicas, currently 1.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.8, 0.5)],
+            vec![node(1, 4.0, 8192.0, vec![]), node(2, 4.0, 8192.0, vec![])],
+        );
+        let actions = hpa().decide(&view);
+        assert_eq!(actions.len(), 3);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, ScalingAction::Spawn { .. })));
+    }
+
+    #[test]
+    fn spawns_spread_across_nodes() {
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.8, 0.5)],
+            vec![node(1, 1.0, 8192.0, vec![]), node(2, 1.0, 8192.0, vec![])],
+        );
+        let actions = hpa().decide(&view);
+        let nodes: Vec<NodeId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                ScalingAction::Spawn { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert!(nodes.contains(&NodeId::new(1)) && nodes.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn underload_scales_down_to_desired() {
+        // Three replicas each at 10% utilization: sum util 0.3,
+        // desired = ceil(0.3/0.5) = 1.
+        let view = view_of(
+            0,
+            vec![
+                replica(0, 0, 0.05, 0.5),
+                replica(1, 1, 0.05, 0.5),
+                replica(2, 2, 0.05, 0.5),
+            ],
+            vec![],
+        );
+        let actions = hpa().decide(&view);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, ScalingAction::Remove { .. })));
+    }
+
+    #[test]
+    fn never_scales_below_min_replicas() {
+        let view = view_of(0, vec![replica(0, 0, 0.0, 0.5)], vec![]);
+        let actions = hpa().decide(&view);
+        assert!(actions.is_empty(), "single replica at min must stay");
+    }
+
+    #[test]
+    fn clamps_to_max_replicas() {
+        let config = HpaConfig {
+            max_replicas: 2,
+            ..HpaConfig::default()
+        };
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 5.0, 0.5)], // wildly overloaded
+            vec![node(1, 64.0, 65536.0, vec![])],
+        );
+        let actions = KubernetesHpa::new(config).decide(&view);
+        assert_eq!(actions.len(), 1, "desired clamps to max=2, so one spawn");
+    }
+
+    #[test]
+    fn rescale_interval_blocks_consecutive_operations() {
+        let mut algo = hpa();
+        let overloaded = view_of(
+            0,
+            vec![replica(0, 0, 0.8, 0.5)],
+            vec![node(1, 16.0, 65536.0, vec![])],
+        );
+        assert!(!algo.decide(&overloaded).is_empty());
+        // Immediately after, the gate (3 s) blocks further ups at the same
+        // timestamp.
+        assert!(algo.decide(&overloaded).is_empty());
+        // After 5 s (view.now is 100 s; build a later view) it acts again.
+        let mut later = overloaded.clone();
+        later.now = SimTime::from_secs(104.0);
+        assert!(!algo.decide(&later).is_empty());
+    }
+
+    #[test]
+    fn starting_replicas_are_counted_but_not_measured() {
+        // One ready replica overloaded + one starting replica: desired is
+        // computed from the ready one (util 0.8/0.5 -> 2 replicas) and
+        // current = 2 already, so nothing happens.
+        let mut starting = replica(1, 1, 0.0, 0.5);
+        starting.ready = false;
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.4, 0.5), starting],
+            vec![node(2, 4.0, 8192.0, vec![])],
+        );
+        // sum util over ready = 0.8 => desired 2 == current 2.
+        // avg util = 0.8, ratio 1.6 > 1.1 so tolerance passes, but desired
+        // equals current so no action.
+        assert!(hpa().decide(&view).is_empty());
+    }
+
+    #[test]
+    fn does_not_spawn_when_cluster_full() {
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.8, 0.5)],
+            vec![node(1, 0.1, 64.0, vec![])], // no room for 0.5-core template
+        );
+        assert!(hpa().decide(&view).is_empty());
+    }
+
+    #[test]
+    fn zero_replicas_restores_minimum() {
+        let view = view_of(0, vec![], vec![node(1, 4.0, 8192.0, vec![])]);
+        let actions = hpa().decide(&view);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], ScalingAction::Spawn { .. }));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HpaConfig::default().validate().is_ok());
+        assert!(HpaConfig {
+            target: 0.0,
+            ..HpaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HpaConfig {
+            tolerance: 1.0,
+            ..HpaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HpaConfig {
+            min_replicas: 0,
+            ..HpaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HpaConfig {
+            max_replicas: 0,
+            ..HpaConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HpaConfig")]
+    fn invalid_config_panics_at_construction() {
+        let _ = KubernetesHpa::new(HpaConfig {
+            target: -1.0,
+            ..HpaConfig::default()
+        });
+    }
+
+    #[test]
+    fn pack_placement_fills_smaller_nodes_first() {
+        let config = HpaConfig {
+            placement: crate::algorithms::PlacementPolicy::Pack,
+            ..HpaConfig::default()
+        };
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.8, 0.5)], // wants 4 replicas total
+            vec![node(1, 1.0, 8192.0, vec![]), node(2, 8.0, 8192.0, vec![])],
+        );
+        let actions = KubernetesHpa::new(config).decide(&view);
+        let first_node = actions.iter().find_map(|a| match a {
+            ScalingAction::Spawn { node, .. } => Some(*node),
+            _ => None,
+        });
+        assert_eq!(
+            first_node,
+            Some(NodeId::new(1)),
+            "pack fills the fuller node first"
+        );
+    }
+
+    #[test]
+    fn removal_prefers_least_loaded_replicas() {
+        let mut busy = replica(0, 0, 0.05, 0.5);
+        busy.in_flight = 50;
+        let idle = replica(1, 1, 0.05, 0.5);
+        let view = view_of(0, vec![busy, replica(2, 2, 0.05, 0.5), idle], vec![]);
+        let actions = hpa().decide(&view);
+        let removed: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                ScalingAction::Remove { container } => Some(*container),
+                _ => None,
+            })
+            .collect();
+        assert!(!removed.contains(&hyscale_cluster::ContainerId::new(0)));
+    }
+}

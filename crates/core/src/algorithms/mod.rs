@@ -1,0 +1,233 @@
+//! The four autoscaling algorithms and their shared machinery.
+//!
+//! Every algorithm is a pure decision function over a [`ClusterView`]
+//! (plus its own throttle state): it never touches the cluster directly,
+//! the [`Monitor`](crate::Monitor) applies what it returns. This mirrors
+//! the paper's separation between the AUTOSCALER module and the MONITOR.
+
+mod hyscale;
+mod kubernetes;
+mod network;
+mod placement;
+mod vertical;
+
+pub use hyscale::{HyScaleConfig, HyScaleCpu, HyScaleCpuMem};
+pub use kubernetes::{HpaConfig, KubernetesHpa};
+pub use network::NetworkHpa;
+pub use placement::PlacementPolicy;
+pub use vertical::VerticalOnly;
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::ServiceId;
+use hyscale_sim::{SimDuration, SimTime};
+
+use crate::actions::ScalingAction;
+use crate::view::ClusterView;
+
+/// An autoscaling policy: examines the periodic cluster snapshot and
+/// returns the scaling actions to apply.
+pub trait Autoscaler: std::fmt::Debug + Send {
+    /// Short name used in reports ("kubernetes", "hybrid", ...).
+    fn name(&self) -> &'static str;
+
+    /// Produces the actions for this period.
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction>;
+}
+
+/// Selects an algorithm by name (the paper's command-line switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// No autoscaling: the initial allocation is left untouched
+    /// (used by the Section III manual scaling studies).
+    None,
+    /// The Kubernetes horizontal CPU autoscaler (baseline).
+    Kubernetes,
+    /// The paper's horizontal network-bandwidth autoscaler.
+    Network,
+    /// HyScaleCPU: hybrid vertical+horizontal scaling on CPU.
+    HyScaleCpu,
+    /// HyScaleCPU+Mem: hybrid scaling on CPU and memory/swap.
+    HyScaleCpuMem,
+    /// Vertical-only scaling on CPU and memory (ElasticDocker-style
+    /// related-work baseline; never replicates).
+    VerticalOnly,
+}
+
+impl AlgorithmKind {
+    /// All benchmarkable algorithms, in the order the paper's figures
+    /// list them.
+    pub const ALL: [AlgorithmKind; 4] = [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::Network,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+    ];
+
+    /// Builds the algorithm with the given shared parameters.
+    ///
+    /// `hpa` parameterizes the two horizontal baselines; `hyscale`
+    /// parameterizes the two hybrid algorithms.
+    pub fn build(self, hpa: HpaConfig, hyscale: HyScaleConfig) -> Box<dyn Autoscaler> {
+        match self {
+            AlgorithmKind::None => Box::new(NoScaling),
+            AlgorithmKind::Kubernetes => Box::new(KubernetesHpa::new(hpa)),
+            AlgorithmKind::Network => Box::new(NetworkHpa::new(hpa)),
+            AlgorithmKind::HyScaleCpu => Box::new(HyScaleCpu::new(hyscale)),
+            AlgorithmKind::HyScaleCpuMem => Box::new(HyScaleCpuMem::new(hyscale)),
+            AlgorithmKind::VerticalOnly => Box::new(VerticalOnly::new(hyscale)),
+        }
+    }
+
+    /// The name the paper's figures use for this algorithm.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::None => "none",
+            AlgorithmKind::Kubernetes => "kubernetes",
+            AlgorithmKind::Network => "network",
+            AlgorithmKind::HyScaleCpu => "hybrid",
+            AlgorithmKind::HyScaleCpuMem => "hybridmem",
+            AlgorithmKind::VerticalOnly => "vertical",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The do-nothing policy used by the manual scaling studies of Sec. III.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoScaling;
+
+impl Autoscaler for NoScaling {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn decide(&mut self, _view: &ClusterView) -> Vec<ScalingAction> {
+        Vec::new()
+    }
+}
+
+/// Per-service rescale-interval throttle (the paper's anti-thrashing
+/// mechanism): after a horizontal scaling operation, *all* further
+/// horizontal operations on that service are halted until the interval
+/// passes — 3 s after a scale-up, 50 s after a scale-down in the paper's
+/// experiments. Vertical scaling is exempt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RescaleGate {
+    up_interval: SimDuration,
+    down_interval: SimDuration,
+    blocked_until: HashMap<ServiceId, SimTime>,
+}
+
+impl RescaleGate {
+    /// Creates a gate with the paper's default intervals (3 s / 50 s).
+    pub fn paper_defaults() -> Self {
+        RescaleGate::new(SimDuration::from_secs(3.0), SimDuration::from_secs(50.0))
+    }
+
+    /// Creates a gate with explicit intervals.
+    pub fn new(up_interval: SimDuration, down_interval: SimDuration) -> Self {
+        RescaleGate {
+            up_interval,
+            down_interval,
+            blocked_until: HashMap::new(),
+        }
+    }
+
+    /// A gate that never blocks (the thrash-guard ablation's control arm).
+    pub fn disabled() -> Self {
+        RescaleGate::new(SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// True if horizontal scaling of `service` is currently allowed.
+    pub fn allows(&self, service: ServiceId, now: SimTime) -> bool {
+        self.blocked_until
+            .get(&service)
+            .is_none_or(|&until| now >= until)
+    }
+
+    /// Records that `service` scaled up at `now`, blocking further
+    /// horizontal operations for the scale-up interval.
+    pub fn record_up(&mut self, service: ServiceId, now: SimTime) {
+        self.blocked_until.insert(service, now + self.up_interval);
+    }
+
+    /// Records that `service` scaled down at `now`, blocking further
+    /// horizontal operations for the scale-down interval.
+    pub fn record_down(&mut self, service: ServiceId, now: SimTime) {
+        self.blocked_until.insert(service, now + self.down_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::view_of;
+
+    #[test]
+    fn no_scaling_never_acts() {
+        let mut algo = NoScaling;
+        assert_eq!(algo.name(), "none");
+        let view = view_of(0, vec![], vec![]);
+        assert!(algo.decide(&view).is_empty());
+    }
+
+    #[test]
+    fn kind_labels_match_figures() {
+        assert_eq!(AlgorithmKind::Kubernetes.label(), "kubernetes");
+        assert_eq!(AlgorithmKind::HyScaleCpu.label(), "hybrid");
+        assert_eq!(AlgorithmKind::HyScaleCpuMem.label(), "hybridmem");
+        assert_eq!(AlgorithmKind::Network.to_string(), "network");
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in AlgorithmKind::ALL {
+            let algo = kind.build(HpaConfig::default(), HyScaleConfig::default());
+            assert_eq!(algo.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn gate_blocks_after_up_until_interval() {
+        let mut gate = RescaleGate::new(SimDuration::from_secs(3.0), SimDuration::from_secs(50.0));
+        let svc = ServiceId::new(0);
+        let t0 = SimTime::from_secs(100.0);
+        assert!(gate.allows(svc, t0));
+        gate.record_up(svc, t0);
+        assert!(!gate.allows(svc, t0 + SimDuration::from_secs(1.0)));
+        assert!(gate.allows(svc, t0 + SimDuration::from_secs(3.0)));
+    }
+
+    #[test]
+    fn gate_down_interval_is_longer() {
+        let mut gate = RescaleGate::paper_defaults();
+        let svc = ServiceId::new(0);
+        let t0 = SimTime::from_secs(0.0);
+        gate.record_down(svc, t0);
+        assert!(!gate.allows(svc, SimTime::from_secs(49.0)));
+        assert!(gate.allows(svc, SimTime::from_secs(50.0)));
+    }
+
+    #[test]
+    fn gate_is_per_service() {
+        let mut gate = RescaleGate::paper_defaults();
+        gate.record_down(ServiceId::new(0), SimTime::ZERO);
+        assert!(gate.allows(ServiceId::new(1), SimTime::from_secs(1.0)));
+    }
+
+    #[test]
+    fn disabled_gate_never_blocks() {
+        let mut gate = RescaleGate::disabled();
+        let svc = ServiceId::new(0);
+        gate.record_down(svc, SimTime::from_secs(10.0));
+        assert!(gate.allows(svc, SimTime::from_secs(10.0)));
+    }
+}

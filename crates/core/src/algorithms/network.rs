@@ -1,0 +1,94 @@
+//! The paper's exploratory network scaling algorithm (Sec. IV-A.2).
+//!
+//! "This algorithm uses the same algorithm as Kubernetes, but replaces CPU
+//! usage for outgoing network bandwidth usage in its calculations." It is
+//! purely horizontal: Sec. III-C showed vertical network scaling to be
+//! ≈ neutral (fair `tc` sharing) while horizontal scaling relieves
+//! tx-queue contention, so replication is the only lever worth pulling.
+
+use crate::actions::ScalingAction;
+use crate::algorithms::kubernetes::{HpaConfig, HpaMetric, KubernetesHpa};
+use crate::algorithms::Autoscaler;
+use crate::view::ClusterView;
+
+/// The horizontal autoscaler driven by egress-bandwidth utilization.
+#[derive(Debug)]
+pub struct NetworkHpa {
+    inner: KubernetesHpa,
+}
+
+impl NetworkHpa {
+    /// Creates the network scaler with the given parameters (the target is
+    /// interpreted against each replica's `net_request`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`HpaConfig::validate`]).
+    pub fn new(config: HpaConfig) -> Self {
+        NetworkHpa {
+            inner: KubernetesHpa::with_metric(config, HpaMetric::Network, "network"),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HpaConfig {
+        self.inner.config()
+    }
+}
+
+impl Autoscaler for NetworkHpa {
+    fn name(&self) -> &'static str {
+        "network"
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        self.inner.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{node, replica, view_of};
+    use hyscale_cluster::Mbps;
+
+    #[test]
+    fn scales_on_network_not_cpu() {
+        // CPU is idle but egress is at 160% of the request: the network
+        // scaler must scale out even though the CPU scaler would not.
+        let mut r = replica(0, 0, 0.01, 0.5);
+        r.net_used = Mbps(80.0);
+        r.net_requested = Mbps(50.0);
+        let view = view_of(0, vec![r], vec![node(1, 4.0, 8192.0, vec![])]);
+
+        let net_actions = NetworkHpa::new(HpaConfig::default()).decide(&view);
+        assert!(!net_actions.is_empty());
+        assert!(net_actions.iter().all(|a| a.is_horizontal()));
+
+        let cpu_actions = KubernetesHpa::new(HpaConfig::default()).decide(&view);
+        // CPU scaler sees util 0.02 -> desired 1 == current (min replicas).
+        assert!(cpu_actions.is_empty());
+    }
+
+    #[test]
+    fn idle_network_scales_in() {
+        let mk = |c: u32, n: u32| {
+            let mut r = replica(c, n, 0.01, 0.5);
+            r.net_used = Mbps(2.0);
+            r.net_requested = Mbps(50.0);
+            r
+        };
+        let view = view_of(0, vec![mk(0, 0), mk(1, 1), mk(2, 2)], vec![]);
+        let actions = NetworkHpa::new(HpaConfig::default()).decide(&view);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, ScalingAction::Remove { .. })));
+    }
+
+    #[test]
+    fn name_is_network() {
+        assert_eq!(NetworkHpa::new(HpaConfig::default()).name(), "network");
+        assert_eq!(NetworkHpa::new(HpaConfig::default()).config().target, 0.5);
+    }
+}

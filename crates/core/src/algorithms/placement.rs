@@ -1,0 +1,85 @@
+//! Placement policies for horizontal scale-out.
+//!
+//! The paper's future work names a *cost-based aspect*: data centres pay
+//! per powered-on machine, so packing replicas onto fewer nodes saves
+//! power, while spreading them maximizes headroom and fault isolation.
+//! Both policies are available to every algorithm; the default matches
+//! the spreading behaviour of Kubernetes' scheduler. The `ablation`
+//! binary quantifies the trade-off via busy-node-hours.
+
+use serde::{Deserialize, Serialize};
+
+/// How a scaler chooses among feasible nodes when spawning a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Prefer the node with the *most* free CPU (Kubernetes-style
+    /// spreading; maximizes per-replica headroom).
+    #[default]
+    Spread,
+    /// Prefer the node with the *least* free CPU that still fits
+    /// (first-fit-decreasing bin packing; minimizes powered-on machines,
+    /// the paper's cost motivation).
+    Pack,
+}
+
+impl PlacementPolicy {
+    /// Orders two candidate nodes by preference; the "smaller" one wins.
+    ///
+    /// `free_a`/`free_b` are the nodes' free CPU. Ties break toward the
+    /// lower node id (`id_a`, `id_b`) for determinism.
+    pub fn prefer(self, free_a: f64, id_a: u32, free_b: f64, id_b: u32) -> std::cmp::Ordering {
+        let by_free = match self {
+            PlacementPolicy::Spread => free_b
+                .partial_cmp(&free_a)
+                .unwrap_or(std::cmp::Ordering::Equal),
+            PlacementPolicy::Pack => free_a
+                .partial_cmp(&free_b)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        };
+        by_free.then(id_a.cmp(&id_b))
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementPolicy::Spread => write!(f, "spread"),
+            PlacementPolicy::Pack => write!(f, "pack"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn spread_prefers_most_free() {
+        let p = PlacementPolicy::Spread;
+        assert_eq!(p.prefer(4.0, 0, 1.0, 1), Ordering::Less);
+        assert_eq!(p.prefer(1.0, 0, 4.0, 1), Ordering::Greater);
+    }
+
+    #[test]
+    fn pack_prefers_least_free() {
+        let p = PlacementPolicy::Pack;
+        assert_eq!(p.prefer(1.0, 0, 4.0, 1), Ordering::Less);
+        assert_eq!(p.prefer(4.0, 0, 1.0, 1), Ordering::Greater);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        for p in [PlacementPolicy::Spread, PlacementPolicy::Pack] {
+            assert_eq!(p.prefer(2.0, 0, 2.0, 1), Ordering::Less);
+            assert_eq!(p.prefer(2.0, 3, 2.0, 1), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn default_is_spread_and_displays() {
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Spread);
+        assert_eq!(PlacementPolicy::Spread.to_string(), "spread");
+        assert_eq!(PlacementPolicy::Pack.to_string(), "pack");
+    }
+}

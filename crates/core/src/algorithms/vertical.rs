@@ -1,0 +1,241 @@
+//! A pure-vertical baseline (ElasticDocker-style, paper Sec. II-A).
+//!
+//! The paper's related work describes ElasticDocker: an autoscaler that
+//! "autonomously scales Docker containers vertically" on CPU and memory
+//! and never replicates. It reportedly beat Kubernetes by 37.63% on
+//! single-machine-sized workloads — and the paper's critique is exactly
+//! what this implementation exposes: once a service outgrows one machine,
+//! a vertical-only scaler has nowhere to go ("the cost of machines with
+//! sufficient hardware ... far exceeds the cost savings achieved").
+//!
+//! This baseline reuses HyScale's reclamation/acquisition phases with the
+//! horizontal fallback disabled, making the ablation "what does the
+//! *hybrid* part of HyScale buy?" a one-line comparison.
+
+use hyscale_cluster::{Cores, MemMb};
+
+use crate::actions::ScalingAction;
+use crate::algorithms::{Autoscaler, HyScaleConfig};
+use crate::view::ClusterView;
+
+/// Vertical-only autoscaler on CPU and memory (never spawns or removes
+/// replicas).
+#[derive(Debug)]
+pub struct VerticalOnly {
+    config: HyScaleConfig,
+}
+
+impl VerticalOnly {
+    /// Creates the baseline; only the targets, headroom, and anti-churn
+    /// fields of the config are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`HyScaleConfig::validate`]).
+    pub fn new(config: HyScaleConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid HyScaleConfig: {e}");
+        }
+        VerticalOnly { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HyScaleConfig {
+        &self.config
+    }
+}
+
+impl Autoscaler for VerticalOnly {
+    fn name(&self) -> &'static str {
+        "vertical"
+    }
+
+    fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        let cfg = &self.config;
+        let denom_cpu = cfg.cpu_target * cfg.headroom;
+        let denom_mem = cfg.mem_target * cfg.headroom;
+        let mut actions = Vec::new();
+
+        // Track free resources per node as we plan, like the hybrid does.
+        let mut free_cpu: std::collections::HashMap<_, f64> = view
+            .nodes
+            .iter()
+            .map(|n| (n.node, n.free_cpu.get()))
+            .collect();
+        let mut free_mem: std::collections::HashMap<_, f64> = view
+            .nodes
+            .iter()
+            .map(|n| (n.node, n.free_mem.get()))
+            .collect();
+
+        for service in &view.services {
+            for replica in service.replicas.iter().filter(|r| r.ready) {
+                let cpu_desired =
+                    (replica.cpu_used.get() / denom_cpu).max(cfg.min_cpu_remove.get());
+                let mem_floor = service.base_mem.get() + cfg.min_mem_remove.get();
+                let mem_desired = (replica.mem_used.get() / denom_mem).max(mem_floor);
+
+                let mut new_cpu = None;
+                let mut new_mem = None;
+
+                let cpu_delta = cpu_desired - replica.cpu_requested.get();
+                if cpu_delta.abs() > cfg.min_cpu_change.get() {
+                    let granted = if cpu_delta > 0.0 {
+                        let free = free_cpu.get_mut(&replica.node);
+                        let available = free.as_deref().copied().unwrap_or(0.0).max(0.0);
+                        let take = cpu_delta.min(available);
+                        if let Some(f) = free {
+                            *f -= take;
+                        }
+                        take
+                    } else {
+                        if let Some(f) = free_cpu.get_mut(&replica.node) {
+                            *f -= cpu_delta; // negative delta returns capacity
+                        }
+                        cpu_delta
+                    };
+                    if granted.abs() > cfg.min_cpu_change.get() {
+                        new_cpu = Some(Cores(replica.cpu_requested.get() + granted));
+                    }
+                }
+
+                let mem_delta = mem_desired - replica.mem_limit.get();
+                if mem_delta.abs() > cfg.min_mem_change.get() {
+                    let granted = if mem_delta > 0.0 {
+                        let free = free_mem.get_mut(&replica.node);
+                        let available = free.as_deref().copied().unwrap_or(0.0).max(0.0);
+                        let take = mem_delta.min(available);
+                        if let Some(f) = free {
+                            *f -= take;
+                        }
+                        take
+                    } else {
+                        if let Some(f) = free_mem.get_mut(&replica.node) {
+                            *f -= mem_delta;
+                        }
+                        mem_delta
+                    };
+                    if granted.abs() > cfg.min_mem_change.get() {
+                        new_mem = Some(MemMb(replica.mem_limit.get() + granted));
+                    }
+                }
+
+                if new_cpu.is_some() || new_mem.is_some() {
+                    actions.push(ScalingAction::Update {
+                        container: replica.container,
+                        cpu: new_cpu,
+                        mem: new_mem,
+                    });
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::test_support::{node, replica, view_of};
+    use hyscale_cluster::MemMb;
+
+    fn algo() -> VerticalOnly {
+        VerticalOnly::new(HyScaleConfig::default())
+    }
+
+    #[test]
+    fn never_emits_horizontal_actions() {
+        // Wildly overloaded: a hybrid would spawn; vertical-only must not.
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 3.9, 0.5)],
+            vec![node(0, 0.1, 64.0, vec![0]), node(1, 4.0, 8192.0, vec![])],
+        );
+        let actions = algo().decide(&view);
+        assert!(actions.iter().all(|a| a.is_vertical()));
+    }
+
+    #[test]
+    fn acquires_up_to_node_free_cpu() {
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.9, 0.5)],
+            vec![node(0, 3.5, 4096.0, vec![0])],
+        );
+        let actions = algo().decide(&view);
+        match actions.as_slice() {
+            [ScalingAction::Update { cpu: Some(c), .. }] => {
+                // desired = 0.9 / 0.45 = 2.0 cores.
+                assert!((c.get() - 2.0).abs() < 1e-9, "cpu {c}");
+            }
+            other => panic!("expected one update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_by_free_capacity() {
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.9, 0.5)],
+            vec![node(0, 0.3, 4096.0, vec![0])],
+        );
+        let actions = algo().decide(&view);
+        match actions.as_slice() {
+            [ScalingAction::Update { cpu: Some(c), .. }] => {
+                assert!((c.get() - 0.8).abs() < 1e-9, "bounded to +0.3: {c}");
+            }
+            other => panic!("expected one update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reclaims_idle_allocations_without_removing() {
+        let view = view_of(
+            0,
+            vec![replica(0, 0, 0.02, 2.0)],
+            vec![node(0, 1.0, 4096.0, vec![0])],
+        );
+        let actions = algo().decide(&view);
+        assert_eq!(actions.len(), 1);
+        assert!(actions.iter().all(|a| a.is_vertical()));
+        match &actions[0] {
+            ScalingAction::Update { cpu: Some(c), .. } => {
+                // Reclaims toward the floor, never below 0.1.
+                assert!(c.get() >= 0.1 && c.get() < 2.0);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn raises_memory_limits_under_pressure() {
+        let mut r = replica(0, 0, 0.25, 0.5);
+        r.mem_used = MemMb(240.0);
+        r.mem_limit = MemMb(256.0);
+        let view = view_of(0, vec![r], vec![node(0, 2.0, 4096.0, vec![0])]);
+        let actions = algo().decide(&view);
+        let raised = actions.iter().any(|a| {
+            matches!(
+                a,
+                ScalingAction::Update { mem: Some(m), .. } if m.get() > 256.0
+            )
+        });
+        assert!(raised, "expected a memory raise, got {actions:?}");
+    }
+
+    #[test]
+    fn name_and_config() {
+        assert_eq!(algo().name(), "vertical");
+        assert_eq!(algo().config().cpu_target, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid HyScaleConfig")]
+    fn invalid_config_panics() {
+        let _ = VerticalOnly::new(HyScaleConfig {
+            headroom: -1.0,
+            ..HyScaleConfig::default()
+        });
+    }
+}

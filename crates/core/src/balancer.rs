@@ -1,0 +1,137 @@
+//! Server-side load balancers (paper Sec. V, the LB components).
+//!
+//! The paper dedicates five cluster nodes to distributed server-side load
+//! balancers that proxy clients onto microservice replicas. Here the
+//! balancing *logic* is reproduced (the LB nodes' capacity is excluded
+//! from the worker pool by the scenario builder, mirroring the paper's
+//! 24 = 19 workers + 5 LBs split): each request is routed to the accepting
+//! replica with the fewest requests in flight, which is what a
+//! least-outstanding-requests proxy does.
+
+use hyscale_cluster::{Cluster, ContainerId, ServiceId};
+use hyscale_sim::SimTime;
+
+/// Routes client requests to microservice replicas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadBalancer;
+
+impl LoadBalancer {
+    /// Creates a balancer.
+    pub fn new() -> Self {
+        LoadBalancer
+    }
+
+    /// Picks the replica of `service` to receive a request at `now`:
+    /// the accepting replica with the fewest in-flight requests (ties
+    /// broken by container id for determinism).
+    ///
+    /// Returns `None` when no replica is accepting — the request becomes a
+    /// *connection failure*, exactly the failure class the paper charges
+    /// to the algorithm that left the service without capacity.
+    pub fn route(
+        &self,
+        cluster: &Cluster,
+        service: ServiceId,
+        now: SimTime,
+    ) -> Option<ContainerId> {
+        cluster
+            .service_replicas(service)
+            .into_iter()
+            .filter_map(|id| {
+                let c = cluster.container(id)?;
+                c.accepting(now).then_some((c.in_flight_count(), id))
+            })
+            .min()
+            .map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_cluster::{ClusterConfig, ContainerSpec, NodeSpec, Request};
+
+    fn setup() -> (Cluster, ServiceId) {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        cl.add_node(NodeSpec::uniform_worker());
+        (cl, ServiceId::new(0))
+    }
+
+    fn spec(svc: ServiceId) -> ContainerSpec {
+        ContainerSpec::new(svc).with_startup_secs(0.0)
+    }
+
+    #[test]
+    fn routes_to_least_loaded_replica() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let b = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        // Load replica a with two requests.
+        for _ in 0..2 {
+            cl.admit_request(
+                a,
+                Request::cpu_bound(svc, SimTime::ZERO, 1.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let lb = LoadBalancer::new();
+        assert_eq!(lb.route(&cl, svc, SimTime::ZERO), Some(b));
+    }
+
+    #[test]
+    fn returns_none_without_replicas() {
+        let (cl, svc) = setup();
+        assert_eq!(LoadBalancer::new().route(&cl, svc, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn skips_starting_and_removed_replicas() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let starting = cl
+            .start_container(
+                node,
+                ContainerSpec::new(svc).with_startup_secs(100.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let live = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let lb = LoadBalancer::new();
+        assert_eq!(lb.route(&cl, svc, SimTime::from_secs(1.0)), Some(live));
+        cl.remove_container(live, SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(lb.route(&cl, svc, SimTime::from_secs(1.0)), None);
+        // Once the starting replica is ready, it becomes routable.
+        assert_eq!(
+            lb.route(&cl, svc, SimTime::from_secs(100.0)),
+            Some(starting)
+        );
+    }
+
+    #[test]
+    fn skips_full_queues() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let tiny = cl
+            .start_container(node, spec(svc).with_queue_cap(1), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            tiny,
+            Request::cpu_bound(svc, SimTime::ZERO, 1.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(LoadBalancer::new().route(&cl, svc, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let _b = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        // Both idle: lowest container id wins.
+        assert_eq!(LoadBalancer::new().route(&cl, svc, SimTime::ZERO), Some(a));
+    }
+}

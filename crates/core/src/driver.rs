@@ -1,0 +1,957 @@
+//! End-to-end experiment driver: workload → load balancer → cluster →
+//! Monitor, producing a [`RunReport`].
+//!
+//! A scenario is a pure function of its configuration and seed. The
+//! driver owns the event loop: client arrivals (per-service
+//! non-homogeneous Poisson processes), the fixed 100 ms resource tick,
+//! and the Monitor's scaling period (5 s, matching the paper's
+//! experiments). The paper's protocol of averaging each experiment over
+//! five runs is [`SimulationDriver::run_averaged`] over five seeds.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::{
+    Cluster, ClusterConfig, ContainerSpec, FailureKind, NodeId, NodeSpec, ServiceId,
+};
+use hyscale_metrics::{CostMeter, RequestOutcomes, TimeSeries};
+use hyscale_sim::{EventQueue, SimDuration, SimRng, SimTime, TickEngine, TickOutcome};
+use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
+
+use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
+use crate::balancer::LoadBalancer;
+use crate::error::CoreError;
+use crate::monitor::Monitor;
+use hyscale_cluster::FailedRequest;
+
+/// Complete description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Experiment name (used in reports).
+    pub name: String,
+    /// Master seed; every stochastic stream derives from it.
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Resource-model tick.
+    pub tick: SimDuration,
+    /// Monitor scaling period (the paper queries every 5 s).
+    pub scale_period: SimDuration,
+    /// Worker-node hardware (the paper's LB nodes are excluded; only
+    /// workers are modelled).
+    pub nodes: Vec<NodeSpec>,
+    /// The microservices under test.
+    pub services: Vec<ServiceSpec>,
+    /// Replicas started per service before the run.
+    pub initial_replicas: usize,
+    /// The algorithm under test.
+    pub algorithm: AlgorithmKind,
+    /// Horizontal-baseline parameters.
+    pub hpa: HpaConfig,
+    /// Hybrid-algorithm parameters.
+    pub hyscale: HyScaleConfig,
+    /// Resource-model overheads.
+    pub cluster: ClusterConfig,
+    /// Antagonist (stress) containers: `(node index, spec)` pairs started
+    /// before the run, used by the Section III studies.
+    pub antagonists: Vec<(usize, ContainerSpec)>,
+    /// Scheduled machine additions/removals (paper future work:
+    /// "dynamic addition and removal of machines").
+    pub node_events: Vec<(f64, NodeEvent)>,
+}
+
+/// A scheduled change to the machine pool.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// Power off the node at this index (of the initial `nodes` list);
+    /// its containers are lost (removal failures).
+    Decommission(usize),
+    /// Bring a new machine of this spec online.
+    Commission(NodeSpec),
+}
+
+impl ScenarioConfig {
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidScenario`] describing the first
+    /// problem.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.nodes.is_empty() {
+            return Err(CoreError::InvalidScenario("no nodes".into()));
+        }
+        if self.services.is_empty() {
+            return Err(CoreError::InvalidScenario("no services".into()));
+        }
+        if self.initial_replicas == 0 {
+            return Err(CoreError::InvalidScenario(
+                "initial_replicas must be at least 1".into(),
+            ));
+        }
+        if self.tick.is_zero() || self.scale_period.is_zero() || self.duration.is_zero() {
+            return Err(CoreError::InvalidScenario(
+                "durations (tick, scale_period, duration) must be positive".into(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.services {
+            if !seen.insert(s.id) {
+                return Err(CoreError::InvalidScenario(format!(
+                    "duplicate service id {}",
+                    s.id
+                )));
+            }
+        }
+        for (idx, _) in &self.antagonists {
+            if *idx >= self.nodes.len() {
+                return Err(CoreError::InvalidScenario(format!(
+                    "antagonist node index {idx} out of range"
+                )));
+            }
+        }
+        for (secs, event) in &self.node_events {
+            if !secs.is_finite() || *secs < 0.0 {
+                return Err(CoreError::InvalidScenario(format!(
+                    "node event time must be non-negative, got {secs}"
+                )));
+            }
+            if let NodeEvent::Decommission(idx) = event {
+                if *idx >= self.nodes.len() {
+                    return Err(CoreError::InvalidScenario(format!(
+                        "decommission node index {idx} out of range"
+                    )));
+                }
+            }
+        }
+        self.hpa
+            .validate()
+            .map_err(|e| CoreError::InvalidScenario(format!("hpa: {e}")))?;
+        self.hyscale
+            .validate()
+            .map_err(|e| CoreError::InvalidScenario(format!("hyscale: {e}")))?;
+        Ok(())
+    }
+}
+
+/// Counts of scaling operations performed during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingCounts {
+    /// Vertical (`docker update` / `tc`) operations.
+    pub vertical: u64,
+    /// Replica spawns.
+    pub spawns: u64,
+    /// Replica removals.
+    pub removals: u64,
+}
+
+impl ScalingCounts {
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.vertical + self.spawns + self.removals
+    }
+}
+
+impl std::ops::AddAssign for ScalingCounts {
+    fn add_assign(&mut self, rhs: ScalingCounts) {
+        self.vertical += rhs.vertical;
+        self.spawns += rhs.spawns;
+        self.removals += rhs.removals;
+    }
+}
+
+/// Everything measured in one run (or merged across seeds).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// The algorithm that ran.
+    pub algorithm: AlgorithmKind,
+    /// Seeds merged into this report.
+    pub seeds: Vec<u64>,
+    /// Overall request outcomes.
+    pub requests: RequestOutcomes,
+    /// Outcomes per service.
+    pub per_service: BTreeMap<ServiceId, RequestOutcomes>,
+    /// Scaling-operation counts.
+    pub scaling: ScalingCounts,
+    /// Allocated-resource cost integral.
+    pub cost: CostMeter,
+    /// Total replica count sampled each scaling period.
+    pub replicas: TimeSeries,
+    /// Cluster CPU usage (cores) sampled each scaling period.
+    pub cpu_used: TimeSeries,
+    /// Cluster resident memory (MB) sampled each scaling period.
+    pub mem_used: TimeSeries,
+}
+
+impl RunReport {
+    /// Mean response time in milliseconds (the paper's headline metric).
+    pub fn mean_response_ms(&self) -> f64 {
+        self.requests.mean_response_secs() * 1e3
+    }
+}
+
+/// Events on the driver's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A client request for service index `usize` arrives.
+    Arrival(usize),
+    /// The Monitor's scaling period fires.
+    Scale,
+    /// A scheduled machine addition/removal (index into
+    /// `config.node_events`).
+    NodeChange(usize),
+}
+
+/// Runs scenarios.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulationDriver;
+
+impl SimulationDriver {
+    /// Runs one scenario once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidScenario`] for inconsistent
+    /// configurations, or a wrapped cluster error if setup fails.
+    pub fn run(config: &ScenarioConfig) -> Result<RunReport, CoreError> {
+        config.validate()?;
+        let mut master_rng = SimRng::seed_from(config.seed);
+
+        // --- Cluster setup -------------------------------------------------
+        let mut cluster = Cluster::new(config.cluster);
+        let node_ids: Vec<NodeId> = config
+            .nodes
+            .iter()
+            .map(|spec| cluster.add_node(*spec))
+            .collect();
+
+        for (node_idx, spec) in &config.antagonists {
+            let spec = spec.clone().with_startup_secs(0.0);
+            cluster.start_container(node_ids[*node_idx], spec, SimTime::ZERO)?;
+        }
+
+        // Initial replicas, placed round-robin across nodes. They are
+        // pre-warmed (no startup delay): the paper's services are already
+        // running when an experiment's measurement window opens.
+        let mut placement_cursor = 0usize;
+        for service in &config.services {
+            for _ in 0..config.initial_replicas {
+                let node = node_ids[placement_cursor % node_ids.len()];
+                placement_cursor += 1;
+                let spec = service.container.clone().with_startup_secs(0.0);
+                cluster.start_container(node, spec, SimTime::ZERO)?;
+            }
+        }
+
+        // --- Platform setup -------------------------------------------------
+        let templates: HashMap<ServiceId, ContainerSpec> = config
+            .services
+            .iter()
+            .map(|s| (s.id, s.container.clone()))
+            .collect();
+        let algorithm = config.algorithm.build(config.hpa, config.hyscale);
+        let mut monitor = Monitor::new(algorithm, &cluster, templates);
+        let balancer = LoadBalancer::new();
+
+        // --- Workload setup ---------------------------------------------------
+        let mut arrival_rngs: Vec<SimRng> =
+            config.services.iter().map(|_| master_rng.split()).collect();
+        let mut demand_rngs: Vec<SimRng> =
+            config.services.iter().map(|_| master_rng.split()).collect();
+        let mut arrivals: Vec<ArrivalProcess> = config
+            .services
+            .iter()
+            .map(|s| ArrivalProcess::new(s.load.clone()))
+            .collect();
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (idx, process) in arrivals.iter_mut().enumerate() {
+            let first = process.next_arrival(SimTime::ZERO, &mut arrival_rngs[idx]);
+            if first < SimTime::MAX {
+                events.schedule(first, Event::Arrival(idx));
+            }
+        }
+        events.schedule(SimTime::ZERO + config.scale_period, Event::Scale);
+        for (idx, (secs, _)) in config.node_events.iter().enumerate() {
+            events.schedule(SimTime::from_secs(*secs), Event::NodeChange(idx));
+        }
+
+        // --- Metrics ------------------------------------------------------------
+        let mut requests = RequestOutcomes::new();
+        let mut per_service: BTreeMap<ServiceId, RequestOutcomes> = config
+            .services
+            .iter()
+            .map(|s| (s.id, RequestOutcomes::new()))
+            .collect();
+        let mut scaling = ScalingCounts::default();
+        let mut cost = CostMeter::new();
+        let mut replicas_ts = TimeSeries::new("replicas");
+        let mut cpu_ts = TimeSeries::new("cpu-used-cores");
+        let mut mem_ts = TimeSeries::new("mem-used-mb");
+
+        let horizon = SimTime::ZERO + config.duration;
+        let mut engine = TickEngine::new(config.tick, horizon)?;
+        let scale_period_secs = config.scale_period.as_secs();
+
+        engine.run(|now, dt| {
+            // 1. Deliver due events at the start of the tick.
+            while let Some((event_time, event)) = events.pop_due(now) {
+                match event {
+                    Event::Arrival(idx) => {
+                        let service = &config.services[idx];
+                        requests.record_issued();
+                        let outcomes = per_service.get_mut(&service.id).expect("known service");
+                        outcomes.record_issued();
+                        let request = service.make_request(event_time, &mut demand_rngs[idx]);
+                        match balancer.route(&cluster, service.id, now) {
+                            Some(target) => {
+                                if cluster.admit_request(target, request, now).is_err() {
+                                    requests.record_connection_failure();
+                                    outcomes.record_connection_failure();
+                                }
+                            }
+                            None => {
+                                requests.record_connection_failure();
+                                outcomes.record_connection_failure();
+                            }
+                        }
+                        let next = arrivals[idx].next_arrival(event_time, &mut arrival_rngs[idx]);
+                        if next < SimTime::MAX && next < horizon {
+                            events.schedule(next, Event::Arrival(idx));
+                        }
+                    }
+                    Event::NodeChange(idx) => {
+                        let (_, event) = &config.node_events[idx];
+                        match event {
+                            NodeEvent::Decommission(node_idx) => {
+                                let failures: Vec<FailedRequest> = cluster
+                                    .decommission_node(node_ids[*node_idx], now)
+                                    .unwrap_or_default();
+                                for failure in failures {
+                                    requests.record_removal_failure();
+                                    if let Some(out) = per_service.get_mut(&failure.service) {
+                                        out.record_removal_failure();
+                                    }
+                                }
+                            }
+                            NodeEvent::Commission(spec) => {
+                                cluster.add_node(*spec);
+                            }
+                        }
+                    }
+                    Event::Scale => {
+                        let report = monitor.run_period(&mut cluster, now, scale_period_secs);
+                        for action in &report.applied {
+                            use crate::actions::ScalingAction;
+                            match action {
+                                ScalingAction::Update { .. } | ScalingAction::SetNetCap { .. } => {
+                                    scaling.vertical += 1;
+                                }
+                                ScalingAction::Spawn { .. } => scaling.spawns += 1,
+                                ScalingAction::Remove { .. } => scaling.removals += 1,
+                            }
+                        }
+                        for failure in &report.removal_failures {
+                            requests.record_removal_failure();
+                            if let Some(out) = per_service.get_mut(&failure.service) {
+                                out.record_removal_failure();
+                            }
+                        }
+
+                        // Periodic samples for the report.
+                        let secs = now.as_secs();
+                        replicas_ts.push(secs, report.view.total_replicas() as f64);
+                        let cpu_used: f64 = report
+                            .view
+                            .services
+                            .iter()
+                            .map(|s| s.total_cpu_used().get())
+                            .sum();
+                        let mem_used: f64 = report
+                            .view
+                            .services
+                            .iter()
+                            .map(|s| s.total_mem_used().get())
+                            .sum();
+                        cpu_ts.push(secs, cpu_used);
+                        mem_ts.push(secs, mem_used);
+
+                        let allocated: f64 = report
+                            .view
+                            .services
+                            .iter()
+                            .flat_map(|s| s.replicas.iter())
+                            .map(|r| r.cpu_requested.get())
+                            .sum();
+                        let containers = report.view.total_replicas();
+                        let busy_nodes = report
+                            .view
+                            .nodes
+                            .iter()
+                            .filter(|n| !n.hosted_services.is_empty())
+                            .count();
+                        cost.record_interval(scale_period_secs, allocated, containers, busy_nodes);
+
+                        events.schedule(now + config.scale_period, Event::Scale);
+                    }
+                }
+            }
+
+            // 2. Advance the resource model.
+            let tick_report = cluster.advance(now, dt);
+            for done in tick_report.completed {
+                requests.record_completed(done.response_time.as_secs());
+                if let Some(out) = per_service.get_mut(&done.service) {
+                    out.record_completed(done.response_time.as_secs());
+                }
+            }
+            for failed in tick_report.failed {
+                match failed.kind {
+                    FailureKind::Removal => {
+                        requests.record_removal_failure();
+                        if let Some(out) = per_service.get_mut(&failed.service) {
+                            out.record_removal_failure();
+                        }
+                    }
+                    FailureKind::Connection => {
+                        requests.record_connection_failure();
+                        if let Some(out) = per_service.get_mut(&failed.service) {
+                            out.record_connection_failure();
+                        }
+                    }
+                }
+            }
+            TickOutcome::Continue
+        });
+
+        Ok(RunReport {
+            name: config.name.clone(),
+            algorithm: config.algorithm,
+            seeds: vec![config.seed],
+            requests,
+            per_service,
+            scaling,
+            cost,
+            replicas: replicas_ts,
+            cpu_used: cpu_ts,
+            mem_used: mem_ts,
+        })
+    }
+
+    /// Runs the scenario once per seed and merges the outcomes — the
+    /// paper's "results were averaged over 5 runs".
+    ///
+    /// Time series are kept from the first seed (they illustrate one run;
+    /// outcome statistics aggregate all).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run's error. `seeds` must not be
+    /// empty.
+    pub fn run_averaged(config: &ScenarioConfig, seeds: &[u64]) -> Result<RunReport, CoreError> {
+        let Some((&first_seed, rest)) = seeds.split_first() else {
+            return Err(CoreError::InvalidScenario("no seeds given".into()));
+        };
+        let mut config = config.clone();
+        config.seed = first_seed;
+        let mut merged = Self::run(&config)?;
+        for &seed in rest {
+            config.seed = seed;
+            let run = Self::run(&config)?;
+            merged.requests.merge(&run.requests);
+            for (svc, outcomes) in run.per_service {
+                merged
+                    .per_service
+                    .entry(svc)
+                    .or_insert_with(RequestOutcomes::new)
+                    .merge(&outcomes);
+            }
+            merged.scaling += run.scaling;
+            merged.seeds.push(seed);
+        }
+        Ok(merged)
+    }
+}
+
+/// Fluent construction of [`ScenarioConfig`]s.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_core::{AlgorithmKind, ScenarioBuilder};
+/// use hyscale_workload::{LoadPattern, ServiceProfile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = ScenarioBuilder::new("smoke")
+///     .nodes(2)
+///     .services(1, ServiceProfile::CpuBound, LoadPattern::Constant { rate: 2.0 })
+///     .duration_secs(30.0)
+///     .algorithm(AlgorithmKind::Kubernetes)
+///     .run()?;
+/// assert!(report.requests.issued > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    config: ScenarioConfig,
+    next_service_index: u32,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario with paper-style defaults: 100 ms tick, 5 s
+    /// scaling period, 10-minute duration, seed 1, HyScaleCPU.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            config: ScenarioConfig {
+                name: name.into(),
+                seed: 1,
+                duration: SimDuration::from_secs(600.0),
+                tick: SimDuration::from_millis(100),
+                scale_period: SimDuration::from_secs(5.0),
+                nodes: Vec::new(),
+                services: Vec::new(),
+                initial_replicas: 1,
+                algorithm: AlgorithmKind::HyScaleCpu,
+                hpa: HpaConfig::default(),
+                hyscale: HyScaleConfig::default(),
+                cluster: ClusterConfig::default(),
+                antagonists: Vec::new(),
+                node_events: Vec::new(),
+            },
+            next_service_index: 0,
+        }
+    }
+
+    /// Adds `count` uniform worker nodes (the paper's 4-core/8 GB boxes).
+    pub fn nodes(mut self, count: usize) -> Self {
+        self.config
+            .nodes
+            .extend(std::iter::repeat_n(NodeSpec::uniform_worker(), count));
+        self
+    }
+
+    /// Adds `count` nodes of a specific hardware spec.
+    pub fn nodes_with_spec(mut self, count: usize, spec: NodeSpec) -> Self {
+        self.config.nodes.extend(std::iter::repeat_n(spec, count));
+        self
+    }
+
+    /// Adds `count` synthetic services of `profile` under `load`.
+    pub fn services(mut self, count: usize, profile: ServiceProfile, load: LoadPattern) -> Self {
+        for _ in 0..count {
+            let spec = ServiceSpec::synthetic(self.next_service_index, profile, load.clone());
+            self.next_service_index += 1;
+            self.config.services.push(spec);
+        }
+        self
+    }
+
+    /// Adds one fully custom service (its id must be unique).
+    pub fn service(mut self, spec: ServiceSpec) -> Self {
+        self.next_service_index = self.next_service_index.max(spec.id.index() + 1);
+        self.config.services.push(spec);
+        self
+    }
+
+    /// Adds an antagonist (stress) container on the node at `node_idx`.
+    pub fn antagonist(mut self, node_idx: usize, spec: ContainerSpec) -> Self {
+        self.config.antagonists.push((node_idx, spec));
+        self
+    }
+
+    /// Schedules a machine addition or removal at `secs` into the run.
+    pub fn node_event(mut self, secs: f64, event: NodeEvent) -> Self {
+        self.config.node_events.push((secs, event));
+        self
+    }
+
+    /// Sets the simulated duration in seconds.
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.config.duration = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Sets the Monitor's scaling period in seconds.
+    pub fn scale_period_secs(mut self, secs: f64) -> Self {
+        self.config.scale_period = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Sets the resource-model tick in milliseconds.
+    pub fn tick_millis(mut self, millis: u64) -> Self {
+        self.config.tick = SimDuration::from_millis(millis);
+        self
+    }
+
+    /// Selects the algorithm under test.
+    pub fn algorithm(mut self, kind: AlgorithmKind) -> Self {
+        self.config.algorithm = kind;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of replicas started per service.
+    pub fn initial_replicas(mut self, n: usize) -> Self {
+        self.config.initial_replicas = n;
+        self
+    }
+
+    /// Overrides the horizontal-baseline parameters.
+    pub fn hpa(mut self, hpa: HpaConfig) -> Self {
+        self.config.hpa = hpa;
+        self
+    }
+
+    /// Overrides the hybrid-algorithm parameters.
+    pub fn hyscale(mut self, hyscale: HyScaleConfig) -> Self {
+        self.config.hyscale = hyscale;
+        self
+    }
+
+    /// Overrides the resource-model overheads.
+    pub fn cluster_config(mut self, cluster: ClusterConfig) -> Self {
+        self.config.cluster = cluster;
+        self
+    }
+
+    /// Finishes building without running.
+    pub fn build(self) -> ScenarioConfig {
+        self.config
+    }
+
+    /// Builds and runs once.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulationDriver::run`].
+    pub fn run(self) -> Result<RunReport, CoreError> {
+        SimulationDriver::run(&self.config)
+    }
+
+    /// Builds and runs once per seed, merging outcomes.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulationDriver::run_averaged`].
+    pub fn run_seeds(self, seeds: &[u64]) -> Result<RunReport, CoreError> {
+        SimulationDriver::run_averaged(&self.config, seeds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_cluster::MemMb;
+
+    fn quick(algorithm: AlgorithmKind, seed: u64) -> RunReport {
+        ScenarioBuilder::new("test")
+            .nodes(3)
+            .services(
+                2,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 3.0 },
+            )
+            .duration_secs(60.0)
+            .algorithm(algorithm)
+            .seed(seed)
+            .run()
+            .expect("scenario runs")
+    }
+
+    #[test]
+    fn smoke_all_algorithms_complete_requests() {
+        for kind in AlgorithmKind::ALL {
+            let report = quick(kind, 1);
+            assert!(
+                report.requests.issued > 50,
+                "{kind}: {}",
+                report.requests.issued
+            );
+            assert!(
+                report.requests.completed > 0,
+                "{kind} completed none of {} requests",
+                report.requests.issued
+            );
+            assert_eq!(report.algorithm, kind);
+        }
+    }
+
+    #[test]
+    fn node_decommission_mid_run_is_survivable() {
+        let run = |with_loss: bool| {
+            let mut builder = ScenarioBuilder::new("elastic")
+                .nodes(4)
+                .services(
+                    2,
+                    ServiceProfile::CpuBound,
+                    LoadPattern::Constant { rate: 4.0 },
+                )
+                .duration_secs(120.0)
+                .algorithm(AlgorithmKind::HyScaleCpu)
+                .seed(3);
+            if with_loss {
+                builder = builder.node_event(60.0, NodeEvent::Decommission(0));
+            }
+            builder.run().unwrap()
+        };
+        let stable = run(false);
+        let elastic = run(true);
+        assert!(elastic.requests.completed > 0);
+        // Losing a machine mid-run costs something but the autoscaler
+        // replaces the lost replicas; service continues.
+        assert!(elastic.requests.availability_pct() > 90.0);
+        assert!(elastic.requests.failures.removal >= stable.requests.failures.removal);
+    }
+
+    #[test]
+    fn node_commission_mid_run_adds_capacity() {
+        let report = ScenarioBuilder::new("grow")
+            .nodes(1)
+            .services(
+                1,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 12.0 },
+            )
+            .duration_secs(180.0)
+            .algorithm(AlgorithmKind::Kubernetes)
+            .seed(4)
+            .node_event(30.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+            .node_event(30.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+            .run()
+            .unwrap();
+        // The HPA spreads onto the commissioned machines.
+        assert!(report.scaling.spawns > 0);
+        assert!(report.replicas.max() > 1.0);
+    }
+
+    #[test]
+    fn node_event_validation() {
+        let bad_idx = ScenarioBuilder::new("x")
+            .nodes(1)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .node_event(10.0, NodeEvent::Decommission(7))
+            .build();
+        assert!(SimulationDriver::run(&bad_idx).is_err());
+
+        let bad_time = ScenarioBuilder::new("x")
+            .nodes(1)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .node_event(-1.0, NodeEvent::Commission(NodeSpec::small()))
+            .build();
+        assert!(SimulationDriver::run(&bad_time).is_err());
+    }
+
+    #[test]
+    fn vertical_only_baseline_never_replicates() {
+        let report = quick(AlgorithmKind::VerticalOnly, 2);
+        assert_eq!(report.scaling.spawns, 0);
+        assert_eq!(report.scaling.removals, 0);
+        assert!(report.scaling.vertical > 0, "it must still docker-update");
+        assert!(report.requests.completed > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcomes() {
+        let a = quick(AlgorithmKind::HyScaleCpu, 7);
+        let b = quick(AlgorithmKind::HyScaleCpu, 7);
+        assert_eq!(a.requests.issued, b.requests.issued);
+        assert_eq!(a.requests.completed, b.requests.completed);
+        assert_eq!(a.requests.failures, b.requests.failures);
+        assert_eq!(a.scaling, b.scaling);
+        assert!((a.requests.mean_response_secs() - b.requests.mean_response_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick(AlgorithmKind::Kubernetes, 1);
+        let b = quick(AlgorithmKind::Kubernetes, 2);
+        assert_ne!(
+            (a.requests.issued, a.requests.completed),
+            (b.requests.issued, b.requests.completed)
+        );
+    }
+
+    #[test]
+    fn no_scaling_keeps_initial_allocation() {
+        let report = quick(AlgorithmKind::None, 1);
+        assert_eq!(report.scaling.total(), 0);
+        // Replica count stays at the initial value throughout.
+        assert!(report.replicas.points().iter().all(|&(_, v)| v == 2.0));
+    }
+
+    #[test]
+    fn per_service_outcomes_sum_to_overall() {
+        let report = quick(AlgorithmKind::HyScaleCpuMem, 3);
+        let issued: u64 = report.per_service.values().map(|o| o.issued).sum();
+        let completed: u64 = report.per_service.values().map(|o| o.completed).sum();
+        assert_eq!(issued, report.requests.issued);
+        assert_eq!(completed, report.requests.completed);
+    }
+
+    #[test]
+    fn run_averaged_merges_seeds() {
+        let config = ScenarioBuilder::new("avg")
+            .nodes(2)
+            .services(
+                1,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 2.0 },
+            )
+            .duration_secs(30.0)
+            .algorithm(AlgorithmKind::Kubernetes)
+            .build();
+        let merged = SimulationDriver::run_averaged(&config, &[1, 2, 3]).unwrap();
+        assert_eq!(merged.seeds, vec![1, 2, 3]);
+        let single = SimulationDriver::run(&config).unwrap();
+        assert!(merged.requests.issued > single.requests.issued);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let no_nodes = ScenarioBuilder::new("x")
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .build();
+        assert!(SimulationDriver::run(&no_nodes).is_err());
+
+        let no_services = ScenarioBuilder::new("x").nodes(1).build();
+        assert!(SimulationDriver::run(&no_services).is_err());
+
+        let mut dup = ScenarioBuilder::new("x")
+            .nodes(1)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .build();
+        dup.services.push(dup.services[0].clone());
+        assert!(matches!(
+            SimulationDriver::run(&dup),
+            Err(CoreError::InvalidScenario(_))
+        ));
+
+        let bad_antagonist = ScenarioBuilder::new("x")
+            .nodes(1)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .antagonist(5, ContainerSpec::new(ServiceId::new(99)).antagonist())
+            .build();
+        assert!(SimulationDriver::run(&bad_antagonist).is_err());
+
+        assert!(SimulationDriver::run_averaged(
+            &ScenarioBuilder::new("x")
+                .nodes(1)
+                .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+                .build(),
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hyscale_performs_vertical_scaling_under_load() {
+        let report = ScenarioBuilder::new("vertical")
+            .nodes(3)
+            .services(
+                1,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 8.0 },
+            )
+            .duration_secs(120.0)
+            .algorithm(AlgorithmKind::HyScaleCpu)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(
+            report.scaling.vertical > 0,
+            "hybrid algorithm should docker-update under load: {:?}",
+            report.scaling
+        );
+    }
+
+    #[test]
+    fn kubernetes_never_scales_vertically() {
+        let report = ScenarioBuilder::new("horizontal-only")
+            .nodes(3)
+            .services(
+                1,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 8.0 },
+            )
+            .duration_secs(120.0)
+            .algorithm(AlgorithmKind::Kubernetes)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(report.scaling.vertical, 0);
+        assert!(report.scaling.spawns > 0, "k8s should scale out under load");
+    }
+
+    #[test]
+    fn mem_bound_load_swamps_memory_blind_algorithms() {
+        let run = |kind| {
+            ScenarioBuilder::new("memory")
+                .nodes(3)
+                .service(
+                    ServiceSpec::synthetic(
+                        0,
+                        ServiceProfile::MemBound,
+                        LoadPattern::Constant { rate: 8.0 },
+                    )
+                    .with_demands(0.25, MemMb(100.0), 0.1),
+                )
+                .duration_secs(240.0)
+                .algorithm(kind)
+                .seed(11)
+                .run()
+                .unwrap()
+        };
+        let blind = run(AlgorithmKind::HyScaleCpu);
+        let aware = run(AlgorithmKind::HyScaleCpuMem);
+        assert!(
+            aware.requests.failed_pct() < blind.requests.failed_pct(),
+            "mem-aware {:.1}% vs blind {:.1}%",
+            aware.requests.failed_pct(),
+            blind.requests.failed_pct()
+        );
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = quick(AlgorithmKind::Kubernetes, 1);
+        assert!(report.mean_response_ms() > 0.0);
+        assert_eq!(report.seeds, vec![1]);
+        assert!(!report.replicas.is_empty());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let config = ScenarioBuilder::new("composed")
+            .nodes(2)
+            .nodes_with_spec(1, NodeSpec::small())
+            .services(1, ServiceProfile::Mixed, LoadPattern::high_burst())
+            .initial_replicas(2)
+            .scale_period_secs(10.0)
+            .tick_millis(50)
+            .hpa(HpaConfig {
+                target: 0.7,
+                ..HpaConfig::default()
+            })
+            .hyscale(HyScaleConfig {
+                cpu_target: 0.6,
+                ..HyScaleConfig::default()
+            })
+            .build();
+        assert_eq!(config.nodes.len(), 3);
+        assert_eq!(config.initial_replicas, 2);
+        assert_eq!(config.scale_period, SimDuration::from_secs(10.0));
+        assert_eq!(config.tick, SimDuration::from_millis(50));
+        assert_eq!(config.hpa.target, 0.7);
+        assert_eq!(config.hyscale.cpu_target, 0.6);
+        assert!(config.validate().is_ok());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the autoscaler platform.
+
+use std::error::Error;
+use std::fmt;
+
+use hyscale_cluster::ClusterError;
+use hyscale_sim::SimError;
+
+/// Errors raised by the autoscaler platform and simulation driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A scenario was configured inconsistently.
+    InvalidScenario(String),
+    /// An error bubbled up from the cluster model.
+    Cluster(ClusterError),
+    /// An error bubbled up from the simulation substrate.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidScenario(reason) => write!(f, "invalid scenario: {reason}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::InvalidScenario(_) => None,
+        }
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_cluster::NodeId;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidScenario("no nodes".into());
+        assert_eq!(e.to_string(), "invalid scenario: no nodes");
+        assert!(e.source().is_none());
+
+        let e: CoreError = ClusterError::UnknownNode(NodeId::new(1)).into();
+        assert!(e.to_string().contains("unknown node"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = SimError::PastHorizon.into();
+        assert!(e.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,114 @@
+//! Node Managers (paper Sec. V-B).
+//!
+//! One NM runs on each node. It polls `docker stats` for every container
+//! on its machine, aggregates the usage, checks liveness, and applies the
+//! `docker update` commands the Monitor sends. NMs deliberately hold *no*
+//! decision-making logic — the paper found that letting NMs scale locally
+//! fights the Monitor and causes allocation oscillations, so all policy
+//! lives centrally.
+
+use hyscale_cluster::{Cluster, ClusterError, ContainerState, NodeId, NodeUsage};
+use hyscale_sim::SimTime;
+
+/// The per-node agent: usage reporting and container liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeManager {
+    node: NodeId,
+}
+
+impl NodeManager {
+    /// Creates the manager for `node`.
+    pub fn new(node: NodeId) -> Self {
+        NodeManager { node }
+    }
+
+    /// The node this manager runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Collects the usage report for the elapsed period ("docker stats"
+    /// for every container on the node) and resets the accounting window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] if the node disappeared.
+    pub fn report(&self, cluster: &mut Cluster) -> Result<NodeUsage, ClusterError> {
+        cluster.node_usage_and_reset(self.node)
+    }
+
+    /// Checks microservice liveness: returns the containers on this node
+    /// that are live (serving or starting) at `now`.
+    pub fn live_containers(
+        &self,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> Vec<hyscale_cluster::ContainerId> {
+        cluster
+            .node(self.node)
+            .map(|n| {
+                n.containers()
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        cluster
+                            .container(id)
+                            .is_some_and(|c| c.state() != ContainerState::Removed || c.live(now))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_cluster::{ClusterConfig, ContainerSpec, NodeSpec, ServiceId};
+
+    #[test]
+    fn reports_usage_for_own_node_only() {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        let n1 = cl.add_node(NodeSpec::uniform_worker());
+        cl.start_container(
+            n0,
+            ContainerSpec::new(ServiceId::new(0)).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+
+        let nm0 = NodeManager::new(n0);
+        let nm1 = NodeManager::new(n1);
+        assert_eq!(nm0.node(), n0);
+        let r0 = nm0.report(&mut cl).unwrap();
+        let r1 = nm1.report(&mut cl).unwrap();
+        assert_eq!(r0.containers.len(), 1);
+        assert_eq!(r1.containers.len(), 0);
+    }
+
+    #[test]
+    fn liveness_includes_live_excludes_removed() {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(
+                n0,
+                ContainerSpec::new(ServiceId::new(0)).with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let nm = NodeManager::new(n0);
+        assert_eq!(nm.live_containers(&cl, SimTime::ZERO), vec![ctr]);
+        cl.remove_container(ctr, SimTime::ZERO).unwrap();
+        assert!(nm.live_containers(&cl, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let nm = NodeManager::new(NodeId::new(7));
+        assert!(nm.report(&mut cl).is_err());
+        assert!(nm.live_containers(&cl, SimTime::ZERO).is_empty());
+    }
+}

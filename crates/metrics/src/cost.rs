@@ -1,0 +1,142 @@
+//! Resource-cost accounting (the paper's future-work "cost-based aspect").
+//!
+//! The paper motivates hybrid scaling with data-centre economics — power,
+//! SLA penalties, machine count — and lists a cost model as future work.
+//! [`CostMeter`] integrates the three quantities those costs derive from:
+//! allocated core-hours, container-hours (replica overhead), and
+//! busy-node-hours (machines that could not be powered down).
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates resource usage over a run.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_metrics::CostMeter;
+///
+/// let mut meter = CostMeter::new();
+/// // 10 allocated cores across 3 containers on 2 busy nodes, for 1 hour:
+/// meter.record_interval(3600.0, 10.0, 3, 2);
+/// assert_eq!(meter.core_hours(), 10.0);
+/// assert_eq!(meter.container_hours(), 3.0);
+/// assert_eq!(meter.busy_node_hours(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostMeter {
+    core_secs: f64,
+    container_secs: f64,
+    busy_node_secs: f64,
+    elapsed_secs: f64,
+}
+
+impl CostMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Records an interval of `dt_secs` during which `allocated_cores`
+    /// were promised to `containers` containers running on `busy_nodes`
+    /// distinct nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_secs` or `allocated_cores` is negative.
+    pub fn record_interval(
+        &mut self,
+        dt_secs: f64,
+        allocated_cores: f64,
+        containers: usize,
+        busy_nodes: usize,
+    ) {
+        assert!(dt_secs >= 0.0, "dt must be non-negative");
+        assert!(allocated_cores >= 0.0, "cores must be non-negative");
+        self.elapsed_secs += dt_secs;
+        self.core_secs += allocated_cores * dt_secs;
+        self.container_secs += containers as f64 * dt_secs;
+        self.busy_node_secs += busy_nodes as f64 * dt_secs;
+    }
+
+    /// Allocated core-hours.
+    pub fn core_hours(&self) -> f64 {
+        self.core_secs / 3600.0
+    }
+
+    /// Container-hours (each replica costs its base overhead).
+    pub fn container_hours(&self) -> f64 {
+        self.container_secs / 3600.0
+    }
+
+    /// Hours of nodes kept busy (un-powered-down).
+    pub fn busy_node_hours(&self) -> f64 {
+        self.busy_node_secs / 3600.0
+    }
+
+    /// Mean allocated cores over the metered period; 0.0 if nothing was
+    /// recorded.
+    pub fn mean_cores(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.core_secs / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean busy nodes over the metered period.
+    pub fn mean_busy_nodes(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.busy_node_secs / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A simple composite cost: `core_hours + container_weight ·
+    /// container_hours + node_weight · busy_node_hours`. Weights express
+    /// the relative price of replica overhead and of keeping a machine on.
+    pub fn composite(&self, container_weight: f64, node_weight: f64) -> f64 {
+        self.core_hours()
+            + container_weight * self.container_hours()
+            + node_weight * self.busy_node_hours()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_over_intervals() {
+        let mut m = CostMeter::new();
+        m.record_interval(1800.0, 4.0, 2, 1);
+        m.record_interval(1800.0, 8.0, 4, 2);
+        assert_eq!(m.core_hours(), 6.0); // 4*0.5h + 8*0.5h
+        assert_eq!(m.container_hours(), 3.0); // 2*0.5h + 4*0.5h
+        assert_eq!(m.busy_node_hours(), 1.5);
+        assert_eq!(m.mean_cores(), 6.0);
+        assert_eq!(m.mean_busy_nodes(), 1.5);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = CostMeter::new();
+        assert_eq!(m.core_hours(), 0.0);
+        assert_eq!(m.mean_cores(), 0.0);
+        assert_eq!(m.composite(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn composite_weights() {
+        let mut m = CostMeter::new();
+        m.record_interval(3600.0, 1.0, 1, 1);
+        assert_eq!(m.composite(0.0, 0.0), 1.0);
+        assert_eq!(m.composite(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be non-negative")]
+    fn negative_dt_panics() {
+        CostMeter::new().record_interval(-1.0, 0.0, 0, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Request-outcome accounting: completions, removal failures, connection
+//! failures, and the derived availability metrics of Figures 6–8 and 10.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// Counts of failed requests by class (the stacked bars of Fig. 6a/7a/8a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureTally {
+    /// Requests aborted because their replica was removed by scale-in.
+    pub removal: u64,
+    /// Requests that failed at the microservice: queue overflow, no live
+    /// replica, or timeout.
+    pub connection: u64,
+}
+
+impl FailureTally {
+    /// Total failed requests.
+    pub fn total(&self) -> u64 {
+        self.removal + self.connection
+    }
+}
+
+impl std::ops::Add for FailureTally {
+    type Output = FailureTally;
+    fn add(self, rhs: FailureTally) -> FailureTally {
+        FailureTally {
+            removal: self.removal + rhs.removal,
+            connection: self.connection + rhs.connection,
+        }
+    }
+}
+
+impl std::ops::AddAssign for FailureTally {
+    fn add_assign(&mut self, rhs: FailureTally) {
+        *self = *self + rhs;
+    }
+}
+
+/// Full request-outcome record of one experiment run: how many requests
+/// were issued, completed, and failed, and the response-time distribution
+/// of the completed ones.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestOutcomes {
+    /// Requests issued by clients.
+    pub issued: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Failure counts by class.
+    pub failures: FailureTally,
+    /// Response times of completed requests, in seconds.
+    pub response_times: Summary,
+}
+
+impl RequestOutcomes {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        RequestOutcomes::default()
+    }
+
+    /// Records a request being issued by a client.
+    pub fn record_issued(&mut self) {
+        self.issued += 1;
+    }
+
+    /// Records a completion with its response time in seconds.
+    pub fn record_completed(&mut self, response_secs: f64) {
+        self.completed += 1;
+        self.response_times.record(response_secs);
+    }
+
+    /// Records a removal failure.
+    pub fn record_removal_failure(&mut self) {
+        self.failures.removal += 1;
+    }
+
+    /// Records a connection failure.
+    pub fn record_connection_failure(&mut self) {
+        self.failures.connection += 1;
+    }
+
+    /// Fraction of issued requests that failed, in percent (Fig. 6–8's
+    /// "% requests failed"); 0.0 when nothing was issued.
+    pub fn failed_pct(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.failures.total() as f64 / self.issued as f64 * 100.0
+        }
+    }
+
+    /// Removal-failure percentage of issued requests.
+    pub fn removal_failed_pct(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.failures.removal as f64 / self.issued as f64 * 100.0
+        }
+    }
+
+    /// Connection-failure percentage of issued requests.
+    pub fn connection_failed_pct(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.failures.connection as f64 / self.issued as f64 * 100.0
+        }
+    }
+
+    /// Service availability in percent (the paper reports "at least 99.8%
+    /// up-time"): completed over issued.
+    pub fn availability_pct(&self) -> f64 {
+        if self.issued == 0 {
+            100.0
+        } else {
+            self.completed as f64 / self.issued as f64 * 100.0
+        }
+    }
+
+    /// Mean response time in seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        self.response_times.mean()
+    }
+
+    /// Requests still unresolved (issued but neither completed nor failed;
+    /// in-flight at the end of a run).
+    pub fn outstanding(&self) -> u64 {
+        self.issued
+            .saturating_sub(self.completed)
+            .saturating_sub(self.failures.total())
+    }
+
+    /// Merges another run's outcomes into this one (multi-seed averaging).
+    pub fn merge(&mut self, other: &RequestOutcomes) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.failures += other.failures;
+        self.response_times.merge(&other.response_times);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RequestOutcomes {
+        let mut o = RequestOutcomes::new();
+        for _ in 0..100 {
+            o.record_issued();
+        }
+        for i in 0..90 {
+            o.record_completed(0.1 + i as f64 * 0.01);
+        }
+        for _ in 0..6 {
+            o.record_connection_failure();
+        }
+        for _ in 0..4 {
+            o.record_removal_failure();
+        }
+        o
+    }
+
+    #[test]
+    fn percentages() {
+        let o = sample();
+        assert_eq!(o.failed_pct(), 10.0);
+        assert_eq!(o.removal_failed_pct(), 4.0);
+        assert_eq!(o.connection_failed_pct(), 6.0);
+        assert_eq!(o.availability_pct(), 90.0);
+        assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    fn empty_outcomes_are_benign() {
+        let o = RequestOutcomes::new();
+        assert_eq!(o.failed_pct(), 0.0);
+        assert_eq!(o.availability_pct(), 100.0);
+        assert_eq!(o.mean_response_secs(), 0.0);
+        assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    fn outstanding_counts_in_flight() {
+        let mut o = RequestOutcomes::new();
+        o.record_issued();
+        o.record_issued();
+        o.record_completed(0.5);
+        assert_eq!(o.outstanding(), 1);
+    }
+
+    #[test]
+    fn tally_arithmetic() {
+        let a = FailureTally {
+            removal: 1,
+            connection: 2,
+        };
+        let b = FailureTally {
+            removal: 10,
+            connection: 20,
+        };
+        let c = a + b;
+        assert_eq!(c.removal, 11);
+        assert_eq!(c.connection, 22);
+        assert_eq!(c.total(), 33);
+    }
+
+    #[test]
+    fn merge_accumulates_runs() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.issued, 200);
+        assert_eq!(a.completed, 180);
+        assert_eq!(a.failures.total(), 20);
+        assert_eq!(a.failed_pct(), 10.0);
+        assert_eq!(a.response_times.count(), 180);
+    }
+
+    #[test]
+    fn mean_response_time_reflects_samples() {
+        let mut o = RequestOutcomes::new();
+        o.record_issued();
+        o.record_issued();
+        o.record_completed(1.0);
+        o.record_completed(3.0);
+        assert_eq!(o.mean_response_secs(), 2.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! ASCII report tables for the figure-regeneration binaries.
+//!
+//! Every `figN` binary prints a table whose rows mirror the series of the
+//! corresponding paper figure, so EXPERIMENTS.md can record
+//! paper-vs-measured side by side.
+
+/// A simple left-padded ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_metrics::Table;
+///
+/// let mut t = Table::new(vec!["algorithm", "mean rt (ms)"]);
+/// t.row(vec!["kubernetes".into(), "231.0".into()]);
+/// t.row(vec!["hybrid".into(), "155.1".into()]);
+/// let text = t.render();
+/// assert!(text.contains("kubernetes"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of `f64` values after a label, formatted
+    /// with 3 decimals.
+    pub fn row_f64(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a speedup of `baseline` over `candidate` the way the paper
+/// reports them ("1.49x speedups in response times"): how many times
+/// faster the candidate is than the baseline.
+///
+/// Returns `"n/a"` if either input is non-positive.
+pub fn format_speedup(baseline: f64, candidate: f64) -> String {
+    if baseline <= 0.0 || candidate <= 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", baseline / candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(!text.contains('3'));
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = Table::new(vec!["label", "v1", "v2"]);
+        t.row_f64("x", &[1.0, 2.5]);
+        assert!(t.render().contains("1.000"));
+        assert!(t.render().contains("2.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(format_speedup(1.49, 1.0), "1.49x");
+        assert_eq!(format_speedup(1.0, 2.0), "0.50x");
+        assert_eq!(format_speedup(0.0, 1.0), "n/a");
+        assert_eq!(format_speedup(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,286 @@
+//! Streaming summary statistics with exact percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates samples and answers count/mean/min/max/std-dev/percentile
+/// queries.
+///
+/// The mean and variance are maintained streamingly (Welford's algorithm);
+/// percentiles are exact, computed from a retained copy of the samples
+/// (simulation runs produce at most a few hundred thousand samples, so the
+/// memory cost is modest and exactness beats sketching for
+/// paper-reproduction purposes).
+///
+/// # Example
+///
+/// ```
+/// use hyscale_metrics::Summary;
+///
+/// let s: Summary = (1..=100).map(f64::from).collect();
+/// assert_eq!(s.count(), 100);
+/// assert_eq!(s.mean(), 50.5);
+/// assert_eq!(s.percentile(50.0), 50.5);
+/// assert_eq!(s.percentile(100.0), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    /// Whether `samples` is known to be sorted (lazily maintained).
+    #[serde(skip)]
+    sorted: std::cell::Cell<bool>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            samples: Vec::new(),
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sorted: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (a NaN sample would poison every query).
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        let n = self.samples.len() as f64 + 1.0;
+        let delta = value - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.sorted.get() {
+            if let Some(&last) = self.samples.last() {
+                if value < last {
+                    self.sorted.set(false);
+                }
+            }
+        }
+        self.samples.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population standard deviation; 0.0 when fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            (self.m2 / self.samples.len() as f64).sqrt()
+        }
+    }
+
+    /// Exact percentile (nearest-rank with linear interpolation), `p` in
+    /// `[0, 100]`; 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sorted_storage;
+        let sorted_samples: &[f64] = if self.sorted.get() {
+            &self.samples
+        } else {
+            let mut copy = self.samples.clone();
+            copy.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            sorted_storage = copy;
+            &sorted_storage
+        };
+        let rank = p / 100.0 * (sorted_samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted_samples[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
+        }
+    }
+
+    /// Median (the 50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Number of samples strictly greater than `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.samples.iter().filter(|&&v| v > threshold).count()
+    }
+
+    /// Merges another summary's samples into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        for &v in &other.samples {
+            self.record(v);
+        }
+    }
+
+    /// Sorts the retained samples in place so subsequent percentile
+    /// queries avoid copying.
+    pub fn sort_in_place(&mut self) {
+        if !self.sorted.get() {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted.set(true);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn moments_match_closed_form() {
+        let s: Summary = (1..=10).map(f64::from).collect();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.mean(), 5.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+        // population std dev of 1..=10 = sqrt(8.25)
+        assert!((s.std_dev() - 8.25_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s: Summary = vec![10.0, 20.0, 30.0, 40.0].into_iter().collect();
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.median(), 25.0);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_unsorted_input() {
+        let s: Summary = vec![5.0, 1.0, 4.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a: Summary = vec![1.0, 2.0].into_iter().collect();
+        let b: Summary = vec![3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot record NaN")]
+    fn nan_is_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        let s: Summary = vec![1.0].into_iter().collect();
+        s.percentile(101.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: Summary = vec![42.0].into_iter().collect();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let s: Summary = vec![0.5, 1.0, 1.5, 2.0].into_iter().collect();
+        assert_eq!(s.count_above(1.0), 2); // strictly greater
+        assert_eq!(s.count_above(0.0), 4);
+        assert_eq!(s.count_above(5.0), 0);
+        assert_eq!(Summary::new().count_above(0.0), 0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.count(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Time-series recording for utilization plots (Fig. 9 and the ablation
+//! benches' oscillation analysis).
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(seconds, value)` points.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_metrics::TimeSeries;
+///
+/// let mut cpu = TimeSeries::new("cpu-pct");
+/// cpu.push(0.0, 10.0);
+/// cpu.push(30.0, 40.0);
+/// cpu.push(60.0, 20.0);
+/// assert_eq!(cpu.len(), 3);
+/// assert!((cpu.mean() - 23.333).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series' name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Times should be non-decreasing; out-of-order
+    /// points are accepted but downsampling assumes order.
+    pub fn push(&mut self, secs: f64, value: f64) {
+        self.points.push((secs, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Largest value; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Buckets the series into windows of `window_secs` and returns the
+    /// mean of each non-empty window as `(window start, mean)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not strictly positive.
+    pub fn downsample(&self, window_secs: f64) -> Vec<(f64, f64)> {
+        assert!(window_secs > 0.0, "window must be positive");
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut bucket: Option<(usize, f64, usize)> = None; // (index, sum, count)
+        for &(t, v) in &self.points {
+            let idx = (t / window_secs).floor() as usize;
+            match bucket {
+                Some((b, sum, n)) if b == idx => bucket = Some((b, sum + v, n + 1)),
+                Some((b, sum, n)) => {
+                    out.push((b as f64 * window_secs, sum / n as f64));
+                    let _ = (sum, n);
+                    bucket = Some((idx, v, 1));
+                }
+                None => bucket = Some((idx, v, 1)),
+            }
+        }
+        if let Some((b, sum, n)) = bucket {
+            out.push((b as f64 * window_secs, sum / n as f64));
+        }
+        out
+    }
+
+    /// Counts direction reversals in the series — a cheap oscillation
+    /// (thrashing) metric for the rescale-interval ablation: a value
+    /// sequence `1, 3, 2, 4` has two reversals.
+    pub fn reversals(&self) -> usize {
+        let values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        let mut reversals = 0;
+        let mut last_dir = 0i8;
+        for w in values.windows(2) {
+            let dir = if w[1] > w[0] {
+                1
+            } else if w[1] < w[0] {
+                -1
+            } else {
+                0
+            };
+            if dir != 0 {
+                if last_dir != 0 && dir != last_dir {
+                    reversals += 1;
+                }
+                last_dir = dir;
+            }
+        }
+        reversals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new("test");
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(i as f64, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new("empty");
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.max(), 0.0);
+        assert_eq!(ts.reversals(), 0);
+        assert!(ts.downsample(10.0).is_empty());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let ts = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(ts.mean(), 2.0);
+        assert_eq!(ts.max(), 3.0);
+        assert_eq!(ts.name(), "test");
+    }
+
+    #[test]
+    fn downsample_buckets_means() {
+        let mut ts = TimeSeries::new("t");
+        ts.push(0.0, 10.0);
+        ts.push(5.0, 20.0);
+        ts.push(12.0, 30.0);
+        ts.push(25.0, 50.0);
+        let ds = ts.downsample(10.0);
+        assert_eq!(ds, vec![(0.0, 15.0), (10.0, 30.0), (20.0, 50.0)]);
+    }
+
+    #[test]
+    fn reversals_count_direction_changes() {
+        assert_eq!(series(&[1.0, 2.0, 3.0, 4.0]).reversals(), 0);
+        assert_eq!(series(&[1.0, 3.0, 2.0, 4.0]).reversals(), 2);
+        assert_eq!(series(&[4.0, 3.0, 2.0, 1.0]).reversals(), 0);
+        // Plateaus do not create reversals.
+        assert_eq!(series(&[1.0, 2.0, 2.0, 3.0]).reversals(), 0);
+        assert_eq!(series(&[1.0, 2.0, 2.0, 1.0]).reversals(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        series(&[1.0]).downsample(0.0);
+    }
+}

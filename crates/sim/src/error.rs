@@ -1,0 +1,66 @@
+//! Error type for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was outside its legal range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The tick engine was asked to run past its configured horizon.
+    PastHorizon,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            SimError::PastHorizon => write!(f, "tick engine already reached its horizon"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::invalid_config("tick", "must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `tick`: must be positive"
+        );
+        assert_eq!(
+            SimError::PastHorizon.to_string(),
+            "tick engine already reached its horizon"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

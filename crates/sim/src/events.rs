@@ -1,0 +1,204 @@
+//! A stable, deterministic event queue.
+//!
+//! Simulated components (client load generators, the Monitor's scaling
+//! period, rescale-interval expirations) schedule future events here. Ties
+//! in time are broken by insertion order so that two runs with the same
+//! seed process events identically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of simulation events.
+///
+/// Events with equal timestamps are delivered in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic without
+/// requiring `E: Ord`.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2.0), "b");
+/// q.schedule(SimTime::from_secs(1.0), "a");
+/// q.schedule(SimTime::from_secs(2.0), "c"); // same time as "b", FIFO after it
+///
+/// let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, with the
+        // lowest sequence number winning ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`. Leaves later events queued.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all queued events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (t, e) in iter {
+            self.schedule(t, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), "early");
+        q.schedule(SimTime::from_secs(5.0), "late");
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(2.0)),
+            Some((SimTime::from_secs(1.0), "early"))
+        );
+        assert_eq!(q.pop_due(SimTime::from_secs(2.0)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(5.0)),
+            Some((SimTime::from_secs(5.0), "late"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn collect_and_clear() {
+        let mut q: EventQueue<u8> = (0..5u8)
+            .map(|i| (SimTime::from_millis(i as u64), i))
+            .collect();
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+}

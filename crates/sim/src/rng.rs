@@ -1,0 +1,358 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! HyScale experiments must be reproducible: the paper averages each
+//! experiment over five runs, which we realize as five fixed seeds. To keep
+//! the whole workspace bit-for-bit deterministic across platforms we ship a
+//! self-contained xoshiro256** generator (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, plus the handful of
+//! distributions the workload generators need (uniform, exponential,
+//! normal, Poisson, Pareto).
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic random number generator for simulations.
+///
+/// Cloning a `SimRng` forks the stream: both clones produce the same
+/// subsequent values. Use [`SimRng::split`] to derive an independent
+/// sub-stream (e.g. one per microservice) from a parent generator.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut child = a.split();
+/// // The child stream is decorrelated from the parent.
+/// let _ = child.uniform_f64();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used for seeding and stream splitting.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed is valid, including zero; the SplitMix64 expansion
+    /// guarantees a non-degenerate internal state.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives an independent sub-stream, advancing this generator once.
+    ///
+    /// Useful for giving each simulated entity (service, node, client) its
+    /// own stream so that adding an entity does not perturb the draws seen
+    /// by the others.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is not finite.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "uniform_range requires finite low < high, got [{low}, {high})"
+        );
+        low + (high - low) * self.uniform_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize requires n > 0");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 * n,
+        // negligible for simulation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential sample with the given rate (mean `1/rate`).
+    ///
+    /// Used for Poisson-process inter-arrival times of client requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential requires rate > 0, got {rate}"
+        );
+        // Avoid ln(0) by flipping the uniform sample into (0, 1].
+        let u = 1.0 - self.uniform_f64();
+        -u.ln() / rate
+    }
+
+    /// Standard normal sample (Box–Muller, one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform_f64(); // (0, 1]
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "normal requires std_dev >= 0, got {std_dev}"
+        );
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Poisson sample with the given mean.
+    ///
+    /// Uses Knuth's method for small means and a normal approximation for
+    /// large means (`mean > 64`), which is accurate enough for request-count
+    /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson requires mean >= 0, got {mean}"
+        );
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            let sample = self.normal(mean, mean.sqrt());
+            return sample.max(0.0).round() as u64;
+        }
+        let limit = (-mean).exp();
+        let mut product = self.uniform_f64();
+        let mut count = 0u64;
+        while product > limit {
+            count += 1;
+            product *= self.uniform_f64();
+        }
+        count
+    }
+
+    /// Pareto sample with scale `x_min` and shape `alpha` (heavy tail).
+    ///
+    /// Used for burst magnitudes in the Bitbrains-like synthetic trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto requires positive parameters"
+        );
+        let u = 1.0 - self.uniform_f64(); // (0, 1]
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// Returns `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.uniform_usize(items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = SimRng::seed_from(0);
+        let values: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(values.iter().any(|&v| v != 0));
+        assert!(values.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn uniform_usize_covers_all_buckets() {
+        let mut rng = SimRng::seed_from(5);
+        let mut seen = [0u32; 7];
+        for _ in 0..7_000 {
+            seen[rng.uniform_usize(7)] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 700, "bucket {i} undersampled: {count}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from(11);
+        let rate = 4.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 30_000;
+        for &mean in &[0.5, 3.0, 100.0] {
+            let avg: f64 = (0..n).map(|_| rng.poisson(mean) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (avg - mean).abs() < mean.max(1.0) * 0.05,
+                "poisson mean {mean}: observed {avg}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut rng = SimRng::seed_from(19);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(23);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities clamp rather than panic.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated() {
+        let mut parent = SimRng::seed_from(31);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(37);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = SimRng::seed_from(41);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

@@ -1,0 +1,340 @@
+//! Simulated time with microsecond resolution.
+//!
+//! All simulated clocks in HyScale use integer microseconds internally so
+//! that time arithmetic is exact and runs are bit-for-bit reproducible
+//! across platforms; floating-point seconds are only a view.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds per second, the internal tick unit.
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulated timeline, measured from simulation start.
+///
+/// `SimTime` is an absolute instant; [`SimDuration`] is a span between
+/// instants. The distinction mirrors `std::time::{Instant, Duration}` and
+/// prevents accidentally adding two instants together.
+///
+/// # Example
+///
+/// ```
+/// use hyscale_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(1.5);
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert_eq!(t - SimTime::from_secs(0.5), SimDuration::from_secs(1.0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time.
+///
+/// See [`SimTime`] for the instant type. Durations are non-negative; the
+/// subtraction operators saturate at zero rather than panicking so that
+/// metric code computing `now - start` on slightly out-of-order samples is
+/// total.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from whole microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from (possibly fractional) seconds since start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Creates an instant from whole milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Returns the instant as microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Returns the span since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs requires a finite non-negative value, got {secs}"
+        );
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Returns the span as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Returns the span as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True if this is the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative factor, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "SimDuration::mul_f64 requires a finite non-negative factor, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Integer-divides the span, rounding down.
+    pub const fn div_u64(self, divisor: u64) -> SimDuration {
+        SimDuration(self.0 / divisor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        assert!(!rhs.is_zero(), "division by zero-length SimDuration");
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < MICROS_PER_SEC {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs())
+        }
+    }
+}
+
+impl From<SimDuration> for f64 {
+    fn from(d: SimDuration) -> f64 {
+        d.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_through_seconds() {
+        let t = SimTime::from_secs(12.345678);
+        assert!((t.as_secs() - 12.345678).abs() < 1e-6);
+        assert_eq!(t.as_micros(), 12_345_678);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_exact() {
+        let a = SimDuration::from_millis(100);
+        let b = SimDuration::from_millis(250);
+        assert_eq!(a + b, SimDuration::from_millis(350));
+        assert_eq!(b - a, SimDuration::from_millis(150));
+        assert_eq!(a * 3, SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let early = SimTime::from_secs(1.0);
+        let late = SimTime::from_secs(2.0);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1.0));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instant_plus_duration_advances() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_millis(100);
+        t += SimDuration::from_millis(100);
+        assert_eq!(t, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(4.0);
+        assert!((a / b - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_f64_rounds_to_micros() {
+        let d = SimDuration::from_micros(3);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(2)); // 1.5 rounds to 2
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(SimTime::from_secs(2.0).to_string(), "t=2.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Microservice workloads for the HyScale experiments.
+//!
+//! The paper drives its platform with a custom Java microservice whose
+//! per-request resource consumption is configurable, under two client-load
+//! shapes — a stable *low-burst* wave and an unstable *high-burst* spiking
+//! wave — plus a replay of the GWA-T-12 Bitbrains `Rnd` data-centre trace.
+//! This crate reproduces all three:
+//!
+//! * [`ServiceSpec`] / [`ServiceProfile`] — the emulated microservice and
+//!   its per-request CPU / memory / network demands,
+//! * [`LoadPattern`] / [`ArrivalProcess`] — non-homogeneous Poisson client
+//!   load with the paper's wave shapes,
+//! * [`bitbrains`] — a parser for the real GWA-T-12 CSV format and a
+//!   synthetic generator matched to the trace's qualitative behaviour
+//!   (the real dataset is not redistributable; see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use hyscale_sim::{SimRng, SimTime};
+//! use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
+//!
+//! let spec = ServiceSpec::synthetic(0, ServiceProfile::CpuBound, LoadPattern::low_burst());
+//! let mut rng = SimRng::seed_from(1);
+//! let mut arrivals = ArrivalProcess::new(spec.load.clone());
+//! let first = arrivals.next_arrival(SimTime::ZERO, &mut rng);
+//! assert!(first > SimTime::ZERO);
+//! let request = spec.make_request(first, &mut rng);
+//! assert!(request.cpu_secs > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitbrains;
+mod pattern;
+mod profile;
+
+pub use pattern::{ArrivalProcess, LoadPattern};
+pub use profile::{ServiceProfile, ServiceSpec};

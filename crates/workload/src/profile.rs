@@ -1,0 +1,284 @@
+//! Emulated microservices and their per-request resource demands.
+//!
+//! The paper presents the system with four microservice types —
+//! CPU-bound, memory-bound, network-bound, and mixed CPU+memory — realized
+//! by a configurable Java service that consumes a specified amount of
+//! resources per incoming request. [`ServiceSpec`] is that service:
+//! construct one per microservice, then call
+//! [`ServiceSpec::make_request`] for each client arrival.
+
+use serde::{Deserialize, Serialize};
+
+use hyscale_cluster::{ContainerSpec, Cores, Mbps, MemMb, Request, ServiceId};
+use hyscale_sim::{SimDuration, SimRng, SimTime};
+
+use crate::pattern::LoadPattern;
+
+/// The resource flavour of a microservice (Sec. VI experimental types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceProfile {
+    /// Consumes CPU time per request.
+    CpuBound,
+    /// Holds a large in-flight memory footprint per request.
+    MemBound,
+    /// Pushes a bulk egress payload per request.
+    NetBound,
+    /// Reads/writes bulk data on disk per request (the paper's named
+    /// future-work resource type).
+    DiskBound,
+    /// Consumes both CPU and memory per request (the paper's "mixed").
+    Mixed,
+}
+
+impl std::fmt::Display for ServiceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceProfile::CpuBound => write!(f, "cpu-bound"),
+            ServiceProfile::MemBound => write!(f, "mem-bound"),
+            ServiceProfile::NetBound => write!(f, "net-bound"),
+            ServiceProfile::DiskBound => write!(f, "disk-bound"),
+            ServiceProfile::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// One emulated microservice: identity, per-request demands, client load,
+/// and the container template its replicas are launched from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// The service's identifier.
+    pub id: ServiceId,
+    /// Human-readable name.
+    pub name: String,
+    /// The resource flavour.
+    pub profile: ServiceProfile,
+    /// Mean CPU work per request, core-seconds.
+    pub cpu_secs_per_req: f64,
+    /// Mean in-flight memory per request.
+    pub mem_per_req: MemMb,
+    /// Mean egress payload per request, megabits.
+    pub megabits_per_req: f64,
+    /// Mean disk traffic per request, megabits.
+    pub disk_megabits_per_req: f64,
+    /// Multiplicative jitter on each demand, as a relative standard
+    /// deviation (0.0 disables jitter).
+    pub jitter: f64,
+    /// Client request timeout.
+    pub timeout: SimDuration,
+    /// Client load shape driving this service.
+    pub load: LoadPattern,
+    /// Template for this service's replicas.
+    pub container: ContainerSpec,
+}
+
+impl ServiceSpec {
+    /// Creates a service of the given profile with calibrated default
+    /// demands, suitable for the paper-scale experiments.
+    ///
+    /// Defaults per profile (mean per request):
+    ///
+    /// | profile    | CPU (core-s) | memory (MB) | egress (Mb) |
+    /// |-----------|--------------|-------------|-------------|
+    /// | CpuBound  | 0.20         | 4           | 0.1         |
+    /// | MemBound  | 0.02         | 48          | 0.1         |
+    /// | NetBound  | 0.01         | 4           | 8.0         |
+    /// | DiskBound | 0.02         | 8           | 0.2         |
+    /// | Mixed     | 0.12         | 32          | 0.2         |
+    ///
+    /// DiskBound services additionally read/write 12 Mb of disk traffic
+    /// per request.
+    pub fn synthetic(index: u32, profile: ServiceProfile, load: LoadPattern) -> Self {
+        let id = ServiceId::new(index);
+        let (cpu, mem, net, disk) = match profile {
+            ServiceProfile::CpuBound => (0.20, 4.0, 0.1, 0.0),
+            ServiceProfile::MemBound => (0.02, 48.0, 0.1, 0.0),
+            ServiceProfile::NetBound => (0.01, 4.0, 8.0, 0.0),
+            ServiceProfile::DiskBound => (0.02, 8.0, 0.2, 12.0),
+            ServiceProfile::Mixed => (0.12, 32.0, 0.2, 0.0),
+        };
+        let container = ContainerSpec::new(id)
+            .with_cpu_request(Cores(0.5))
+            .with_mem_limit(MemMb(256.0))
+            .with_net_request(Mbps(50.0))
+            .with_startup_secs(1.0);
+        ServiceSpec {
+            id,
+            name: format!("{profile}-{index}"),
+            profile,
+            cpu_secs_per_req: cpu,
+            mem_per_req: MemMb(mem),
+            megabits_per_req: net,
+            disk_megabits_per_req: disk,
+            jitter: 0.15,
+            timeout: SimDuration::from_secs(30.0),
+            load,
+            container,
+        }
+    }
+
+    /// Builder-style override of the per-request demands.
+    pub fn with_demands(mut self, cpu_secs: f64, mem: MemMb, megabits: f64) -> Self {
+        self.cpu_secs_per_req = cpu_secs;
+        self.mem_per_req = mem;
+        self.megabits_per_req = megabits;
+        self
+    }
+
+    /// Builder-style override of the per-request disk traffic.
+    pub fn with_disk_per_req(mut self, disk_megabits: f64) -> Self {
+        self.disk_megabits_per_req = disk_megabits;
+        self
+    }
+
+    /// Builder-style override of the demand jitter.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Builder-style override of the request timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the container template.
+    pub fn with_container(mut self, container: ContainerSpec) -> Self {
+        self.container = container;
+        self
+    }
+
+    /// Builder-style override of the load pattern.
+    pub fn with_load(mut self, load: LoadPattern) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Materializes one client request arriving at `arrival`, with jitter
+    /// applied to each demand dimension.
+    pub fn make_request(&self, arrival: SimTime, rng: &mut SimRng) -> Request {
+        let jitter = |rng: &mut SimRng, mean: f64| -> f64 {
+            if self.jitter <= 0.0 || mean <= 0.0 {
+                mean
+            } else {
+                // Lognormal-ish: clamp a normal multiplier away from zero.
+                (mean * rng.normal(1.0, self.jitter)).max(mean * 0.1)
+            }
+        };
+        Request::new(
+            self.id,
+            arrival,
+            jitter(rng, self.cpu_secs_per_req),
+            MemMb(jitter(rng, self.mem_per_req.get())),
+            jitter(rng, self.megabits_per_req),
+        )
+        .with_disk(jitter(rng, self.disk_megabits_per_req))
+        .with_timeout(self.timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(profile: ServiceProfile) -> ServiceSpec {
+        ServiceSpec::synthetic(3, profile, LoadPattern::low_burst())
+    }
+
+    #[test]
+    fn profiles_shape_demands() {
+        let cpu = spec(ServiceProfile::CpuBound);
+        let mem = spec(ServiceProfile::MemBound);
+        let net = spec(ServiceProfile::NetBound);
+        let mixed = spec(ServiceProfile::Mixed);
+        assert!(cpu.cpu_secs_per_req > mem.cpu_secs_per_req);
+        assert!(mem.mem_per_req.get() > cpu.mem_per_req.get());
+        assert!(net.megabits_per_req > cpu.megabits_per_req * 10.0);
+        assert!(mixed.cpu_secs_per_req > mem.cpu_secs_per_req);
+        assert!(mixed.mem_per_req.get() > cpu.mem_per_req.get());
+    }
+
+    #[test]
+    fn name_embeds_profile_and_index() {
+        assert_eq!(spec(ServiceProfile::CpuBound).name, "cpu-bound-3");
+        assert_eq!(spec(ServiceProfile::Mixed).name, "mixed-3");
+    }
+
+    #[test]
+    fn make_request_applies_jitter_around_mean() {
+        let s = spec(ServiceProfile::CpuBound);
+        let mut rng = SimRng::seed_from(1);
+        let n = 5_000;
+        let mean: f64 = (0..n)
+            .map(|i| {
+                s.make_request(SimTime::from_secs(i as f64), &mut rng)
+                    .cpu_secs
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.20).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let s = spec(ServiceProfile::NetBound).with_jitter(0.0);
+        let mut rng = SimRng::seed_from(1);
+        let a = s.make_request(SimTime::ZERO, &mut rng);
+        let b = s.make_request(SimTime::ZERO, &mut rng);
+        assert_eq!(a.cpu_secs, b.cpu_secs);
+        assert_eq!(a.megabits_out, b.megabits_out);
+        assert_eq!(a.megabits_out, 8.0);
+    }
+
+    #[test]
+    fn jittered_demands_stay_positive() {
+        let s = spec(ServiceProfile::MemBound).with_jitter(1.0); // extreme jitter
+        let mut rng = SimRng::seed_from(2);
+        for i in 0..2_000 {
+            let r = s.make_request(SimTime::from_secs(i as f64), &mut rng);
+            assert!(r.cpu_secs > 0.0);
+            assert!(r.mem.get() > 0.0);
+            assert!(r.megabits_out > 0.0);
+        }
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let s = spec(ServiceProfile::CpuBound)
+            .with_demands(1.0, MemMb(10.0), 2.0)
+            .with_timeout(SimDuration::from_secs(5.0));
+        assert_eq!(s.cpu_secs_per_req, 1.0);
+        assert_eq!(s.mem_per_req, MemMb(10.0));
+        assert_eq!(s.timeout, SimDuration::from_secs(5.0));
+        let mut rng = SimRng::seed_from(3);
+        let r = s.make_request(SimTime::ZERO, &mut rng);
+        assert_eq!(r.timeout, SimDuration::from_secs(5.0));
+        assert_eq!(r.service, ServiceId::new(3));
+    }
+
+    #[test]
+    fn display_of_profiles() {
+        assert_eq!(ServiceProfile::CpuBound.to_string(), "cpu-bound");
+        assert_eq!(ServiceProfile::MemBound.to_string(), "mem-bound");
+        assert_eq!(ServiceProfile::NetBound.to_string(), "net-bound");
+        assert_eq!(ServiceProfile::DiskBound.to_string(), "disk-bound");
+        assert_eq!(ServiceProfile::Mixed.to_string(), "mixed");
+    }
+
+    #[test]
+    fn disk_bound_services_emit_disk_traffic() {
+        let s = spec(ServiceProfile::DiskBound).with_jitter(0.0);
+        let mut rng = SimRng::seed_from(1);
+        let r = s.make_request(SimTime::ZERO, &mut rng);
+        assert_eq!(r.disk_megabits, 12.0);
+        let c = spec(ServiceProfile::CpuBound).with_jitter(0.0);
+        assert_eq!(c.make_request(SimTime::ZERO, &mut rng).disk_megabits, 0.0);
+        let custom = spec(ServiceProfile::CpuBound)
+            .with_disk_per_req(5.0)
+            .with_jitter(0.0);
+        assert_eq!(
+            custom.make_request(SimTime::ZERO, &mut rng).disk_megabits,
+            5.0
+        );
+    }
+}

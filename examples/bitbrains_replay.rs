@@ -1,0 +1,121 @@
+//! Replay a Bitbrains-style data-centre trace through the autoscalers —
+//! the paper's Sec. VI-B experiment (Figs. 9 and 10).
+//!
+//! By default this generates the synthetic GWA-T-12-like trace (the real
+//! `Rnd` dataset is not redistributable). Pass paths to real GWA-T-12
+//! per-VM CSV files to replay the genuine trace instead:
+//!
+//! ```sh
+//! cargo run --release --example bitbrains_replay
+//! cargo run --release --example bitbrains_replay -- fastStorage/*.csv
+//! ```
+
+use hyscale::cluster::MemMb;
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::metrics::Table;
+use hyscale::sim::SimRng;
+use hyscale::workload::bitbrains::{
+    aggregate_mean, trace_to_load_pattern, SyntheticTrace, VmTrace,
+};
+use hyscale::workload::{ServiceProfile, ServiceSpec};
+
+fn load_traces() -> Result<Vec<VmTrace>, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        println!("No trace files given; generating the synthetic Bitbrains-like trace.");
+        let config = SyntheticTrace {
+            vms: 60,
+            duration_secs: 900.0,
+            interval_secs: 15.0,
+            ..SyntheticTrace::default()
+        };
+        Ok(config.generate(&mut SimRng::seed_from(42)))
+    } else {
+        println!("Parsing {} GWA-T-12 trace files.", args.len());
+        args.iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)?;
+                Ok(VmTrace::parse_gwa(path.clone(), &text)?)
+            })
+            .collect()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces = load_traces()?;
+    let interval = traces[0]
+        .samples
+        .get(1)
+        .map(|s| s.timestamp_secs)
+        .unwrap_or(300.0);
+
+    // Fig. 9: the demand signal averaged over all VMs.
+    let aggregate = aggregate_mean(&traces);
+    println!(
+        "\nTrace demand signal (mean over {} VMs), 2-minute buckets:",
+        traces.len()
+    );
+    println!("{:>8}  {:>8}  {:>8}", "t (s)", "cpu %", "mem %");
+    for chunk in aggregate.chunks((120.0 / interval).max(1.0) as usize) {
+        let t = chunk[0].0;
+        let cpu = chunk.iter().map(|c| c.1).sum::<f64>() / chunk.len() as f64;
+        let mem = chunk.iter().map(|c| c.2).sum::<f64>() / chunk.len() as f64;
+        println!("{t:>8.0}  {cpu:>8.1}  {mem:>8.1}");
+    }
+
+    // Fig. 10: replay the per-VM demand shapes as request rates onto mixed
+    // microservices (trace CPU% -> request rate; per-request costs come
+    // from the emulated service).
+    let services = 6usize;
+    let duration = traces[0]
+        .samples
+        .last()
+        .map(|s| s.timestamp_secs + interval)
+        .unwrap_or(900.0);
+    let mut table = Table::new(vec!["algorithm", "mean rt (ms)", "failed %", "mean cores"]);
+    for kind in [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+    ] {
+        let mut builder = ScenarioBuilder::new("bitbrains")
+            .nodes(8)
+            .duration_secs(duration)
+            .algorithm(kind)
+            .seed(9);
+        for i in 0..services {
+            // Each service follows the demand of a slice of VMs.
+            let slice: Vec<&VmTrace> = traces.iter().skip(i).step_by(services).collect();
+            let mut mean_cpu: Vec<f64> = Vec::new();
+            let len = slice.iter().map(|t| t.samples.len()).min().unwrap_or(0);
+            for s in 0..len {
+                mean_cpu.push(
+                    slice
+                        .iter()
+                        .map(|t| t.samples[s].cpu_usage_pct)
+                        .sum::<f64>()
+                        / slice.len() as f64,
+                );
+            }
+            let load = trace_to_load_pattern(&mean_cpu, interval, 12.0);
+            let mut spec = ServiceSpec::synthetic(i as u32, ServiceProfile::Mixed, load)
+                .with_demands(0.12, MemMb(8.0), 0.2);
+            spec.container = spec
+                .container
+                .clone()
+                .with_mem_per_rps(MemMb(14.0))
+                .with_queue_cap(64);
+            builder = builder.service(spec);
+        }
+        let report = builder.run()?;
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", report.mean_response_ms()),
+            format!("{:.2}", report.requests.failed_pct()),
+            format!("{:.2}", report.cost.mean_cores()),
+        ]);
+    }
+    println!("\nReplay results (paper Fig. 10: hybridmem best, k8s > hybrid):");
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Dynamic addition and removal of machines — a paper future-work item.
+//!
+//! "We also aim to support features such as the dynamic addition and
+//! removal of machines" — Sec. VII. This example powers three extra
+//! machines on as a burst begins and decommissions one machine mid-run,
+//! and shows the autoscalers absorbing both events: replicas lost with
+//! the machine surface as removal failures, the Monitor re-discovers the
+//! machine pool each period, and scaling decisions move to the surviving
+//! and newly commissioned nodes.
+//!
+//! ```sh
+//! cargo run --release --example elastic_cluster
+//! ```
+
+use hyscale::cluster::NodeSpec;
+use hyscale::core::{AlgorithmKind, NodeEvent, ScenarioBuilder};
+use hyscale::metrics::Table;
+use hyscale::workload::{LoadPattern, ServiceProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Elastic machine pool: start with 3 nodes, commission 3 more at");
+    println!("t=300 s (as the burst begins), decommission one at t=700 s.\n");
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean rt (ms)",
+        "failed %",
+        "removal %",
+        "peak replicas",
+    ]);
+    for kind in [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+    ] {
+        let report = ScenarioBuilder::new("elastic-cluster")
+            .nodes(3)
+            .services(
+                3,
+                ServiceProfile::CpuBound,
+                LoadPattern::high_burst().scaled(0.9),
+            )
+            .duration_secs(1200.0)
+            .algorithm(kind)
+            .seed(13)
+            .node_event(540.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+            .node_event(540.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+            .node_event(540.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+            .node_event(900.0, NodeEvent::Decommission(0))
+            .run()?;
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", report.mean_response_ms()),
+            format!("{:.2}", report.requests.failed_pct()),
+            format!("{:.2}", report.requests.removal_failed_pct()),
+            format!("{:.0}", report.replicas.max()),
+        ]);
+    }
+    println!("{table}");
+    println!("The first burst hits the under-provisioned 3-node pool (hence the");
+    println!("connection failures — far worse for horizontal-only Kubernetes);");
+    println!("removal failures trace to the decommissioned machine's in-flight");
+    println!("requests. The commissioned machines absorb the later bursts.");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Hybrid scaling on a mixed CPU+memory workload — the scenario where the
+//! paper's HyScaleCPU+Mem shines and memory-blind scaling drops requests.
+//!
+//! Mixed services carry a working set that grows with the request rate
+//! they serve (caches, session state). A single replica absorbing a whole
+//! service's burst blows past its 256 MB memory limit and starts
+//! swapping; the same rate split across Kubernetes' replicas stays under
+//! it — which is why the paper finds Kubernetes *beating* HyScaleCPU on
+//! mixed loads while HyScaleCPU+Mem, which simply raises the limit in
+//! place, beats both.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_scaling
+//! ```
+
+use hyscale::cluster::MemMb;
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::metrics::Table;
+use hyscale::workload::{LoadPattern, ServiceProfile, ServiceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Mixed CPU+memory workload, high-burst client load, 8 nodes.\n");
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean rt (ms)",
+        "failed %",
+        "removal %",
+        "connection %",
+        "mean cores",
+        "spawns",
+        "vertical ops",
+    ]);
+
+    for kind in AlgorithmKind::ALL {
+        let mut builder = ScenarioBuilder::new("hybrid-scaling")
+            .nodes(8)
+            .duration_secs(1200.0)
+            .algorithm(kind)
+            .seed(3);
+        for i in 0..4u32 {
+            // Service sizes from small to large (the big ones need more
+            // than one node at peak).
+            let size = 0.6 + 0.4 * i as f64;
+            let mut spec = ServiceSpec::synthetic(
+                i,
+                ServiceProfile::Mixed,
+                LoadPattern::high_burst().scaled(1.6 * size),
+            )
+            .with_demands(0.12, MemMb(8.0), 0.2);
+            spec.container = spec
+                .container
+                .clone()
+                .with_mem_per_rps(MemMb(14.0))
+                .with_queue_cap(64);
+            builder = builder.service(spec);
+        }
+        let report = builder.run()?;
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", report.mean_response_ms()),
+            format!("{:.2}", report.requests.failed_pct()),
+            format!("{:.2}", report.requests.removal_failed_pct()),
+            format!("{:.2}", report.requests.connection_failed_pct()),
+            format!("{:.2}", report.cost.mean_cores()),
+            report.scaling.spawns.to_string(),
+            report.scaling.vertical.to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!("hybridmem raises memory limits before replicas swap; the");
+    println!("memory-blind algorithms accumulate connection failures (timeouts");
+    println!("and queue overflow while swapping), exactly as in the paper's");
+    println!("mixed experiments — with kubernetes ahead of hybrid because each");
+    println!("scale-out incidentally adds memory.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Network scaling under bursty egress traffic — the paper's Fig. 8
+//! scenario, where the dedicated network algorithm wins by up to 1.69x.
+//!
+//! The setup that separates the algorithms: on the stable low-burst load
+//! every service fits inside one machine's NIC, so nobody needs to scale;
+//! when traffic spikes, the larger services need *more than one NIC* —
+//! a problem only replication onto other machines can solve, and only the
+//! network scaler watches the metric that says so (per-request CPU is
+//! tiny, so the CPU-driven scalers barely react).
+//!
+//! ```sh
+//! cargo run --release --example network_burst
+//! ```
+
+use hyscale::cluster::{Mbps, MemMb, NodeSpec};
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::metrics::{format_speedup, Table};
+use hyscale::workload::{LoadPattern, ServiceProfile, ServiceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Network-bound microservices under high-burst load, 8 nodes with");
+    println!("250 Mb/s NICs; the two large services exceed one NIC at peak.\n");
+
+    let nic = 250.0;
+    let mut table = Table::new(vec!["algorithm", "mean rt (ms)", "failed %", "spawns"]);
+    let mut results = Vec::new();
+
+    for kind in AlgorithmKind::ALL {
+        let mut builder = ScenarioBuilder::new("network-burst")
+            .nodes_with_spec(8, NodeSpec::uniform_worker().with_nic(Mbps(nic)))
+            .duration_secs(1200.0)
+            .algorithm(kind)
+            .seed(7);
+        // Two small services (~0.4 NIC at burst) and two large ones
+        // (~1.3 NICs at burst).
+        for (i, peak_nic_fraction) in [0.2, 0.2, 0.65, 0.65].into_iter().enumerate() {
+            let load = LoadPattern::high_burst().scaled(peak_nic_fraction * nic / (20.0 * 8.0));
+            builder = builder.service(
+                ServiceSpec::synthetic(i as u32, ServiceProfile::NetBound, load).with_demands(
+                    0.01,
+                    MemMb(4.0),
+                    8.0,
+                ),
+            );
+        }
+        let report = builder.run()?;
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", report.mean_response_ms()),
+            format!("{:.2}", report.requests.failed_pct()),
+            report.scaling.spawns.to_string(),
+        ]);
+        results.push((kind, report.requests.mean_response_secs()));
+    }
+
+    println!("{table}");
+    let rt = |k| {
+        results
+            .iter()
+            .find(|(kind, _)| *kind == k)
+            .map(|&(_, rt)| rt)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "network-scaler speedup over kubernetes: {}",
+        format_speedup(rt(AlgorithmKind::Kubernetes), rt(AlgorithmKind::Network))
+    );
+    println!("(the paper reports up to 1.69x on its high-burst network runs)");
+    Ok(())
+}

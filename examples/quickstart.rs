@@ -1,0 +1,67 @@
+//! Quickstart: run the Kubernetes baseline and HyScaleCPU on the same
+//! CPU-bound workload and compare user-perceived performance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::metrics::{format_speedup, Table};
+use hyscale::workload::{LoadPattern, ServiceProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("HyScale quickstart: 6 worker nodes, 4 CPU-bound microservices,");
+    println!("low-burst client load, 10 simulated minutes, 2 seeds.\n");
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "mean rt (ms)",
+        "p95 rt (ms)",
+        "failed %",
+        "spawns",
+        "vertical ops",
+    ]);
+
+    let mut k8s_mean = 0.0;
+    for kind in [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+    ] {
+        let report = ScenarioBuilder::new("quickstart")
+            .nodes(6)
+            .services(4, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .duration_secs(600.0)
+            .algorithm(kind)
+            .run_seeds(&[1, 2])?;
+
+        if kind == AlgorithmKind::Kubernetes {
+            k8s_mean = report.requests.mean_response_secs();
+        }
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", report.mean_response_ms()),
+            format!(
+                "{:.1}",
+                report.requests.response_times.percentile(95.0) * 1e3
+            ),
+            format!("{:.2}", report.requests.failed_pct()),
+            report.scaling.spawns.to_string(),
+            report.scaling.vertical.to_string(),
+        ]);
+        let speedup = format_speedup(k8s_mean, report.requests.mean_response_secs());
+        println!(
+            "{:<12} done: {:>8} requests, availability {:.2}%, speedup vs k8s {}",
+            kind.label(),
+            report.requests.issued,
+            report.requests.availability_pct(),
+            speedup,
+        );
+    }
+
+    println!("\n{table}");
+    println!("The hybrid algorithms serve the same load with fewer replicas by");
+    println!("resizing containers in place (docker update) and only spawning");
+    println!("replicas when a node runs out of resources.");
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! The Section III manual scaling study: horizontal vs vertical, with
+//! equal aggregate resources, no autoscaler in the loop.
+//!
+//! This is the motivation experiment behind hybrid scaling (the paper's
+//! Figs. 2 and 3): replicating a CPU-bound service across machines buys
+//! nothing when the aggregate CPU share is held constant — it only adds
+//! per-replica overhead and contention — while replicating a
+//! network-bound service relieves transmit-queue contention and wins.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use hyscale::cluster::{ContainerSpec, Cores, Mbps, MemMb, NodeSpec, ServiceId};
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::metrics::Table;
+use hyscale::workload::{LoadPattern, ServiceProfile, ServiceSpec};
+
+/// Runs a fixed-allocation scenario with `replicas` replicas of the
+/// service spread over `replicas` nodes, each contending with an
+/// antagonist, holding the aggregate CPU share constant.
+fn run_cpu(replicas: usize) -> Result<f64, Box<dyn std::error::Error>> {
+    let total_share = Cores(1.0); // aggregate CPU request across replicas
+    let per_replica = total_share / replicas as f64;
+    let mut builder = ScenarioBuilder::new(format!("cpu-study-{replicas}"))
+        .nodes_with_spec(replicas, NodeSpec::uniform_worker())
+        .algorithm(AlgorithmKind::None)
+        .initial_replicas(replicas)
+        .duration_secs(120.0)
+        .seed(1);
+    // One antagonist per node hogs the rest of the machine, so each
+    // replica really only gets its share.
+    for node in 0..replicas {
+        builder = builder.antagonist(
+            node,
+            ContainerSpec::new(ServiceId::new(99))
+                .with_cpu_request(Cores(4.0) - per_replica)
+                .antagonist(),
+        );
+    }
+    let service = ServiceSpec::synthetic(
+        0,
+        ServiceProfile::CpuBound,
+        LoadPattern::Constant { rate: 2.0 },
+    )
+    .with_container(
+        ContainerSpec::new(ServiceId::new(0))
+            .with_cpu_request(per_replica)
+            .with_startup_secs(0.0),
+    );
+    let report = builder.service(service).run()?;
+    Ok(report.mean_response_ms())
+}
+
+/// Network variant: total bandwidth fixed at 100 Mb/s via `tc` caps; more
+/// replicas = fewer co-located flows per NIC.
+fn run_net(replicas: usize) -> Result<f64, Box<dyn std::error::Error>> {
+    let per_replica_cap = Mbps(100.0 / replicas as f64);
+    let mut builder = ScenarioBuilder::new(format!("net-study-{replicas}"))
+        .nodes_with_spec(replicas, NodeSpec::uniform_worker().with_nic(Mbps(100.0)))
+        .algorithm(AlgorithmKind::None)
+        .initial_replicas(replicas)
+        .duration_secs(120.0)
+        .seed(1);
+    for node in 0..replicas {
+        builder = builder.antagonist(
+            node,
+            ContainerSpec::new(ServiceId::new(99))
+                .with_cpu_request(Cores(1.0))
+                .with_net_request(Mbps(100.0)) // hogs the NIC too
+                .antagonist(),
+        );
+    }
+    let service = ServiceSpec::synthetic(
+        0,
+        ServiceProfile::NetBound,
+        LoadPattern::Constant { rate: 1.0 },
+    )
+    .with_demands(0.005, MemMb(4.0), 12.0)
+    .with_container(
+        ContainerSpec::new(ServiceId::new(0))
+            .with_net_cap(per_replica_cap)
+            .with_startup_secs(0.0),
+    );
+    let report = builder.service(service).run()?;
+    Ok(report.mean_response_ms())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Section III study: response time vs replica count at constant");
+    println!("aggregate resources (vertical == 1 replica).\n");
+
+    let mut table = Table::new(vec!["replicas", "cpu-bound rt (ms)", "net-bound rt (ms)"]);
+    for &replicas in &[1usize, 2, 4, 8] {
+        let cpu = run_cpu(replicas)?;
+        let net = run_net(replicas)?;
+        table.row(vec![
+            replicas.to_string(),
+            format!("{cpu:.1}"),
+            format!("{net:.1}"),
+        ]);
+    }
+    println!("{table}");
+    println!("CPU-bound: more replicas at the same aggregate share = slower");
+    println!("(per-replica overhead + co-location contention, Fig. 2).");
+    println!("Net-bound: more replicas = faster until the tx-queue relief");
+    println!("saturates (Fig. 3).");
+    Ok(())
+}

@@ -1,0 +1,268 @@
+//! Cross-crate integration tests: the paper's qualitative results, at
+//! test scale.
+//!
+//! These drive the full pipeline (workload generators → load balancer →
+//! cluster model → Monitor → algorithms) and assert the *orderings* the
+//! paper reports — who wins, who fails more — rather than absolute
+//! numbers, which depend on scale.
+
+use hyscale::cluster::{Mbps, MemMb, NodeSpec};
+use hyscale::core::{AlgorithmKind, RunReport, ScenarioBuilder};
+use hyscale::workload::{LoadPattern, ServiceProfile, ServiceSpec};
+
+/// A small CPU-bound scenario with heterogeneous service sizes, peaks at
+/// ~60% of cluster CPU (mirrors the fig6 setup at test scale).
+fn cpu_scenario(kind: AlgorithmKind, burst_high: bool) -> RunReport {
+    let load = if burst_high {
+        LoadPattern::high_burst()
+    } else {
+        LoadPattern::low_burst()
+    };
+    // 4 nodes * 4 cores = 16 cores; 3 services at 0.2 core-s/request.
+    // Peak fraction 0.6 -> total peak rate 48 req/s across services.
+    let total_peak = 0.6 * 16.0 / 0.2;
+    let weights = [0.5, 1.0, 1.5];
+    let mut builder = ScenarioBuilder::new("itest-cpu")
+        .nodes(4)
+        .duration_secs(900.0)
+        .algorithm(kind)
+        .seed(42);
+    for (i, w) in weights.iter().enumerate() {
+        let rate = total_peak * w / 3.0 / load.peak_rate();
+        let mut spec = ServiceSpec::synthetic(
+            i as u32,
+            ServiceProfile::CpuBound,
+            load.clone().scaled(rate),
+        )
+        .with_demands(0.2, MemMb(2.0), 0.5);
+        spec.container = spec.container.clone().with_mem_limit(MemMb(512.0));
+        builder = builder.service(spec);
+    }
+    builder.run().expect("scenario runs")
+}
+
+#[test]
+fn hybrid_beats_kubernetes_on_cpu_bound_bursts() {
+    let k8s = cpu_scenario(AlgorithmKind::Kubernetes, true);
+    let hybrid = cpu_scenario(AlgorithmKind::HyScaleCpu, true);
+    let hybridmem = cpu_scenario(AlgorithmKind::HyScaleCpuMem, true);
+
+    // Paper Fig. 6: HyScale response times beat Kubernetes.
+    assert!(
+        hybrid.requests.mean_response_secs() < k8s.requests.mean_response_secs(),
+        "hybrid {:.3}s vs k8s {:.3}s",
+        hybrid.requests.mean_response_secs(),
+        k8s.requests.mean_response_secs()
+    );
+    assert!(
+        hybridmem.requests.mean_response_secs() < k8s.requests.mean_response_secs(),
+        "hybridmem {:.3}s vs k8s {:.3}s",
+        hybridmem.requests.mean_response_secs(),
+        k8s.requests.mean_response_secs()
+    );
+    // Paper: HyScale drastically lowers the number of failed requests.
+    assert!(hybrid.requests.failures.total() <= k8s.requests.failures.total());
+    // The mechanism: Kubernetes can only scale horizontally, HyScale
+    // prefers in-place docker updates.
+    assert_eq!(k8s.scaling.vertical, 0);
+    assert!(hybrid.scaling.vertical > 0);
+    assert!(hybrid.scaling.spawns < k8s.scaling.spawns);
+}
+
+#[test]
+fn everyone_healthy_on_stable_cpu_load() {
+    for kind in [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+    ] {
+        let report = cpu_scenario(kind, false);
+        assert!(
+            report.requests.availability_pct() > 99.0,
+            "{kind}: availability {:.2}%",
+            report.requests.availability_pct()
+        );
+    }
+}
+
+/// Mixed scenario with rate-proportional working sets (fig7 at test
+/// scale).
+fn mixed_scenario(kind: AlgorithmKind) -> RunReport {
+    // Mirrors the fig7 quick scenario: 8 nodes, 6 services sized 0.4x-1.6x
+    // around a cluster peak of 55% CPU, working set 14 MB per served
+    // req/s. The Fig. 7 inversion (kubernetes > hybrid) needs room for
+    // Kubernetes to replicate onto, hence the larger cluster.
+    let mut builder = ScenarioBuilder::new("itest-mixed")
+        .nodes(8)
+        .duration_secs(900.0)
+        .algorithm(kind)
+        .seed(17);
+    let raw: Vec<f64> = (0..6).map(|i| 0.5 + 1.5 * i as f64 / 5.0).collect();
+    let sum: f64 = raw.iter().sum();
+    let factor = 0.55 * 32.0 / (20.0 * 0.12 * 6.0);
+    for (i, w) in raw.iter().map(|w| w * 6.0 / sum).enumerate() {
+        let mut spec = ServiceSpec::synthetic(
+            i as u32,
+            ServiceProfile::Mixed,
+            LoadPattern::high_burst().scaled(factor * w),
+        )
+        .with_demands(0.12, MemMb(8.0), 0.2);
+        spec.container = spec
+            .container
+            .clone()
+            .with_mem_per_rps(MemMb(14.0))
+            .with_queue_cap(64);
+        builder = builder.service(spec);
+    }
+    builder.run().expect("scenario runs")
+}
+
+#[test]
+fn memory_awareness_wins_on_mixed_loads() {
+    let k8s = mixed_scenario(AlgorithmKind::Kubernetes);
+    let hybrid = mixed_scenario(AlgorithmKind::HyScaleCpu);
+    let hybridmem = mixed_scenario(AlgorithmKind::HyScaleCpuMem);
+
+    // Paper Fig. 7/10: hybridmem has the fewest failures; Kubernetes
+    // outperforms HyScaleCPU because replication incidentally adds
+    // memory.
+    assert!(
+        hybridmem.requests.failed_pct() <= hybrid.requests.failed_pct(),
+        "hybridmem {:.2}% vs hybrid {:.2}%",
+        hybridmem.requests.failed_pct(),
+        hybrid.requests.failed_pct()
+    );
+    assert!(
+        hybridmem.requests.failed_pct() <= k8s.requests.failed_pct() + 0.5,
+        "hybridmem {:.2}% vs k8s {:.2}%",
+        hybridmem.requests.failed_pct(),
+        k8s.requests.failed_pct()
+    );
+    assert!(
+        k8s.requests.failed_pct() <= hybrid.requests.failed_pct(),
+        "k8s {:.2}% vs hybrid {:.2}% (the Fig. 7 inversion)",
+        k8s.requests.failed_pct(),
+        hybrid.requests.failed_pct()
+    );
+    // Only the memory-aware variant updates memory limits.
+    assert!(hybridmem.scaling.vertical > 0);
+}
+
+/// Network scenario where big services exceed one NIC at burst (fig8 at
+/// test scale).
+fn net_scenario(kind: AlgorithmKind) -> RunReport {
+    let nic = 250.0;
+    let mut builder = ScenarioBuilder::new("itest-net")
+        .nodes_with_spec(4, NodeSpec::uniform_worker().with_nic(Mbps(nic)))
+        .duration_secs(900.0)
+        .algorithm(kind)
+        .seed(23);
+    for (i, peak_fraction) in [0.25, 0.65].into_iter().enumerate() {
+        let load = LoadPattern::high_burst().scaled(peak_fraction * nic / (20.0 * 8.0));
+        builder = builder.service(
+            ServiceSpec::synthetic(i as u32, ServiceProfile::NetBound, load).with_demands(
+                0.01,
+                MemMb(4.0),
+                8.0,
+            ),
+        );
+    }
+    builder.run().expect("scenario runs")
+}
+
+#[test]
+fn network_scaler_wins_on_network_bursts() {
+    let k8s = net_scenario(AlgorithmKind::Kubernetes);
+    let network = net_scenario(AlgorithmKind::Network);
+    // Paper Fig. 8: dedicated network scaling shows a clear advantage on
+    // unstable network-bound loads.
+    assert!(
+        network.requests.mean_response_secs() < k8s.requests.mean_response_secs(),
+        "network {:.3}s vs k8s {:.3}s",
+        network.requests.mean_response_secs(),
+        k8s.requests.mean_response_secs()
+    );
+    assert!(network.requests.failed_pct() <= k8s.requests.failed_pct());
+    assert!(
+        network.scaling.spawns > 0,
+        "the win must come from scaling out"
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = cpu_scenario(AlgorithmKind::HyScaleCpuMem, true);
+    let b = cpu_scenario(AlgorithmKind::HyScaleCpuMem, true);
+    assert_eq!(a.requests.issued, b.requests.issued);
+    assert_eq!(a.requests.completed, b.requests.completed);
+    assert_eq!(a.requests.failures, b.requests.failures);
+    assert_eq!(a.scaling, b.scaling);
+    assert_eq!(a.replicas.points(), b.replicas.points());
+}
+
+#[test]
+fn disk_bound_services_flow_through_the_pipeline() {
+    // The future-work resource type works end to end: disk-bound services
+    // complete requests, and disk demand shows in the stats.
+    let report = ScenarioBuilder::new("itest-disk")
+        .nodes(2)
+        .services(
+            1,
+            hyscale::workload::ServiceProfile::DiskBound,
+            LoadPattern::Constant { rate: 4.0 },
+        )
+        .duration_secs(120.0)
+        .algorithm(AlgorithmKind::HyScaleCpu)
+        .seed(5)
+        .run()
+        .expect("runs");
+    assert!(report.requests.completed > 200);
+    assert!(report.requests.availability_pct() > 99.0);
+}
+
+#[test]
+fn stateful_services_favour_vertical_scaling() {
+    let run = |kind: AlgorithmKind| {
+        let mut builder = ScenarioBuilder::new("itest-stateful")
+            .nodes(4)
+            .duration_secs(900.0)
+            .algorithm(kind)
+            .seed(11);
+        for i in 0..2u32 {
+            let mut spec = ServiceSpec::synthetic(
+                i,
+                ServiceProfile::CpuBound,
+                LoadPattern::low_burst().scaled(2.0),
+            )
+            .with_demands(0.2, MemMb(2.0), 0.5);
+            spec.container = spec
+                .container
+                .clone()
+                .with_mem_limit(MemMb(512.0))
+                .with_coordination_secs(0.05);
+            builder = builder.service(spec);
+        }
+        builder.run().expect("runs")
+    };
+    let k8s = run(AlgorithmKind::Kubernetes);
+    let hybrid = run(AlgorithmKind::HyScaleCpu);
+    // Replication taxes every request of a stateful service; the hybrid
+    // algorithm keeps fewer replicas and therefore wins clearly.
+    assert!(
+        hybrid.requests.mean_response_secs() < k8s.requests.mean_response_secs() * 0.85,
+        "hybrid {:.3}s vs k8s {:.3}s",
+        hybrid.requests.mean_response_secs(),
+        k8s.requests.mean_response_secs()
+    );
+    assert!(hybrid.replicas.mean() < k8s.replicas.mean());
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // The umbrella crate exposes every subsystem under stable names.
+    let _ = hyscale::sim::SimTime::ZERO;
+    let _ = hyscale::cluster::NodeSpec::uniform_worker();
+    let _ = hyscale::workload::LoadPattern::low_burst();
+    let _ = hyscale::metrics::Summary::new();
+    let _ = hyscale::core::LoadBalancer::new();
+}

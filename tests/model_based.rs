@@ -1,0 +1,216 @@
+//! Model-based testing of the cluster state machine: random operation
+//! sequences must never violate the structural invariants, whatever the
+//! autoscalers end up doing.
+
+use proptest::prelude::*;
+
+use hyscale::cluster::{
+    Cluster, ClusterConfig, ContainerSpec, ContainerState, Cores, MemMb, NodeSpec, Request,
+    ServiceId,
+};
+use hyscale::sim::{SimDuration, SimTime};
+
+/// One random operation against the cluster.
+#[derive(Debug, Clone)]
+enum Op {
+    StartContainer {
+        node_choice: usize,
+        service: u32,
+        cpu: f64,
+        mem: f64,
+    },
+    RemoveContainer {
+        container_choice: usize,
+    },
+    UpdateContainer {
+        container_choice: usize,
+        cpu: f64,
+        mem: f64,
+    },
+    AdmitRequest {
+        container_choice: usize,
+        cpu_secs: f64,
+        mem: f64,
+    },
+    DecommissionNode {
+        node_choice: usize,
+    },
+    Advance {
+        ticks: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..8, 0u32..4, 0.1f64..2.0, 64.0f64..1024.0).prop_map(
+            |(node_choice, service, cpu, mem)| Op::StartContainer { node_choice, service, cpu, mem }
+        ),
+        1 => (0usize..16).prop_map(|container_choice| Op::RemoveContainer { container_choice }),
+        2 => (0usize..16, 0.0f64..4.0, 0.0f64..2048.0).prop_map(
+            |(container_choice, cpu, mem)| Op::UpdateContainer { container_choice, cpu, mem }
+        ),
+        4 => (0usize..16, 0.001f64..0.5, 1.0f64..64.0).prop_map(
+            |(container_choice, cpu_secs, mem)| Op::AdmitRequest { container_choice, cpu_secs, mem }
+        ),
+        1 => (0usize..8).prop_map(|node_choice| Op::DecommissionNode { node_choice }),
+        4 => (1usize..20).prop_map(|ticks| Op::Advance { ticks }),
+    ]
+}
+
+/// Checks every structural invariant of the cluster.
+fn check_invariants(cluster: &Cluster) -> Result<(), TestCaseError> {
+    // 1. Every live container's node is commissioned and lists it back.
+    for container in cluster.containers() {
+        prop_assert!(container.state() != ContainerState::Removed);
+        let node = cluster.node(container.node());
+        prop_assert!(node.is_some(), "live container on decommissioned node");
+        prop_assert!(
+            node.unwrap().containers().contains(&container.id()),
+            "node does not list its container"
+        );
+    }
+    // 2. Every node's container list points at live containers on itself.
+    for node in cluster.nodes() {
+        for &ctr in node.containers() {
+            let c = cluster.container(ctr).expect("listed container exists");
+            prop_assert!(c.state() != ContainerState::Removed);
+            prop_assert_eq!(c.node(), node.id());
+        }
+    }
+    // 3. In-flight counts never exceed queue capacity.
+    for container in cluster.containers() {
+        prop_assert!(container.in_flight_count() <= container.spec().queue_cap.max(1));
+    }
+    // 4. Resource requests are never negative after arbitrary updates.
+    for container in cluster.containers() {
+        prop_assert!(container.spec().cpu_request.get() >= 0.0);
+        prop_assert!(container.spec().mem_limit.get() >= 0.0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_operation_sequences_preserve_invariants(
+        node_count in 1usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let nodes: Vec<_> = (0..node_count)
+            .map(|_| cluster.add_node(NodeSpec::uniform_worker()))
+            .collect();
+        let mut containers = Vec::new();
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_millis(100);
+        let mut issued = 0u64;
+        let mut settled = 0u64; // completed + failed (incl. aborted)
+
+        for op in ops {
+            match op {
+                Op::StartContainer { node_choice, service, cpu, mem } => {
+                    let node = nodes[node_choice % nodes.len()];
+                    let spec = ContainerSpec::new(ServiceId::new(service))
+                        .with_cpu_request(Cores(cpu))
+                        .with_mem_limit(MemMb(mem))
+                        .with_startup_secs(0.0);
+                    if let Ok(id) = cluster.start_container(node, spec, now) {
+                        containers.push(id);
+                    }
+                }
+                Op::RemoveContainer { container_choice } => {
+                    if !containers.is_empty() {
+                        let id = containers[container_choice % containers.len()];
+                        if let Ok(aborted) = cluster.remove_container(id, now) {
+                            settled += aborted.len() as u64;
+                        }
+                    }
+                }
+                Op::UpdateContainer { container_choice, cpu, mem } => {
+                    if !containers.is_empty() {
+                        let id = containers[container_choice % containers.len()];
+                        let _ = cluster.update_container(id, Cores(cpu), MemMb(mem));
+                    }
+                }
+                Op::AdmitRequest { container_choice, cpu_secs, mem } => {
+                    if !containers.is_empty() {
+                        let id = containers[container_choice % containers.len()];
+                        let request = Request::new(
+                            ServiceId::new(0),
+                            now,
+                            cpu_secs,
+                            MemMb(mem),
+                            0.1,
+                        );
+                        if cluster.admit_request(id, request, now).is_ok() {
+                            issued += 1;
+                        }
+                    }
+                }
+                Op::DecommissionNode { node_choice } => {
+                    let node = nodes[node_choice % nodes.len()];
+                    if let Ok(aborted) = cluster.decommission_node(node, now) {
+                        settled += aborted.len() as u64;
+                    }
+                }
+                Op::Advance { ticks } => {
+                    for _ in 0..ticks {
+                        let report = cluster.advance(now, dt);
+                        settled += (report.completed.len() + report.failed.len()) as u64;
+                        now += dt;
+                    }
+                }
+            }
+            check_invariants(&cluster)?;
+        }
+
+        // Conservation: everything issued is either settled or still
+        // in flight somewhere.
+        let in_flight: u64 = cluster
+            .containers()
+            .map(|c| c.in_flight_count() as u64)
+            .sum();
+        prop_assert_eq!(issued, settled + in_flight, "request accounting must conserve");
+    }
+
+    #[test]
+    fn draining_always_terminates(
+        requests in prop::collection::vec((0.001f64..0.3, 1.0f64..32.0), 1..40),
+    ) {
+        // Any admissible batch drains on an idle machine well before its
+        // (generous) timeout: no request is ever lost or stuck.
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        let ctr = cluster
+            .start_container(
+                node,
+                ContainerSpec::new(ServiceId::new(0))
+                    .with_queue_cap(64)
+                    .with_mem_limit(MemMb(8192.0))
+                    .with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let mut admitted = 0usize;
+        for (cpu, mem) in &requests {
+            let r = Request::new(ServiceId::new(0), SimTime::ZERO, *cpu, MemMb(*mem), 0.2);
+            if cluster.admit_request(ctr, r, SimTime::ZERO).is_ok() {
+                admitted += 1;
+            }
+        }
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        let mut done = 0usize;
+        while now < SimTime::from_secs(120.0) {
+            let report = cluster.advance(now, dt);
+            done += report.completed.len();
+            prop_assert!(report.failed.is_empty(), "nothing should time out");
+            now += dt;
+            if cluster.container(ctr).unwrap().in_flight_count() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(done, admitted, "every admitted request completes");
+    }
+}
