@@ -23,11 +23,11 @@ pub fn sweep(
     configs: Vec<(AlgorithmKind, ScenarioConfig)>,
     seeds: &[u64],
 ) -> Result<Vec<FigureRow>, CoreError> {
-    let results: Vec<Result<FigureRow, CoreError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<FigureRow, CoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .into_iter()
             .map(|(algorithm, config)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     SimulationDriver::run_averaged(&config, seeds)
                         .map(|report| FigureRow { algorithm, report })
                 })
@@ -37,8 +37,7 @@ pub fn sweep(
             .into_iter()
             .map(|h| h.join().expect("run panicked"))
             .collect()
-    })
-    .expect("thread scope");
+    });
     results.into_iter().collect()
 }
 

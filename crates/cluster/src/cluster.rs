@@ -1,8 +1,6 @@
 //! The cluster state machine: placement, `docker update`, admission, and
 //! the per-tick fluid-flow advance.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_sim::{SimDuration, SimTime};
 
 use crate::container::{Container, ContainerSpec, ContainerState};
@@ -18,7 +16,7 @@ use crate::stats::{ContainerUsage, NodeUsage, UsageWindow};
 use crate::{Cores, MemMb};
 
 /// Global configuration of the cluster model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClusterConfig {
     /// Empirical overhead coefficients (Sec. III calibration).
     pub overheads: OverheadModel,

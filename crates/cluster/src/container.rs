@@ -7,8 +7,6 @@
 //! application overhead — the image plus JVM-like resident set and a base
 //! CPU tax — that makes horizontal scaling non-free (Sec. III-A/B).
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_sim::SimTime;
 
 use crate::ids::{ContainerId, NodeId, ServiceId};
@@ -16,7 +14,7 @@ use crate::request::InFlight;
 use crate::{Cores, Mbps, MemMb};
 
 /// Lifecycle state of a container.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContainerState {
     /// Image pulled, process starting; not yet accepting requests.
     Starting,
@@ -37,7 +35,7 @@ impl std::fmt::Display for ContainerState {
 }
 
 /// Static configuration of a container replica.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContainerSpec {
     /// The microservice this replica belongs to.
     pub service: ServiceId,
@@ -219,7 +217,7 @@ impl ContainerSpec {
 }
 
 /// A live container replica.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Container {
     id: ContainerId,
     node: NodeId,

@@ -75,21 +75,15 @@ pub use stats::{ContainerUsage, NodeUsage, UsageWindow};
 ///
 /// One core equals 1024 Docker CPU shares in the paper's setup; the
 /// algorithms operate directly in cores, as do we.
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Cores(pub f64);
 
 /// Memory quantity in megabytes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct MemMb(pub f64);
 
 /// Network bandwidth in megabits per second.
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Mbps(pub f64);
 
 macro_rules! quantity_impls {

@@ -9,13 +9,11 @@
 //! tick, how much of its resident set is swapped and the resulting
 //! progress slowdown.
 
-use serde::{Deserialize, Serialize};
-
 use crate::overhead::OverheadModel;
 use crate::MemMb;
 
 /// Snapshot of one container's memory pressure in a tick.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryPressure {
     /// Resident set the container wants (base + per-request memory).
     pub resident: MemMb,
@@ -51,7 +49,7 @@ impl MemoryPressure {
 /// assert!(bad.is_swapping());
 /// assert!(bad.slowdown > 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryModel {
     overheads: OverheadModel,
 }

@@ -1,7 +1,5 @@
 //! Physical nodes (machines) of the simulated cluster.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ContainerId, NodeId};
 use crate::{Cores, Mbps, MemMb};
 
@@ -10,7 +8,7 @@ use crate::{Cores, Mbps, MemMb};
 /// The paper's cluster nodes are homogeneous (2× dual-core Xeon 5120 =
 /// 4 cores, 8 GB DDR2, ~1 Gb/s NIC, 3 Gb/s SAS disks); heterogeneous
 /// clusters are supported by mixing specs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Total CPU capacity.
     pub cores: Cores,
@@ -71,7 +69,7 @@ impl Default for NodeSpec {
 }
 
 /// A node and the containers currently placed on it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     id: NodeId,
     spec: NodeSpec,

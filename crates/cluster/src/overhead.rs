@@ -6,8 +6,6 @@
 //! figure-2/figure-3 experiments can sweep them and the full experiments
 //! use calibrated defaults.
 
-use serde::{Deserialize, Serialize};
-
 /// Coefficients for the cluster's empirical overheads.
 ///
 /// Defaults are calibrated to the paper's observations:
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// * `swap_penalty` — slowdown multiplier applied to work on memory that
 ///   has been swapped to disk (Sec. III-B "performance drastically
 ///   degraded ... forced the microservice to swap").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// CPU contention coefficient `c`: effective node CPU capacity is
     /// multiplied by `1 / (1 + c·log2(k))` when `k ≥ 1` containers are

@@ -7,8 +7,6 @@
 //! and disk bytes are all done; its response time is completion minus
 //! arrival plus the service's replica fan-out latency.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_sim::{SimDuration, SimTime};
 
 use crate::ids::{ContainerId, RequestId, ServiceId};
@@ -19,7 +17,7 @@ use crate::MemMb;
 /// Construct with one of the profile constructors ([`Request::cpu_bound`],
 /// [`Request::mem_bound`], [`Request::net_bound`], [`Request::mixed`]) or
 /// with [`Request::new`] for full control.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// The microservice this request targets.
     pub service: ServiceId,
@@ -130,7 +128,7 @@ impl Request {
 }
 
 /// An in-flight request inside a container (internal bookkeeping).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct InFlight {
     pub id: RequestId,
     pub request: Request,
@@ -176,7 +174,7 @@ impl InFlight {
 }
 
 /// Record of a successfully served request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompletedRequest {
     /// The request's identifier.
     pub id: RequestId,
@@ -193,7 +191,7 @@ pub struct CompletedRequest {
 }
 
 /// Why a request failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// The request ended prematurely because its replica was removed by a
     /// scaling decision (the paper's "removal failures").
@@ -213,7 +211,7 @@ impl std::fmt::Display for FailureKind {
 }
 
 /// Record of a failed request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailedRequest {
     /// The request's identifier.
     pub id: RequestId,

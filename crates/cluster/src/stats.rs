@@ -5,13 +5,11 @@
 //! period (5 s in the experiments). [`UsageWindow`] accumulates the fluid
 //! model's per-tick grants and produces the same per-window averages.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ContainerId, NodeId};
 use crate::{Cores, Mbps, MemMb};
 
 /// Usage of one container averaged over a reporting window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContainerUsage {
     /// The container being reported.
     pub container: ContainerId,
@@ -30,7 +28,7 @@ pub struct ContainerUsage {
 }
 
 /// Usage of one node over a reporting window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeUsage {
     /// The node being reported.
     pub node: NodeId,
@@ -45,7 +43,7 @@ pub struct NodeUsage {
 }
 
 /// Accumulates one container's grants across ticks within a window.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct UsageWindow {
     /// Core-seconds consumed since the window started.
     cpu_core_secs: f64,

@@ -1,7 +1,5 @@
 //! Scaling actions emitted by the algorithms and applied by the Monitor.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{ContainerId, Cores, Mbps, MemMb, NodeId, ServiceId};
 
 /// One scaling decision.
@@ -9,7 +7,7 @@ use hyscale_cluster::{ContainerId, Cores, Mbps, MemMb, NodeId, ServiceId};
 /// Vertical actions map to `docker update`; `Spawn`/`Remove` are the
 /// horizontal primitives; `SetNetCap` is the `tc` reconfiguration used by
 /// network-aware policies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScalingAction {
     /// Vertically scale a replica: set its CPU request and/or memory
     /// limit (unset fields keep their current value).

@@ -29,8 +29,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{ContainerId, Cores, MemMb, NodeId};
 use hyscale_sim::SimDuration;
 
@@ -39,7 +37,7 @@ use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
 use crate::view::{ClusterView, ServiceView};
 
 /// Parameters of the hybrid algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HyScaleConfig {
     /// CPU target utilization as a fraction of the request (0.5 = 50%).
     pub cpu_target: f64,

@@ -12,8 +12,6 @@
 //! scale-down intervals (3 s / 50 s in the paper's experiments) halt
 //! further rescaling after an operation.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{Cores, MemMb, NodeId};
 use hyscale_sim::SimDuration;
 
@@ -22,7 +20,7 @@ use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
 use crate::view::{ClusterView, ReplicaView, ServiceView};
 
 /// Parameters of the horizontal autoscalers (Kubernetes and Network).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HpaConfig {
     /// Target utilization as a fraction of the request (0.5 = 50%).
     pub target: f64,

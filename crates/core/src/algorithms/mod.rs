@@ -19,8 +19,6 @@ pub use vertical::VerticalOnly;
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::ServiceId;
 use hyscale_sim::{SimDuration, SimTime};
 
@@ -38,7 +36,7 @@ pub trait Autoscaler: std::fmt::Debug + Send {
 }
 
 /// Selects an algorithm by name (the paper's command-line switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// No autoscaling: the initial allocation is left untouched
     /// (used by the Section III manual scaling studies).
@@ -119,7 +117,7 @@ impl Autoscaler for NoScaling {
 /// horizontal operations on that service are halted until the interval
 /// passes — 3 s after a scale-up, 50 s after a scale-down in the paper's
 /// experiments. Vertical scaling is exempt.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RescaleGate {
     up_interval: SimDuration,
     down_interval: SimDuration,

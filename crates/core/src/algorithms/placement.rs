@@ -7,10 +7,8 @@
 //! the spreading behaviour of Kubernetes' scheduler. The `ablation`
 //! binary quantifies the trade-off via busy-node-hours.
 
-use serde::{Deserialize, Serialize};
-
 /// How a scaler chooses among feasible nodes when spawning a replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementPolicy {
     /// Prefer the node with the *most* free CPU (Kubernetes-style
     /// spreading; maximizes per-replica headroom).

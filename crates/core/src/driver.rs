@@ -10,8 +10,6 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{
     Cluster, ClusterConfig, ContainerSpec, FailureKind, NodeId, NodeSpec, ServiceId,
 };
@@ -136,7 +134,7 @@ impl ScenarioConfig {
 }
 
 /// Counts of scaling operations performed during a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScalingCounts {
     /// Vertical (`docker update` / `tc`) operations.
     pub vertical: u64,

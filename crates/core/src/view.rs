@@ -7,13 +7,11 @@
 //! functions of this view makes them unit-testable against hand-built
 //! snapshots, exactly how the paper's equations are written.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{ContainerId, Cores, Mbps, MemMb, NodeId, ServiceId};
 use hyscale_sim::SimTime;
 
 /// One replica's reported usage and current allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaView {
     /// The replica's container.
     pub container: ContainerId,
@@ -68,7 +66,7 @@ fn safe_ratio(num: f64, denom: f64) -> f64 {
 }
 
 /// One service's replicas as seen this period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceView {
     /// The service.
     pub service: ServiceId,
@@ -136,7 +134,7 @@ impl ServiceView {
 }
 
 /// One node's advertised free resources.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeView {
     /// The node.
     pub node: NodeId,
@@ -158,7 +156,7 @@ impl NodeView {
 }
 
 /// The Monitor's full periodic snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterView {
     /// Snapshot time.
     pub now: SimTime,

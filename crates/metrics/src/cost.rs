@@ -6,8 +6,6 @@
 //! allocated core-hours, container-hours (replica overhead), and
 //! busy-node-hours (machines that could not be powered down).
 
-use serde::{Deserialize, Serialize};
-
 /// Integrates resource usage over a run.
 ///
 /// # Example
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(meter.container_hours(), 3.0);
 /// assert_eq!(meter.busy_node_hours(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostMeter {
     core_secs: f64,
     container_secs: f64,

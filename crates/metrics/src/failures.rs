@@ -1,12 +1,10 @@
 //! Request-outcome accounting: completions, removal failures, connection
 //! failures, and the derived availability metrics of Figures 6–8 and 10.
 
-use serde::{Deserialize, Serialize};
-
 use crate::summary::Summary;
 
 /// Counts of failed requests by class (the stacked bars of Fig. 6a/7a/8a).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FailureTally {
     /// Requests aborted because their replica was removed by scale-in.
     pub removal: u64,
@@ -41,7 +39,7 @@ impl std::ops::AddAssign for FailureTally {
 /// Full request-outcome record of one experiment run: how many requests
 /// were issued, completed, and failed, and the response-time distribution
 /// of the completed ones.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RequestOutcomes {
     /// Requests issued by clients.
     pub issued: u64,

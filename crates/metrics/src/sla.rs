@@ -7,13 +7,11 @@
 //! violations and penalties, closing the loop between the autoscalers'
 //! behaviour and the cost savings the paper argues for.
 
-use serde::{Deserialize, Serialize};
-
 use crate::failures::RequestOutcomes;
 
 /// An SLA: a response-time bound, an availability floor, and the
 /// per-violation penalty.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaPolicy {
     /// Requests slower than this violate the SLA, seconds.
     pub response_time_secs: f64,
@@ -65,7 +63,7 @@ impl Default for SlaPolicy {
 }
 
 /// Result of evaluating an [`SlaPolicy`] against a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaReport {
     /// The policy evaluated.
     pub policy: SlaPolicy,

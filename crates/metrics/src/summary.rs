@@ -1,7 +1,5 @@
 //! Streaming summary statistics with exact percentiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulates samples and answers count/mean/min/max/std-dev/percentile
 /// queries.
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.percentile(50.0), 50.5);
 /// assert_eq!(s.percentile(100.0), 100.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     samples: Vec<f64>,
     mean: f64,
@@ -30,7 +28,6 @@ pub struct Summary {
     min: f64,
     max: f64,
     /// Whether `samples` is known to be sorted (lazily maintained).
-    #[serde(skip)]
     sorted: std::cell::Cell<bool>,
 }
 

@@ -1,8 +1,6 @@
 //! Time-series recording for utilization plots (Fig. 9 and the ablation
 //! benches' oscillation analysis).
 
-use serde::{Deserialize, Serialize};
-
 /// A named series of `(seconds, value)` points.
 ///
 /// # Example
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cpu.len(), 3);
 /// assert!((cpu.mean() - 23.333).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     name: String,
     points: Vec<(f64, f64)>,

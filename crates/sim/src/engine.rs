@@ -7,8 +7,6 @@
 //! events (request arrivals, scaling periods) are layered on top via
 //! [`EventQueue`](crate::EventQueue) checked inside the tick body.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimError;
 use crate::time::{SimDuration, SimTime};
 
@@ -41,7 +39,7 @@ pub enum TickOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TickEngine {
     tick: SimDuration,
     horizon: SimTime,

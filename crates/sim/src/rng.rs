@@ -8,8 +8,6 @@
 //! distributions the workload generators need (uniform, exponential,
 //! normal, Poisson, Pareto).
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic random number generator for simulations.
 ///
 /// Cloning a `SimRng` forks the stream: both clones produce the same
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// // The child stream is decorrelated from the parent.
 /// let _ = child.uniform_f64();
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     state: [u64; 4],
 }

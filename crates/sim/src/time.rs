@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Number of microseconds per second, the internal tick unit.
 const MICROS_PER_SEC: u64 = 1_000_000;
 
@@ -27,9 +25,7 @@ const MICROS_PER_SEC: u64 = 1_000_000;
 /// assert_eq!(t.as_secs(), 1.5);
 /// assert_eq!(t - SimTime::from_secs(0.5), SimDuration::from_secs(1.0));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time.
@@ -38,9 +34,7 @@ pub struct SimTime(u64);
 /// subtraction operators saturate at zero rather than panicking so that
 /// metric code computing `now - start` on slightly out-of-order samples is
 /// total.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

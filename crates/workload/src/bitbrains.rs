@@ -20,14 +20,12 @@
 //! this dataset to be applicable to our microservices use case and scaled
 //! it to run on our cluster".
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_sim::SimRng;
 
 use crate::pattern::LoadPattern;
 
 /// One sample row of a GWA-T-12 VM trace.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TraceSample {
     /// Seconds since the trace epoch.
     pub timestamp_secs: f64,
@@ -61,7 +59,7 @@ impl TraceSample {
 }
 
 /// The usage time series of one VM.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct VmTrace {
     /// Identifier (file stem for parsed traces, index for synthetic).
     pub name: String,
@@ -155,7 +153,7 @@ impl VmTrace {
 }
 
 /// Configuration of the synthetic Bitbrains-like generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticTrace {
     /// Number of VMs to generate (the real `Rnd` set has 500).
     pub vms: usize,

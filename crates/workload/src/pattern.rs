@@ -7,12 +7,10 @@
 //! client arrivals as a Poisson process whose rate follows the configured
 //! shape, sampled by thinning.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_sim::{SimRng, SimTime};
 
 /// A time-varying request arrival rate, in requests per second.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadPattern {
     /// Constant rate.
     Constant {
@@ -179,7 +177,7 @@ impl LoadPattern {
 /// (Lewis & Shedler): candidate arrivals are drawn from a homogeneous
 /// Poisson process at the envelope rate and accepted with probability
 /// `rate(t)/peak_rate`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalProcess {
     pattern: LoadPattern,
 }

@@ -7,15 +7,13 @@
 //! construct one per microservice, then call
 //! [`ServiceSpec::make_request`] for each client arrival.
 
-use serde::{Deserialize, Serialize};
-
 use hyscale_cluster::{ContainerSpec, Cores, Mbps, MemMb, Request, ServiceId};
 use hyscale_sim::{SimDuration, SimRng, SimTime};
 
 use crate::pattern::LoadPattern;
 
 /// The resource flavour of a microservice (Sec. VI experimental types).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceProfile {
     /// Consumes CPU time per request.
     CpuBound,
@@ -44,7 +42,7 @@ impl std::fmt::Display for ServiceProfile {
 
 /// One emulated microservice: identity, per-request demands, client load,
 /// and the container template its replicas are launched from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSpec {
     /// The service's identifier.
     pub id: ServiceId,
