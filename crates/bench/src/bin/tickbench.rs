@@ -1,0 +1,164 @@
+//! `tickbench` — steady-state throughput benchmark for the tick engine.
+//!
+//! Drives a synthetic 24-node / 15-service cluster in a busy steady state
+//! (every node ~90% CPU-loaded, modest egress) through `Cluster::advance`
+//! alone — no autoscaler, no load balancer — so the numbers isolate the
+//! simulation hot loop. Runs the scenario twice, serial and with four
+//! worker threads, asserts the two are bit-identical (order-sensitive
+//! completion digest), and writes `BENCH_tick.json` with ticks/sec,
+//! requests/sec, and the speedups over both the serial run and the
+//! pre-rework engine's recorded baseline, so later PRs can be checked
+//! against the trajectory.
+//!
+//! Usage: `cargo run --release -p hyscale-bench --bin tickbench`
+
+use std::time::Instant;
+
+use hyscale_cluster::{
+    Cluster, ClusterConfig, ContainerId, ContainerSpec, Cores, MemMb, NodeSpec, Request, ServiceId,
+    TickReport,
+};
+use hyscale_sim::{SimDuration, SimRng, SimTime};
+
+const NODES: usize = 24;
+const SERVICES: usize = 15;
+const CONTAINERS_PER_NODE: usize = 4;
+const WARMUP_TICKS: usize = 2_000;
+const MEASURED_TICKS: usize = 30_000;
+const PARALLEL_WORKERS: usize = 4;
+
+/// Serial ticks/sec of the pre-rework engine (per-tick allocations, no
+/// idle fast path) on this exact scenario, measured on the reference
+/// machine before the tick-engine rework landed. The acceptance bar for
+/// the rework was >= 2x this figure.
+const BASELINE_TICKS_PER_SEC: f64 = 1480.0;
+
+/// The 24-node / 15-service steady-state scenario: four replicas per node,
+/// services striped round-robin across the replica grid.
+fn build_cluster(parallelism: usize) -> (Cluster, Vec<ContainerId>) {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.set_parallelism(parallelism);
+    let mut containers = Vec::new();
+    for n in 0..NODES {
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        for c in 0..CONTAINERS_PER_NODE {
+            let service = ServiceId::new(((n * CONTAINERS_PER_NODE + c) % SERVICES) as u32);
+            let spec = ContainerSpec::new(service)
+                .with_cpu_request(Cores(1.0))
+                .with_mem_limit(MemMb(512.0))
+                .with_startup_secs(0.0);
+            let id = cluster
+                .start_container(node, spec, SimTime::ZERO)
+                .expect("placement fits");
+            containers.push(id);
+        }
+    }
+    (cluster, containers)
+}
+
+/// Result of driving one engine configuration through the scenario.
+struct RunOutcome {
+    ticks_per_sec: f64,
+    requests_per_sec: f64,
+    /// Order-sensitive digest of every completion (id, response time):
+    /// two configurations are bit-identical iff digests match.
+    checksum: u64,
+}
+
+fn drive(label: &str, parallelism: usize) -> RunOutcome {
+    let (mut cluster, containers) = build_cluster(parallelism);
+    let mut rng = SimRng::seed_from(0x71C2);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let mut next = 0usize;
+    let mut report = TickReport::default();
+
+    let services: Vec<ServiceId> = containers
+        .iter()
+        .map(|&id| cluster.container(id).expect("live").spec().service)
+        .collect();
+
+    let admit = |cluster: &mut Cluster, rng: &mut SimRng, now: SimTime, next: &mut usize| {
+        // One request per container per tick keeps each 4-core node at
+        // roughly 90% CPU: 4 × (0.085 mean cpu_secs + base tax) per 0.4
+        // core-secs of tick capacity.
+        for _ in 0..CONTAINERS_PER_NODE * NODES {
+            let idx = *next % containers.len();
+            let id = containers[idx];
+            let service = services[idx];
+            *next += 1;
+            let cpu_secs = rng.uniform_range(0.07, 0.10);
+            let megabits = rng.uniform_range(0.2, 0.8);
+            let request = Request::new(service, now, cpu_secs, MemMb(8.0), megabits);
+            // Full queues just shed load; the steady state stays steady.
+            let _ = cluster.admit_request(id, request, now);
+        }
+    };
+
+    for _ in 0..WARMUP_TICKS {
+        admit(&mut cluster, &mut rng, now, &mut next);
+        cluster.advance_into(now, dt, &mut report);
+        now += dt;
+    }
+
+    let mut completed = 0u64;
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..MEASURED_TICKS {
+        admit(&mut cluster, &mut rng, now, &mut next);
+        cluster.advance_into(now, dt, &mut report);
+        completed += report.completed.len() as u64;
+        for done in &report.completed {
+            checksum = checksum
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(done.id.index())
+                .wrapping_add(done.response_time.as_secs().to_bits());
+        }
+        now += dt;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let outcome = RunOutcome {
+        ticks_per_sec: MEASURED_TICKS as f64 / elapsed,
+        requests_per_sec: completed as f64 / elapsed,
+        checksum,
+    };
+    println!(
+        "{label:<10} {:>12.0} ticks/s {:>12.0} req/s  (checksum {:016x})",
+        outcome.ticks_per_sec, outcome.requests_per_sec, outcome.checksum
+    );
+    outcome
+}
+
+fn main() {
+    println!(
+        "tickbench: {NODES} nodes x {CONTAINERS_PER_NODE} containers, {SERVICES} services, {MEASURED_TICKS} ticks"
+    );
+    let serial = drive("serial", 1);
+    let parallel = drive("parallel/4", PARALLEL_WORKERS);
+
+    assert_eq!(
+        serial.checksum, parallel.checksum,
+        "parallel engine diverged from serial"
+    );
+    println!("parallel/{PARALLEL_WORKERS} is bit-identical to serial");
+
+    let speedup_parallel = parallel.ticks_per_sec / serial.ticks_per_sec;
+    // On boxes with fewer cores than workers the serial engine wins;
+    // track the trajectory against the best configuration either way.
+    let best = serial.ticks_per_sec.max(parallel.ticks_per_sec);
+    let speedup_vs_baseline = best / BASELINE_TICKS_PER_SEC;
+    println!(
+        "speedup: {speedup_parallel:.2}x over serial, {speedup_vs_baseline:.2}x over pre-rework baseline ({BASELINE_TICKS_PER_SEC:.0} ticks/s)"
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"steady-state {NODES}x{CONTAINERS_PER_NODE} containers, {SERVICES} services\",\n  \"measured_ticks\": {MEASURED_TICKS},\n  \"baseline_ticks_per_sec\": {BASELINE_TICKS_PER_SEC:.1},\n  \"serial\": {{ \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n  \"parallel\": {{ \"workers\": {PARALLEL_WORKERS}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n  \"bit_identical\": true,\n  \"speedup_parallel_vs_serial\": {speedup_parallel:.2},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.2}\n}}\n",
+        serial.ticks_per_sec,
+        serial.requests_per_sec,
+        parallel.ticks_per_sec,
+        parallel.requests_per_sec,
+    );
+    std::fs::write("BENCH_tick.json", json).expect("write BENCH_tick.json");
+    println!("wrote BENCH_tick.json");
+}

@@ -1,18 +1,34 @@
 //! The cluster state machine: placement, `docker update`, admission, and
 //! the per-tick fluid-flow advance.
+//!
+//! # Tick-engine architecture
+//!
+//! The hot loop is built around two properties:
+//!
+//! * **Allocation-free steady state.** All per-tick vectors (demands,
+//!   grants, processor-sharing work lists, per-container usage samples)
+//!   live in reusable [`TickScratch`] buffers owned by the cluster; the
+//!   per-service replica table is a flat `Vec<u32>` indexed by service id;
+//!   nodes that are fully idle take a closed-form fast path that skips the
+//!   allocators entirely.
+//! * **Deterministic node parallelism.** Container state is partitioned
+//!   per node ([`Node`] owns its containers), so a tick can fan the
+//!   per-node work out over scoped threads. Each worker owns a contiguous
+//!   node range plus its own scratch, and worker outputs are merged in
+//!   node order — results are bit-identical to the serial engine at any
+//!   [`Cluster::set_parallelism`] setting.
 
 use hyscale_sim::{SimDuration, SimTime};
 
 use crate::container::{Container, ContainerSpec, ContainerState};
-use crate::cpu::{CpuAllocator, CpuDemand};
+use crate::cpu::{CpuAllocator, CpuDemand, CpuGrant};
 use crate::error::ClusterError;
 use crate::ids::{ContainerId, IdAllocator, NodeId, RequestId, ServiceId};
 use crate::memory::MemoryModel;
-use crate::network::{NetAllocator, NetDemand};
+use crate::network::{NetAllocator, NetDemand, NetGrant, NetScratch};
 use crate::node::{Node, NodeSpec};
-use crate::overhead::OverheadModel;
 use crate::request::{CompletedRequest, FailedRequest, FailureKind, InFlight, Request};
-use crate::stats::{ContainerUsage, NodeUsage, UsageWindow};
+use crate::stats::{ContainerUsage, NodeUsage};
 use crate::{Cores, MemMb};
 
 /// Global configuration of the cluster model.
@@ -22,6 +38,8 @@ pub struct ClusterConfig {
     pub overheads: OverheadModel,
 }
 
+use crate::overhead::OverheadModel;
+
 /// What happened during one tick of the fluid model.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickReport {
@@ -29,6 +47,66 @@ pub struct TickReport {
     pub completed: Vec<CompletedRequest>,
     /// Requests that failed during the tick (timeouts).
     pub failed: Vec<FailedRequest>,
+}
+
+/// Time constant of the working-set throughput average (seconds).
+const THROUGHPUT_TAU_SECS: f64 = 20.0;
+
+/// Where a container lives: which entry of `Cluster::nodes` hosts it and
+/// which slot of that node's container storage it occupies. Indexed by
+/// [`ContainerId`].
+#[derive(Debug, Clone, Copy)]
+struct ContainerLoc {
+    node: u32,
+    slot: u32,
+}
+
+/// Reusable per-worker buffers for [`advance_node`]: every per-tick vector
+/// the hot loop needs, allocated once and recycled each tick so the steady
+/// state performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct TickScratch {
+    /// Slot indices of the current node's live containers, in placement
+    /// order (the same order the old live-id list had).
+    live: Vec<usize>,
+    slowdowns: Vec<f64>,
+    swapping: Vec<bool>,
+    cpu_demands: Vec<CpuDemand>,
+    cpu_grants: Vec<CpuGrant>,
+    net_demands: Vec<NetDemand>,
+    net_grants: Vec<NetGrant>,
+    disk_demands: Vec<CpuDemand>,
+    disk_grants: Vec<CpuGrant>,
+    /// Processor-sharing work lists (request indices wanting CPU, network
+    /// and disk), stored flat with per-container ranges in
+    /// `wanting_ranges` and compacted in place between PS rounds.
+    cpu_wanting: Vec<u32>,
+    net_wanting: Vec<u32>,
+    disk_wanting: Vec<u32>,
+    /// `[cpu, net, disk]` start offsets of each live container's slice of
+    /// the wanting lists (the end is the next container's start).
+    wanting_ranges: Vec<[u32; 3]>,
+    /// Water-filling work list shared by the CPU and disk allocators.
+    outstanding: Vec<(usize, f64)>,
+    net_scratch: NetScratch,
+    /// Completions staged per worker, merged into the report in node order.
+    completed: Vec<CompletedRequest>,
+    /// Failures staged per worker, merged into the report in node order.
+    failed: Vec<FailedRequest>,
+}
+
+/// Immutable per-tick inputs shared (read-only) by every node worker.
+struct TickCtx<'a> {
+    config: &'a ClusterConfig,
+    mem_model: &'a MemoryModel,
+    net_alloc: &'a NetAllocator,
+    /// Live non-antagonist replicas per service, indexed by service id.
+    /// Services beyond the table (or with a zero entry) count as 1, the
+    /// same default the old per-tick hash map produced.
+    replica_counts: &'a [u32],
+    now: SimTime,
+    end: SimTime,
+    dt_secs: f64,
 }
 
 /// The simulated cluster: nodes, containers, and in-flight work.
@@ -47,13 +125,21 @@ pub struct TickReport {
 pub struct Cluster {
     config: ClusterConfig,
     nodes: Vec<Node>,
-    containers: Vec<Container>,
-    windows: Vec<UsageWindow>,
+    /// Container id → (node, slot) location table. Removed containers keep
+    /// their entry (their slot becomes a tombstone) so id lookups keep
+    /// working after `docker rm`.
+    locs: Vec<ContainerLoc>,
     node_ids: IdAllocator,
     container_ids: IdAllocator,
     request_ids: IdAllocator,
     mem_model: MemoryModel,
     net_alloc: NetAllocator,
+    /// How many OS threads a tick may use (1 = serial).
+    parallelism: usize,
+    /// One scratch buffer per worker.
+    scratch: Vec<TickScratch>,
+    /// Reused per-tick replica table, indexed by service id.
+    replica_counts: Vec<u32>,
 }
 
 impl Cluster {
@@ -64,17 +150,34 @@ impl Cluster {
             net_alloc: NetAllocator::new(config.overheads),
             config,
             nodes: Vec::new(),
-            containers: Vec::new(),
-            windows: Vec::new(),
+            locs: Vec::new(),
             node_ids: IdAllocator::default(),
             container_ids: IdAllocator::default(),
             request_ids: IdAllocator::default(),
+            parallelism: 1,
+            scratch: vec![TickScratch::default()],
+            replica_counts: Vec::new(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Sets how many OS threads [`Cluster::advance`] may use to tick nodes
+    /// (clamped to at least 1; the default is 1, i.e. serial). Because
+    /// nodes share no mutable state within a tick and worker outputs are
+    /// merged in node order, results are bit-identical at any setting.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+        self.scratch
+            .resize_with(self.parallelism, TickScratch::default);
+    }
+
+    /// The configured tick parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Adds a node and returns its identifier.
@@ -131,13 +234,19 @@ impl Cluster {
 
     /// Looks up a container (including removed ones).
     pub fn container(&self, id: ContainerId) -> Option<&Container> {
-        self.containers.get(id.as_usize())
+        let loc = self.locs.get(id.as_usize())?;
+        self.nodes
+            .get(loc.node as usize)?
+            .slots
+            .get(loc.slot as usize)
     }
 
-    /// Iterates over containers that have not been removed.
+    /// Iterates over containers that have not been removed, in creation
+    /// order.
     pub fn containers(&self) -> impl Iterator<Item = &Container> {
-        self.containers
+        self.locs
             .iter()
+            .map(|loc| &self.nodes[loc.node as usize].slots[loc.slot as usize])
             .filter(|c| c.state() != ContainerState::Removed)
     }
 
@@ -160,8 +269,7 @@ impl Cluster {
         let n = self.node(node).ok_or(ClusterError::UnknownNode(node))?;
         let mut cpu = n.spec().cores;
         let mut mem = n.spec().memory;
-        for &cid in n.containers() {
-            let c = &self.containers[cid.as_usize()];
+        for c in &n.slots {
             if c.state() != ContainerState::Removed {
                 cpu -= c.spec().cpu_request;
                 mem -= c.spec().mem_limit;
@@ -190,9 +298,14 @@ impl Cluster {
         }
         spec.validate().map_err(ClusterError::InvalidSpec)?;
         let id = ContainerId::new(self.container_ids.next_u32());
-        self.containers.push(Container::new(id, node, spec, now));
-        self.windows.push(UsageWindow::new());
-        self.nodes[node.as_usize()].attach(id);
+        debug_assert_eq!(self.locs.len(), id.as_usize());
+        let entry = &mut self.nodes[node.as_usize()];
+        self.locs.push(ContainerLoc {
+            node: node.index(),
+            slot: entry.slots.len() as u32,
+        });
+        entry.slots.push(Container::new(id, node, spec, now));
+        entry.attach(id);
         Ok(id)
     }
 
@@ -209,8 +322,7 @@ impl Cluster {
         now: SimTime,
     ) -> Result<Vec<FailedRequest>, ClusterError> {
         let c = self
-            .containers
-            .get_mut(id.as_usize())
+            .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
         if c.state() == ContainerState::Removed {
             return Err(ClusterError::UnknownContainer(id));
@@ -283,8 +395,7 @@ impl Cluster {
     ) -> Result<RequestId, ClusterError> {
         let req_id = RequestId::new(self.request_ids.next_u64());
         let c = self
-            .containers
-            .get_mut(id.as_usize())
+            .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
         if c.spec().antagonist || !c.live(now) {
             return Err(ClusterError::NotAccepting(id));
@@ -298,31 +409,90 @@ impl Cluster {
 
     /// Advances the fluid model by one tick starting at `now` and lasting
     /// `dt`. Returns the requests that completed or timed out.
+    ///
+    /// This is a convenience wrapper over [`Cluster::advance_into`]; hot
+    /// callers should reuse a [`TickReport`] instead.
     pub fn advance(&mut self, now: SimTime, dt: SimDuration) -> TickReport {
-        let dt_secs = dt.as_secs();
-        let end = now + dt;
         let mut report = TickReport::default();
+        self.advance_into(now, dt, &mut report);
+        report
+    }
+
+    /// Advances the fluid model by one tick, writing the completions and
+    /// failures into `report` (cleared first). With
+    /// [`Cluster::set_parallelism`] above 1, nodes are ticked on scoped
+    /// worker threads; each worker owns a contiguous node range and its
+    /// own scratch buffers, and outputs are merged in node order, so the
+    /// report is bit-identical to a serial run.
+    pub fn advance_into(&mut self, now: SimTime, dt: SimDuration, report: &mut TickReport) {
+        report.completed.clear();
+        report.failed.clear();
+        let dt_secs = dt.as_secs();
         if dt_secs <= 0.0 {
-            return report;
+            return;
         }
+        let end = now + dt;
 
-        for c in &mut self.containers {
-            c.mark_running_if_ready(now);
-        }
-
-        // Cache replica counts per service for fan-out latency.
-        let mut replica_counts: std::collections::HashMap<ServiceId, usize> =
-            std::collections::HashMap::new();
-        for c in self.containers.iter() {
-            if c.state() != ContainerState::Removed && !c.spec().antagonist {
-                *replica_counts.entry(c.service()).or_insert(0) += 1;
+        // Serial prepass: lifecycle transitions plus the per-service
+        // replica table that prices fan-out latency.
+        self.replica_counts.clear();
+        for node in &mut self.nodes {
+            for c in &mut node.slots {
+                c.mark_running_if_ready(now);
+                if c.state() != ContainerState::Removed && !c.spec().antagonist {
+                    let idx = c.service().as_usize();
+                    if idx >= self.replica_counts.len() {
+                        self.replica_counts.resize(idx + 1, 0);
+                    }
+                    self.replica_counts[idx] += 1;
+                }
             }
         }
 
-        for node_idx in 0..self.nodes.len() {
-            self.advance_node(node_idx, now, end, dt_secs, &replica_counts, &mut report);
+        let nodes = &mut self.nodes;
+        let scratch_pool = &mut self.scratch;
+        let ctx = TickCtx {
+            config: &self.config,
+            mem_model: &self.mem_model,
+            net_alloc: &self.net_alloc,
+            replica_counts: &self.replica_counts,
+            now,
+            end,
+            dt_secs,
+        };
+
+        let workers = self.parallelism.min(nodes.len()).max(1);
+        if workers <= 1 {
+            let scratch = &mut scratch_pool[0];
+            for node in nodes.iter_mut() {
+                advance_node(node, &ctx, scratch);
+            }
+            report.completed.append(&mut scratch.completed);
+            report.failed.append(&mut scratch.failed);
+            return;
         }
-        report
+
+        // ceil(len / workers)-sized contiguous chunks: at most `workers`
+        // of them, so the scratch pool (sized by set_parallelism) always
+        // covers every chunk.
+        let chunk = nodes.len().div_ceil(workers);
+        debug_assert!(nodes.len().div_ceil(chunk) <= scratch_pool.len());
+        std::thread::scope(|scope| {
+            for (chunk_nodes, scratch) in nodes.chunks_mut(chunk).zip(scratch_pool.iter_mut()) {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    for node in chunk_nodes {
+                        advance_node(node, ctx, scratch);
+                    }
+                });
+            }
+        });
+        // Workers held contiguous node ranges in pool order, so appending
+        // their buffers in pool order reproduces the serial append order.
+        for scratch in scratch_pool.iter_mut() {
+            report.completed.append(&mut scratch.completed);
+            report.failed.append(&mut scratch.failed);
+        }
     }
 
     /// Snapshot (and reset) the usage windows of every container on a
@@ -335,16 +505,20 @@ impl Cluster {
         if self.node(node).is_none() {
             return Err(ClusterError::UnknownNode(node));
         }
-        let ids: Vec<ContainerId> = self.nodes[node.as_usize()].containers().to_vec();
+        let n = &mut self.nodes[node.as_usize()];
         let mut usage = NodeUsage {
             node,
             cpu_used: Cores::ZERO,
             mem_used: MemMb::ZERO,
             net_used: crate::Mbps::ZERO,
-            containers: Vec::with_capacity(ids.len()),
+            containers: Vec::with_capacity(n.containers().len()),
         };
-        for id in ids {
-            let sample = self.windows[id.as_usize()].snapshot_and_reset(id);
+        for c in &mut n.slots {
+            if c.state() == ContainerState::Removed {
+                continue;
+            }
+            let id = c.id();
+            let sample = c.window.snapshot_and_reset(id);
             usage.cpu_used += sample.cpu_used;
             usage.mem_used += sample.mem_used;
             usage.net_used += sample.net_used;
@@ -355,308 +529,440 @@ impl Cluster {
 
     /// Peeks at one container's usage window without resetting it.
     pub fn container_usage(&self, id: ContainerId) -> Option<ContainerUsage> {
-        self.windows.get(id.as_usize()).map(|w| w.peek(id))
+        self.container(id).map(|c| c.window.peek(id))
+    }
+
+    fn slot_mut(&mut self, id: ContainerId) -> Option<&mut Container> {
+        let loc = *self.locs.get(id.as_usize())?;
+        self.nodes
+            .get_mut(loc.node as usize)?
+            .slots
+            .get_mut(loc.slot as usize)
     }
 
     fn live_container_mut(&mut self, id: ContainerId) -> Result<&mut Container, ClusterError> {
         let c = self
-            .containers
-            .get_mut(id.as_usize())
+            .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
         if c.state() == ContainerState::Removed {
             return Err(ClusterError::UnknownContainer(id));
         }
         Ok(c)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn advance_node(
-        &mut self,
-        node_idx: usize,
-        now: SimTime,
-        end: SimTime,
-        dt_secs: f64,
-        replica_counts: &std::collections::HashMap<ServiceId, usize>,
-        report: &mut TickReport,
-    ) {
-        let node_spec = *self.nodes[node_idx].spec();
-        let ids: Vec<ContainerId> = self.nodes[node_idx].containers().to_vec();
-        if ids.is_empty() {
-            return;
+/// Closed-form water-filling for the all-idle case, where every demand is
+/// a container's base CPU tax: if every positive-weight demand fits inside
+/// its round-1 fair share, the full allocator would terminate after one
+/// round granting exactly the demand — so grant it directly (and split any
+/// leftover among zero-weight demanders, as phase 2 would). Returns
+/// `false` when the one-round solution does not apply, in which case the
+/// caller must run the full allocator. Grants are bit-identical to
+/// [`CpuAllocator::allocate`] whenever this returns `true`.
+fn idle_grants(capacity: f64, demands: &[CpuDemand], grants: &mut Vec<CpuGrant>) -> bool {
+    grants.clear();
+    grants.extend(demands.iter().map(|d| CpuGrant {
+        container: d.container,
+        granted: 0.0,
+    }));
+    if capacity <= 1e-12 {
+        // The allocator's epsilon: below it neither phase grants anything.
+        return true;
+    }
+    let total_weight: f64 = demands
+        .iter()
+        .filter(|d| d.demand > 0.0 && d.weight > 0.0)
+        .map(|d| d.weight)
+        .sum();
+    let mut remaining = capacity;
+    if total_weight > 0.0 {
+        // Round-1 feasibility: every weighted demand must fit its fair
+        // share, otherwise the allocator would iterate.
+        for d in demands {
+            if d.demand > 0.0 && d.weight > 0.0 && d.demand > capacity * d.weight / total_weight {
+                return false;
+            }
         }
-
-        // --- Memory pressure per container ------------------------------
-        let mut slowdowns: Vec<f64> = Vec::with_capacity(ids.len());
-        let mut swapping: Vec<bool> = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let c = &self.containers[id.as_usize()];
-            let pressure = self
-                .mem_model
-                .pressure(c.resident_mem(), c.spec().mem_limit);
-            slowdowns.push(pressure.slowdown);
-            swapping.push(pressure.is_swapping());
+        for (i, d) in demands.iter().enumerate() {
+            if d.demand > 0.0 && d.weight > 0.0 {
+                grants[i].granted = d.demand;
+                remaining -= d.demand;
+            }
         }
+    }
+    if remaining > 1e-12 {
+        let zero_weight = demands
+            .iter()
+            .filter(|d| d.weight <= 0.0 && d.demand > 0.0)
+            .count();
+        if zero_weight > 0 {
+            let share = remaining / zero_weight as f64;
+            for (i, d) in demands.iter().enumerate() {
+                if d.weight <= 0.0 && d.demand > 0.0 {
+                    grants[i].granted = share.min(d.demand);
+                }
+            }
+        }
+    }
+    true
+}
 
-        // --- CPU demands -------------------------------------------------
-        let mut cpu_demands: Vec<CpuDemand> = Vec::with_capacity(ids.len());
-        for (i, &id) in ids.iter().enumerate() {
-            let c = &self.containers[id.as_usize()];
-            let demand = if !c.live(now) {
-                0.0
-            } else if c.spec().antagonist {
-                // Stress containers try to hog the whole machine.
-                node_spec.cores.get() * dt_secs
+/// Advances one node by one tick. Free function over `&mut Node` so the
+/// parallel engine can fan nodes out across scoped threads; all shared
+/// inputs are read-only in [`TickCtx`] and all temporaries live in the
+/// worker's [`TickScratch`].
+fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
+    let node_spec = *node.spec();
+    let TickScratch {
+        live,
+        slowdowns,
+        swapping,
+        cpu_demands,
+        cpu_grants,
+        net_demands,
+        net_grants,
+        disk_demands,
+        disk_grants,
+        cpu_wanting,
+        net_wanting,
+        disk_wanting,
+        wanting_ranges,
+        outstanding,
+        net_scratch,
+        completed,
+        failed,
+    } = scratch;
+
+    // Live containers on this node, in placement order; also detect the
+    // idle fast-path precondition (nothing in flight, no active hog).
+    live.clear();
+    let mut idle = true;
+    for (slot, c) in node.slots.iter().enumerate() {
+        if c.state() == ContainerState::Removed {
+            continue;
+        }
+        live.push(slot);
+        if !c.in_flight.is_empty() || (c.spec().antagonist && c.live(ctx.now)) {
+            idle = false;
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // --- Pressure + demands: one fused pass per container -------------
+    // CPU, network, and disk demands (and the PS work lists the apply
+    // phases consume) all derive from fields no earlier phase mutates
+    // (`cpu_remaining` / `megabits_remaining` / `disk_remaining` are
+    // each touched only by their own PS phase), so computing them in one
+    // sweep over `in_flight` — right after the memory-pressure sweep of
+    // the same container, while its requests are cache-hot — is
+    // bit-identical to the phase-major order.
+    slowdowns.clear();
+    swapping.clear();
+    cpu_demands.clear();
+    net_demands.clear();
+    disk_demands.clear();
+    cpu_wanting.clear();
+    net_wanting.clear();
+    disk_wanting.clear();
+    wanting_ranges.clear();
+    for &s in live.iter() {
+        let c = &node.slots[s];
+        let pressure = ctx.mem_model.pressure(c.resident_mem(), c.spec().mem_limit);
+        slowdowns.push(pressure.slowdown);
+        swapping.push(pressure.is_swapping());
+        wanting_ranges.push([
+            cpu_wanting.len() as u32,
+            net_wanting.len() as u32,
+            disk_wanting.len() as u32,
+        ]);
+        let (cpu_demand, (net_demand, flows), disk_demand) = if !c.live(ctx.now) {
+            (0.0, (0.0, 0), 0.0)
+        } else if c.spec().antagonist {
+            // Stress containers try to hog the whole machine; a network
+            // antagonist opens a handful of bulk streams.
+            let net = if c.spec().net_request.get() > 0.0 {
+                (node_spec.nic.get() * ctx.dt_secs, 4)
             } else {
-                // A swapping container is IO-bound: each request stalls on
-                // page faults and can use at most dt/slowdown of CPU time,
-                // leaving the CPU idle (not hogged) while it thrashes.
-                let base = c.spec().base_cpu.get() * dt_secs;
-                let thread_budget = dt_secs / slowdowns[i];
-                let requests: f64 = c
-                    .in_flight
-                    .iter()
-                    .filter(|r| r.wants_cpu())
-                    .map(|r| r.cpu_remaining.min(thread_budget))
-                    .sum();
-                base + requests
-            };
-            cpu_demands.push(CpuDemand::new(id, demand, c.spec().cpu_request.get()));
-        }
-        let active = cpu_demands.iter().filter(|d| d.demand > 1e-12).count();
-        let capacity =
-            node_spec.cores.get() * dt_secs * self.config.overheads.cpu_contention_factor(active);
-        let cpu_grants = CpuAllocator::allocate(capacity, &cpu_demands);
-
-        // --- Apply CPU progress -------------------------------------------
-        let mut cpu_used: Vec<f64> = vec![0.0; ids.len()];
-        for (i, grant) in cpu_grants.iter().enumerate() {
-            let id = ids[i];
-            let c = &mut self.containers[id.as_usize()];
-            if grant.granted <= 0.0 {
-                continue;
-            }
-            cpu_used[i] = grant.granted;
-            if c.spec().antagonist {
-                c.cpu_used_total += grant.granted;
-                continue;
-            }
-            let base = (c.spec().base_cpu.get() * dt_secs).min(grant.granted);
-            let mut budget = grant.granted - base;
-            c.cpu_used_total += grant.granted;
-            // Processor sharing among requests that still want CPU:
-            // round-robin equal split, honouring each request's per-tick
-            // single-thread bound.
-            let mut wanting: Vec<usize> = (0..c.in_flight.len())
-                .filter(|&r| c.in_flight[r].wants_cpu())
-                .collect();
-            let thread_budget = dt_secs / slowdowns[i];
-            let mut rounds = 0;
-            while budget > 1e-12 && !wanting.is_empty() && rounds < 32 {
-                rounds += 1;
-                let share = budget / wanting.len() as f64;
-                let mut still = Vec::with_capacity(wanting.len());
-                for &r in &wanting {
-                    let inflight = &mut c.in_flight[r];
-                    let need = inflight.cpu_remaining.min(thread_budget);
-                    let take = share.min(need);
-                    inflight.cpu_remaining = (inflight.cpu_remaining - take).max(0.0);
-                    budget -= take;
-                    if inflight.wants_cpu() && take >= need - 1e-12 {
-                        // hit its single-thread (stall-limited) bound
-                    } else if inflight.wants_cpu() {
-                        still.push(r);
-                    }
-                }
-                if still.len() == wanting.len() {
-                    break;
-                }
-                wanting = still;
-            }
-        }
-
-        // --- Network demands ----------------------------------------------
-        let mut net_demands: Vec<NetDemand> = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let c = &self.containers[id.as_usize()];
-            let (demand, flows) = if !c.live(now) {
                 (0.0, 0)
-            } else if c.spec().antagonist {
-                if c.spec().net_request.get() > 0.0 {
-                    // A stress container opens a handful of bulk streams.
-                    (node_spec.nic.get() * dt_secs, 4)
-                } else {
-                    (0.0, 0)
-                }
-            } else {
-                let wanting = c.in_flight.iter().filter(|r| r.wants_net());
-                let (sum, count) =
-                    wanting.fold((0.0, 0usize), |(s, n), r| (s + r.megabits_remaining, n + 1));
-                let flows = match c.spec().net_flow_pool {
-                    Some(pool) => count.min(pool.max(1)),
-                    None => count,
-                };
-                (sum, flows)
             };
-            let mut nd =
-                NetDemand::new(id, demand, c.spec().net_request.get()).with_flows(flows.max(1));
-            if let Some(cap) = c.spec().net_cap {
-                nd = nd.with_tc_cap(cap, dt_secs);
-            }
-            net_demands.push(nd);
-        }
-        let net_grants = self
-            .net_alloc
-            .allocate(node_spec.nic, dt_secs, &net_demands);
-
-        // --- Apply network progress -----------------------------------------
-        let mut net_sent: Vec<f64> = vec![0.0; ids.len()];
-        for (i, grant) in net_grants.iter().enumerate() {
-            let id = ids[i];
-            let c = &mut self.containers[id.as_usize()];
-            if grant.megabits <= 0.0 {
-                continue;
-            }
-            net_sent[i] = grant.megabits;
-            c.megabits_sent_total += grant.megabits;
-            if c.spec().antagonist {
-                continue;
-            }
-            let mut budget = grant.megabits;
-            let mut wanting: Vec<usize> = (0..c.in_flight.len())
-                .filter(|&r| c.in_flight[r].wants_net())
-                .collect();
-            let mut rounds = 0;
-            while budget > 1e-9 && !wanting.is_empty() && rounds < 32 {
-                rounds += 1;
-                let share = budget / wanting.len() as f64;
-                let mut still = Vec::with_capacity(wanting.len());
-                for &r in &wanting {
-                    let inflight = &mut c.in_flight[r];
-                    let take = share.min(inflight.megabits_remaining);
-                    inflight.megabits_remaining -= take;
-                    budget -= take;
-                    if inflight.wants_net() {
-                        still.push(r);
-                    }
+            (node_spec.cores.get() * ctx.dt_secs, net, 0.0)
+        } else {
+            // A swapping container is IO-bound: each request stalls on
+            // page faults and can use at most dt/slowdown of CPU time,
+            // leaving the CPU idle (not hogged) while it thrashes.
+            let base = c.spec().base_cpu.get() * ctx.dt_secs;
+            let thread_budget = ctx.dt_secs / pressure.slowdown;
+            let mut cpu_sum = 0.0;
+            let mut net_sum = 0.0;
+            let mut net_count = 0usize;
+            let mut disk_sum = 0.0;
+            for (r, inflight) in c.in_flight.iter().enumerate() {
+                if inflight.wants_cpu() {
+                    cpu_sum += inflight.cpu_remaining.min(thread_budget);
+                    cpu_wanting.push(r as u32);
                 }
-                if still.len() == wanting.len() {
-                    break;
+                if inflight.wants_net() {
+                    net_sum += inflight.megabits_remaining;
+                    net_count += 1;
+                    net_wanting.push(r as u32);
                 }
-                wanting = still;
+                if inflight.wants_disk() {
+                    disk_sum += inflight.disk_remaining;
+                    disk_wanting.push(r as u32);
+                }
             }
+            let flows = match c.spec().net_flow_pool {
+                Some(pool) => net_count.min(pool.max(1)),
+                None => net_count,
+            };
+            (base + cpu_sum, (net_sum, flows), disk_sum)
+        };
+        cpu_demands.push(CpuDemand::new(
+            c.id(),
+            cpu_demand,
+            c.spec().cpu_request.get(),
+        ));
+        let mut nd =
+            NetDemand::new(c.id(), net_demand, c.spec().net_request.get()).with_flows(flows.max(1));
+        if let Some(cap) = c.spec().net_cap {
+            nd = nd.with_tc_cap(cap, ctx.dt_secs);
         }
+        net_demands.push(nd);
+        disk_demands.push(CpuDemand::new(c.id(), disk_demand, 1.0));
+    }
+    let active = cpu_demands.iter().filter(|d| d.demand > 1e-12).count();
+    let capacity =
+        node_spec.cores.get() * ctx.dt_secs * ctx.config.overheads.cpu_contention_factor(active);
 
-        // --- Disk traffic ----------------------------------------------------
-        // Disk bandwidth is a per-node pool shared max-min fairly among
-        // containers with outstanding disk traffic (equal weights — the
-        // kernel's block-layer fairness), reusing the water-filling
-        // allocator. This is the paper's named future-work resource type.
-        let mut disk_demands: Vec<CpuDemand> = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let c = &self.containers[id.as_usize()];
-            let demand = if !c.live(now) || c.spec().antagonist {
+    // --- Idle fast path ----------------------------------------------
+    // With nothing in flight the only physics left are the base CPU tax,
+    // EWMA decay, and usage-window bookkeeping: network and disk demands
+    // are all zero (granting zero), no request can progress, complete, or
+    // time out. Skip the three allocators and the apply/completion scans.
+    if idle && idle_grants(capacity, cpu_demands, cpu_grants) {
+        for (i, &s) in live.iter().enumerate() {
+            let c = &mut node.slots[s];
+            let granted = cpu_grants[i].granted;
+            let used = if granted > 0.0 {
+                c.cpu_used_total += granted;
+                granted
+            } else {
                 0.0
-            } else {
-                c.in_flight
-                    .iter()
-                    .filter(|r| r.wants_disk())
-                    .map(|r| r.disk_remaining)
-                    .sum()
             };
-            disk_demands.push(CpuDemand::new(id, demand, 1.0));
+            c.record_throughput(0, ctx.dt_secs, THROUGHPUT_TAU_SECS);
+            let resident = c.resident_mem_with(0.0);
+            c.window
+                .record_tick(ctx.dt_secs, used, 0.0, 0.0, resident, 0, swapping[i]);
         }
-        let disk_capacity = node_spec.disk.get().max(0.0) * dt_secs;
-        let disk_grants = CpuAllocator::allocate(disk_capacity, &disk_demands);
-        let mut disk_done: Vec<f64> = vec![0.0; ids.len()];
-        for (i, grant) in disk_grants.iter().enumerate() {
-            let id = ids[i];
-            let c = &mut self.containers[id.as_usize()];
-            if grant.granted <= 0.0 {
-                continue;
+        return;
+    }
+
+    // --- Allocations (node-level; no container state is read) ----------
+    CpuAllocator::allocate_into(capacity, cpu_demands, cpu_grants, outstanding);
+    ctx.net_alloc.allocate_into(
+        node_spec.nic,
+        ctx.dt_secs,
+        net_demands,
+        net_grants,
+        net_scratch,
+    );
+    // Disk bandwidth is a per-node pool shared max-min fairly among
+    // containers with outstanding disk traffic (equal weights — the
+    // kernel's block-layer fairness), reusing the water-filling
+    // allocator. This is the paper's named future-work resource type.
+    let disk_capacity = node_spec.disk.get().max(0.0) * ctx.dt_secs;
+    CpuAllocator::allocate_into(disk_capacity, disk_demands, disk_grants, outstanding);
+
+    // --- Apply progress, container-major --------------------------------
+    // Once the three grant vectors are fixed, containers are independent:
+    // running every phase (CPU PS, net PS, disk PS, completion scan) for
+    // one container before moving to the next reorders only operations on
+    // disjoint state, so it is bit-identical to the phase-major order —
+    // while each container's requests stay cache-resident across its four
+    // sub-sweeps. Completions still append in container placement order.
+    for (i, &s) in live.iter().enumerate() {
+        let c = &mut node.slots[s];
+        let next = wanting_ranges.get(i + 1);
+
+        // CPU: processor sharing among requests that still want CPU —
+        // round-robin equal split, honouring each request's per-tick
+        // single-thread bound. The initial work list came from the fused
+        // demand pass (CPU progress hasn't been applied since).
+        let granted = cpu_grants[i].granted;
+        let mut used_cpu = 0.0;
+        if granted > 0.0 {
+            used_cpu = granted;
+            c.cpu_used_total += granted;
+            if !c.spec().antagonist {
+                let base = (c.spec().base_cpu.get() * ctx.dt_secs).min(granted);
+                let mut budget = granted - base;
+                let start = wanting_ranges[i][0] as usize;
+                let end = next.map_or(cpu_wanting.len(), |r| r[0] as usize);
+                let wanting = &mut cpu_wanting[start..end];
+                let thread_budget = ctx.dt_secs / slowdowns[i];
+                let mut rounds = 0;
+                let mut count = wanting.len();
+                while budget > 1e-12 && count > 0 && rounds < 32 {
+                    rounds += 1;
+                    let share = budget / count as f64;
+                    let mut keep = 0usize;
+                    for idx in 0..count {
+                        let r = wanting[idx];
+                        let inflight = &mut c.in_flight[r as usize];
+                        let need = inflight.cpu_remaining.min(thread_budget);
+                        let take = share.min(need);
+                        inflight.cpu_remaining = (inflight.cpu_remaining - take).max(0.0);
+                        budget -= take;
+                        if inflight.wants_cpu() && take >= need - 1e-12 {
+                            // hit its single-thread (stall-limited) bound
+                        } else if inflight.wants_cpu() {
+                            wanting[keep] = r;
+                            keep += 1;
+                        }
+                    }
+                    if keep == count {
+                        break;
+                    }
+                    count = keep;
+                }
             }
-            disk_done[i] = grant.granted;
-            let mut budget = grant.granted;
-            let mut wanting: Vec<usize> = (0..c.in_flight.len())
-                .filter(|&r| c.in_flight[r].wants_disk())
-                .collect();
+        }
+
+        // Network.
+        let granted = net_grants[i].megabits;
+        let mut used_net = 0.0;
+        if granted > 0.0 {
+            used_net = granted;
+            c.megabits_sent_total += granted;
+            if !c.spec().antagonist {
+                let mut budget = granted;
+                let start = wanting_ranges[i][1] as usize;
+                let end = next.map_or(net_wanting.len(), |r| r[1] as usize);
+                let wanting = &mut net_wanting[start..end];
+                let mut rounds = 0;
+                let mut count = wanting.len();
+                while budget > 1e-9 && count > 0 && rounds < 32 {
+                    rounds += 1;
+                    let share = budget / count as f64;
+                    let mut keep = 0usize;
+                    for idx in 0..count {
+                        let r = wanting[idx];
+                        let inflight = &mut c.in_flight[r as usize];
+                        let take = share.min(inflight.megabits_remaining);
+                        inflight.megabits_remaining -= take;
+                        budget -= take;
+                        if inflight.wants_net() {
+                            wanting[keep] = r;
+                            keep += 1;
+                        }
+                    }
+                    if keep == count {
+                        break;
+                    }
+                    count = keep;
+                }
+            }
+        }
+
+        // Disk.
+        let granted = disk_grants[i].granted;
+        let mut used_disk = 0.0;
+        if granted > 0.0 {
+            used_disk = granted;
+            let mut budget = granted;
+            let start = wanting_ranges[i][2] as usize;
+            let end = next.map_or(disk_wanting.len(), |r| r[2] as usize);
+            let wanting = &mut disk_wanting[start..end];
             let mut rounds = 0;
-            while budget > 1e-9 && !wanting.is_empty() && rounds < 32 {
+            let mut count = wanting.len();
+            while budget > 1e-9 && count > 0 && rounds < 32 {
                 rounds += 1;
-                let share = budget / wanting.len() as f64;
-                let mut still = Vec::with_capacity(wanting.len());
-                for &r in &wanting {
-                    let inflight = &mut c.in_flight[r];
+                let share = budget / count as f64;
+                let mut keep = 0usize;
+                for idx in 0..count {
+                    let r = wanting[idx];
+                    let inflight = &mut c.in_flight[r as usize];
                     let take = share.min(inflight.disk_remaining);
                     inflight.disk_remaining -= take;
                     budget -= take;
                     if inflight.wants_disk() {
-                        still.push(r);
+                        wanting[keep] = r;
+                        keep += 1;
                     }
                 }
-                if still.len() == wanting.len() {
+                if keep == count {
                     break;
                 }
-                wanting = still;
+                count = keep;
             }
         }
 
-        // --- Completions, timeouts, stats ------------------------------------
-        /// Time constant of the working-set throughput average (seconds).
-        const THROUGHPUT_TAU_SECS: f64 = 20.0;
-        for (i, &id) in ids.iter().enumerate() {
-            let fanout = {
-                let c = &self.containers[id.as_usize()];
-                let replicas = replica_counts.get(&c.service()).copied().unwrap_or(1);
-                // Stateless fan-out (log) plus, for stateful services,
-                // a linear state-synchronization cost per extra replica.
-                self.config.overheads.fanout_latency_secs(replicas)
-                    + c.spec().coordination_secs * replicas.saturating_sub(1) as f64
+        // Completions, timeouts, stats.
+        let replicas = ctx
+            .replica_counts
+            .get(c.service().as_usize())
+            .copied()
+            .unwrap_or(0)
+            .max(1) as usize;
+        // Stateless fan-out (log) plus, for stateful services, a linear
+        // state-synchronization cost per extra replica.
+        let fanout = ctx.config.overheads.fanout_latency_secs(replicas)
+            + c.spec().coordination_secs * replicas.saturating_sub(1) as f64;
+        let id = c.id();
+        let mut completed_this_tick = 0usize;
+        // Per-request memory of the survivors, accumulated in the order
+        // the scan settles them — which is their final index order, so the
+        // sum is bit-identical to a fresh `resident_mem` sweep afterwards.
+        let mut req_mem = 0.0;
+        let mut r = 0;
+        while r < c.in_flight.len() {
+            let (done, timed_out, mem) = {
+                let q = &c.in_flight[r];
+                let done = q.is_done();
+                let timed_out = !done && q.request.deadline() <= ctx.end;
+                (done, timed_out, q.request.mem.get())
             };
-            let c = &mut self.containers[id.as_usize()];
-            let mut completed_this_tick = 0usize;
-            let mut r = 0;
-            while r < c.in_flight.len() {
-                let done = c.in_flight[r].is_done();
-                let timed_out = !done && c.in_flight[r].request.deadline() <= end;
-                if done {
-                    completed_this_tick += 1;
-                    let inflight = c.in_flight.swap_remove(r);
-                    let finished = end + SimDuration::from_secs(fanout);
-                    report.completed.push(CompletedRequest {
-                        id: inflight.id,
-                        service: inflight.request.service,
-                        container: id,
-                        arrival: inflight.request.arrival,
-                        finished,
-                        response_time: finished.saturating_since(inflight.request.arrival),
-                    });
-                } else if timed_out {
-                    let inflight = c.in_flight.swap_remove(r);
-                    report.failed.push(FailedRequest {
-                        id: inflight.id,
-                        service: inflight.request.service,
-                        container: Some(id),
-                        arrival: inflight.request.arrival,
-                        failed_at: end,
-                        kind: FailureKind::Connection,
-                    });
-                } else {
-                    r += 1;
-                }
+            if done {
+                completed_this_tick += 1;
+                let inflight = c.in_flight.swap_remove(r);
+                let finished = ctx.end + SimDuration::from_secs(fanout);
+                completed.push(CompletedRequest {
+                    id: inflight.id,
+                    service: inflight.request.service,
+                    container: id,
+                    arrival: inflight.request.arrival,
+                    finished,
+                    response_time: finished.saturating_since(inflight.request.arrival),
+                });
+            } else if timed_out {
+                let inflight = c.in_flight.swap_remove(r);
+                failed.push(FailedRequest {
+                    id: inflight.id,
+                    service: inflight.request.service,
+                    container: Some(id),
+                    arrival: inflight.request.arrival,
+                    failed_at: ctx.end,
+                    kind: FailureKind::Connection,
+                });
+            } else {
+                req_mem += mem;
+                r += 1;
             }
-            c.record_throughput(completed_this_tick, dt_secs, THROUGHPUT_TAU_SECS);
-            let resident = c.resident_mem();
-            let in_flight = c.in_flight.len();
-            self.windows[id.as_usize()].record_tick(
-                dt_secs,
-                cpu_used[i],
-                net_sent[i],
-                disk_done[i],
-                resident,
-                in_flight,
-                swapping[i],
-            );
         }
+        c.record_throughput(completed_this_tick, ctx.dt_secs, THROUGHPUT_TAU_SECS);
+        let resident = c.resident_mem_with(req_mem);
+        let in_flight = c.in_flight.len();
+        c.window.record_tick(
+            ctx.dt_secs,
+            used_cpu,
+            used_net,
+            used_disk,
+            resident,
+            in_flight,
+            swapping[i],
+        );
     }
 }
 
@@ -1261,5 +1567,128 @@ mod tests {
             cl.start_container(node, bad, SimTime::ZERO),
             Err(ClusterError::InvalidSpec(_))
         ));
+    }
+
+    // --- Idle fast path ------------------------------------------------
+
+    #[test]
+    fn idle_grants_match_full_allocator_bit_for_bit() {
+        let cases: Vec<(f64, Vec<(f64, f64)>)> = vec![
+            // (capacity, [(demand, weight)]) — all feasible in round 1.
+            (0.4, vec![(0.002, 1.0), (0.002, 1.0)]),
+            (0.4, vec![(0.002, 0.5), (0.004, 2.0), (0.0, 1.0)]),
+            // Zero-weight demander served by phase 2.
+            (0.4, vec![(0.002, 1.0), (0.003, 0.0)]),
+            // Only zero-weight demanders.
+            (0.1, vec![(0.05, 0.0), (0.2, 0.0)]),
+            // Nothing demands anything.
+            (0.4, vec![(0.0, 1.0), (0.0, 0.0)]),
+            // Capacity below the allocator's epsilon.
+            (0.0, vec![(0.002, 1.0)]),
+        ];
+        for (capacity, spec) in cases {
+            let demands: Vec<CpuDemand> = spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, w))| CpuDemand::new(ContainerId::new(i as u32), d, w))
+                .collect();
+            let mut fast = vec![CpuGrant {
+                container: ContainerId::new(99),
+                granted: -1.0,
+            }];
+            assert!(
+                idle_grants(capacity, &demands, &mut fast),
+                "case {spec:?} should be round-1 feasible"
+            );
+            let reference = CpuAllocator::allocate(capacity, &demands);
+            assert_eq!(fast.len(), reference.len());
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.container, r.container);
+                assert_eq!(
+                    f.granted.to_bits(),
+                    r.granted.to_bits(),
+                    "grant mismatch for {spec:?}"
+                );
+            }
+        }
+
+        // A demand exceeding its round-1 fair share must be rejected so
+        // the slow path (which iterates) runs instead.
+        let demands = vec![
+            CpuDemand::new(ContainerId::new(0), 0.35, 1.0),
+            CpuDemand::new(ContainerId::new(1), 0.002, 1.0),
+        ];
+        let mut fast = Vec::new();
+        assert!(!idle_grants(0.4, &demands, &mut fast));
+    }
+
+    #[test]
+    fn idle_ticks_complete_nothing_and_charge_base_cpu() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let weighted = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        // A zero-weight container still draws its base tax from leftover
+        // capacity (the allocator's phase 2).
+        let zero_weight = cl
+            .start_container(
+                node,
+                ready_spec(1).with_cpu_request(Cores(0.0)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            let report = cl.advance(now, dt);
+            assert!(report.completed.is_empty() && report.failed.is_empty());
+            now += dt;
+        }
+        let usage = cl.node_usage_and_reset(node).unwrap();
+        for c in &usage.containers {
+            // Both idle containers burn exactly their 0.02-core base tax.
+            assert!(
+                (c.cpu_used.get() - 0.02).abs() < 1e-12,
+                "container {:?} used {}",
+                c.container,
+                c.cpu_used
+            );
+            assert_eq!(c.in_flight, 0);
+            assert!(!c.swapping);
+        }
+        assert_eq!(usage.containers.len(), 2);
+        let _ = (weighted, zero_weight);
+    }
+
+    #[test]
+    fn idle_ticks_decay_throughput_ewma() {
+        let mut cl = cluster();
+        let node = cl.add_node(NodeSpec::uniform_worker());
+        let ctr = cl
+            .start_container(node, ready_spec(0), SimTime::ZERO)
+            .unwrap();
+        cl.admit_request(
+            ctr,
+            Request::new(ServiceId::new(0), SimTime::ZERO, 0.05, MemMb(1.0), 0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let (done, _) = run_until_drained(&mut cl, SimTime::ZERO, 10.0);
+        assert_eq!(done.len(), 1);
+        let busy_rps = cl.container(ctr).unwrap().throughput_rps();
+        assert!(busy_rps > 0.0);
+
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::from_secs(10.0);
+        for _ in 0..200 {
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let idle_rps = cl.container(ctr).unwrap().throughput_rps();
+        assert!(
+            idle_rps < busy_rps * 0.5,
+            "EWMA should decay while idle: {busy_rps} -> {idle_rps}"
+        );
     }
 }

@@ -11,6 +11,7 @@ use hyscale_sim::SimTime;
 
 use crate::ids::{ContainerId, NodeId, ServiceId};
 use crate::request::InFlight;
+use crate::stats::UsageWindow;
 use crate::{Cores, Mbps, MemMb};
 
 /// Lifecycle state of a container.
@@ -232,6 +233,10 @@ pub struct Container {
     /// Smoothed served throughput in requests per second, driving the
     /// working-set memory term.
     pub(crate) throughput_ewma: f64,
+    /// Usage accumulator the Node Manager snapshots every period. Living
+    /// inside the container keeps the tick loop's state per node, which is
+    /// what lets nodes advance in parallel.
+    pub(crate) window: UsageWindow,
 }
 
 impl Container {
@@ -247,6 +252,7 @@ impl Container {
             cpu_used_total: 0.0,
             megabits_sent_total: 0.0,
             throughput_ewma: 0.0,
+            window: UsageWindow::new(),
         }
     }
 
@@ -302,6 +308,14 @@ impl Container {
     /// set, and per-request memory of everything in flight.
     pub fn resident_mem(&self) -> MemMb {
         let req_mem: f64 = self.in_flight.iter().map(|r| r.request.mem.get()).sum();
+        self.resident_mem_with(req_mem)
+    }
+
+    /// `resident_mem` with the per-request sum supplied by a caller that
+    /// already swept `in_flight` (the tick engine folds it into the
+    /// completion scan). `req_mem` must equal summing
+    /// `in_flight[..].request.mem` in index order.
+    pub(crate) fn resident_mem_with(&self, req_mem: f64) -> MemMb {
         self.spec.base_mem
             + MemMb(self.spec.mem_per_rps.get() * self.throughput_ewma)
             + MemMb(req_mem)

@@ -93,26 +93,45 @@ impl CpuAllocator {
     /// zero-share container is starved under contention but runs on an
     /// otherwise idle machine).
     pub fn allocate(capacity: f64, demands: &[CpuDemand]) -> Vec<CpuGrant> {
-        let mut grants: Vec<CpuGrant> = demands
-            .iter()
-            .map(|d| CpuGrant {
-                container: d.container,
-                granted: 0.0,
-            })
-            .collect();
+        let mut grants = Vec::new();
+        let mut outstanding = Vec::new();
+        Self::allocate_into(capacity, demands, &mut grants, &mut outstanding);
+        grants
+    }
+
+    /// Buffer-reusing form of [`CpuAllocator::allocate`]: writes the
+    /// grants into `grants` (cleared first) and uses `outstanding` as the
+    /// water-filling work list, so a steady-state caller performs no heap
+    /// allocation. The results are identical to [`CpuAllocator::allocate`]
+    /// bit for bit.
+    pub fn allocate_into(
+        capacity: f64,
+        demands: &[CpuDemand],
+        grants: &mut Vec<CpuGrant>,
+        outstanding: &mut Vec<(usize, f64)>,
+    ) {
+        grants.clear();
+        grants.extend(demands.iter().map(|d| CpuGrant {
+            container: d.container,
+            granted: 0.0,
+        }));
         if capacity <= 0.0 || demands.is_empty() {
-            return grants;
+            return;
         }
 
         let mut remaining_capacity = capacity;
-        let mut outstanding: Vec<(usize, f64)> = demands
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.effective_demand() > 0.0 && d.weight > 0.0)
-            .map(|(i, d)| (i, d.effective_demand()))
-            .collect();
+        outstanding.clear();
+        outstanding.extend(
+            demands
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.effective_demand() > 0.0 && d.weight > 0.0)
+                .map(|(i, d)| (i, d.effective_demand())),
+        );
 
         // Phase 1: weighted water-filling among positive-weight containers.
+        // Each round rewrites the still-unsatisfied entries in place (the
+        // write cursor trails the read cursor, preserving order).
         const MAX_ROUNDS: usize = 64;
         let mut rounds = 0;
         while !outstanding.is_empty() && remaining_capacity > 1e-12 && rounds < MAX_ROUNDS {
@@ -121,44 +140,44 @@ impl CpuAllocator {
             if total_weight <= 0.0 {
                 break;
             }
-            let mut next_round = Vec::with_capacity(outstanding.len());
             let capacity_this_round = remaining_capacity;
-            for &(i, need) in &outstanding {
+            let count = outstanding.len();
+            let mut keep = 0usize;
+            for idx in 0..count {
+                let (i, need) = outstanding[idx];
                 let fair = capacity_this_round * demands[i].weight / total_weight;
                 let take = fair.min(need);
                 grants[i].granted += take;
                 remaining_capacity -= take;
                 let left = need - take;
                 if left > 1e-12 {
-                    next_round.push((i, left));
+                    outstanding[keep] = (i, left);
+                    keep += 1;
                 }
             }
             // If nobody was constrained by demand this round, we're done.
-            if next_round.len() == outstanding.len() {
+            if keep == count {
                 break;
             }
-            outstanding = next_round;
+            outstanding.truncate(keep);
         }
 
         // Phase 2: leftover capacity flows to zero-weight containers
         // (idle-machine semantics), split evenly by demand.
         if remaining_capacity > 1e-12 {
-            let zero_weight: Vec<usize> = demands
+            let zero_weight = demands
                 .iter()
-                .enumerate()
-                .filter(|(_, d)| d.weight <= 0.0 && d.effective_demand() > 0.0)
-                .map(|(i, _)| i)
-                .collect();
-            if !zero_weight.is_empty() {
-                let share = remaining_capacity / zero_weight.len() as f64;
-                for i in zero_weight {
-                    let take = share.min(demands[i].effective_demand());
-                    grants[i].granted += take;
+                .filter(|d| d.weight <= 0.0 && d.effective_demand() > 0.0)
+                .count();
+            if zero_weight > 0 {
+                let share = remaining_capacity / zero_weight as f64;
+                for (i, d) in demands.iter().enumerate() {
+                    if d.weight <= 0.0 && d.effective_demand() > 0.0 {
+                        grants[i].granted += share.min(d.effective_demand());
+                    }
                 }
             }
         }
-
-        grants
     }
 }
 
@@ -281,6 +300,83 @@ mod tests {
     fn negative_demand_treated_as_zero() {
         let g = CpuAllocator::allocate(1.0, &[CpuDemand::new(ctr(0), -1.0, 1.0)]);
         assert_eq!(g[0].granted, 0.0);
+    }
+
+    #[test]
+    fn allocate_into_matches_allocate_bit_for_bit() {
+        // Every closed-form case above, plus dirty reused buffers: the
+        // buffer-reusing entry point must be indistinguishable from the
+        // allocating one.
+        let cases: Vec<(f64, Vec<CpuDemand>)> = vec![
+            (4.0, vec![]),
+            (4.0, vec![CpuDemand::new(ctr(0), 2.5, 1.0)]),
+            (
+                3.0,
+                vec![
+                    CpuDemand::new(ctr(0), 100.0, 1.0),
+                    CpuDemand::new(ctr(1), 100.0, 2.0),
+                ],
+            ),
+            (
+                2.0,
+                vec![
+                    CpuDemand::new(ctr(0), 100.0, 1.0),
+                    CpuDemand::new(ctr(1), 0.1, 3.0),
+                ],
+            ),
+            (
+                2.0,
+                (0..10)
+                    .map(|i| CpuDemand::new(ctr(i), (i as f64 + 1.0) * 0.3, 1.0 + i as f64))
+                    .collect(),
+            ),
+            (
+                2.0,
+                vec![
+                    CpuDemand::new(ctr(0), 100.0, 1.0).with_cap(0.4),
+                    CpuDemand::new(ctr(1), 100.0, 1.0),
+                ],
+            ),
+            (
+                1.0,
+                vec![
+                    CpuDemand::new(ctr(0), 0.2, 1.0),
+                    CpuDemand::new(ctr(1), 10.0, 0.0),
+                ],
+            ),
+            (0.0, vec![CpuDemand::new(ctr(0), 1.0, 1.0)]),
+            (1.0, vec![CpuDemand::new(ctr(0), -1.0, 1.0)]),
+            (
+                6.0,
+                vec![
+                    CpuDemand::new(ctr(0), 1.0, 1.0),
+                    CpuDemand::new(ctr(1), 10.0, 1.0),
+                    CpuDemand::new(ctr(2), 10.0, 2.0),
+                ],
+            ),
+        ];
+        // Pre-soiled buffers, reused across every case.
+        let mut grants = vec![
+            CpuGrant {
+                container: ctr(99),
+                granted: 42.0,
+            };
+            7
+        ];
+        let mut outstanding = vec![(5usize, 3.0f64); 9];
+        for (capacity, demands) in &cases {
+            let reference = CpuAllocator::allocate(*capacity, demands);
+            CpuAllocator::allocate_into(*capacity, demands, &mut grants, &mut outstanding);
+            assert_eq!(grants.len(), reference.len());
+            for (a, b) in grants.iter().zip(&reference) {
+                assert_eq!(a.container, b.container);
+                assert_eq!(
+                    a.granted.to_bits(),
+                    b.granted.to_bits(),
+                    "grant mismatch at capacity {capacity}"
+                );
+            }
+        }
     }
 
     #[test]

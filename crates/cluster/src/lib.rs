@@ -65,7 +65,7 @@ pub use cpu::{CpuAllocator, CpuDemand, CpuGrant};
 pub use error::ClusterError;
 pub use ids::{ContainerId, NodeId, RequestId, ServiceId};
 pub use memory::{MemoryModel, MemoryPressure};
-pub use network::{NetAllocator, NetDemand, NetGrant};
+pub use network::{NetAllocator, NetDemand, NetGrant, NetScratch};
 pub use node::{Node, NodeSpec};
 pub use overhead::OverheadModel;
 pub use request::{CompletedRequest, FailedRequest, FailureKind, Request};

@@ -74,6 +74,15 @@ pub struct NetGrant {
     pub megabits: f64,
 }
 
+/// Reusable buffers for [`NetAllocator::allocate_into`]. Holding one of
+/// these per caller keeps the per-tick network allocation heap-free.
+#[derive(Debug, Clone, Default)]
+pub struct NetScratch {
+    cpu_demands: Vec<CpuDemand>,
+    cpu_grants: Vec<CpuGrant>,
+    outstanding: Vec<(usize, f64)>,
+}
+
 /// Allocates a node's egress bandwidth among its sending containers.
 ///
 /// # Example
@@ -108,6 +117,25 @@ impl NetAllocator {
     /// the CPU water-filling allocator — the same algorithm governs both
     /// resources).
     pub fn allocate(&self, nic: Mbps, dt_secs: f64, demands: &[NetDemand]) -> Vec<NetGrant> {
+        let mut grants = Vec::new();
+        let mut scratch = NetScratch::default();
+        self.allocate_into(nic, dt_secs, demands, &mut grants, &mut scratch);
+        grants
+    }
+
+    /// Buffer-reusing form of [`NetAllocator::allocate`]: writes the
+    /// grants into `grants` (cleared first) and stages the underlying
+    /// water-filling in `scratch`, so a steady-state caller performs no
+    /// heap allocation. Results are identical to
+    /// [`NetAllocator::allocate`] bit for bit.
+    pub fn allocate_into(
+        &self,
+        nic: Mbps,
+        dt_secs: f64,
+        demands: &[NetDemand],
+        grants: &mut Vec<NetGrant>,
+        scratch: &mut NetScratch,
+    ) {
         let flows: usize = demands
             .iter()
             .filter(|d| d.megabits > 0.0)
@@ -116,22 +144,31 @@ impl NetAllocator {
         let factor = self.overheads.txq_contention_factor(flows);
         let capacity_megabits = nic.get().max(0.0) * dt_secs.max(0.0) * factor;
 
-        let cpu_demands: Vec<CpuDemand> = demands
-            .iter()
-            .map(|d| CpuDemand {
+        scratch.cpu_demands.clear();
+        scratch
+            .cpu_demands
+            .extend(demands.iter().map(|d| CpuDemand {
                 container: d.container,
                 demand: d.megabits,
                 weight: d.weight,
                 cap: d.cap_megabits,
-            })
-            .collect();
-        CpuAllocator::allocate(capacity_megabits, &cpu_demands)
-            .into_iter()
-            .map(|CpuGrant { container, granted }| NetGrant {
-                container,
-                megabits: granted,
-            })
-            .collect()
+            }));
+        CpuAllocator::allocate_into(
+            capacity_megabits,
+            &scratch.cpu_demands,
+            &mut scratch.cpu_grants,
+            &mut scratch.outstanding,
+        );
+        grants.clear();
+        grants.extend(
+            scratch
+                .cpu_grants
+                .iter()
+                .map(|&CpuGrant { container, granted }| NetGrant {
+                    container,
+                    megabits: granted,
+                }),
+        );
     }
 }
 
@@ -246,6 +283,38 @@ mod tests {
             .map(|i| a.allocate(Mbps(100.0), 1.0, &[NetDemand::new(ctr(i), 1e9, 1.0)])[0].megabits)
             .sum();
         assert!(relieved > bundled[0].megabits * 1.2);
+    }
+
+    #[test]
+    fn allocate_into_matches_allocate_bit_for_bit() {
+        let a = NetAllocator::new(OverheadModel::default());
+        let cases: Vec<Vec<NetDemand>> = vec![
+            vec![],
+            vec![NetDemand::new(ctr(0), 1e9, 1.0)],
+            (0..4).map(|i| NetDemand::new(ctr(i), 1e9, 1.0)).collect(),
+            vec![
+                NetDemand::new(ctr(0), 1e9, 1.0).with_tc_cap(Mbps(10.0), 1.0),
+                NetDemand::new(ctr(1), 1e9, 1.0),
+            ],
+            vec![NetDemand::new(ctr(0), 1e9, 1.0).with_flows(8)],
+        ];
+        let mut grants = vec![
+            NetGrant {
+                container: ctr(42),
+                megabits: 7.0,
+            };
+            3
+        ];
+        let mut scratch = NetScratch::default();
+        for demands in &cases {
+            let reference = a.allocate(Mbps(100.0), 1.0, demands);
+            a.allocate_into(Mbps(100.0), 1.0, demands, &mut grants, &mut scratch);
+            assert_eq!(grants.len(), reference.len());
+            for (x, y) in grants.iter().zip(&reference) {
+                assert_eq!(x.container, y.container);
+                assert_eq!(x.megabits.to_bits(), y.megabits.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Physical nodes (machines) of the simulated cluster.
 
+use crate::container::Container;
 use crate::ids::{ContainerId, NodeId};
 use crate::{Cores, Mbps, MemMb};
 
@@ -74,6 +75,11 @@ pub struct Node {
     id: NodeId,
     spec: NodeSpec,
     containers: Vec<ContainerId>,
+    /// Container state lives *inside* the node (removed containers stay as
+    /// tombstones so id lookups keep working). Nodes therefore share no
+    /// mutable state, which is what lets the tick engine advance them on
+    /// parallel threads without locks.
+    pub(crate) slots: Vec<Container>,
     decommissioned: bool,
 }
 
@@ -83,6 +89,7 @@ impl Node {
             id,
             spec,
             containers: Vec::new(),
+            slots: Vec::new(),
             decommissioned: false,
         }
     }

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hyscale_cluster::{
-    Cluster, ClusterConfig, ContainerSpec, FailureKind, NodeId, NodeSpec, ServiceId,
+    Cluster, ClusterConfig, ContainerSpec, FailureKind, NodeId, NodeSpec, ServiceId, TickReport,
 };
 use hyscale_metrics::{CostMeter, RequestOutcomes, TimeSeries};
 use hyscale_sim::{EventQueue, SimDuration, SimRng, SimTime, TickEngine, TickOutcome};
@@ -57,6 +57,10 @@ pub struct ScenarioConfig {
     /// Scheduled machine additions/removals (paper future work:
     /// "dynamic addition and removal of machines").
     pub node_events: Vec<(f64, NodeEvent)>,
+    /// Worker threads for the per-tick resource model (1 = serial).
+    /// Results are bit-identical at any setting; see
+    /// [`Cluster::set_parallelism`].
+    pub parallelism: usize,
 }
 
 /// A scheduled change to the machine pool.
@@ -220,6 +224,7 @@ impl SimulationDriver {
 
         // --- Cluster setup -------------------------------------------------
         let mut cluster = Cluster::new(config.cluster);
+        cluster.set_parallelism(config.parallelism);
         let node_ids: Vec<NodeId> = config
             .nodes
             .iter()
@@ -293,6 +298,7 @@ impl SimulationDriver {
         let horizon = SimTime::ZERO + config.duration;
         let mut engine = TickEngine::new(config.tick, horizon)?;
         let scale_period_secs = config.scale_period.as_secs();
+        let mut tick_report = TickReport::default();
 
         engine.run(|now, dt| {
             // 1. Deliver due events at the start of the tick.
@@ -398,15 +404,16 @@ impl SimulationDriver {
                 }
             }
 
-            // 2. Advance the resource model.
-            let tick_report = cluster.advance(now, dt);
-            for done in tick_report.completed {
+            // 2. Advance the resource model (reusing one report buffer
+            // across ticks keeps the hot loop allocation-free).
+            cluster.advance_into(now, dt, &mut tick_report);
+            for done in tick_report.completed.drain(..) {
                 requests.record_completed(done.response_time.as_secs());
                 if let Some(out) = per_service.get_mut(&done.service) {
                     out.record_completed(done.response_time.as_secs());
                 }
             }
-            for failed in tick_report.failed {
+            for failed in tick_report.failed.drain(..) {
                 match failed.kind {
                     FailureKind::Removal => {
                         requests.record_removal_failure();
@@ -519,6 +526,7 @@ impl ScenarioBuilder {
                 cluster: ClusterConfig::default(),
                 antagonists: Vec::new(),
                 node_events: Vec::new(),
+                parallelism: 1,
             },
             next_service_index: 0,
         }
@@ -618,6 +626,14 @@ impl ScenarioBuilder {
     /// Overrides the resource-model overheads.
     pub fn cluster_config(mut self, cluster: ClusterConfig) -> Self {
         self.config.cluster = cluster;
+        self
+    }
+
+    /// Sets the tick-engine worker-thread count (default 1 = serial).
+    /// Any value produces bit-identical results; higher settings only
+    /// change wall-clock time.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
         self
     }
 

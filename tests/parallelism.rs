@@ -1,0 +1,130 @@
+//! Determinism regression tests for the parallel tick engine: a cluster
+//! advanced with `set_parallelism(4)` must be *bit-identical* to a serial
+//! run — same per-tick reports in the same order, same final container
+//! state — and a full driver run must produce an identical `RunReport`
+//! at any parallelism setting.
+
+use hyscale::cluster::{
+    Cluster, ClusterConfig, ContainerId, ContainerSpec, Cores, MemMb, NodeSpec, Request, ServiceId,
+    TickReport,
+};
+use hyscale::core::{AlgorithmKind, ScenarioBuilder};
+use hyscale::sim::{SimDuration, SimRng, SimTime};
+use hyscale::workload::{LoadPattern, ServiceProfile};
+
+/// A deliberately lumpy cluster: busy nodes, an idle node (exercises the
+/// idle fast path), an antagonist, and a mid-run container removal.
+fn build_cluster(parallelism: usize) -> (Cluster, Vec<ContainerId>) {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.set_parallelism(parallelism);
+    let mut containers = Vec::new();
+    // Node 8 hosts replicas but never receives traffic: it must take the
+    // idle fast path without diverging from serial.
+    for n in 0..9 {
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        for c in 0..3 {
+            let service = ServiceId::new(((n * 3 + c) % 5) as u32);
+            let spec = ContainerSpec::new(service)
+                .with_cpu_request(Cores(1.0))
+                .with_mem_limit(MemMb(384.0))
+                .with_startup_secs(if c == 2 { 0.5 } else { 0.0 });
+            let id = cluster
+                .start_container(node, spec, SimTime::ZERO)
+                .expect("node exists");
+            containers.push(id);
+        }
+    }
+    // A CPU hog on node 0.
+    cluster
+        .start_container(
+            hyscale::cluster::NodeId::new(0),
+            ContainerSpec::new(ServiceId::new(9))
+                .with_cpu_request(Cores(2.0))
+                .antagonist(),
+            SimTime::ZERO,
+        )
+        .expect("node exists");
+    (cluster, containers)
+}
+
+/// Drives 400 ticks of seeded traffic (skipping node 8's replicas) and
+/// returns every tick report plus the final per-container usage peeks.
+fn drive(parallelism: usize) -> (Vec<TickReport>, Vec<String>) {
+    let (mut cluster, containers) = build_cluster(parallelism);
+    let mut rng = SimRng::seed_from(0xD17E);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let mut reports = Vec::new();
+    for tick in 0..400 {
+        for &id in &containers {
+            // Node 8 slots are the last three containers: leave idle.
+            if id.index() >= 24 {
+                continue;
+            }
+            if rng.uniform_f64() < 0.6 {
+                let service = cluster.container(id).expect("exists").spec().service;
+                let request = Request::new(
+                    service,
+                    now,
+                    rng.uniform_range(0.02, 0.2),
+                    MemMb(4.0),
+                    rng.uniform_range(0.0, 1.5),
+                );
+                let _ = cluster.admit_request(id, request, now);
+            }
+        }
+        if tick == 150 {
+            let _ = cluster.remove_container(containers[4], now);
+        }
+        reports.push(cluster.advance(now, dt));
+        now += dt;
+    }
+    let usage: Vec<String> = containers
+        .iter()
+        .map(|&id| format!("{:?}", cluster.container_usage(id)))
+        .collect();
+    (reports, usage)
+}
+
+#[test]
+fn parallel_ticks_are_bit_identical_to_serial() {
+    let (serial_reports, serial_usage) = drive(1);
+    let (parallel_reports, parallel_usage) = drive(4);
+    assert_eq!(serial_reports.len(), parallel_reports.len());
+    for (tick, (s, p)) in serial_reports.iter().zip(&parallel_reports).enumerate() {
+        assert_eq!(s, p, "tick {tick} diverged");
+    }
+    assert_eq!(serial_usage, parallel_usage, "final usage diverged");
+}
+
+#[test]
+fn oversubscribed_parallelism_is_still_identical() {
+    // More workers than nodes: chunking must not drop or reorder nodes.
+    let (serial_reports, _) = drive(1);
+    let (wide_reports, _) = drive(32);
+    assert_eq!(serial_reports, wide_reports);
+}
+
+#[test]
+fn driver_reports_are_identical_at_any_parallelism() {
+    let run = |parallelism: usize| {
+        ScenarioBuilder::new("det-parallel")
+            .nodes(6)
+            .services(
+                3,
+                ServiceProfile::Mixed,
+                LoadPattern::high_burst().scaled(8.0),
+            )
+            .algorithm(AlgorithmKind::HyScaleCpuMem)
+            .duration_secs(120.0)
+            .seed(7)
+            .parallelism(parallelism)
+            .run()
+            .expect("scenario runs")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    // RunReport holds f64-laden metric types; their Debug form prints
+    // shortest-roundtrip floats, so string equality is bit equality.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
