@@ -7,7 +7,7 @@
 //! clock for CI and criterion runs while preserving the load-to-capacity
 //! ratio (which is what the algorithms actually react to).
 
-use hyscale_cluster::{Mbps, MemMb, NodeSpec};
+use hyscale_cluster::{FaultPlan, FaultPlanConfig, Mbps, MemMb, NodeSpec};
 use hyscale_core::{AlgorithmKind, ScenarioBuilder, ScenarioConfig};
 use hyscale_sim::SimRng;
 use hyscale_workload::bitbrains::{trace_to_load_pattern, SyntheticTrace};
@@ -233,6 +233,36 @@ pub fn network(scale: &Scale, burst: Burst, algorithm: AlgorithmKind) -> Scenari
     builder.build()
 }
 
+/// Chaos: the CPU-bound high-burst experiment under a seeded storm of
+/// infrastructure faults — node crashes (with reboot), OOM-kills, NIC
+/// degradations, and NodeManager stat outages.
+///
+/// The paper's robustness claim (availability ≥ 99.8%, Figs. 6–8) is
+/// measured with the cluster intact; this scenario stresses the platform
+/// side of that claim: the Monitor's roll call must notice dead replicas
+/// and the recovery path must respawn them while the burst load is still
+/// arriving. Reports uptime %, MTTR, and recovery counts per algorithm.
+pub fn chaos(scale: &Scale, algorithm: AlgorithmKind) -> ScenarioConfig {
+    let mut config = cpu_bound(scale, Burst::High, algorithm);
+    config.name = format!("chaos-{algorithm}");
+    let plan_cfg = FaultPlanConfig {
+        horizon_secs: scale.duration_secs,
+        nodes: scale.nodes,
+        services: scale.services,
+        node_crashes: (scale.nodes / 4).max(1),
+        oom_kills: (scale.services / 2).max(1),
+        nic_degradations: (scale.nodes / 6).max(1),
+        stat_outages: (scale.nodes / 4).max(1),
+        min_down_secs: scale.duration_secs * 0.02,
+        max_down_secs: scale.duration_secs * 0.08,
+    };
+    // The fault storm is part of the experiment definition: fixed seed,
+    // independent of the run seeds (the bitbrains trace does the same),
+    // so every algorithm faces the identical sequence of disasters.
+    config.faults = FaultPlan::random(&plan_cfg, &mut SimRng::seed_from(0xFA17));
+    config
+}
+
 /// Figures 9–10: the Bitbrains `Rnd` replay.
 ///
 /// The synthetic GWA-T-12-like trace (see `hyscale-workload::bitbrains`)
@@ -348,6 +378,19 @@ mod tests {
         assert!(w[5] / w[0] > 3.0, "largest should be ~4x the smallest");
         assert_eq!(service_weights(1), vec![1.0]);
         assert!(service_weights(0).is_empty());
+    }
+
+    #[test]
+    fn chaos_has_a_deterministic_nonempty_fault_plan() {
+        let a = chaos(&Scale::bench(), AlgorithmKind::HyScaleCpu);
+        let b = chaos(&Scale::bench(), AlgorithmKind::Kubernetes);
+        assert!(!a.faults.is_empty());
+        // Every algorithm faces the identical fault storm.
+        assert_eq!(a.faults, b.faults);
+        a.validate().unwrap();
+        // Scale-proportional fault counts: bench (4 nodes, 3 services)
+        // schedules 1 crash + 1 OOM + 1 NIC + 1 outage.
+        assert_eq!(a.faults.len(), 4);
     }
 
     #[test]

@@ -187,11 +187,12 @@ impl Cluster {
         id
     }
 
-    /// Looks up a node.
+    /// Looks up a node. Decommissioned and crashed (offline) machines are
+    /// unreachable and resolve to `None`.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.nodes
             .get(id.as_usize())
-            .filter(|n| !n.decommissioned())
+            .filter(|n| !n.decommissioned() && !n.offline())
     }
 
     /// Decommissions a node (paper future work: "dynamic addition and
@@ -222,9 +223,12 @@ impl Cluster {
         Ok(failures)
     }
 
-    /// Iterates over all commissioned nodes.
+    /// Iterates over all commissioned, reachable nodes (crashed machines
+    /// are excluded until they reboot).
     pub fn nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(|n| !n.decommissioned())
+        self.nodes
+            .iter()
+            .filter(|n| !n.decommissioned() && !n.offline())
     }
 
     /// Number of commissioned nodes in the cluster.
@@ -321,6 +325,37 @@ impl Cluster {
         id: ContainerId,
         now: SimTime,
     ) -> Result<Vec<FailedRequest>, ClusterError> {
+        self.remove_container_with_kind(id, now, FailureKind::Removal)
+    }
+
+    /// Kills a container the way the kernel OOM killer does: the process
+    /// dies, its in-flight requests are aborted as *connection* failures
+    /// (clients see a reset, not a scaling decision — the paper's failure
+    /// taxonomy charges scale-in aborts, and only those, as removal
+    /// failures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] if the container does
+    /// not exist or was already removed.
+    pub fn oom_kill(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<FailedRequest>, ClusterError> {
+        self.remove_container_with_kind(id, now, FailureKind::Connection)
+    }
+
+    /// Tears down one container, draining its in-flight requests as
+    /// failures of the given kind. Scale-in removals abort with
+    /// [`FailureKind::Removal`]; infrastructure deaths (node crash, OOM
+    /// kill) abort with [`FailureKind::Connection`].
+    fn remove_container_with_kind(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+        kind: FailureKind,
+    ) -> Result<Vec<FailedRequest>, ClusterError> {
         let c = self
             .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
@@ -338,11 +373,101 @@ impl Cluster {
                 container: Some(id),
                 arrival: inflight.request.arrival,
                 failed_at: now,
-                kind: FailureKind::Removal,
+                kind,
             })
             .collect();
         self.nodes[node.as_usize()].detach(id);
         Ok(failures)
+    }
+
+    /// Crashes a node: the machine drops off the network, every container
+    /// on it dies, and their in-flight requests are aborted as
+    /// *connection* failures (the client's TCP connection resets with the
+    /// machine). Unlike [`Cluster::decommission_node`] the node keeps its
+    /// identity and can return via [`Cluster::reboot_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] if the node does not exist,
+    /// was decommissioned, or is already offline.
+    pub fn crash_node(
+        &mut self,
+        id: NodeId,
+        now: SimTime,
+    ) -> Result<Vec<FailedRequest>, ClusterError> {
+        if self.node(id).is_none() {
+            return Err(ClusterError::UnknownNode(id));
+        }
+        let containers: Vec<ContainerId> = self.nodes[id.as_usize()].containers().to_vec();
+        let mut failures = Vec::new();
+        for ctr in containers {
+            if let Ok(mut aborted) =
+                self.remove_container_with_kind(ctr, now, FailureKind::Connection)
+            {
+                failures.append(&mut aborted);
+            }
+        }
+        self.nodes[id.as_usize()].mark_offline();
+        Ok(failures)
+    }
+
+    /// Brings a crashed node back online. The machine returns empty — its
+    /// containers did not survive the crash — but with its original
+    /// identity and hardware, ready for placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] if the node does not exist,
+    /// was decommissioned, or is not offline.
+    pub fn reboot_node(&mut self, id: NodeId) -> Result<(), ClusterError> {
+        match self.nodes.get_mut(id.as_usize()) {
+            Some(n) if n.offline() && !n.decommissioned() => {
+                n.mark_online();
+                Ok(())
+            }
+            _ => Err(ClusterError::UnknownNode(id)),
+        }
+    }
+
+    /// Degrades (or restores) a node's NIC: effective egress capacity
+    /// becomes `spec.nic * factor`, clamped to `[0, 1]`. Models a flapping
+    /// link or a failing transceiver; `1.0` restores full capacity.
+    ///
+    /// The NIC is a hardware property, so the factor may be set even while
+    /// the node is crashed (it applies once the node is back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for an invalid or
+    /// decommissioned node.
+    pub fn set_nic_factor(&mut self, id: NodeId, factor: f64) -> Result<(), ClusterError> {
+        match self.nodes.get_mut(id.as_usize()) {
+            Some(n) if !n.decommissioned() => {
+                n.set_nic_factor(factor);
+                Ok(())
+            }
+            _ => Err(ClusterError::UnknownNode(id)),
+        }
+    }
+
+    /// Counts ready (serving) replicas per service into `counts`, indexed
+    /// by service id (resized as needed, zeroed first). One pass over all
+    /// containers — cheap enough for the driver to call every tick, which
+    /// is what per-tick availability accounting needs.
+    pub fn ready_replicas_into(&self, now: SimTime, counts: &mut Vec<u32>) {
+        counts.clear();
+        for node in &self.nodes {
+            for c in &node.slots {
+                if c.state() == ContainerState::Removed || c.spec().antagonist || !c.live(now) {
+                    continue;
+                }
+                let idx = c.service().as_usize();
+                if idx >= counts.len() {
+                    counts.resize(idx + 1, 0);
+                }
+                counts[idx] += 1;
+            }
+        }
     }
 
     /// Applies a `docker update`: changes a container's CPU request and
@@ -612,7 +737,11 @@ fn idle_grants(capacity: f64, demands: &[CpuDemand], grants: &mut Vec<CpuGrant>)
 /// inputs are read-only in [`TickCtx`] and all temporaries live in the
 /// worker's [`TickScratch`].
 fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
-    let node_spec = *node.spec();
+    let mut node_spec = *node.spec();
+    // Fault injection can degrade the NIC; multiplying by the default 1.0
+    // factor is exact in IEEE arithmetic, so healthy nodes are bit-for-bit
+    // unchanged.
+    node_spec.nic = node_spec.nic * node.nic_factor();
     let TickScratch {
         live,
         slowdowns,

@@ -51,6 +51,7 @@ mod cluster;
 mod container;
 mod cpu;
 mod error;
+mod faults;
 mod ids;
 mod memory;
 mod network;
@@ -63,6 +64,7 @@ pub use crate::cluster::{Cluster, ClusterConfig, TickReport};
 pub use container::{Container, ContainerSpec, ContainerState};
 pub use cpu::{CpuAllocator, CpuDemand, CpuGrant};
 pub use error::ClusterError;
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultPlanConfig};
 pub use ids::{ContainerId, NodeId, RequestId, ServiceId};
 pub use memory::{MemoryModel, MemoryPressure};
 pub use network::{NetAllocator, NetDemand, NetGrant, NetScratch};

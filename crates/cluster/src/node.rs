@@ -81,6 +81,12 @@ pub struct Node {
     /// parallel threads without locks.
     pub(crate) slots: Vec<Container>,
     decommissioned: bool,
+    /// True while the machine is crashed (fault injection). Unlike
+    /// decommissioning, an offline node keeps its identity and comes back
+    /// empty on reboot.
+    offline: bool,
+    /// Multiplier on the NIC capacity (fault injection; 1.0 = healthy).
+    nic_factor: f64,
 }
 
 impl Node {
@@ -91,6 +97,8 @@ impl Node {
             containers: Vec::new(),
             slots: Vec::new(),
             decommissioned: false,
+            offline: false,
+            nic_factor: 1.0,
         }
     }
 
@@ -125,6 +133,28 @@ impl Node {
 
     pub(crate) fn mark_decommissioned(&mut self) {
         self.decommissioned = true;
+    }
+
+    /// True while the machine is crashed (powered off by fault injection).
+    pub fn offline(&self) -> bool {
+        self.offline
+    }
+
+    pub(crate) fn mark_offline(&mut self) {
+        self.offline = true;
+    }
+
+    pub(crate) fn mark_online(&mut self) {
+        self.offline = false;
+    }
+
+    /// Current NIC degradation multiplier (1.0 = healthy hardware).
+    pub fn nic_factor(&self) -> f64 {
+        self.nic_factor
+    }
+
+    pub(crate) fn set_nic_factor(&mut self, factor: f64) {
+        self.nic_factor = factor.clamp(0.0, 1.0);
     }
 }
 

@@ -11,9 +11,12 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hyscale_cluster::{
-    Cluster, ClusterConfig, ContainerSpec, FailureKind, NodeId, NodeSpec, ServiceId, TickReport,
+    Cluster, ClusterConfig, ContainerSpec, FailureKind, FaultInjector, FaultLog, FaultPlan, NodeId,
+    NodeSpec, ServiceId, TickReport,
 };
-use hyscale_metrics::{CostMeter, RequestOutcomes, TimeSeries};
+use hyscale_metrics::{
+    AvailabilityTracker, CostMeter, RequestOutcomes, ServiceAvailability, TimeSeries,
+};
 use hyscale_sim::{EventQueue, SimDuration, SimRng, SimTime, TickEngine, TickOutcome};
 use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
 
@@ -21,6 +24,7 @@ use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
 use crate::balancer::LoadBalancer;
 use crate::error::CoreError;
 use crate::monitor::Monitor;
+use crate::recovery::{RecoveryConfig, RecoveryManager};
 use hyscale_cluster::FailedRequest;
 
 /// Complete description of one experiment run.
@@ -57,6 +61,11 @@ pub struct ScenarioConfig {
     /// Scheduled machine additions/removals (paper future work:
     /// "dynamic addition and removal of machines").
     pub node_events: Vec<(f64, NodeEvent)>,
+    /// Scheduled infrastructure faults (crashes, OOM-kills, NIC
+    /// degradation, stat outages); empty = no chaos.
+    pub faults: FaultPlan,
+    /// Replica-recovery tunables (respawn floor, backoff).
+    pub recovery: RecoveryConfig,
     /// Worker threads for the per-tick resource model (1 = serial).
     /// Results are bit-identical at any setting; see
     /// [`Cluster::set_parallelism`].
@@ -133,6 +142,13 @@ impl ScenarioConfig {
         self.hyscale
             .validate()
             .map_err(|e| CoreError::InvalidScenario(format!("hyscale: {e}")))?;
+        let service_ids: Vec<ServiceId> = self.services.iter().map(|s| s.id).collect();
+        self.faults
+            .validate(self.nodes.len(), &service_ids)
+            .map_err(|e| CoreError::InvalidScenario(format!("faults: {e}")))?;
+        self.recovery
+            .validate()
+            .map_err(|e| CoreError::InvalidScenario(format!("recovery: {e}")))?;
         Ok(())
     }
 }
@@ -186,12 +202,75 @@ pub struct RunReport {
     pub cpu_used: TimeSeries,
     /// Cluster resident memory (MB) sampled each scaling period.
     pub mem_used: TimeSeries,
+    /// Per-service availability (uptime %, MTTR, recovery counts).
+    /// Tracked per tick only for scenarios with faults or node events;
+    /// all-zero (nothing observed, 100% uptime) otherwise.
+    pub availability: BTreeMap<ServiceId, ServiceAvailability>,
+    /// Faults actually applied during the run.
+    pub faults: FaultLog,
 }
 
 impl RunReport {
     /// Mean response time in milliseconds (the paper's headline metric).
     pub fn mean_response_ms(&self) -> f64 {
         self.requests.mean_response_secs() * 1e3
+    }
+
+    /// Lowest per-service uptime percentage (100.0 when availability was
+    /// not tracked).
+    pub fn min_uptime_pct(&self) -> f64 {
+        self.availability
+            .values()
+            .map(|a| a.uptime_pct())
+            .fold(100.0, f64::min)
+    }
+
+    /// Largest per-service mean time to repair, in seconds.
+    pub fn max_mttr_secs(&self) -> f64 {
+        self.availability
+            .values()
+            .map(|a| a.mttr_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total successful recovery respawns across services.
+    pub fn total_respawns(&self) -> u64 {
+        self.availability.values().map(|a| a.respawns).sum()
+    }
+
+    /// Total failed recovery attempts across services.
+    pub fn total_recovery_failures(&self) -> u64 {
+        self.availability
+            .values()
+            .map(|a| a.recovery_failures)
+            .sum()
+    }
+}
+
+/// Tallies one aborted/failed request exactly once, into both the overall
+/// and the per-service outcomes, according to the paper's taxonomy:
+/// scale-in and decommission aborts are **removal** failures,
+/// infrastructure deaths / queue / timeout aborts are **connection**
+/// failures. Every failure-recording site in the driver funnels through
+/// here, so a request can never be double-counted or dropped.
+fn record_failure(
+    requests: &mut RequestOutcomes,
+    per_service: &mut BTreeMap<ServiceId, RequestOutcomes>,
+    failure: &FailedRequest,
+) {
+    match failure.kind {
+        FailureKind::Removal => {
+            requests.record_removal_failure();
+            if let Some(out) = per_service.get_mut(&failure.service) {
+                out.record_removal_failure();
+            }
+        }
+        FailureKind::Connection => {
+            requests.record_connection_failure();
+            if let Some(out) = per_service.get_mut(&failure.service) {
+                out.record_connection_failure();
+            }
+        }
     }
 }
 
@@ -256,8 +335,10 @@ impl SimulationDriver {
             .map(|s| (s.id, s.container.clone()))
             .collect();
         let algorithm = config.algorithm.build(config.hpa, config.hyscale);
-        let mut monitor = Monitor::new(algorithm, &cluster, templates);
+        let mut monitor = Monitor::new(algorithm, &cluster, templates.clone());
         let balancer = LoadBalancer::new();
+        let mut recovery = RecoveryManager::new(config.recovery);
+        let mut injector = FaultInjector::new(&config.faults, &node_ids);
 
         // --- Workload setup ---------------------------------------------------
         let mut arrival_rngs: Vec<SimRng> =
@@ -295,12 +376,32 @@ impl SimulationDriver {
         let mut cpu_ts = TimeSeries::new("cpu-used-cores");
         let mut mem_ts = TimeSeries::new("mem-used-mb");
 
+        // Per-tick availability roll calls cost one pass over all
+        // containers, so they only run for scenarios that can actually
+        // lose replicas to the infrastructure.
+        let track_availability = !config.faults.is_empty() || !config.node_events.is_empty();
+        let mut availability: BTreeMap<ServiceId, AvailabilityTracker> = config
+            .services
+            .iter()
+            .map(|s| (s.id, AvailabilityTracker::new()))
+            .collect();
+        let mut ready_counts: Vec<u32> = Vec::new();
+
         let horizon = SimTime::ZERO + config.duration;
         let mut engine = TickEngine::new(config.tick, horizon)?;
         let scale_period_secs = config.scale_period.as_secs();
         let mut tick_report = TickReport::default();
 
         engine.run(|now, dt| {
+            // 0. Fault injection strikes at the start of the tick, in the
+            // serial phase (never inside the parallel node workers), so
+            // chaos runs stay bit-identical at any parallelism setting.
+            if !injector.drained() {
+                for failure in injector.apply_due(&mut cluster, now) {
+                    record_failure(&mut requests, &mut per_service, &failure);
+                }
+            }
+
             // 1. Deliver due events at the start of the tick.
             while let Some((event_time, event)) = events.pop_due(now) {
                 match event {
@@ -334,11 +435,8 @@ impl SimulationDriver {
                                 let failures: Vec<FailedRequest> = cluster
                                     .decommission_node(node_ids[*node_idx], now)
                                     .unwrap_or_default();
-                                for failure in failures {
-                                    requests.record_removal_failure();
-                                    if let Some(out) = per_service.get_mut(&failure.service) {
-                                        out.record_removal_failure();
-                                    }
+                                for failure in &failures {
+                                    record_failure(&mut requests, &mut per_service, failure);
                                 }
                             }
                             NodeEvent::Commission(spec) => {
@@ -347,6 +445,9 @@ impl SimulationDriver {
                         }
                     }
                     Event::Scale => {
+                        // Muted NodeManagers (stat outages) leave their
+                        // containers on stale usage this period.
+                        monitor.set_stat_outages(injector.muted_nodes(now));
                         let report = monitor.run_period(&mut cluster, now, scale_period_secs);
                         for action in &report.applied {
                             use crate::actions::ScalingAction;
@@ -359,9 +460,26 @@ impl SimulationDriver {
                             }
                         }
                         for failure in &report.removal_failures {
-                            requests.record_removal_failure();
-                            if let Some(out) = per_service.get_mut(&failure.service) {
-                                out.record_removal_failure();
+                            record_failure(&mut requests, &mut per_service, failure);
+                        }
+
+                        // Replicas that died underneath the platform are
+                        // respawned through the recovery path (placement +
+                        // capped exponential backoff).
+                        for (service, _) in &report.dead_replicas {
+                            if let Some(t) = availability.get_mut(service) {
+                                t.record_death();
+                            }
+                        }
+                        let recovered = recovery.run(&mut cluster, &templates, now);
+                        for (service, _) in &recovered.respawned {
+                            if let Some(t) = availability.get_mut(service) {
+                                t.record_respawn();
+                            }
+                        }
+                        for service in &recovered.failed {
+                            if let Some(t) = availability.get_mut(service) {
+                                t.record_recovery_failure();
                             }
                         }
 
@@ -414,19 +532,17 @@ impl SimulationDriver {
                 }
             }
             for failed in tick_report.failed.drain(..) {
-                match failed.kind {
-                    FailureKind::Removal => {
-                        requests.record_removal_failure();
-                        if let Some(out) = per_service.get_mut(&failed.service) {
-                            out.record_removal_failure();
-                        }
-                    }
-                    FailureKind::Connection => {
-                        requests.record_connection_failure();
-                        if let Some(out) = per_service.get_mut(&failed.service) {
-                            out.record_connection_failure();
-                        }
-                    }
+                record_failure(&mut requests, &mut per_service, &failed);
+            }
+
+            // 3. Availability roll call: a service is up in this tick iff
+            // at least one ready replica exists.
+            if track_availability {
+                cluster.ready_replicas_into(now, &mut ready_counts);
+                let dt_secs = dt.as_secs();
+                for (service, tracker) in availability.iter_mut() {
+                    let up = ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
+                    tracker.record_tick(dt_secs, up);
                 }
             }
             TickOutcome::Continue
@@ -443,6 +559,11 @@ impl SimulationDriver {
             replicas: replicas_ts,
             cpu_used: cpu_ts,
             mem_used: mem_ts,
+            availability: availability
+                .into_iter()
+                .map(|(s, t)| (s, t.finalize()))
+                .collect(),
+            faults: injector.log(),
         })
     }
 
@@ -475,6 +596,10 @@ impl SimulationDriver {
                     .merge(&outcomes);
             }
             merged.scaling += run.scaling;
+            for (svc, avail) in run.availability {
+                merged.availability.entry(svc).or_default().merge(&avail);
+            }
+            merged.faults += run.faults;
             merged.seeds.push(seed);
         }
         Ok(merged)
@@ -526,7 +651,16 @@ impl ScenarioBuilder {
                 cluster: ClusterConfig::default(),
                 antagonists: Vec::new(),
                 node_events: Vec::new(),
-                parallelism: 1,
+                faults: FaultPlan::new(),
+                recovery: RecoveryConfig::default(),
+                // Results are bit-identical at any worker count, so CI
+                // re-runs the whole suite with HYSCALE_PARALLELISM=4 to
+                // prove it; explicit .parallelism() still overrides.
+                parallelism: std::env::var("HYSCALE_PARALLELISM")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(1),
             },
             next_service_index: 0,
         }
@@ -572,6 +706,18 @@ impl ScenarioBuilder {
     /// Schedules a machine addition or removal at `secs` into the run.
     pub fn node_event(mut self, secs: f64, event: NodeEvent) -> Self {
         self.config.node_events.push((secs, event));
+        self
+    }
+
+    /// Installs a fault plan (chaos schedule) for the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Overrides the replica-recovery tunables.
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.config.recovery = recovery;
         self
     }
 
@@ -864,6 +1010,135 @@ mod tests {
             &[],
         )
         .is_err());
+    }
+
+    #[test]
+    fn chaos_scenario_survives_and_reports_availability() {
+        use hyscale_cluster::FaultKind;
+        let report = ScenarioBuilder::new("chaos")
+            .nodes(4)
+            .services(
+                2,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 4.0 },
+            )
+            .duration_secs(120.0)
+            .algorithm(AlgorithmKind::HyScaleCpu)
+            .seed(9)
+            .faults(
+                FaultPlan::new()
+                    .with(
+                        30.0,
+                        FaultKind::NodeCrash {
+                            node: 0,
+                            down_secs: 20.0,
+                        },
+                    )
+                    .with(45.0, FaultKind::OomKill { service: 1 })
+                    .with(
+                        50.0,
+                        FaultKind::NicDegrade {
+                            node: 1,
+                            factor: 0.2,
+                            duration_secs: 15.0,
+                        },
+                    )
+                    .with(
+                        60.0,
+                        FaultKind::StatOutage {
+                            node: 2,
+                            duration_secs: 10.0,
+                        },
+                    ),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.faults.node_crashes, 1);
+        assert_eq!(report.faults.reboots, 1);
+        assert_eq!(report.faults.stat_outages, 1);
+        assert!(report.requests.completed > 0, "service kept serving");
+        assert_eq!(report.availability.len(), 2);
+        for a in report.availability.values() {
+            assert!(
+                (a.observed_secs - 120.0).abs() < 0.5,
+                "observed {}",
+                a.observed_secs
+            );
+        }
+        assert!(report.min_uptime_pct() > 50.0);
+    }
+
+    #[test]
+    fn fault_plan_validation_is_wired() {
+        use hyscale_cluster::FaultKind;
+        let bad = ScenarioBuilder::new("x")
+            .nodes(2)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .faults(FaultPlan::new().with(
+                10.0,
+                FaultKind::NodeCrash {
+                    node: 9,
+                    down_secs: 5.0,
+                },
+            ))
+            .build();
+        assert!(matches!(
+            SimulationDriver::run(&bad),
+            Err(CoreError::InvalidScenario(_))
+        ));
+
+        let bad_recovery = ScenarioBuilder::new("x")
+            .nodes(1)
+            .services(1, ServiceProfile::CpuBound, LoadPattern::low_burst())
+            .recovery(crate::recovery::RecoveryConfig {
+                base_backoff_secs: -1.0,
+                ..Default::default()
+            })
+            .build();
+        assert!(SimulationDriver::run(&bad_recovery).is_err());
+    }
+
+    #[test]
+    fn recovery_restores_service_after_total_replica_loss() {
+        use hyscale_cluster::FaultKind;
+        // One service, no autoscaling: when its only node crashes, only
+        // the recovery path can bring the service back.
+        let report = ScenarioBuilder::new("recover")
+            .nodes(2)
+            .services(
+                1,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 2.0 },
+            )
+            .duration_secs(120.0)
+            .algorithm(AlgorithmKind::None)
+            .seed(5)
+            .faults(FaultPlan::new().with(
+                30.0,
+                FaultKind::NodeCrash {
+                    node: 0,
+                    down_secs: 60.0,
+                },
+            ))
+            .run()
+            .unwrap();
+        let avail = report.availability.values().next().unwrap();
+        // The initial replica lands on node 0 (round-robin), dies at 30 s,
+        // and recovery respawns it on the surviving node.
+        assert!(report.total_respawns() >= 1, "{avail:?}");
+        assert_eq!(avail.deaths, 1, "{avail:?}");
+        assert!(avail.repairs >= 1, "{avail:?}");
+        assert!(
+            avail.mttr_secs() > 0.0 && avail.mttr_secs() < 20.0,
+            "{avail:?}"
+        );
+        assert!(
+            report.min_uptime_pct() > 80.0,
+            "{}",
+            report.min_uptime_pct()
+        );
+        // Requests kept completing after the repair.
+        assert!(report.requests.completed > 0);
     }
 
     #[test]

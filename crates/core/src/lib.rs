@@ -58,6 +58,7 @@ mod driver;
 mod error;
 mod monitor;
 mod nodemanager;
+mod recovery;
 mod view;
 
 pub use actions::ScalingAction;
@@ -70,6 +71,7 @@ pub use driver::{
     NodeEvent, RunReport, ScalingCounts, ScenarioBuilder, ScenarioConfig, SimulationDriver,
 };
 pub use error::CoreError;
-pub use monitor::Monitor;
+pub use monitor::{Monitor, MonitorReport};
 pub use nodemanager::NodeManager;
+pub use recovery::{RecoveryConfig, RecoveryManager, RecoveryReport};
 pub use view::{ClusterView, NodeView, ReplicaView, ServiceView};

@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use hyscale_cluster::{Cluster, ContainerSpec, ContainerState, FailedRequest, ServiceId};
+use hyscale_cluster::{
+    Cluster, ContainerId, ContainerSpec, ContainerState, FailedRequest, NodeId, ServiceId,
+};
 use hyscale_sim::SimTime;
 
 use crate::actions::ScalingAction;
@@ -28,6 +30,10 @@ pub struct MonitorReport {
     pub applied: Vec<ScalingAction>,
     /// Requests aborted by replica removals this period.
     pub removal_failures: Vec<FailedRequest>,
+    /// Replicas that disappeared since the last period *without* a
+    /// Monitor removal decision — they died underneath the platform
+    /// (node crash, OOM-kill) and are candidates for recovery respawn.
+    pub dead_replicas: Vec<(ServiceId, ContainerId)>,
 }
 
 /// The central arbiter: collects, decides (via the plugged-in algorithm),
@@ -37,6 +43,13 @@ pub struct Monitor {
     node_managers: Vec<NodeManager>,
     /// Template container spec per service, used to materialize spawns.
     templates: HashMap<ServiceId, ContainerSpec>,
+    /// Nodes whose NodeManager stat reports are currently muted (fault
+    /// injection); their containers fall back to stale usage figures.
+    stat_outages: Vec<NodeId>,
+    /// Replicas alive at the end of the previous period, sorted. The gap
+    /// between this and the next period's roll call is how the Monitor
+    /// notices replicas that died without being told.
+    expected_replicas: Vec<(ServiceId, ContainerId)>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -58,16 +71,42 @@ impl Monitor {
         cluster: &Cluster,
         templates: HashMap<ServiceId, ContainerSpec>,
     ) -> Self {
-        Monitor {
+        let mut monitor = Monitor {
             algorithm,
             node_managers: cluster.nodes().map(|n| NodeManager::new(n.id())).collect(),
             templates,
-        }
+            stat_outages: Vec::new(),
+            expected_replicas: Vec::new(),
+        };
+        monitor.expected_replicas = monitor.roll_call(cluster);
+        monitor
     }
 
     /// The plugged-in algorithm's report name.
     pub fn algorithm_name(&self) -> &'static str {
         self.algorithm.name()
+    }
+
+    /// Tells the Monitor which nodes' NodeManager reports are currently
+    /// unavailable (fault injection). Their containers keep their last
+    /// known (stale) usage in the next [`Monitor::collect`].
+    pub fn set_stat_outages(&mut self, nodes: Vec<NodeId>) {
+        self.stat_outages = nodes;
+    }
+
+    /// The managed replicas currently alive in `cluster`, sorted.
+    fn roll_call(&self, cluster: &Cluster) -> Vec<(ServiceId, ContainerId)> {
+        let mut alive: Vec<(ServiceId, ContainerId)> = cluster
+            .containers()
+            .filter(|c| {
+                !c.spec().antagonist
+                    && c.state() != ContainerState::Removed
+                    && self.templates.contains_key(&c.service())
+            })
+            .map(|c| (c.service(), c.id()))
+            .collect();
+        alive.sort_unstable();
+        alive
     }
 
     /// Runs one scaling period: collect → decide → administer.
@@ -82,6 +121,17 @@ impl Monitor {
         // Nodes can be commissioned or decommissioned at runtime (paper
         // future work); keep one Node Manager per live machine.
         self.node_managers = cluster.nodes().map(|n| NodeManager::new(n.id())).collect();
+
+        // Roll call: replicas the Monitor expected from last period that
+        // no longer answer died without a scaling decision.
+        let alive = self.roll_call(cluster);
+        let dead_replicas: Vec<(ServiceId, ContainerId)> = self
+            .expected_replicas
+            .iter()
+            .filter(|expected| alive.binary_search(expected).is_err())
+            .copied()
+            .collect();
+
         let view = self.collect(cluster, now, period_secs);
         let actions = self.algorithm.decide(&view);
         let mut applied = Vec::with_capacity(actions.len());
@@ -91,10 +141,14 @@ impl Monitor {
                 applied.push(action);
             }
         }
+        // Snapshot *after* acting so the Monitor's own removals and spawns
+        // are part of next period's expectation.
+        self.expected_replicas = self.roll_call(cluster);
         MonitorReport {
             view,
             applied,
             removal_failures,
+            dead_replicas,
         }
     }
 
@@ -102,8 +156,13 @@ impl Monitor {
     /// and for recording utilization time series).
     pub fn collect(&self, cluster: &mut Cluster, now: SimTime, period_secs: f64) -> ClusterView {
         // Usage per container, gathered node by node (what the NMs report).
+        // Muted nodes (stat outage) contribute nothing; their containers
+        // fall back to the stale defaults below.
         let mut usage_by_container = HashMap::new();
         for nm in &self.node_managers {
+            if self.stat_outages.contains(&nm.node()) {
+                continue;
+            }
             if let Ok(report) = nm.report(cluster) {
                 for sample in report.containers {
                     usage_by_container.insert(sample.container, sample);
@@ -427,6 +486,79 @@ mod tests {
             &mut failures,
         ));
         assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn stat_outage_mutes_a_nodes_usage() {
+        let (mut cl, svc) = cluster_with_one_service();
+        let ctr = cl.service_replicas(svc)[0];
+        let node0 = cl.nodes().next().unwrap().id();
+        cl.admit_request(
+            ctr,
+            Request::cpu_bound(svc, SimTime::ZERO, 100.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        monitor.set_stat_outages(vec![node0]);
+        let muted = monitor.collect(&mut cl, now, 5.0);
+        // No fresh NM report: cpu falls back to 0 (stale default).
+        assert_eq!(muted.services[0].replicas[0].cpu_used.get(), 0.0);
+        // Un-muting restores the real usage (the window kept
+        // accumulating while reports were dropped).
+        monitor.set_stat_outages(Vec::new());
+        let fresh = monitor.collect(&mut cl, now, 5.0);
+        assert!(fresh.services[0].replicas[0].cpu_used.get() > 0.5);
+    }
+
+    #[test]
+    fn roll_call_detects_replicas_that_died_without_a_decision() {
+        let (mut cl, svc) = cluster_with_one_service();
+        let ctr = cl.service_replicas(svc)[0];
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        // First period: everything answers.
+        let report = monitor.run_period(&mut cl, SimTime::from_secs(5.0), 5.0);
+        assert!(report.dead_replicas.is_empty());
+        // The node crashes between periods; its replica dies silently.
+        let node0 = cl.nodes().next().unwrap().id();
+        cl.crash_node(node0, SimTime::from_secs(7.0)).unwrap();
+        let report = monitor.run_period(&mut cl, SimTime::from_secs(10.0), 5.0);
+        assert_eq!(report.dead_replicas, vec![(svc, ctr)]);
+        // The death is reported once, not every period thereafter.
+        let report = monitor.run_period(&mut cl, SimTime::from_secs(15.0), 5.0);
+        assert!(report.dead_replicas.is_empty());
+    }
+
+    #[test]
+    fn monitor_removals_are_not_flagged_as_deaths() {
+        let (mut cl, svc) = cluster_with_one_service();
+        let node1 = cl.nodes().nth(1).unwrap().id();
+        cl.start_container(
+            node1,
+            ContainerSpec::new(svc).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut monitor = Monitor::new(
+            Box::new(KubernetesHpa::new(HpaConfig::default())),
+            &cl,
+            templates(svc),
+        );
+        // Idle usage: the HPA scales in to one replica. That removal is a
+        // decision, so the next roll call must not call it a death.
+        let report = monitor.run_period(&mut cl, SimTime::from_secs(60.0), 5.0);
+        assert!(report
+            .applied
+            .iter()
+            .any(|a| matches!(a, ScalingAction::Remove { .. })));
+        let report = monitor.run_period(&mut cl, SimTime::from_secs(65.0), 5.0);
+        assert!(report.dead_replicas.is_empty());
     }
 
     #[test]

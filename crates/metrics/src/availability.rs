@@ -1,0 +1,242 @@
+//! Per-service availability accounting: downtime, MTTR, uptime %.
+//!
+//! The paper's robustness claim is an availability number — the platform
+//! keeps services at ≥ 99.8% uptime while nodes and replicas fail
+//! underneath them. This module turns the driver's per-tick liveness
+//! observations into that number: a service is **up** in a tick when at
+//! least one ready (non-starting, non-removed) replica exists, **down**
+//! otherwise; contiguous down ticks form an *outage*; an outage ends when
+//! a ready replica appears again (a *repair*). MTTR is mean repair time
+//! over completed outages.
+//!
+//! The tracker stores only raw sums, so per-seed results merge exactly
+//! (the paper averages each experiment over five seeded runs).
+
+/// Streaming accumulator for one service's availability over a run.
+///
+/// Feed it once per tick via [`AvailabilityTracker::record_tick`]; the
+/// driver also reports recovery activity (respawns, respawn failures,
+/// replica deaths) so the final [`ServiceAvailability`] carries the
+/// paper's recovery-failure counts alongside uptime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AvailabilityTracker {
+    observed_secs: f64,
+    down_secs: f64,
+    outages: u64,
+    repairs: u64,
+    repair_secs: f64,
+    /// Seconds of downtime in the outage currently in progress, if any.
+    current_outage_secs: Option<f64>,
+    respawns: u64,
+    recovery_failures: u64,
+    deaths: u64,
+}
+
+impl AvailabilityTracker {
+    /// A fresh tracker with nothing observed.
+    pub fn new() -> Self {
+        AvailabilityTracker::default()
+    }
+
+    /// Records one tick of length `dt_secs` during which the service was
+    /// `up` (had at least one ready replica) or not.
+    pub fn record_tick(&mut self, dt_secs: f64, up: bool) {
+        self.observed_secs += dt_secs;
+        if up {
+            if let Some(outage_secs) = self.current_outage_secs.take() {
+                self.repairs += 1;
+                self.repair_secs += outage_secs;
+            }
+        } else {
+            self.down_secs += dt_secs;
+            match &mut self.current_outage_secs {
+                Some(outage_secs) => *outage_secs += dt_secs,
+                None => {
+                    self.outages += 1;
+                    self.current_outage_secs = Some(dt_secs);
+                }
+            }
+        }
+    }
+
+    /// Records a replica death the platform must recover from (node
+    /// crash, OOM-kill, or a replica that vanished without a scale-in
+    /// decision).
+    pub fn record_death(&mut self) {
+        self.deaths += 1;
+    }
+
+    /// Records a successful recovery respawn.
+    pub fn record_respawn(&mut self) {
+        self.respawns += 1;
+    }
+
+    /// Records a failed recovery attempt (no node could host the
+    /// replacement replica).
+    pub fn record_recovery_failure(&mut self) {
+        self.recovery_failures += 1;
+    }
+
+    /// Closes the books and returns the run's availability figures. An
+    /// outage still in progress counts toward downtime but not MTTR
+    /// (there is no repair to measure).
+    pub fn finalize(self) -> ServiceAvailability {
+        ServiceAvailability {
+            observed_secs: self.observed_secs,
+            down_secs: self.down_secs,
+            outages: self.outages,
+            repairs: self.repairs,
+            repair_secs: self.repair_secs,
+            respawns: self.respawns,
+            recovery_failures: self.recovery_failures,
+            deaths: self.deaths,
+        }
+    }
+}
+
+/// Final availability figures for one service over one or more runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceAvailability {
+    /// Total simulated time observed.
+    pub observed_secs: f64,
+    /// Time with no ready replica.
+    pub down_secs: f64,
+    /// Number of distinct outages (contiguous down intervals).
+    pub outages: u64,
+    /// Outages that ended within the run.
+    pub repairs: u64,
+    /// Total downtime across *repaired* outages (the MTTR numerator).
+    pub repair_secs: f64,
+    /// Successful recovery respawns.
+    pub respawns: u64,
+    /// Failed recovery attempts.
+    pub recovery_failures: u64,
+    /// Replica deaths the platform had to recover from.
+    pub deaths: u64,
+}
+
+impl ServiceAvailability {
+    /// Uptime percentage over the observed window (100.0 when nothing
+    /// was observed — a service that never existed was never down).
+    pub fn uptime_pct(&self) -> f64 {
+        if self.observed_secs <= 0.0 {
+            100.0
+        } else {
+            100.0 * (self.observed_secs - self.down_secs) / self.observed_secs
+        }
+    }
+
+    /// Mean time to repair over completed outages, seconds (0.0 if no
+    /// outage was ever repaired).
+    pub fn mttr_secs(&self) -> f64 {
+        if self.repairs == 0 {
+            0.0
+        } else {
+            self.repair_secs / self.repairs as f64
+        }
+    }
+
+    /// Merges another run's figures into this one (raw sums add, so
+    /// uptime % becomes the time-weighted average across runs).
+    pub fn merge(&mut self, other: &ServiceAvailability) {
+        self.observed_secs += other.observed_secs;
+        self.down_secs += other.down_secs;
+        self.outages += other.outages;
+        self.repairs += other.repairs;
+        self.repair_secs += other.repair_secs;
+        self.respawns += other.respawns;
+        self.recovery_failures += other.recovery_failures;
+        self.deaths += other.deaths;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_service_has_full_uptime() {
+        let mut t = AvailabilityTracker::new();
+        for _ in 0..100 {
+            t.record_tick(0.1, true);
+        }
+        let a = t.finalize();
+        assert_eq!(a.uptime_pct(), 100.0);
+        assert_eq!(a.outages, 0);
+        assert_eq!(a.mttr_secs(), 0.0);
+    }
+
+    #[test]
+    fn outage_and_repair_produce_mttr() {
+        let mut t = AvailabilityTracker::new();
+        // 5 s up, 2 s down, 3 s up: one outage repaired after 2 s.
+        for _ in 0..50 {
+            t.record_tick(0.1, true);
+        }
+        for _ in 0..20 {
+            t.record_tick(0.1, false);
+        }
+        for _ in 0..30 {
+            t.record_tick(0.1, true);
+        }
+        let a = t.finalize();
+        assert_eq!(a.outages, 1);
+        assert_eq!(a.repairs, 1);
+        assert!((a.mttr_secs() - 2.0).abs() < 1e-9, "mttr {}", a.mttr_secs());
+        assert!((a.uptime_pct() - 80.0).abs() < 1e-9, "{}", a.uptime_pct());
+    }
+
+    #[test]
+    fn unrepaired_outage_counts_as_downtime_but_not_mttr() {
+        let mut t = AvailabilityTracker::new();
+        t.record_tick(1.0, true);
+        t.record_tick(1.0, false);
+        t.record_tick(1.0, false);
+        let a = t.finalize();
+        assert_eq!(a.outages, 1);
+        assert_eq!(a.repairs, 0);
+        assert_eq!(a.mttr_secs(), 0.0);
+        assert!((a.uptime_pct() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separate_outages_are_counted_separately() {
+        let mut t = AvailabilityTracker::new();
+        for up in [true, false, true, false, false, true] {
+            t.record_tick(1.0, up);
+        }
+        let a = t.finalize();
+        assert_eq!(a.outages, 2);
+        assert_eq!(a.repairs, 2);
+        assert!((a.mttr_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_time_weighted() {
+        let mut a = AvailabilityTracker::new();
+        for _ in 0..10 {
+            a.record_tick(1.0, true);
+        }
+        let mut b = AvailabilityTracker::new();
+        for i in 0..10 {
+            b.record_tick(1.0, i >= 5);
+        }
+        b.record_death();
+        b.record_respawn();
+        b.record_recovery_failure();
+        let mut merged = a.finalize();
+        merged.merge(&b.finalize());
+        assert!((merged.uptime_pct() - 75.0).abs() < 1e-9);
+        assert_eq!(merged.deaths, 1);
+        assert_eq!(merged.respawns, 1);
+        assert_eq!(merged.recovery_failures, 1);
+        assert_eq!(merged.outages, 1);
+    }
+
+    #[test]
+    fn empty_tracker_defaults_to_up() {
+        let a = AvailabilityTracker::new().finalize();
+        assert_eq!(a.uptime_pct(), 100.0);
+        assert_eq!(a.mttr_secs(), 0.0);
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod availability;
 mod cost;
 mod failures;
 mod report;
@@ -32,6 +33,7 @@ mod sla;
 mod summary;
 mod timeseries;
 
+pub use availability::{AvailabilityTracker, ServiceAvailability};
 pub use cost::CostMeter;
 pub use failures::{FailureTally, RequestOutcomes};
 pub use report::{format_speedup, Table};

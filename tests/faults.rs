@@ -1,0 +1,317 @@
+//! Fault-injection invariants: request-conservation and capacity
+//! properties that must hold under *any* seeded fault plan, plus the
+//! exactly-once accounting of scale-in aborts (the paper's "removal
+//! failures", Fig. 6).
+
+use std::collections::HashSet;
+
+use hyscale::cluster::{
+    Cluster, ClusterConfig, ContainerSpec, FailureKind, FaultInjector, FaultKind, FaultPlan,
+    FaultPlanConfig, NodeSpec, Request, ServiceId,
+};
+use hyscale::core::{AlgorithmKind, NodeEvent, RunReport, ScenarioBuilder};
+use hyscale::sim::{SimDuration, SimRng, SimTime};
+use hyscale::workload::{LoadPattern, ServiceProfile};
+
+/// Drives a short two-service scenario under the given fault plan.
+fn chaos_run(plan: FaultPlan, seed: u64, algorithm: AlgorithmKind) -> RunReport {
+    ScenarioBuilder::new("fault-property")
+        .nodes(4)
+        .services(
+            2,
+            ServiceProfile::CpuBound,
+            LoadPattern::Constant { rate: 6.0 },
+        )
+        .duration_secs(90.0)
+        .algorithm(algorithm)
+        .seed(seed)
+        .faults(plan)
+        .run()
+        .expect("chaos scenario runs")
+}
+
+fn assert_conserved(report: &RunReport) {
+    let r = &report.requests;
+    // `outstanding()` saturates at zero, so check the raw inequality
+    // first: over-counting a failure (e.g. a request aborted twice)
+    // would push completed + failed past issued.
+    assert!(
+        r.completed + r.failures.total() <= r.issued,
+        "over-counted outcomes: issued {} < completed {} + failed {}",
+        r.issued,
+        r.completed,
+        r.failures.total(),
+    );
+    assert_eq!(
+        r.issued,
+        r.completed + r.failures.total() + r.outstanding(),
+        "conservation broken: {r:?}",
+    );
+    for (svc, outcomes) in &report.per_service {
+        assert_eq!(
+            outcomes.issued,
+            outcomes.completed + outcomes.failures.total() + outcomes.outstanding(),
+            "conservation broken for {svc:?}: {outcomes:?}",
+        );
+    }
+}
+
+/// Property: `issued = completed + failed + outstanding`, overall and
+/// per service, no matter what the fault storm does.
+#[test]
+fn request_conservation_holds_under_random_fault_plans() {
+    let mut rng = SimRng::seed_from(0xFA17_5EED);
+    for round in 0..6u64 {
+        let cfg = FaultPlanConfig {
+            horizon_secs: 90.0,
+            nodes: 4,
+            services: 2,
+            node_crashes: 2,
+            oom_kills: 2,
+            nic_degradations: 1,
+            stat_outages: 1,
+            min_down_secs: 5.0,
+            max_down_secs: 20.0,
+        };
+        let plan = FaultPlan::random(&cfg, &mut rng);
+        assert!(!plan.is_empty());
+        let report = chaos_run(plan, round + 1, AlgorithmKind::HyScaleCpu);
+        assert!(report.requests.issued > 0);
+        assert_conserved(&report);
+    }
+}
+
+/// Conservation also holds when planned decommissions overlap with the
+/// fault storm — both abort paths feed the same single tally.
+#[test]
+fn conservation_holds_with_decommission_and_faults_together() {
+    let mut rng = SimRng::seed_from(0xD0_0DAD);
+    let cfg = FaultPlanConfig {
+        horizon_secs: 90.0,
+        nodes: 4,
+        services: 2,
+        ..FaultPlanConfig::default()
+    };
+    let plan = FaultPlan::random(&cfg, &mut rng);
+    let report = ScenarioBuilder::new("fault-plus-decommission")
+        .nodes(4)
+        .services(
+            2,
+            ServiceProfile::Mixed,
+            LoadPattern::Constant { rate: 6.0 },
+        )
+        .duration_secs(90.0)
+        .algorithm(AlgorithmKind::HyScaleCpuMem)
+        .seed(11)
+        .faults(plan)
+        .node_event(40.0, NodeEvent::Decommission(3))
+        .node_event(60.0, NodeEvent::Commission(NodeSpec::uniform_worker()))
+        .run()
+        .expect("scenario runs");
+    assert!(report.requests.issued > 0);
+    assert_conserved(&report);
+}
+
+/// Property: no per-window CPU grant ever exceeds a node's capacity,
+/// through arbitrary crash/reboot cycles, and a rebooted node comes back
+/// with its full capacity free.
+#[test]
+fn grants_never_exceed_capacity_through_crash_reboot_cycles() {
+    let mut cl = Cluster::new(ClusterConfig::default());
+    let spec = NodeSpec::uniform_worker();
+    let cores = spec.cores;
+    let node_ids: Vec<_> = (0..3).map(|_| cl.add_node(spec)).collect();
+    let svc = ServiceId::new(0);
+    for &n in &node_ids {
+        cl.start_container(
+            n,
+            ContainerSpec::new(svc).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+    let plan = FaultPlan::new()
+        .with(
+            2.0,
+            FaultKind::NodeCrash {
+                node: 0,
+                down_secs: 3.0,
+            },
+        )
+        .with(
+            4.0,
+            FaultKind::NodeCrash {
+                node: 1,
+                down_secs: 2.0,
+            },
+        )
+        .with(
+            9.0,
+            FaultKind::NodeCrash {
+                node: 0,
+                down_secs: 2.0,
+            },
+        );
+    let mut injector = FaultInjector::new(&plan, &node_ids);
+
+    let mut rng = SimRng::seed_from(42);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    for tick in 0..150 {
+        injector.apply_due(&mut cl, now);
+        // Offer load to whatever replicas are still accepting.
+        let live: Vec<_> = cl.service_replicas(svc);
+        for _ in 0..2 {
+            if !live.is_empty() {
+                let target = live[rng.uniform_usize(live.len())];
+                let req = Request::cpu_bound(svc, now, rng.uniform_range(0.5, 4.0));
+                let _ = cl.admit_request(target, req, now);
+            }
+        }
+        cl.advance(now, dt);
+        now += dt;
+        if tick % 10 == 9 {
+            let ids: Vec<_> = cl.nodes().map(|n| n.id()).collect();
+            for id in ids {
+                let usage = cl.node_usage_and_reset(id).unwrap();
+                assert!(
+                    usage.cpu_used.get() <= cores.get() + 1e-9,
+                    "node {id:?} granted {:?} cores against capacity {cores:?}",
+                    usage.cpu_used,
+                );
+            }
+        }
+    }
+
+    // Every crash rebooted. The crashed nodes lost their containers, so
+    // they advertise full capacity again; the survivor (node 2) still
+    // reserves its replica's request.
+    assert!(injector.drained());
+    assert_eq!(injector.log().node_crashes, 3);
+    assert_eq!(injector.log().reboots, 3);
+    assert_eq!(cl.nodes().count(), 3);
+    for &id in &node_ids[..2] {
+        let (free_cpu, _) = cl.free_resources(id).unwrap();
+        assert!((free_cpu.get() - cores.get()).abs() < 1e-9);
+    }
+    let (survivor_free, _) = cl.free_resources(node_ids[2]).unwrap();
+    assert!(survivor_free.get() < cores.get());
+    // A rebooted node can host replacement replicas again.
+    cl.start_container(
+        node_ids[0],
+        ContainerSpec::new(svc).with_startup_secs(0.0),
+        now,
+    )
+    .unwrap();
+}
+
+/// The injector is a pure function of (plan, node list): replaying the
+/// same plan over an identical cluster yields the identical fault log.
+#[test]
+fn fault_injection_replays_identically() {
+    let build = || {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let nodes: Vec<_> = (0..3)
+            .map(|_| cl.add_node(NodeSpec::uniform_worker()))
+            .collect();
+        let svc = ServiceId::new(0);
+        for &n in &nodes {
+            cl.start_container(
+                n,
+                ContainerSpec::new(svc).with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        (cl, nodes, svc)
+    };
+    let mut rng = SimRng::seed_from(77);
+    let plan = FaultPlan::random(
+        &FaultPlanConfig {
+            horizon_secs: 20.0,
+            nodes: 3,
+            services: 1,
+            ..FaultPlanConfig::default()
+        },
+        &mut rng,
+    );
+
+    let run = |plan: &FaultPlan| {
+        let (mut cl, nodes, svc) = build();
+        let mut injector = FaultInjector::new(plan, &nodes);
+        let mut failures = Vec::new();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..250 {
+            for f in injector.apply_due(&mut cl, now) {
+                failures.push(format!("{f:?}"));
+            }
+            let live = cl.service_replicas(svc);
+            if let Some(&target) = live.first() {
+                let _ = cl.admit_request(target, Request::cpu_bound(svc, now, 1.0), now);
+            }
+            cl.advance(now, dt);
+            now += dt;
+        }
+        (format!("{:?}", injector.log()), failures)
+    };
+    assert_eq!(run(&plan), run(&plan));
+}
+
+/// Satellite fix audit: every in-flight request aborted by a scale-in is
+/// tallied exactly once, as a removal failure, and never resurfaces.
+#[test]
+fn scale_in_aborts_are_tallied_exactly_once() {
+    let mut cl = Cluster::new(ClusterConfig::default());
+    let node = cl.add_node(NodeSpec::uniform_worker());
+    let svc = ServiceId::new(0);
+    let keep = cl
+        .start_container(
+            node,
+            ContainerSpec::new(svc).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let victim = cl
+        .start_container(
+            node,
+            ContainerSpec::new(svc).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    for i in 0..5 {
+        let req = Request::cpu_bound(svc, SimTime::ZERO, 30.0 + f64::from(i));
+        cl.admit_request(victim, req, SimTime::ZERO).unwrap();
+    }
+    cl.admit_request(
+        keep,
+        Request::cpu_bound(svc, SimTime::ZERO, 30.0),
+        SimTime::ZERO,
+    )
+    .unwrap();
+
+    let aborted = cl
+        .remove_container(victim, SimTime::from_secs(1.0))
+        .unwrap();
+    assert_eq!(aborted.len(), 5, "all five in-flight requests abort");
+    assert!(aborted.iter().all(|f| f.kind == FailureKind::Removal));
+    let ids: HashSet<_> = aborted.iter().map(|f| f.id).collect();
+    assert_eq!(ids.len(), 5, "each request aborts once, no duplicates");
+
+    // The aborted requests never resurface as later tick failures, and
+    // the survivor keeps running.
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::from_secs(1.0);
+    for _ in 0..100 {
+        let tick = cl.advance(now, dt);
+        for f in &tick.failed {
+            assert!(!ids.contains(&f.id), "request {f:?} double-counted");
+        }
+        now += dt;
+    }
+    assert_eq!(cl.service_replicas(svc), vec![keep]);
+
+    // Removing the already-removed container is an error, not a second
+    // batch of failures.
+    assert!(cl.remove_container(victim, now).is_err());
+}

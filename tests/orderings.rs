@@ -1,0 +1,97 @@
+//! Golden ordering tests: the paper's headline comparisons, pinned as
+//! orderings rather than absolute numbers (Sec. VI, Figs. 4-6).
+//!
+//! These drive the exact benchmark scenario definitions from
+//! `hyscale-bench` at `Scale::bench()` with fixed seeds, so the
+//! assertions are deterministic. They deliberately compare algorithms
+//! against each other instead of pinning response times, which drift
+//! with any model change; the *orderings* are the paper's claims:
+//!
+//! * HyScaleCPU beats the Kubernetes HPA on CPU-bound workloads — lower
+//!   mean response time and no more failed requests (Fig. 4-5).
+//! * HyScaleCPU+Mem is the strongest on the mixed (CPU+memory) high-burst
+//!   workload: fastest and fewest failures of the three (Fig. 5-6).
+
+use hyscale::core::{AlgorithmKind, RunReport, SimulationDriver};
+use hyscale_bench::scenarios::{cpu_bound, mixed, Burst, Scale};
+
+/// Two seeds keep the comparison honest without making the suite slow.
+const SEEDS: &[u64] = &[101, 202];
+
+fn run(config: hyscale::core::ScenarioConfig) -> RunReport {
+    SimulationDriver::run_averaged(&config, SEEDS).expect("scenario runs")
+}
+
+#[test]
+fn hyscale_cpu_beats_kubernetes_on_cpu_bound_low_burst() {
+    let scale = Scale::bench();
+    let k8s = run(cpu_bound(&scale, Burst::Low, AlgorithmKind::Kubernetes));
+    let hyb = run(cpu_bound(&scale, Burst::Low, AlgorithmKind::HyScaleCpu));
+    assert!(
+        hyb.requests.mean_response_secs() < k8s.requests.mean_response_secs(),
+        "HyScaleCPU {:.1} ms should beat Kubernetes {:.1} ms on cpu/low",
+        hyb.requests.mean_response_secs() * 1e3,
+        k8s.requests.mean_response_secs() * 1e3,
+    );
+    assert!(
+        hyb.requests.failures.total() <= k8s.requests.failures.total(),
+        "HyScaleCPU failed {} vs Kubernetes {} on cpu/low",
+        hyb.requests.failures.total(),
+        k8s.requests.failures.total(),
+    );
+}
+
+#[test]
+fn hyscale_cpu_beats_kubernetes_on_cpu_bound_high_burst() {
+    let scale = Scale::bench();
+    let k8s = run(cpu_bound(&scale, Burst::High, AlgorithmKind::Kubernetes));
+    let hyb = run(cpu_bound(&scale, Burst::High, AlgorithmKind::HyScaleCpu));
+    // Under bursts the gap widens: vertical scaling reacts within one
+    // monitor period while the HPA pays the horizontal cold start. At
+    // this scale the measured gap is >2x; assert a conservative 20%.
+    assert!(
+        hyb.requests.mean_response_secs() < 0.8 * k8s.requests.mean_response_secs(),
+        "HyScaleCPU {:.1} ms should clearly beat Kubernetes {:.1} ms on cpu/high",
+        hyb.requests.mean_response_secs() * 1e3,
+        k8s.requests.mean_response_secs() * 1e3,
+    );
+    assert!(
+        hyb.requests.failures.total() <= k8s.requests.failures.total(),
+        "HyScaleCPU failed {} vs Kubernetes {} on cpu/high",
+        hyb.requests.failures.total(),
+        k8s.requests.failures.total(),
+    );
+}
+
+#[test]
+fn hyscale_cpu_mem_is_strongest_on_mixed_high_burst() {
+    let scale = Scale::bench();
+    let k8s = run(mixed(&scale, Burst::High, AlgorithmKind::Kubernetes));
+    let cpu = run(mixed(&scale, Burst::High, AlgorithmKind::HyScaleCpu));
+    let mem = run(mixed(&scale, Burst::High, AlgorithmKind::HyScaleCpuMem));
+
+    // Fastest of the three.
+    assert!(
+        mem.requests.mean_response_secs() < cpu.requests.mean_response_secs()
+            && mem.requests.mean_response_secs() < k8s.requests.mean_response_secs(),
+        "HyScaleCPU+Mem {:.1} ms should be fastest (cpu {:.1} ms, k8s {:.1} ms)",
+        mem.requests.mean_response_secs() * 1e3,
+        cpu.requests.mean_response_secs() * 1e3,
+        k8s.requests.mean_response_secs() * 1e3,
+    );
+    // Fewest failures: memory-aware placement avoids the OOM/queue
+    // pressure that the CPU-only scalers run into on this workload.
+    assert!(
+        mem.requests.failures.total() < cpu.requests.failures.total()
+            && mem.requests.failures.total() < k8s.requests.failures.total(),
+        "HyScaleCPU+Mem failed {} vs HyScaleCPU {} vs Kubernetes {}",
+        mem.requests.failures.total(),
+        cpu.requests.failures.total(),
+        k8s.requests.failures.total(),
+    );
+    // The mixed high-burst workload actually exercises the failure path.
+    assert!(
+        k8s.requests.failures.total() > 0,
+        "workload should overload"
+    );
+}
