@@ -282,6 +282,36 @@ impl Cluster {
         Ok((cpu, mem))
     }
 
+    /// Emits one [`hyscale_trace::EventKind::AllocatorPressure`] event per
+    /// reachable node into `trace`: unpromised CPU/memory plus the live
+    /// container count, in node order. Free when the sink is disabled.
+    pub fn trace_pressure(&self, now: SimTime, trace: &mut hyscale_trace::TraceSink) {
+        if !trace.is_enabled() {
+            return;
+        }
+        for n in self.nodes() {
+            let mut cpu = n.spec().cores;
+            let mut mem = n.spec().memory;
+            let mut live = 0u32;
+            for c in &n.slots {
+                if c.state() != ContainerState::Removed {
+                    cpu -= c.spec().cpu_request;
+                    mem -= c.spec().mem_limit;
+                    live += 1;
+                }
+            }
+            trace.emit(
+                now,
+                hyscale_trace::EventKind::AllocatorPressure {
+                    node: n.id().index(),
+                    free_cpu: cpu.get(),
+                    free_mem: mem.get(),
+                    containers: live,
+                },
+            );
+        }
+    }
+
     /// Starts a container on `node` (`docker run`). The container begins
     /// serving after its startup delay.
     ///

@@ -25,6 +25,7 @@
 //! guarantee of [`Cluster::set_parallelism`] carries over unchanged.
 
 use hyscale_sim::{SimDuration, SimRng, SimTime};
+use hyscale_trace::{EventKind, FaultTag, TraceSink};
 
 use crate::cluster::Cluster;
 use crate::ids::{ContainerId, NodeId, ServiceId};
@@ -354,6 +355,19 @@ impl FaultInjector {
     /// infrastructure deaths are not scale-in removals). Call once per
     /// tick, before the resource-model advance.
     pub fn apply_due(&mut self, cluster: &mut Cluster, now: SimTime) -> Vec<FailedRequest> {
+        self.apply_due_traced(cluster, now, &mut TraceSink::disabled())
+    }
+
+    /// Like [`FaultInjector::apply_due`], but records every fault and
+    /// recovery that actually struck into `trace` as
+    /// [`EventKind::Fault`] events (skipped faults are not traced — they
+    /// changed nothing).
+    pub fn apply_due_traced(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        trace: &mut TraceSink,
+    ) -> Vec<FailedRequest> {
         let mut aborted = Vec::new();
 
         // Recoveries first: a node whose downtime ends exactly when the
@@ -366,10 +380,29 @@ impl FaultInjector {
                     Recovery::Reboot(node) => {
                         if cluster.reboot_node(node).is_ok() {
                             self.log.reboots += 1;
+                            trace.emit(
+                                now,
+                                EventKind::Fault {
+                                    fault: FaultTag::Reboot,
+                                    node: Some(node.index()),
+                                    service: None,
+                                    magnitude: 0.0,
+                                },
+                            );
                         }
                     }
                     Recovery::NicRestore(node) => {
-                        let _ = cluster.set_nic_factor(node, 1.0);
+                        if cluster.set_nic_factor(node, 1.0).is_ok() {
+                            trace.emit(
+                                now,
+                                EventKind::Fault {
+                                    fault: FaultTag::NicRestore,
+                                    node: Some(node.index()),
+                                    service: None,
+                                    magnitude: 1.0,
+                                },
+                            );
+                        }
                     }
                 }
             } else {
@@ -394,6 +427,15 @@ impl FaultInjector {
                                 now + SimDuration::from_secs(down_secs),
                                 Recovery::Reboot(id),
                             ));
+                            trace.emit(
+                                now,
+                                EventKind::Fault {
+                                    fault: FaultTag::NodeCrash,
+                                    node: Some(id.index()),
+                                    service: None,
+                                    magnitude: down_secs,
+                                },
+                            );
                         }
                         Err(_) => self.log.skipped += 1,
                     }
@@ -404,6 +446,15 @@ impl FaultInjector {
                             Ok(mut failures) => {
                                 aborted.append(&mut failures);
                                 self.log.oom_kills += 1;
+                                trace.emit(
+                                    now,
+                                    EventKind::Fault {
+                                        fault: FaultTag::OomKill,
+                                        node: None,
+                                        service: Some(service),
+                                        magnitude: 0.0,
+                                    },
+                                );
                             }
                             Err(_) => self.log.skipped += 1,
                         },
@@ -423,6 +474,15 @@ impl FaultInjector {
                                 now + SimDuration::from_secs(duration_secs),
                                 Recovery::NicRestore(id),
                             ));
+                            trace.emit(
+                                now,
+                                EventKind::Fault {
+                                    fault: FaultTag::NicDegrade,
+                                    node: Some(id.index()),
+                                    service: None,
+                                    magnitude: factor,
+                                },
+                            );
                         }
                         Err(_) => self.log.skipped += 1,
                     }
@@ -431,11 +491,19 @@ impl FaultInjector {
                     node,
                     duration_secs,
                 } => {
-                    self.outages.push((
-                        self.node_ids[node],
-                        now + SimDuration::from_secs(duration_secs),
-                    ));
+                    let id = self.node_ids[node];
+                    self.outages
+                        .push((id, now + SimDuration::from_secs(duration_secs)));
                     self.log.stat_outages += 1;
+                    trace.emit(
+                        now,
+                        EventKind::Fault {
+                            fault: FaultTag::StatOutage,
+                            node: Some(id.index()),
+                            service: None,
+                            magnitude: duration_secs,
+                        },
+                    );
                 }
             }
         }

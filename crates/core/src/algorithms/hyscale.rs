@@ -31,6 +31,7 @@ use std::collections::HashMap;
 
 use hyscale_cluster::{ContainerId, Cores, MemMb, NodeId};
 use hyscale_sim::SimDuration;
+use hyscale_trace::{EventKind, Metric, TraceSink, Verdict};
 
 use crate::actions::ScalingAction;
 use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
@@ -181,6 +182,7 @@ struct HybridEngine {
     config: HyScaleConfig,
     gate: RescaleGate,
     consider_memory: bool,
+    name: &'static str,
 }
 
 /// Planned vertical resize of one replica, accumulated across the CPU and
@@ -192,7 +194,7 @@ struct PendingUpdate {
 }
 
 impl HybridEngine {
-    fn new(config: HyScaleConfig, consider_memory: bool) -> Self {
+    fn new(config: HyScaleConfig, consider_memory: bool, name: &'static str) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid HyScaleConfig: {e}");
         }
@@ -200,14 +202,19 @@ impl HybridEngine {
             gate: RescaleGate::new(config.scale_up_interval, config.scale_down_interval),
             config,
             consider_memory,
+            name,
         }
     }
 
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        self.decide_traced(view, &mut TraceSink::disabled())
+    }
+
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
         let mut free = FreeMap::from_view(view);
         let mut actions = Vec::new();
         for service in &view.services {
-            self.decide_service(view, service, &mut free, &mut actions);
+            self.decide_service(view, service, &mut free, &mut actions, trace);
         }
         actions
     }
@@ -218,6 +225,7 @@ impl HybridEngine {
         service: &ServiceView,
         free: &mut FreeMap,
         actions: &mut Vec<ScalingAction>,
+        trace: &mut TraceSink,
     ) {
         let cfg = self.config;
         let denom_cpu = cfg.cpu_target * cfg.headroom;
@@ -253,6 +261,44 @@ impl HybridEngine {
         } else {
             0.0
         };
+
+        // The trace's per-dimension verdict: sign of the missing total
+        // (the reclamation/acquisition trigger), before any rebalancing.
+        if trace.is_enabled() {
+            let verdict_of = |missing: f64| {
+                if missing > 0.0 {
+                    Verdict::ScaleUp
+                } else if missing < 0.0 {
+                    Verdict::ScaleDown
+                } else {
+                    Verdict::Hold
+                }
+            };
+            trace.emit(
+                view.now,
+                EventKind::Evaluation {
+                    algorithm: self.name,
+                    service: service.service.index(),
+                    metric: Metric::Cpu,
+                    value: missing_cpu,
+                    target: cfg.cpu_target,
+                    verdict: verdict_of(missing_cpu),
+                },
+            );
+            if self.consider_memory {
+                trace.emit(
+                    view.now,
+                    EventKind::Evaluation {
+                        algorithm: self.name,
+                        service: service.service.index(),
+                        metric: Metric::Mem,
+                        value: missing_mem,
+                        target: cfg.mem_target,
+                        verdict: verdict_of(missing_mem),
+                    },
+                );
+            }
+        }
 
         let mut pending: HashMap<ContainerId, PendingUpdate> = HashMap::new();
         let mut removed: Vec<ContainerId> = Vec::new();
@@ -471,7 +517,7 @@ impl HyScaleCpu {
     /// [`HyScaleConfig::validate`]).
     pub fn new(config: HyScaleConfig) -> Self {
         HyScaleCpu {
-            engine: HybridEngine::new(config, false),
+            engine: HybridEngine::new(config, false, "hybrid"),
         }
     }
 
@@ -488,6 +534,10 @@ impl Autoscaler for HyScaleCpu {
 
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
         self.engine.decide(view)
+    }
+
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
+        self.engine.decide_traced(view, trace)
     }
 }
 
@@ -507,7 +557,7 @@ impl HyScaleCpuMem {
     /// [`HyScaleConfig::validate`]).
     pub fn new(config: HyScaleConfig) -> Self {
         HyScaleCpuMem {
-            engine: HybridEngine::new(config, true),
+            engine: HybridEngine::new(config, true, "hybridmem"),
         }
     }
 
@@ -524,6 +574,10 @@ impl Autoscaler for HyScaleCpuMem {
 
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
         self.engine.decide(view)
+    }
+
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
+        self.engine.decide_traced(view, trace)
     }
 }
 

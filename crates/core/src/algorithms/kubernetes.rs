@@ -14,6 +14,7 @@
 
 use hyscale_cluster::{Cores, MemMb, NodeId};
 use hyscale_sim::SimDuration;
+use hyscale_trace::{EventKind, Metric, TraceSink, Verdict};
 
 use crate::actions::ScalingAction;
 use crate::algorithms::{Autoscaler, PlacementPolicy, RescaleGate};
@@ -132,11 +133,36 @@ impl KubernetesHpa {
         &self.config
     }
 
-    fn decide_service(&mut self, view: &ClusterView, service: &ServiceView) -> Vec<ScalingAction> {
+    fn decide_service(
+        &mut self,
+        view: &ClusterView,
+        service: &ServiceView,
+        trace: &mut TraceSink,
+    ) -> Vec<ScalingAction> {
+        let (name, target, svc, now) = (self.name, self.config.target, service.service, view.now);
+        let trace_metric = match self.metric {
+            HpaMetric::Cpu => Metric::Cpu,
+            HpaMetric::Network => Metric::Net,
+        };
+        let evaluation = move |trace: &mut TraceSink, value: f64, verdict: Verdict| {
+            trace.emit(
+                now,
+                EventKind::Evaluation {
+                    algorithm: name,
+                    service: svc.index(),
+                    metric: trace_metric,
+                    value,
+                    target,
+                    verdict,
+                },
+            );
+        };
+
         let mut actions = Vec::new();
         let current = service.replica_count();
         if current == 0 {
             // Nothing to measure; restore the minimum replica count.
+            evaluation(trace, 0.0, Verdict::ScaleUp);
             return self.spawn_n(view, service, self.config.min_replicas, &mut Vec::new());
         }
 
@@ -150,6 +176,7 @@ impl KubernetesHpa {
 
         // Tolerance band: |avg/target − 1| must exceed 0.1 to act.
         if (avg_util / self.config.target - 1.0).abs() <= self.config.tolerance {
+            evaluation(trace, avg_util, Verdict::Hold);
             return actions;
         }
 
@@ -158,8 +185,10 @@ impl KubernetesHpa {
 
         if desired > current {
             if !self.gate.allows(service.service, view.now) {
+                evaluation(trace, avg_util, Verdict::Gated);
                 return actions;
             }
+            evaluation(trace, avg_util, Verdict::ScaleUp);
             let mut spawned = Vec::new();
             actions.extend(self.spawn_n(view, service, desired - current, &mut spawned));
             if !actions.is_empty() {
@@ -167,8 +196,10 @@ impl KubernetesHpa {
             }
         } else if desired < current {
             if !self.gate.allows(service.service, view.now) {
+                evaluation(trace, avg_util, Verdict::Gated);
                 return actions;
             }
+            evaluation(trace, avg_util, Verdict::ScaleDown);
             // Scale in: remove the replicas with the fewest requests in
             // flight (least disruption; Kubernetes picks arbitrarily).
             let mut by_load: Vec<&ReplicaView> = service.replicas.iter().collect();
@@ -181,6 +212,8 @@ impl KubernetesHpa {
             if !actions.is_empty() {
                 self.gate.record_down(service.service, view.now);
             }
+        } else {
+            evaluation(trace, avg_util, Verdict::Hold);
         }
         actions
     }
@@ -231,9 +264,13 @@ impl Autoscaler for KubernetesHpa {
     }
 
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
+        self.decide_traced(view, &mut TraceSink::disabled())
+    }
+
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
         let mut actions = Vec::new();
         for service in &view.services {
-            actions.extend(self.decide_service(view, service));
+            actions.extend(self.decide_service(view, service, trace));
         }
         actions
     }

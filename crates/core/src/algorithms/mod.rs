@@ -21,6 +21,7 @@ use std::collections::HashMap;
 
 use hyscale_cluster::ServiceId;
 use hyscale_sim::{SimDuration, SimTime};
+use hyscale_trace::TraceSink;
 
 use crate::actions::ScalingAction;
 use crate::view::ClusterView;
@@ -33,6 +34,17 @@ pub trait Autoscaler: std::fmt::Debug + Send {
 
     /// Produces the actions for this period.
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction>;
+
+    /// Like [`Autoscaler::decide`], but additionally records the
+    /// algorithm's metric evaluations and verdicts into `trace`.
+    ///
+    /// The default implementation just delegates to `decide` and traces
+    /// nothing; algorithms that expose their reasoning override this (and
+    /// implement `decide` as `decide_traced` with a disabled sink).
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
+        let _ = trace;
+        self.decide(view)
+    }
 }
 
 /// Selects an algorithm by name (the paper's command-line switch).

@@ -6,6 +6,8 @@
 //! ≈ neutral (fair `tc` sharing) while horizontal scaling relieves
 //! tx-queue contention, so replication is the only lever worth pulling.
 
+use hyscale_trace::TraceSink;
+
 use crate::actions::ScalingAction;
 use crate::algorithms::kubernetes::{HpaConfig, HpaMetric, KubernetesHpa};
 use crate::algorithms::Autoscaler;
@@ -43,6 +45,10 @@ impl Autoscaler for NetworkHpa {
 
     fn decide(&mut self, view: &ClusterView) -> Vec<ScalingAction> {
         self.inner.decide(view)
+    }
+
+    fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
+        self.inner.decide_traced(view, trace)
     }
 }
 

@@ -15,9 +15,11 @@ use hyscale_cluster::{
     NodeSpec, ServiceId, TickReport,
 };
 use hyscale_metrics::{
-    AvailabilityTracker, CostMeter, RequestOutcomes, ServiceAvailability, TimeSeries,
+    AvailabilityTracker, CostMeter, MetricsRegistry, RequestOutcomes, ServiceAvailability,
+    TimeSeries,
 };
 use hyscale_sim::{EventQueue, SimDuration, SimRng, SimTime, TickEngine, TickOutcome};
+use hyscale_trace::{EventKind, TraceSink};
 use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
 
 use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
@@ -298,8 +300,37 @@ impl SimulationDriver {
     /// Returns [`CoreError::InvalidScenario`] for inconsistent
     /// configurations, or a wrapped cluster error if setup fails.
     pub fn run(config: &ScenarioConfig) -> Result<RunReport, CoreError> {
+        Self::run_traced(config, &mut TraceSink::disabled())
+    }
+
+    /// Runs one scenario once, journaling decision provenance into
+    /// `trace`.
+    ///
+    /// With a disabled sink this is exactly [`SimulationDriver::run`]:
+    /// every emission site is gated on [`TraceSink::is_enabled`] (or is a
+    /// no-op `emit`), so tracing costs nothing when off and never touches
+    /// the simulation state either way — traced and untraced runs of the
+    /// same config and seed produce identical [`RunReport`]s.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SimulationDriver::run`].
+    pub fn run_traced(
+        config: &ScenarioConfig,
+        trace: &mut TraceSink,
+    ) -> Result<RunReport, CoreError> {
         config.validate()?;
         let mut master_rng = SimRng::seed_from(config.seed);
+        let traced = trace.is_enabled();
+        if traced {
+            trace.emit(
+                SimTime::ZERO,
+                EventKind::RunStart {
+                    seed: config.seed,
+                    algorithm: config.algorithm.label(),
+                },
+            );
+        }
 
         // --- Cluster setup -------------------------------------------------
         let mut cluster = Cluster::new(config.cluster);
@@ -387,6 +418,15 @@ impl SimulationDriver {
             .collect();
         let mut ready_counts: Vec<u32> = Vec::new();
 
+        // Trace tallies: per-service balancer routing deltas since the
+        // last scaling period (emitted as `BalancerStats`, then reset)
+        // plus run totals for the end-of-run counter dump.
+        let mut balancer_deltas: Vec<(u64, u64)> = vec![(0, 0); config.services.len()];
+        let mut balancer_total = (0u64, 0u64);
+        let mut deaths_total = 0u64;
+        let mut respawns_total = 0u64;
+        let mut recovery_failures_total = 0u64;
+
         let horizon = SimTime::ZERO + config.duration;
         let mut engine = TickEngine::new(config.tick, horizon)?;
         let scale_period_secs = config.scale_period.as_secs();
@@ -397,7 +437,7 @@ impl SimulationDriver {
             // serial phase (never inside the parallel node workers), so
             // chaos runs stay bit-identical at any parallelism setting.
             if !injector.drained() {
-                for failure in injector.apply_due(&mut cluster, now) {
+                for failure in injector.apply_due_traced(&mut cluster, now, trace) {
                     record_failure(&mut requests, &mut per_service, &failure);
                 }
             }
@@ -413,12 +453,16 @@ impl SimulationDriver {
                         let request = service.make_request(event_time, &mut demand_rngs[idx]);
                         match balancer.route(&cluster, service.id, now) {
                             Some(target) => {
+                                balancer_deltas[idx].0 += 1;
+                                balancer_total.0 += 1;
                                 if cluster.admit_request(target, request, now).is_err() {
                                     requests.record_connection_failure();
                                     outcomes.record_connection_failure();
                                 }
                             }
                             None => {
+                                balancer_deltas[idx].1 += 1;
+                                balancer_total.1 += 1;
                                 requests.record_connection_failure();
                                 outcomes.record_connection_failure();
                             }
@@ -448,7 +492,8 @@ impl SimulationDriver {
                         // Muted NodeManagers (stat outages) leave their
                         // containers on stale usage this period.
                         monitor.set_stat_outages(injector.muted_nodes(now));
-                        let report = monitor.run_period(&mut cluster, now, scale_period_secs);
+                        let report =
+                            monitor.run_period_traced(&mut cluster, now, scale_period_secs, trace);
                         for action in &report.applied {
                             use crate::actions::ScalingAction;
                             match action {
@@ -466,12 +511,15 @@ impl SimulationDriver {
                         // Replicas that died underneath the platform are
                         // respawned through the recovery path (placement +
                         // capped exponential backoff).
+                        deaths_total += report.dead_replicas.len() as u64;
                         for (service, _) in &report.dead_replicas {
                             if let Some(t) = availability.get_mut(service) {
                                 t.record_death();
                             }
                         }
-                        let recovered = recovery.run(&mut cluster, &templates, now);
+                        let recovered = recovery.run_traced(&mut cluster, &templates, now, trace);
+                        respawns_total += recovered.respawned.len() as u64;
+                        recovery_failures_total += recovered.failed.len() as u64;
                         for (service, _) in &recovered.respawned {
                             if let Some(t) = availability.get_mut(service) {
                                 t.record_respawn();
@@ -517,6 +565,24 @@ impl SimulationDriver {
                             .count();
                         cost.record_interval(scale_period_secs, allocated, containers, busy_nodes);
 
+                        // Periodic trace snapshots: per-node allocator
+                        // headroom, then this period's routing deltas.
+                        if traced {
+                            cluster.trace_pressure(now, trace);
+                            for (svc_idx, service) in config.services.iter().enumerate() {
+                                let (routed, rejected) = balancer_deltas[svc_idx];
+                                trace.emit(
+                                    now,
+                                    EventKind::BalancerStats {
+                                        service: service.id.index(),
+                                        routed,
+                                        rejected,
+                                    },
+                                );
+                                balancer_deltas[svc_idx] = (0, 0);
+                            }
+                        }
+
                         events.schedule(now + config.scale_period, Event::Scale);
                     }
                 }
@@ -547,6 +613,34 @@ impl SimulationDriver {
             }
             TickOutcome::Continue
         });
+
+        // Final counter dump through the metrics registry: names register
+        // once, in a fixed order, so the journal tail is deterministic by
+        // construction.
+        if traced {
+            let mut registry = MetricsRegistry::new();
+            let totals: [(&'static str, u64); 12] = [
+                ("requests.issued", requests.issued),
+                ("requests.completed", requests.completed),
+                ("failures.connection", requests.failures.connection),
+                ("failures.removal", requests.failures.removal),
+                ("scaling.vertical", scaling.vertical),
+                ("scaling.spawns", scaling.spawns),
+                ("scaling.removals", scaling.removals),
+                ("balancer.routed", balancer_total.0),
+                ("balancer.rejected", balancer_total.1),
+                ("recovery.respawns", respawns_total),
+                ("recovery.failures", recovery_failures_total),
+                ("replica.deaths", deaths_total),
+            ];
+            for (name, value) in totals {
+                let id = registry.counter(name);
+                registry.add(id, value);
+            }
+            for (name, value) in registry.counters() {
+                trace.emit(horizon, EventKind::Counter { name, value });
+            }
+        }
 
         Ok(RunReport {
             name: config.name.clone(),
@@ -606,6 +700,44 @@ impl SimulationDriver {
     }
 }
 
+/// Parses a `HYSCALE_PARALLELISM` value: a positive integer worker count.
+///
+/// Returns a descriptive error for anything else — empty strings,
+/// non-numeric text, zero, negatives — so the caller can fail loudly
+/// instead of silently running serial with a typo'd setting.
+fn parse_parallelism(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("value is empty; expected a positive integer".into());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("0 workers is meaningless; use 1 for serial execution".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{trimmed:?} is not a positive integer (e.g. HYSCALE_PARALLELISM=4)"
+        )),
+    }
+}
+
+/// Reads the worker count from `HYSCALE_PARALLELISM`, defaulting to 1
+/// (serial) when unset.
+///
+/// # Panics
+///
+/// Panics when the variable is set to an invalid value. A typo like
+/// `HYSCALE_PARALLELISM=four` used to fall back to serial silently, which
+/// defeats the CI bit-identity gate (the parallel re-run would quietly
+/// test nothing); failing loudly is the only safe behaviour.
+fn parallelism_from_env() -> usize {
+    match std::env::var("HYSCALE_PARALLELISM") {
+        Ok(raw) => match parse_parallelism(&raw) {
+            Ok(n) => n,
+            Err(why) => panic!("invalid HYSCALE_PARALLELISM={raw:?}: {why}"),
+        },
+        Err(_) => 1,
+    }
+}
+
 /// Fluent construction of [`ScenarioConfig`]s.
 ///
 /// # Example
@@ -656,11 +788,7 @@ impl ScenarioBuilder {
                 // Results are bit-identical at any worker count, so CI
                 // re-runs the whole suite with HYSCALE_PARALLELISM=4 to
                 // prove it; explicit .parallelism() still overrides.
-                parallelism: std::env::var("HYSCALE_PARALLELISM")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or(1),
+                parallelism: parallelism_from_env(),
             },
             next_service_index: 0,
         }
@@ -797,6 +925,15 @@ impl ScenarioBuilder {
         SimulationDriver::run(&self.config)
     }
 
+    /// Builds and runs once, journaling decision provenance into `trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulationDriver::run_traced`].
+    pub fn run_traced(self, trace: &mut TraceSink) -> Result<RunReport, CoreError> {
+        SimulationDriver::run_traced(&self.config, trace)
+    }
+
     /// Builds and runs once per seed, merging outcomes.
     ///
     /// # Errors
@@ -811,6 +948,29 @@ impl ScenarioBuilder {
 mod tests {
     use super::*;
     use hyscale_cluster::MemMb;
+
+    #[test]
+    fn parallelism_accepts_positive_integers() {
+        assert_eq!(parse_parallelism("1"), Ok(1));
+        assert_eq!(parse_parallelism("4"), Ok(4));
+        assert_eq!(parse_parallelism(" 16 "), Ok(16), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn parallelism_rejects_garbage_loudly() {
+        // Each of these used to silently fall back to serial execution.
+        for bad in ["four", "", "  ", "0", "-2", "2.5", "4x"] {
+            let err = parse_parallelism(bad)
+                .expect_err(&format!("{bad:?} should be rejected, not defaulted"));
+            assert!(!err.is_empty(), "error message must explain the rejection");
+        }
+    }
+
+    #[test]
+    fn parallelism_zero_gets_a_specific_message() {
+        let err = parse_parallelism("0").unwrap_err();
+        assert!(err.contains("serial"), "zero should point at 1: {err}");
+    }
 
     fn quick(algorithm: AlgorithmKind, seed: u64) -> RunReport {
         ScenarioBuilder::new("test")

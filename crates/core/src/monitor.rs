@@ -14,6 +14,7 @@ use hyscale_cluster::{
     Cluster, ContainerId, ContainerSpec, ContainerState, FailedRequest, NodeId, ServiceId,
 };
 use hyscale_sim::SimTime;
+use hyscale_trace::{ActionTag, EventKind, TraceSink};
 
 use crate::actions::ScalingAction;
 use crate::algorithms::Autoscaler;
@@ -118,6 +119,20 @@ impl Monitor {
         now: SimTime,
         period_secs: f64,
     ) -> MonitorReport {
+        self.run_period_traced(cluster, now, period_secs, &mut TraceSink::disabled())
+    }
+
+    /// Like [`Monitor::run_period`], but records the period's observable
+    /// reasoning into `trace`: replicas found dead at roll call, the
+    /// algorithm's metric evaluations, and one
+    /// [`EventKind::Decision`] per action that actually took effect.
+    pub fn run_period_traced(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        period_secs: f64,
+        trace: &mut TraceSink,
+    ) -> MonitorReport {
         // Nodes can be commissioned or decommissioned at runtime (paper
         // future work); keep one Node Manager per live machine.
         self.node_managers = cluster.nodes().map(|n| NodeManager::new(n.id())).collect();
@@ -131,13 +146,26 @@ impl Monitor {
             .filter(|expected| alive.binary_search(expected).is_err())
             .copied()
             .collect();
+        for &(service, container) in &dead_replicas {
+            trace.emit(
+                now,
+                EventKind::ReplicaDeath {
+                    service: service.index(),
+                    container: container.index(),
+                },
+            );
+        }
 
         let view = self.collect(cluster, now, period_secs);
-        let actions = self.algorithm.decide(&view);
+        let actions = self.algorithm.decide_traced(&view, trace);
         let mut applied = Vec::with_capacity(actions.len());
         let mut removal_failures = Vec::new();
         for action in actions {
             if self.apply(cluster, now, action, &mut removal_failures) {
+                if trace.is_enabled() {
+                    let kind = decision_event(cluster, self.algorithm.name(), &action);
+                    trace.emit(now, kind);
+                }
                 applied.push(action);
             }
         }
@@ -288,6 +316,73 @@ impl Monitor {
             },
             ScalingAction::SetNetCap { container, cap } => {
                 cluster.update_net_cap(container, cap).is_ok()
+            }
+        }
+    }
+}
+
+/// Builds the [`EventKind::Decision`] describing an applied action, with
+/// the service/node provenance resolved through the cluster (removed
+/// containers keep their entries, so post-apply lookups still answer).
+fn decision_event(cluster: &Cluster, algorithm: &'static str, action: &ScalingAction) -> EventKind {
+    let locate = |id: ContainerId| {
+        cluster
+            .container(id)
+            .map(|c| (c.service().index(), c.node().index()))
+    };
+    match *action {
+        ScalingAction::Update {
+            container,
+            cpu,
+            mem,
+        } => {
+            let loc = locate(container);
+            EventKind::Decision {
+                algorithm,
+                service: loc.map(|(s, _)| s).unwrap_or(u32::MAX),
+                action: ActionTag::Update,
+                container: Some(container.index()),
+                node: loc.map(|(_, n)| n),
+                cpu: cpu.map(|c| c.get()),
+                mem: mem.map(|m| m.get()),
+            }
+        }
+        ScalingAction::Spawn {
+            service,
+            node,
+            cpu,
+            mem,
+        } => EventKind::Decision {
+            algorithm,
+            service: service.index(),
+            action: ActionTag::Spawn,
+            container: None,
+            node: Some(node.index()),
+            cpu: Some(cpu.get()),
+            mem: Some(mem.get()),
+        },
+        ScalingAction::Remove { container } => {
+            let loc = locate(container);
+            EventKind::Decision {
+                algorithm,
+                service: loc.map(|(s, _)| s).unwrap_or(u32::MAX),
+                action: ActionTag::Remove,
+                container: Some(container.index()),
+                node: loc.map(|(_, n)| n),
+                cpu: None,
+                mem: None,
+            }
+        }
+        ScalingAction::SetNetCap { container, cap } => {
+            let loc = locate(container);
+            EventKind::Decision {
+                algorithm,
+                service: loc.map(|(s, _)| s).unwrap_or(u32::MAX),
+                action: ActionTag::NetCap,
+                container: Some(container.index()),
+                node: loc.map(|(_, n)| n),
+                cpu: cap.map(|c| c.get()),
+                mem: None,
             }
         }
     }

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use hyscale_cluster::{Cluster, ContainerSpec, NodeId, ServiceId};
 use hyscale_sim::{SimDuration, SimTime};
+use hyscale_trace::{EventKind, TraceSink};
 
 use crate::algorithms::PlacementPolicy;
 
@@ -115,6 +116,20 @@ impl RecoveryManager {
         templates: &HashMap<ServiceId, ContainerSpec>,
         now: SimTime,
     ) -> RecoveryReport {
+        self.run_traced(cluster, templates, now, &mut TraceSink::disabled())
+    }
+
+    /// Like [`RecoveryManager::run`], but records every respawn
+    /// ([`EventKind::RecoveryRespawn`]) and every backoff arming
+    /// ([`EventKind::RecoveryBackoff`], with the retry deadline) into
+    /// `trace`.
+    pub fn run_traced(
+        &mut self,
+        cluster: &mut Cluster,
+        templates: &HashMap<ServiceId, ContainerSpec>,
+        now: SimTime,
+        trace: &mut TraceSink,
+    ) -> RecoveryReport {
         let mut report = RecoveryReport::default();
 
         // Deterministic service order regardless of HashMap iteration.
@@ -145,6 +160,13 @@ impl RecoveryManager {
                     .filter(|&node| cluster.start_container(node, template.clone(), now).is_ok());
                 match placed {
                     Some(node) => {
+                        trace.emit(
+                            now,
+                            EventKind::RecoveryRespawn {
+                                service: service.index(),
+                                node: node.index(),
+                            },
+                        );
                         report.respawned.push((service, node));
                         spawned_any = true;
                     }
@@ -162,10 +184,18 @@ impl RecoveryManager {
                     .get(&service)
                     .map(|s| s.current_secs)
                     .unwrap_or(self.config.base_backoff_secs);
+                let next_attempt = now + SimDuration::from_secs(current);
+                trace.emit(
+                    now,
+                    EventKind::RecoveryBackoff {
+                        service: service.index(),
+                        retry_at_us: next_attempt.as_micros(),
+                    },
+                );
                 self.backoff.insert(
                     service,
                     Backoff {
-                        next_attempt: now + SimDuration::from_secs(current),
+                        next_attempt,
                         current_secs: (current * 2.0).min(self.config.max_backoff_secs),
                     },
                 );

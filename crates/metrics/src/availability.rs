@@ -200,6 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn deaths_without_recovery_leave_mttr_at_zero() {
+        // Replica deaths that never translate into a repaired outage must
+        // not divide by zero or invent a repair time: MTTR stays 0.0 while
+        // downtime and the death count are still reported.
+        let mut t = AvailabilityTracker::new();
+        t.record_death();
+        t.record_death();
+        t.record_recovery_failure();
+        t.record_tick(1.0, true);
+        t.record_tick(1.0, false); // outage runs to end of window
+        let a = t.finalize();
+        assert_eq!(a.deaths, 2);
+        assert_eq!(a.recovery_failures, 1);
+        assert_eq!(a.repairs, 0);
+        assert_eq!(a.mttr_secs(), 0.0);
+        assert!(a.mttr_secs().is_finite());
+        assert!((a.uptime_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_zero_repairs_keeps_mttr_finite() {
+        let mut t = AvailabilityTracker::new();
+        t.record_tick(1.0, false);
+        let mut merged = t.finalize();
+        merged.merge(&AvailabilityTracker::new().finalize());
+        assert_eq!(merged.repairs, 0);
+        assert_eq!(merged.mttr_secs(), 0.0);
+        assert_eq!(merged.uptime_pct(), 0.0);
+    }
+
+    #[test]
     fn separate_outages_are_counted_separately() {
         let mut t = AvailabilityTracker::new();
         for up in [true, false, true, false, false, true] {

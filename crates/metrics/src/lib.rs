@@ -28,6 +28,7 @@
 mod availability;
 mod cost;
 mod failures;
+mod registry;
 mod report;
 mod sla;
 mod summary;
@@ -36,6 +37,7 @@ mod timeseries;
 pub use availability::{AvailabilityTracker, ServiceAvailability};
 pub use cost::CostMeter;
 pub use failures::{FailureTally, RequestOutcomes};
+pub use registry::{CounterId, HistogramId, MetricsRegistry};
 pub use report::{format_speedup, Table};
 pub use sla::{SlaPolicy, SlaReport};
 pub use summary::Summary;

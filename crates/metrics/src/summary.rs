@@ -20,7 +20,7 @@
 /// assert_eq!(s.percentile(50.0), 50.5);
 /// assert_eq!(s.percentile(100.0), 100.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     samples: Vec<f64>,
     mean: f64,
@@ -29,6 +29,21 @@ pub struct Summary {
     max: f64,
     /// Whether `samples` is known to be sorted (lazily maintained).
     sorted: std::cell::Cell<bool>,
+    /// NaN samples rejected at record time (see [`Summary::record`]).
+    nan_dropped: u64,
+    /// Sorted copy of `samples`, built lazily for percentile queries on
+    /// unsorted data and reused (no reallocation) until invalidated by
+    /// the next `record`.
+    cache: std::cell::RefCell<Vec<f64>>,
+    cache_valid: std::cell::Cell<bool>,
+}
+
+impl Default for Summary {
+    /// Identical to [`Summary::new`] (an empty summary with proper
+    /// `min`/`max` sentinels, not zeroed fields).
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -41,16 +56,24 @@ impl Summary {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sorted: std::cell::Cell::new(true),
+            nan_dropped: 0,
+            cache: std::cell::RefCell::new(Vec::new()),
+            cache_valid: std::cell::Cell::new(false),
         }
     }
 
     /// Records one sample.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` is NaN (a NaN sample would poison every query).
+    /// NaN values are **dropped**, not recorded: a NaN sample would
+    /// poison the mean and every percentile sort. Drops are counted in
+    /// [`Summary::nan_dropped`] so callers can notice a polluted input
+    /// stream instead of failing deep inside a later report query.
     pub fn record(&mut self, value: f64) {
-        assert!(!value.is_nan(), "cannot record NaN");
+        if value.is_nan() {
+            self.nan_dropped += 1;
+            return;
+        }
+        self.cache_valid.set(false);
         let n = self.samples.len() as f64 + 1.0;
         let delta = value - self.mean;
         self.mean += delta / n;
@@ -124,24 +147,38 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let sorted_storage;
-        let sorted_samples: &[f64] = if self.sorted.get() {
-            &self.samples
-        } else {
-            let mut copy = self.samples.clone();
-            copy.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
-            sorted_storage = copy;
-            &sorted_storage
-        };
-        let rank = p / 100.0 * (sorted_samples.len() - 1) as f64;
+        if self.sorted.get() {
+            return Self::percentile_of(&self.samples, p);
+        }
+        // Unsorted: consult the cached sorted copy, (re)building it at
+        // most once per batch of records. `clone_from` reuses the cache's
+        // existing allocation, so repeated report queries after the first
+        // allocate nothing.
+        if !self.cache_valid.get() {
+            let mut cache = self.cache.borrow_mut();
+            cache.clone_from(&self.samples);
+            cache.sort_unstable_by(f64::total_cmp);
+            self.cache_valid.set(true);
+        }
+        Self::percentile_of(&self.cache.borrow(), p)
+    }
+
+    /// Nearest-rank with linear interpolation over a sorted slice.
+    fn percentile_of(sorted: &[f64], p: f64) -> f64 {
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         if lo == hi {
-            sorted_samples[lo]
+            sorted[lo]
         } else {
             let frac = rank - lo as f64;
-            sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
         }
+    }
+
+    /// NaN samples dropped at record time.
+    pub fn nan_dropped(&self) -> u64 {
+        self.nan_dropped
     }
 
     /// Median (the 50th percentile).
@@ -154,19 +191,20 @@ impl Summary {
         self.samples.iter().filter(|&&v| v > threshold).count()
     }
 
-    /// Merges another summary's samples into this one.
+    /// Merges another summary's samples into this one (including its
+    /// count of dropped NaN inputs).
     pub fn merge(&mut self, other: &Summary) {
         for &v in &other.samples {
             self.record(v);
         }
+        self.nan_dropped += other.nan_dropped;
     }
 
     /// Sorts the retained samples in place so subsequent percentile
     /// queries avoid copying.
     pub fn sort_in_place(&mut self) {
         if !self.sorted.get() {
-            self.samples
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted.set(true);
         }
     }
@@ -245,9 +283,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot record NaN")]
-    fn nan_is_rejected() {
-        Summary::new().record(f64::NAN);
+    fn nan_is_dropped_and_counted() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.nan_dropped(), 1);
+        s.record(2.0);
+        s.record(f64::NAN);
+        s.record(4.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.nan_dropped(), 2);
+        // Queries stay finite and ignore the dropped samples entirely.
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.median().is_finite());
+    }
+
+    #[test]
+    fn merge_propagates_nan_dropped() {
+        let mut a = Summary::new();
+        a.record(f64::NAN);
+        let mut b = Summary::new();
+        b.record(f64::NAN);
+        b.record(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.nan_dropped(), 2);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // A derived Default would zero min/max instead of using the
+        // ±infinity sentinels; the first sample must win outright.
+        let mut s = Summary::default();
+        s.record(5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+        let mut neg = Summary::default();
+        neg.record(-3.0);
+        assert_eq!(neg.max(), -3.0);
+    }
+
+    #[test]
+    fn percentile_queries_do_not_reallocate() {
+        let mut s = Summary::new();
+        // Descending input keeps `samples` unsorted, forcing cache use.
+        s.extend((0..1000).rev().map(f64::from));
+        let _ = s.percentile(50.0);
+        let ptr = s.cache.borrow().as_ptr();
+        // Repeated queries reuse the already-sorted cache: same buffer,
+        // no clone-and-sort per call (the old behaviour).
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let _ = s.percentile(p);
+        }
+        assert_eq!(s.cache.borrow().as_ptr(), ptr, "query reallocated cache");
+        // Record/query cycles rebuild the cache via clone_from, reusing
+        // the buffer once its capacity has settled.
+        s.record(-1.0);
+        assert_eq!(s.percentile(0.0), -1.0);
+        let (settled_ptr, settled_cap) = {
+            let c = s.cache.borrow();
+            (c.as_ptr(), c.capacity())
+        };
+        s.record(-2.0);
+        assert_eq!(s.percentile(0.0), -2.0);
+        let c = s.cache.borrow();
+        assert_eq!(c.as_ptr(), settled_ptr, "rebuild reallocated cache");
+        assert_eq!(c.capacity(), settled_cap, "rebuild changed capacity");
+    }
+
+    #[test]
+    fn sort_in_place_survives_duplicates_and_negatives() {
+        let mut s: Summary = vec![3.0, -1.0, 3.0, 0.0, -2.5].into_iter().collect();
+        s.sort_in_place();
+        assert_eq!(s.percentile(0.0), -2.5);
+        assert_eq!(s.percentile(100.0), 3.0);
+        assert_eq!(s.median(), 0.0);
     }
 
     #[test]

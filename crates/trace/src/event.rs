@@ -1,0 +1,334 @@
+//! The typed event taxonomy.
+//!
+//! Events are plain-old-data: `Copy`, no heap, labels as `&'static str`.
+//! That keeps [`TraceSink::emit`](crate::TraceSink::emit) allocation-free
+//! and lets the ring buffer overwrite entries in place.
+
+/// Which utilization signal an evaluation looked at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// CPU usage relative to the request.
+    Cpu,
+    /// Resident memory (plus swap) relative to the limit.
+    Mem,
+    /// Network throughput relative to the request.
+    Net,
+}
+
+impl Metric {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Cpu => "cpu",
+            Metric::Mem => "mem",
+            Metric::Net => "net",
+        }
+    }
+}
+
+/// What an algorithm concluded from one metric evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band (or no deficit): leave the service alone.
+    Hold,
+    /// The metric demands more resources this period.
+    ScaleUp,
+    /// The metric allows reclamation this period.
+    ScaleDown,
+    /// A rescale was wanted but the anti-thrashing gate blocked it.
+    Gated,
+}
+
+impl Verdict {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Hold => "hold",
+            Verdict::ScaleUp => "scale_up",
+            Verdict::ScaleDown => "scale_down",
+            Verdict::Gated => "gated",
+        }
+    }
+}
+
+/// The class of an applied scaling action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionTag {
+    /// `docker update` of a replica's CPU/memory allocation.
+    Update,
+    /// A new replica spawned on a node.
+    Spawn,
+    /// A replica removed by a scale-in decision.
+    Remove,
+    /// `tc`-style network cap change.
+    NetCap,
+}
+
+impl ActionTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActionTag::Update => "update",
+            ActionTag::Spawn => "spawn",
+            ActionTag::Remove => "remove",
+            ActionTag::NetCap => "net_cap",
+        }
+    }
+}
+
+/// The class of an injected fault or its recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// A machine dropped off the network with all its replicas.
+    NodeCrash,
+    /// The kernel OOM killer took a service's fattest replica.
+    OomKill,
+    /// A node's NIC capacity dropped to a fraction.
+    NicDegrade,
+    /// A NodeManager's stat reports went stale.
+    StatOutage,
+    /// A crashed machine came back (empty).
+    Reboot,
+    /// A degraded NIC was restored to full capacity.
+    NicRestore,
+}
+
+impl FaultTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTag::NodeCrash => "node_crash",
+            FaultTag::OomKill => "oom_kill",
+            FaultTag::NicDegrade => "nic_degrade",
+            FaultTag::StatOutage => "stat_outage",
+            FaultTag::Reboot => "reboot",
+            FaultTag::NicRestore => "nic_restore",
+        }
+    }
+}
+
+/// One traced occurrence in the control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// The run began (emitted once, at time zero).
+    RunStart {
+        /// The scenario's master seed.
+        seed: u64,
+        /// The algorithm under test (paper label).
+        algorithm: &'static str,
+    },
+    /// An algorithm weighed one metric for one service: the provenance of
+    /// the decision that follows (or of the decision not to act).
+    Evaluation {
+        /// The deciding algorithm's report name.
+        algorithm: &'static str,
+        /// Numeric service id.
+        service: u32,
+        /// Which signal was measured.
+        metric: Metric,
+        /// The measured value (average utilization for the HPAs, missing
+        /// resources in native units for the hybrid algorithms).
+        value: f64,
+        /// The configured target the value was compared against.
+        target: f64,
+        /// What the algorithm concluded.
+        verdict: Verdict,
+    },
+    /// A scaling action the Monitor applied successfully.
+    Decision {
+        /// The deciding algorithm's report name.
+        algorithm: &'static str,
+        /// Numeric service id (`u32::MAX` if the container was already
+        /// gone when the event was recorded).
+        service: u32,
+        /// The action class.
+        action: ActionTag,
+        /// The affected container, when the action targets one.
+        container: Option<u32>,
+        /// The node involved (spawn target / host of the container).
+        node: Option<u32>,
+        /// New CPU allocation in cores, when the action carries one.
+        cpu: Option<f64>,
+        /// New memory limit in MB, when the action carries one.
+        mem: Option<f64>,
+    },
+    /// One node's free resources, sampled each Monitor period.
+    AllocatorPressure {
+        /// Numeric node id.
+        node: u32,
+        /// Unallocated CPU, cores.
+        free_cpu: f64,
+        /// Unallocated memory, MB.
+        free_mem: f64,
+        /// Live (non-removed) containers hosted.
+        containers: u32,
+    },
+    /// An infrastructure fault struck (or its recovery landed).
+    Fault {
+        /// The fault class.
+        fault: FaultTag,
+        /// The targeted node, when the fault addresses one.
+        node: Option<u32>,
+        /// The targeted service (OOM-kills).
+        service: Option<u32>,
+        /// Class-specific magnitude: downtime/duration seconds for
+        /// crashes and outages, the remaining capacity fraction for NIC
+        /// degradation, 0 otherwise.
+        magnitude: f64,
+    },
+    /// The Monitor's roll call noticed a replica that died without a
+    /// scale-in decision.
+    ReplicaDeath {
+        /// Numeric service id.
+        service: u32,
+        /// The vanished replica.
+        container: u32,
+    },
+    /// The recovery path respawned a replacement replica.
+    RecoveryRespawn {
+        /// Numeric service id.
+        service: u32,
+        /// Node the replacement was placed on.
+        node: u32,
+    },
+    /// A recovery attempt found no feasible node and backed off.
+    RecoveryBackoff {
+        /// Numeric service id.
+        service: u32,
+        /// Attempts are suppressed until this simulated time (µs).
+        retry_at_us: u64,
+    },
+    /// Requests routed/rejected for one service since the previous
+    /// Monitor period.
+    BalancerStats {
+        /// Numeric service id.
+        service: u32,
+        /// Arrivals the balancer placed on a replica.
+        routed: u64,
+        /// Arrivals with no live replica or a full queue.
+        rejected: u64,
+    },
+    /// A final counter value from the metrics registry (emitted once per
+    /// counter at the end of the run).
+    Counter {
+        /// Registry name of the counter.
+        name: &'static str,
+        /// Final value.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase label identifying the variant in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::Evaluation { .. } => "evaluation",
+            EventKind::Decision { .. } => "decision",
+            EventKind::AllocatorPressure { .. } => "pressure",
+            EventKind::Fault { .. } => "fault",
+            EventKind::ReplicaDeath { .. } => "replica_death",
+            EventKind::RecoveryRespawn { .. } => "recovery_respawn",
+            EventKind::RecoveryBackoff { .. } => "recovery_backoff",
+            EventKind::BalancerStats { .. } => "balancer",
+            EventKind::Counter { .. } => "counter",
+        }
+    }
+}
+
+/// One event stamped with its emission order and simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission sequence number (monotonic, starts at 0; keeps
+    /// counting even when the ring overwrites old entries).
+    pub seq: u64,
+    /// Simulated time of the emission, microseconds.
+    pub time_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Metric::Cpu.label(), "cpu");
+        assert_eq!(Metric::Mem.label(), "mem");
+        assert_eq!(Metric::Net.label(), "net");
+        assert_eq!(Verdict::Hold.label(), "hold");
+        assert_eq!(Verdict::ScaleUp.label(), "scale_up");
+        assert_eq!(Verdict::ScaleDown.label(), "scale_down");
+        assert_eq!(Verdict::Gated.label(), "gated");
+        assert_eq!(ActionTag::Update.label(), "update");
+        assert_eq!(ActionTag::NetCap.label(), "net_cap");
+        assert_eq!(FaultTag::NodeCrash.label(), "node_crash");
+        assert_eq!(FaultTag::NicRestore.label(), "nic_restore");
+    }
+
+    #[test]
+    fn kind_labels_cover_all_variants() {
+        let kinds = [
+            EventKind::RunStart {
+                seed: 1,
+                algorithm: "hybrid",
+            },
+            EventKind::Evaluation {
+                algorithm: "hybrid",
+                service: 0,
+                metric: Metric::Cpu,
+                value: 0.4,
+                target: 0.5,
+                verdict: Verdict::Hold,
+            },
+            EventKind::Decision {
+                algorithm: "hybrid",
+                service: 0,
+                action: ActionTag::Spawn,
+                container: None,
+                node: Some(1),
+                cpu: Some(0.5),
+                mem: Some(256.0),
+            },
+            EventKind::AllocatorPressure {
+                node: 0,
+                free_cpu: 3.5,
+                free_mem: 7168.0,
+                containers: 2,
+            },
+            EventKind::Fault {
+                fault: FaultTag::OomKill,
+                node: None,
+                service: Some(1),
+                magnitude: 0.0,
+            },
+            EventKind::ReplicaDeath {
+                service: 0,
+                container: 3,
+            },
+            EventKind::RecoveryRespawn {
+                service: 0,
+                node: 1,
+            },
+            EventKind::RecoveryBackoff {
+                service: 0,
+                retry_at_us: 5_000_000,
+            },
+            EventKind::BalancerStats {
+                service: 0,
+                routed: 10,
+                rejected: 1,
+            },
+            EventKind::Counter {
+                name: "requests.issued",
+                value: 42,
+            },
+        ];
+        let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
+        let mut unique = labels.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "labels must be distinct");
+    }
+}

@@ -1,0 +1,249 @@
+//! The ring-buffered event sink.
+
+use hyscale_sim::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Collects [`TraceEvent`]s into a preallocated ring buffer.
+///
+/// Two states exist:
+///
+/// * **Disabled** ([`TraceSink::disabled`]): `const`-constructible, owns
+///   no memory, and [`emit`](TraceSink::emit) is a single branch. The
+///   untraced control-loop entry points run against this, so tracing
+///   costs nothing when off.
+/// * **Enabled** ([`TraceSink::with_capacity`]): the buffer is allocated
+///   once; when full, the oldest events are overwritten in place and
+///   [`dropped`](TraceSink::dropped) counts the overwrites. No further
+///   allocation ever happens — the same zero-allocation steady-state
+///   discipline as the tick engine.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    enabled: bool,
+    /// Ring storage; grows (push) until `capacity`, then wraps.
+    buf: Vec<TraceEvent>,
+    /// Index of the slot the next event lands in once the ring is full.
+    next: usize,
+    capacity: usize,
+    /// Events emitted in total (also the next sequence number).
+    seq: u64,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// A sink that records nothing and owns no memory. `Vec::new` does
+    /// not allocate, so this is free to construct anywhere.
+    pub const fn disabled() -> Self {
+        TraceSink {
+            enabled: false,
+            buf: Vec::new(),
+            next: 0,
+            capacity: 0,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled sink retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceSink {
+            enabled: true,
+            buf: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True if this sink records events.
+    ///
+    /// Emission sites that must do extra work to *assemble* an event
+    /// (e.g. walk the node list) check this first; plain emissions rely
+    /// on the branch inside [`emit`](TraceSink::emit).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at simulated time `now`. A no-op when disabled.
+    #[inline]
+    pub fn emit(&mut self, now: SimTime, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let event = TraceEvent {
+            seq: self.seq,
+            time_us: now.as_micros(),
+            kind,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.buf.split_at(self.next);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events emitted, including any the ring has overwritten.
+    pub fn total_emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forgets retained events but keeps the allocation, the enabled
+    /// flag, and the sequence counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.dropped = 0;
+    }
+}
+
+impl Default for TraceSink {
+    /// The disabled sink.
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(value: u64) -> EventKind {
+        EventKind::Counter {
+            name: "test",
+            value,
+        }
+    }
+
+    fn values(sink: &TraceSink) -> Vec<u64> {
+        sink.events()
+            .map(|e| match e.kind {
+                EventKind::Counter { value, .. } => value,
+                _ => panic!("unexpected event"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_owns_nothing() {
+        let mut sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.buf.capacity(), 0, "no allocation");
+        sink.emit(SimTime::ZERO, counter(1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.total_emitted(), 0);
+    }
+
+    #[test]
+    fn events_come_back_in_emission_order() {
+        let mut sink = TraceSink::with_capacity(8);
+        for v in 0..5 {
+            sink.emit(SimTime::from_secs(v as f64), counter(v));
+        }
+        assert_eq!(sink.len(), 5);
+        assert_eq!(values(&sink), vec![0, 1, 2, 3, 4]);
+        let seqs: Vec<u64> = sink.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let mut sink = TraceSink::with_capacity(3);
+        for v in 0..7 {
+            sink.emit(SimTime::ZERO, counter(v));
+        }
+        assert_eq!(sink.len(), 3);
+        // The three newest survive, oldest first.
+        assert_eq!(values(&sink), vec![4, 5, 6]);
+        assert_eq!(sink.dropped(), 4);
+        assert_eq!(sink.total_emitted(), 7);
+        // Sequence numbers keep counting across the wrap.
+        let seqs: Vec<u64> = sink.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn ring_never_reallocates_past_capacity() {
+        let mut sink = TraceSink::with_capacity(4);
+        let ptr = sink.buf.as_ptr();
+        for v in 0..100 {
+            sink.emit(SimTime::ZERO, counter(v));
+        }
+        assert_eq!(sink.buf.capacity(), 4);
+        assert_eq!(sink.buf.as_ptr(), ptr, "storage must not move");
+    }
+
+    #[test]
+    fn wraparound_exactly_at_capacity_boundary() {
+        let mut sink = TraceSink::with_capacity(3);
+        for v in 0..3 {
+            sink.emit(SimTime::ZERO, counter(v));
+        }
+        assert_eq!(values(&sink), vec![0, 1, 2]);
+        assert_eq!(sink.dropped(), 0);
+        sink.emit(SimTime::ZERO, counter(3));
+        assert_eq!(values(&sink), vec![1, 2, 3]);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_sequence() {
+        let mut sink = TraceSink::with_capacity(4);
+        for v in 0..6 {
+            sink.emit(SimTime::ZERO, counter(v));
+        }
+        let ptr = sink.buf.as_ptr();
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.total_emitted(), 6, "sequence survives clear");
+        sink.emit(SimTime::ZERO, counter(99));
+        assert_eq!(sink.events().next().unwrap().seq, 6);
+        assert_eq!(sink.buf.as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = TraceSink::with_capacity(0);
+    }
+
+    #[test]
+    fn time_is_recorded_in_micros() {
+        let mut sink = TraceSink::with_capacity(1);
+        sink.emit(SimTime::from_secs(1.5), counter(0));
+        assert_eq!(sink.events().next().unwrap().time_us, 1_500_000);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`workload`] — microservice profiles, bursty load generators, and the
 //!   Bitbrains GWA-T-12 trace support.
 //! * [`metrics`] — streaming statistics and experiment reports.
+//! * [`trace`] — deterministic decision-trace events, ring-buffered
+//!   sink, and JSONL/CSV journal exporters.
 //! * [`core`] — the autoscaling algorithms and autoscaler platform
 //!   (Monitor, Node Managers, Load Balancers).
 //!
@@ -39,4 +41,5 @@ pub use hyscale_cluster as cluster;
 pub use hyscale_core as core;
 pub use hyscale_metrics as metrics;
 pub use hyscale_sim as sim;
+pub use hyscale_trace as trace;
 pub use hyscale_workload as workload;
