@@ -13,32 +13,62 @@ pub struct FigureRow {
 }
 
 /// Runs each `(algorithm, config)` pair over `seeds`, in parallel across
-/// OS threads (each run is single-threaded and deterministic, so the
-/// parallelism cannot affect results).
+/// a fixed-size worker set (each run is single-threaded and
+/// deterministic, so the parallelism cannot affect results).
+///
+/// Workers are capped at [`std::thread::available_parallelism`]: a large
+/// study sweeps hundreds of pairs, and one OS thread per pair would
+/// oversubscribe the machine and thrash. Pairs are pulled off a shared
+/// atomic cursor and results land in their input slot, so the returned
+/// rows are in input order regardless of which worker ran what.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run's error.
+/// Propagates the first failing run's error (in input order).
 pub fn sweep(
     configs: Vec<(AlgorithmKind, ScenarioConfig)>,
     seeds: &[u64],
 ) -> Result<Vec<FigureRow>, CoreError> {
-    let results: Vec<Result<FigureRow, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|(algorithm, config)| {
-                scope.spawn(move || {
-                    SimulationDriver::run_averaged(&config, seeds)
-                        .map(|report| FigureRow { algorithm, report })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
+    if configs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(configs.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<FigureRow, CoreError>>> = std::iter::repeat_with(|| None)
+        .take(configs.len())
+        .collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let configs = &configs;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((algorithm, config)) = configs.get(i) else {
+                    break;
+                };
+                let row = SimulationDriver::run_averaged(config, seeds).map(|report| FigureRow {
+                    algorithm: *algorithm,
+                    report,
+                });
+                if tx.send((i, row)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, row) in rx {
+            results[i] = Some(row);
+        }
     });
-    results.into_iter().collect()
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every pair was claimed by a worker"))
+        .collect()
 }
 
 /// Convenience: build-and-sweep all four algorithms through a scenario
@@ -183,6 +213,27 @@ mod tests {
         assert_eq!(sla.len(), 4);
         assert!(row(&rows, AlgorithmKind::Network).is_some());
         assert!(row(&rows, AlgorithmKind::None).is_none());
+    }
+
+    #[test]
+    fn sweep_preserves_input_order_with_more_pairs_than_workers() {
+        // More pairs than any plausible worker cap: rows must still come
+        // back in input order (the cursor hands out indices, results land
+        // in their slot).
+        let scale = Scale::bench();
+        let pairs: Vec<_> = (0..3)
+            .flat_map(|_| AlgorithmKind::ALL.iter().copied())
+            .map(|k| (k, cpu_bound(&scale, Burst::Low, k)))
+            .collect();
+        let expected: Vec<AlgorithmKind> = pairs.iter().map(|(k, _)| *k).collect();
+        let rows = sweep(pairs, &[1]).unwrap();
+        let got: Vec<AlgorithmKind> = rows.iter().map(|r| r.algorithm).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sweep_of_nothing_is_empty() {
+        assert!(sweep(Vec::new(), &[1]).unwrap().is_empty());
     }
 
     #[test]

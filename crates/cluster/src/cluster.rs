@@ -13,11 +13,18 @@
 //!   allocators entirely.
 //! * **Deterministic node parallelism.** Container state is partitioned
 //!   per node ([`Node`] owns its containers), so a tick can fan the
-//!   per-node work out over scoped threads. Each worker owns a contiguous
-//!   node range plus its own scratch, and worker outputs are merged in
-//!   node order — results are bit-identical to the serial engine at any
-//!   [`Cluster::set_parallelism`] setting.
+//!   per-node work out across threads. [`Cluster::set_parallelism`] spawns
+//!   a persistent [`WorkerPool`] (`hyscale-exec`): workers park between
+//!   ticks and are woken per tick with an epoch bump — no per-tick thread
+//!   creation. Nodes are cut into contiguous, container-weighted ranges
+//!   (`partition::weighted_partition`); each worker owns one range plus
+//!   its own scratch, and worker outputs are merged in partition order —
+//!   which is node order — so results are bit-identical to the serial
+//!   engine at any worker count.
 
+use std::ops::Range;
+
+use hyscale_exec::WorkerPool;
 use hyscale_sim::{SimDuration, SimTime};
 
 use crate::container::{Container, ContainerSpec, ContainerState};
@@ -107,6 +114,18 @@ struct TickCtx<'a> {
     now: SimTime,
     end: SimTime,
     dt_secs: f64,
+    /// Test hook ([`Cluster::inject_tick_panic`]): node whose advance
+    /// panics. `None` in production.
+    poison: Option<NodeId>,
+}
+
+/// Ticks one node, honouring the panic-injection test hook. This is the
+/// unit of work a pool job executes per node.
+fn tick_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
+    if ctx.poison == Some(node.id()) {
+        panic!("injected tick panic on node {:?}", node.id());
+    }
+    advance_node(node, ctx, scratch);
 }
 
 /// The simulated cluster: nodes, containers, and in-flight work.
@@ -121,7 +140,7 @@ struct TickCtx<'a> {
 /// * [`Cluster::admit_request`] — a load balancer handing a request to a
 ///   replica,
 /// * [`Cluster::advance`] — physics: one tick of CPU/memory/network flow.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
     nodes: Vec<Node>,
@@ -140,6 +159,43 @@ pub struct Cluster {
     scratch: Vec<TickScratch>,
     /// Reused per-tick replica table, indexed by service id.
     replica_counts: Vec<u32>,
+    /// Reused per-tick node weights (1 + live containers + in-flight
+    /// requests) feeding the container-weighted partition.
+    node_weights: Vec<u64>,
+    /// Reused per-tick contiguous node ranges, one per woken worker.
+    partitions: Vec<Range<usize>>,
+    /// Persistent tick workers (`parallelism - 1` threads), created by
+    /// [`Cluster::set_parallelism`] and joined on drop. `None` while
+    /// serial — and on clones, which respawn lazily on their first
+    /// parallel tick.
+    pool: Option<WorkerPool>,
+    /// Test hook: node whose advance panics (pool panic-propagation
+    /// coverage). Never set outside tests.
+    poison_node: Option<NodeId>,
+}
+
+impl Clone for Cluster {
+    fn clone(&self) -> Self {
+        Cluster {
+            config: self.config,
+            nodes: self.nodes.clone(),
+            locs: self.locs.clone(),
+            node_ids: self.node_ids.clone(),
+            container_ids: self.container_ids.clone(),
+            request_ids: self.request_ids.clone(),
+            mem_model: self.mem_model,
+            net_alloc: self.net_alloc,
+            parallelism: self.parallelism,
+            scratch: self.scratch.clone(),
+            replica_counts: self.replica_counts.clone(),
+            node_weights: self.node_weights.clone(),
+            partitions: self.partitions.clone(),
+            // Worker threads are not cloneable; the clone spawns its own
+            // pool on its first parallel `advance`.
+            pool: None,
+            poison_node: self.poison_node,
+        }
+    }
 }
 
 impl Cluster {
@@ -157,6 +213,10 @@ impl Cluster {
             parallelism: 1,
             scratch: vec![TickScratch::default()],
             replica_counts: Vec::new(),
+            node_weights: Vec::new(),
+            partitions: Vec::new(),
+            pool: None,
+            poison_node: None,
         }
     }
 
@@ -169,10 +229,34 @@ impl Cluster {
     /// (clamped to at least 1; the default is 1, i.e. serial). Because
     /// nodes share no mutable state within a tick and worker outputs are
     /// merged in node order, results are bit-identical at any setting.
+    ///
+    /// Above 1 this spawns a persistent pool of `workers - 1` threads
+    /// that park between ticks (the calling thread ticks the first
+    /// partition itself); reconfiguring joins the old pool before the
+    /// new one spawns, and dropping the cluster joins all workers.
     pub fn set_parallelism(&mut self, workers: usize) {
         self.parallelism = workers.max(1);
         self.scratch
             .resize_with(self.parallelism, TickScratch::default);
+        let needed = self.parallelism - 1;
+        let keep = matches!(&self.pool, Some(pool) if pool.threads() == needed);
+        if !keep {
+            // Drop first: the old pool's threads are joined before the
+            // replacement spawns, so repeated reconfiguration can never
+            // accumulate threads.
+            self.pool = None;
+            if needed > 0 {
+                self.pool = Some(WorkerPool::new(needed));
+            }
+        }
+    }
+
+    /// Test hook: makes [`Cluster::advance`] panic when it reaches the
+    /// given node, exercising the worker pool's panic propagation. Pass
+    /// `None` to clear. Hidden from docs; never set in production code.
+    #[doc(hidden)]
+    pub fn inject_tick_panic(&mut self, node: Option<NodeId>) {
+        self.poison_node = node;
     }
 
     /// The configured tick parallelism.
@@ -575,10 +659,12 @@ impl Cluster {
 
     /// Advances the fluid model by one tick, writing the completions and
     /// failures into `report` (cleared first). With
-    /// [`Cluster::set_parallelism`] above 1, nodes are ticked on scoped
-    /// worker threads; each worker owns a contiguous node range and its
-    /// own scratch buffers, and outputs are merged in node order, so the
-    /// report is bit-identical to a serial run.
+    /// [`Cluster::set_parallelism`] above 1, nodes are ticked on the
+    /// persistent worker pool: workers are woken with an epoch bump (no
+    /// per-tick thread creation), each owns a contiguous container-
+    /// weighted node range and its own scratch buffers, and outputs are
+    /// merged in partition order — node order — so the report is
+    /// bit-identical to a serial run.
     pub fn advance_into(&mut self, now: SimTime, dt: SimDuration, report: &mut TickReport) {
         report.completed.clear();
         report.failed.clear();
@@ -588,13 +674,21 @@ impl Cluster {
         }
         let end = now + dt;
 
-        // Serial prepass: lifecycle transitions plus the per-service
-        // replica table that prices fan-out latency.
+        // Serial prepass: lifecycle transitions, the per-service replica
+        // table that prices fan-out latency, and the per-node weights
+        // (1 + live containers + in-flight requests ≈ tick cost) that
+        // drive the parallel partition.
         self.replica_counts.clear();
+        self.node_weights.clear();
         for node in &mut self.nodes {
+            let mut weight: u64 = 1;
             for c in &mut node.slots {
                 c.mark_running_if_ready(now);
-                if c.state() != ContainerState::Removed && !c.spec().antagonist {
+                if c.state() == ContainerState::Removed {
+                    continue;
+                }
+                weight += 1 + c.in_flight.len() as u64;
+                if !c.spec().antagonist {
                     let idx = c.service().as_usize();
                     if idx >= self.replica_counts.len() {
                         self.replica_counts.resize(idx + 1, 0);
@@ -602,6 +696,20 @@ impl Cluster {
                     self.replica_counts[idx] += 1;
                 }
             }
+            self.node_weights.push(weight);
+        }
+
+        let workers = self.parallelism.min(self.nodes.len()).max(1);
+        let parallel = if workers > 1 {
+            crate::partition::weighted_partition(&self.node_weights, workers, &mut self.partitions);
+            self.partitions.len() > 1
+        } else {
+            false
+        };
+        if parallel && self.pool.is_none() {
+            // Clones drop their source's pool (threads are not
+            // cloneable); respawn it on the first parallel tick.
+            self.pool = Some(WorkerPool::new(self.parallelism - 1));
         }
 
         let nodes = &mut self.nodes;
@@ -614,37 +722,57 @@ impl Cluster {
             now,
             end,
             dt_secs,
+            poison: self.poison_node,
         };
 
-        let workers = self.parallelism.min(nodes.len()).max(1);
-        if workers <= 1 {
+        if !parallel {
             let scratch = &mut scratch_pool[0];
+            scratch.completed.clear();
+            scratch.failed.clear();
             for node in nodes.iter_mut() {
-                advance_node(node, &ctx, scratch);
+                tick_node(node, &ctx, scratch);
             }
             report.completed.append(&mut scratch.completed);
             report.failed.append(&mut scratch.failed);
             return;
         }
 
-        // ceil(len / workers)-sized contiguous chunks: at most `workers`
-        // of them, so the scratch pool (sized by set_parallelism) always
-        // covers every chunk.
-        let chunk = nodes.len().div_ceil(workers);
-        debug_assert!(nodes.len().div_ceil(chunk) <= scratch_pool.len());
-        std::thread::scope(|scope| {
-            for (chunk_nodes, scratch) in nodes.chunks_mut(chunk).zip(scratch_pool.iter_mut()) {
-                let ctx = &ctx;
-                scope.spawn(move || {
-                    for node in chunk_nodes {
-                        advance_node(node, ctx, scratch);
-                    }
-                });
-            }
-        });
-        // Workers held contiguous node ranges in pool order, so appending
-        // their buffers in pool order reproduces the serial append order.
-        for scratch in scratch_pool.iter_mut() {
+        // Partition count never exceeds `workers`, and the scratch pool
+        // and thread pool are both sized by `set_parallelism`, so every
+        // partition gets a scratch and jobs 1.. each get a pool thread.
+        let partitions = &self.partitions;
+        debug_assert!(partitions.len() <= scratch_pool.len());
+        let pool = self.pool.as_mut().expect("pool exists while parallel");
+        let ctx = &ctx;
+        let mut rest: &mut [Node] = nodes;
+        let mut scratches = scratch_pool.iter_mut();
+        let mut closures: Vec<_> = Vec::with_capacity(partitions.len());
+        for range in partitions.iter() {
+            let (chunk, tail) = rest.split_at_mut(range.end - range.start);
+            rest = tail;
+            let scratch = scratches.next().expect("scratch per partition");
+            closures.push(move || {
+                // Stale staged output can only exist if a previous tick
+                // panicked mid-merge; clearing here keeps the next tick
+                // clean either way.
+                scratch.completed.clear();
+                scratch.failed.clear();
+                for node in chunk.iter_mut() {
+                    tick_node(node, ctx, scratch);
+                }
+            });
+        }
+        let mut jobs: Vec<hyscale_exec::Job<'_>> = closures
+            .iter_mut()
+            .map(|c| c as &mut (dyn FnMut() + Send))
+            .collect();
+        pool.run(&mut jobs);
+        drop(jobs);
+        drop(closures);
+        // Workers held contiguous node ranges in partition order, so
+        // appending their buffers in partition order reproduces the
+        // serial append order.
+        for scratch in scratch_pool.iter_mut().take(partitions.len()) {
             report.completed.append(&mut scratch.completed);
             report.failed.append(&mut scratch.failed);
         }

@@ -57,6 +57,7 @@ mod memory;
 mod network;
 mod node;
 mod overhead;
+mod partition;
 mod request;
 mod stats;
 

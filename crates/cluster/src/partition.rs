@@ -1,0 +1,186 @@
+//! Container-weighted static partitioning of the node list.
+//!
+//! The parallel tick engine hands each worker one *contiguous* range of
+//! nodes, because appending per-worker output buffers in partition order
+//! then reproduces the serial (node-order) append exactly. PR 1 cut the
+//! ranges by node index alone — `ceil(n / workers)` nodes each — which
+//! strands workers on near-empty nodes whenever container placement is
+//! skewed. This module cuts by *weight* instead: each node's weight
+//! approximates its tick cost (1 for the sweep itself, plus 1 per live
+//! container, plus 1 per in-flight request), and partition boundaries
+//! land where the cumulative weight crosses each worker's proportional
+//! share. The function is a pure function of the weight vector, so the
+//! partition is identical across runs, seeds, and worker wake order —
+//! determinism of the tick output never depends on it anyway (any
+//! contiguous cut merges back to the same report), but a stable cut
+//! keeps wall-clock behaviour reproducible too.
+
+use std::ops::Range;
+
+/// Cuts `weights` into at most `parts` contiguous, non-empty ranges of
+/// near-equal total weight, appended to `out` in index order (cleared
+/// first). The ranges tile `0..weights.len()` exactly; heavily skewed
+/// weights produce fewer than `parts` ranges rather than empty ones.
+pub(crate) fn weighted_partition(weights: &[u64], parts: usize, out: &mut Vec<Range<usize>>) {
+    out.clear();
+    let n = weights.len();
+    if n == 0 {
+        return;
+    }
+    let parts = parts.clamp(1, n);
+    if parts == 1 {
+        out.push(0..n);
+        return;
+    }
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        // Degenerate input (the tick engine never produces it: every
+        // node weighs at least 1): fall back to even index chunks.
+        let chunk = n.div_ceil(parts);
+        let mut start = 0;
+        while start < n {
+            out.push(start..(start + chunk).min(n));
+            start += chunk;
+        }
+        return;
+    }
+    let mut start = 0usize;
+    let mut cum = 0u64;
+    for p in 0..parts {
+        if start >= n {
+            break;
+        }
+        // Proportional target for the end of partition `p`. Integer
+        // arithmetic keeps the cut exact and platform-independent.
+        let target = total * (p as u64 + 1) / parts as u64;
+        let mut end = start;
+        while end < n && cum < target {
+            cum += weights[end];
+            end += 1;
+        }
+        // A preceding heavy node can overshoot several targets at once;
+        // emit only non-empty ranges so every worker that is woken has
+        // real work.
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    // Rounding can leave a tail lighter than the last target; fold it
+    // into the final range so the cover is exact.
+    if start < n {
+        match out.last_mut() {
+            Some(last) => last.end = n,
+            None => out.push(0..n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        weighted_partition(weights, parts, &mut out);
+        out
+    }
+
+    /// The ranges must tile `0..n` contiguously in order.
+    fn assert_tiles(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "gap or overlap at {r:?}");
+            assert!(r.end > r.start, "empty range {r:?}");
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges do not cover the node list");
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = [1u64; 8];
+        let ranges = cut(&w, 4);
+        assert_eq!(ranges, vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn heavy_head_gets_its_own_partition() {
+        // One node with 10x the containers of the others.
+        let mut w = vec![1u64; 12];
+        w[0] = 10;
+        let ranges = cut(&w, 4);
+        assert_tiles(&ranges, 12);
+        assert_eq!(ranges[0], 0..1, "the hot node is isolated: {ranges:?}");
+        // No remaining partition carries more than half the tail.
+        for r in &ranges[1..] {
+            let weight: u64 = w[r.start..r.end].iter().sum();
+            assert!(weight <= 6, "unbalanced tail partition {r:?} ({weight})");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_isolated_too() {
+        let mut w = vec![1u64; 12];
+        w[11] = 10;
+        let ranges = cut(&w, 4);
+        assert_tiles(&ranges, 12);
+        let last = ranges.last().unwrap().clone();
+        let weight: u64 = w[last.start..last.end].iter().sum();
+        assert!(weight >= 10, "hot tail node lands in the last range");
+    }
+
+    #[test]
+    fn more_parts_than_nodes_clamps() {
+        let ranges = cut(&[3, 1, 2], 16);
+        assert_tiles(&ranges, 3);
+        assert!(ranges.len() <= 3);
+    }
+
+    #[test]
+    fn one_part_is_the_whole_list() {
+        assert_eq!(cut(&[5, 5, 5], 1), vec![0..3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_ranges() {
+        assert!(cut(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn zero_total_falls_back_to_even_chunks() {
+        let ranges = cut(&[0, 0, 0, 0, 0], 2);
+        assert_tiles(&ranges, 5);
+        assert_eq!(ranges, vec![0..3, 3..5]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let w: Vec<u64> = (0..100).map(|i| (i * 37 % 11) + 1).collect();
+        let a = cut(&w, 8);
+        let b = cut(&w, 8);
+        assert_eq!(a, b);
+        assert_tiles(&a, 100);
+    }
+
+    #[test]
+    fn balance_is_near_optimal_on_random_weights() {
+        // Each partition's weight stays within (max single weight) of the
+        // ideal share — the bound the proportional-target sweep gives.
+        let w: Vec<u64> = (0..64).map(|i| (i * 7919 % 23) + 1).collect();
+        let total: u64 = w.iter().sum();
+        for parts in [2usize, 4, 8] {
+            let ranges = cut(&w, parts);
+            assert_tiles(&ranges, 64);
+            let ideal = total as f64 / parts as f64;
+            let max_single = *w.iter().max().unwrap() as f64;
+            for r in &ranges {
+                let weight: u64 = w[r.start..r.end].iter().sum();
+                assert!(
+                    (weight as f64) <= ideal + max_single,
+                    "partition {r:?} weight {weight} vs ideal {ideal} (parts={parts})"
+                );
+            }
+        }
+    }
+}

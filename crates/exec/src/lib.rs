@@ -1,0 +1,428 @@
+//! Persistent scoped worker pool for the HyScale tick engine.
+//!
+//! `std::thread::scope` is the right tool for occasional fan-out, but the
+//! tick engine calls it thousands of times per second: every call creates
+//! and destroys OS threads, which costs more than the tick itself on
+//! small clusters. [`WorkerPool`] keeps the threads alive instead —
+//! workers are spawned once, park on a condvar between ticks, and are
+//! woken per [`WorkerPool::run`] call with a cheap epoch bump. The API is
+//! still *scoped*: `run` borrows its jobs, blocks until every job has
+//! finished, and propagates the first panic, so borrowed data (node
+//! slices, scratch buffers) is safe to hand out by `&mut`.
+//!
+//! # Ordering contract
+//!
+//! `run` executes `jobs[0]` on the calling thread and `jobs[1..]` on pool
+//! workers, one job per worker slot. Which *thread* runs a job is
+//! scheduling-dependent; which *job index* owns which work item is not.
+//! Callers that bucket output per job and merge buckets in job-index
+//! order therefore get results that are byte-identical to a serial run —
+//! the property the tick engine's determinism argument rests on.
+//!
+//! # Safety design
+//!
+//! This crate is the workspace's only home of `unsafe`. Long-lived
+//! threads cannot borrow from a caller's stack in the type system, so
+//! `run` erases each `&mut dyn FnMut` job to a raw pointer before
+//! publishing it to a worker slot. Soundness is restored by protocol:
+//!
+//! * `run` takes `&mut self` (no concurrent epochs) and does not return
+//!   until every published job has executed, so the borrows behind the
+//!   raw pointers outlive every dereference;
+//! * each worker dereferences only the slot it owns, exactly once per
+//!   epoch, so the `&mut` exclusivity of each job is preserved;
+//! * slots are published and consumed under one mutex, giving the
+//!   happens-before edge between the caller writing a pointer and the
+//!   worker calling through it.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A job borrowed for the duration of one [`WorkerPool::run`] call.
+pub type Job<'a> = &'a mut (dyn FnMut() + Send);
+
+/// Lifetime-erased job pointer stored in a worker slot.
+type RawJob = *mut (dyn FnMut() + Send);
+
+/// State shared between the coordinator and the workers, all of it
+/// guarded by one mutex.
+struct State {
+    /// Bumped once per `run` call; a worker whose remembered epoch
+    /// differs has a fresh round of slots to inspect.
+    epoch: u64,
+    /// One slot per worker; `None` means "idle this epoch".
+    slots: Vec<Option<RawJob>>,
+    /// Worker jobs still running in the current epoch.
+    remaining: usize,
+    /// First panic payload captured from a worker job this epoch.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set by `Drop` to terminate the worker loops.
+    shutdown: bool,
+}
+
+// SAFETY: `State` is only non-Send because of the raw job pointers in
+// `slots`. A pointer is written by the coordinator inside `run`, read
+// (and `take`n) exactly once by the worker owning that slot, and the
+// coordinator blocks until `remaining == 0` before returning — so the
+// pointee, a `&mut` borrow held by `run`'s caller frame, is alive and
+// exclusively accessed for every dereference.
+unsafe impl Send for State {}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled by the coordinator when a new epoch is published.
+    work: Condvar,
+    /// Signalled by the last worker finishing an epoch.
+    done: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning: jobs run under
+    /// `catch_unwind`, so a poisoned mutex can only mean a panic in this
+    /// crate's own bookkeeping, where every invariant is re-checked.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads executing borrowed jobs.
+///
+/// See the [crate docs](crate) for the handoff protocol and ordering
+/// contract. Dropping the pool joins every worker.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` parked workers. A pool of zero threads is valid:
+    /// [`WorkerPool::run`] then accepts exactly one job and runs it on
+    /// the calling thread.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                slots: (0..threads).map(|_| None).collect(),
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hyscale-tick-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of pool threads (the calling thread is one extra job slot).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every job to completion: `jobs[0]` on the calling thread,
+    /// `jobs[1..]` one per pool worker. Blocks until all jobs finish.
+    /// Each closure is called exactly once per `run`.
+    ///
+    /// # Panics
+    ///
+    /// * if `jobs.len() - 1` exceeds [`WorkerPool::threads`];
+    /// * re-raises the first panic any job raised, after every other job
+    ///   of the epoch has completed (the pool itself stays usable).
+    pub fn run(&mut self, jobs: &mut [Job<'_>]) {
+        let Some((first, rest)) = jobs.split_first_mut() else {
+            return;
+        };
+        assert!(
+            rest.len() <= self.threads(),
+            "{} jobs need {} pool threads, pool has {}",
+            rest.len() + 1,
+            rest.len(),
+            self.threads()
+        );
+        if rest.is_empty() {
+            // Single job: no handoff, run inline.
+            first();
+            return;
+        }
+        {
+            let mut st = self.shared.lock();
+            debug_assert_eq!(st.remaining, 0, "previous epoch still running");
+            for slot in st.slots.iter_mut() {
+                *slot = None;
+            }
+            for (slot, job) in st.slots.iter_mut().zip(rest.iter_mut()) {
+                *slot = Some(erase(job));
+            }
+            st.remaining = rest.len();
+            st.panic = None;
+            st.epoch = st.epoch.wrapping_add(1);
+            self.shared.work.notify_all();
+        }
+        // The caller-thread job overlaps with the workers; catch its
+        // panic so the epoch is still joined before anything unwinds.
+        let mine = catch_unwind(AssertUnwindSafe(first));
+        let worker_panic = {
+            let mut st = self.shared.lock();
+            while st.remaining > 0 {
+                st = match self.shared.done.wait(st) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            st.panic.take()
+        };
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker can only stop by seeing `shutdown`; join errors
+            // would mean a panic in the loop itself, which has nothing
+            // left to clean up.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Erases the caller-frame lifetime of a job so it can cross into a
+/// long-lived worker. Callers must uphold the protocol in the
+/// [crate docs](crate): the pointee outlives the epoch and is touched
+/// only by the owning worker.
+fn erase<'a>(job: &mut Job<'a>) -> RawJob {
+    let wide: *mut (dyn FnMut() + Send + 'a) = *job;
+    // SAFETY: rebrands the trait object's lifetime to `'static`; the fat
+    // pointer layout is unchanged. Validity is the protocol's job.
+    unsafe { std::mem::transmute::<*mut (dyn FnMut() + Send + 'a), RawJob>(wide) }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = match shared.work.wait(st) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            seen_epoch = st.epoch;
+            st.slots[index].take()
+        };
+        let Some(job) = job else {
+            // Not scheduled this epoch; `remaining` never counted us.
+            continue;
+        };
+        // SAFETY: the coordinator published this pointer for the current
+        // epoch and blocks in `run` until we report completion, so the
+        // borrow behind it is alive; the slot was `take`n, so we are the
+        // only thread calling through it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)() }));
+        let mut st = shared.lock();
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper: run `jobs` (concrete closures) through a pool.
+    fn run_all<F: FnMut() + Send>(pool: &mut WorkerPool, closures: &mut [F]) {
+        let mut jobs: Vec<Job<'_>> = closures
+            .iter_mut()
+            .map(|c| c as &mut (dyn FnMut() + Send))
+            .collect();
+        pool.run(&mut jobs);
+    }
+
+    #[test]
+    fn fans_out_disjoint_slices() {
+        let mut pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let serial: u64 = data.iter().sum();
+        let mut sums = [0u64; 4];
+        {
+            let chunks: Vec<&[u64]> = data.chunks(250).collect();
+            let mut slots = sums.iter_mut();
+            let mut closures: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let out = slots.next().unwrap();
+                    move || *out = chunk.iter().sum()
+                })
+                .collect();
+            run_all(&mut pool, &mut closures);
+        }
+        assert_eq!(sums.iter().sum::<u64>(), serial);
+        assert!(sums.iter().all(|&s| s > 0), "every job ran: {sums:?}");
+    }
+
+    #[test]
+    fn survives_thousands_of_epochs() {
+        let mut pool = WorkerPool::new(2);
+        let mut counters = [0u64; 3];
+        for _ in 0..5_000 {
+            let mut slots: Vec<&mut u64> = counters.iter_mut().collect();
+            let mut closures: Vec<_> = slots.iter_mut().map(|slot| move || **slot += 1).collect();
+            run_all(&mut pool, &mut closures);
+        }
+        assert_eq!(counters, [5_000; 3]);
+    }
+
+    #[test]
+    fn fewer_jobs_than_threads_is_fine() {
+        let mut pool = WorkerPool::new(8);
+        let mut hits = [false; 2];
+        let mut slots: Vec<&mut bool> = hits.iter_mut().collect();
+        let mut closures: Vec<_> = slots.iter_mut().map(|slot| move || **slot = true).collect();
+        run_all(&mut pool, &mut closures);
+        assert_eq!(hits, [true, true]);
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_single_job_inline() {
+        let mut pool = WorkerPool::new(0);
+        let mut ran = false;
+        let mut job = || ran = true;
+        let mut jobs: Vec<Job<'_>> = vec![&mut job];
+        pool.run(&mut jobs);
+        assert!(ran);
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        let mut pool = WorkerPool::new(1);
+        pool.run(&mut []);
+    }
+
+    #[test]
+    fn too_many_jobs_panics_before_publishing() {
+        let mut pool = WorkerPool::new(1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut a = || ();
+            let mut b = || ();
+            let mut c = || ();
+            let mut jobs: Vec<Job<'_>> = vec![&mut a, &mut b, &mut c];
+            pool.run(&mut jobs);
+        }));
+        assert!(err.is_err());
+        // The pool is still usable after the rejected call.
+        let mut ran = false;
+        let mut job = || ran = true;
+        let mut jobs: Vec<Job<'_>> = vec![&mut job];
+        pool.run(&mut jobs);
+        assert!(ran);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = WorkerPool::new(2);
+        for round in 0..3 {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut ok = || ();
+                let mut boom = || panic!("injected worker panic {round}");
+                let mut also_ok = || ();
+                let mut jobs: Vec<Job<'_>> = vec![&mut ok, &mut boom, &mut also_ok];
+                pool.run(&mut jobs);
+            }));
+            let payload = err.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("injected worker panic"), "got: {msg}");
+            // The epoch was fully joined: the pool accepts new work.
+            let mut count = 0u32;
+            let mut a = || count += 1;
+            let mut jobs: Vec<Job<'_>> = vec![&mut a];
+            pool.run(&mut jobs);
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn caller_job_panic_still_joins_workers() {
+        let mut pool = WorkerPool::new(1);
+        let mut worker_ran = false;
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut boom = || panic!("caller-side panic");
+            let mut worker = || worker_ran = true;
+            let mut jobs: Vec<Job<'_>> = vec![&mut boom, &mut worker];
+            pool.run(&mut jobs);
+        }));
+        assert!(err.is_err());
+        assert!(worker_ran, "worker epoch completed before the unwind");
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Constructing and dropping pools in a loop must not accumulate
+        // threads; `Drop` blocks on every join handle.
+        for _ in 0..50 {
+            let mut pool = WorkerPool::new(4);
+            let mut hits = [0u8; 5];
+            let mut slots: Vec<&mut u8> = hits.iter_mut().collect();
+            let mut closures: Vec<_> = slots.iter_mut().map(|slot| move || **slot += 1).collect();
+            run_all(&mut pool, &mut closures);
+            drop(pool);
+            assert_eq!(hits, [1; 5]);
+        }
+    }
+
+    #[test]
+    fn debug_shows_thread_count() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(format!("{pool:?}"), "WorkerPool { threads: 3 }");
+    }
+}

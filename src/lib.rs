@@ -8,6 +8,7 @@
 //! This crate re-exports the workspace crates under stable module names:
 //!
 //! * [`sim`] — deterministic discrete-time simulation substrate.
+//! * [`exec`] — persistent worker pool driving the parallel tick engine.
 //! * [`cluster`] — Docker-like cluster resource model (CPU shares, memory
 //!   limits + swap, tc-style network shaping).
 //! * [`workload`] — microservice profiles, bursty load generators, and the
@@ -39,6 +40,7 @@
 
 pub use hyscale_cluster as cluster;
 pub use hyscale_core as core;
+pub use hyscale_exec as exec;
 pub use hyscale_metrics as metrics;
 pub use hyscale_sim as sim;
 pub use hyscale_trace as trace;
