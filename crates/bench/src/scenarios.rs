@@ -8,7 +8,7 @@
 //! ratio (which is what the algorithms actually react to).
 
 use hyscale_cluster::{FaultPlan, FaultPlanConfig, Mbps, MemMb, NodeSpec};
-use hyscale_core::{AlgorithmKind, ScenarioBuilder, ScenarioConfig};
+use hyscale_core::{AlgorithmKind, ControlPlaneConfig, ScenarioBuilder, ScenarioConfig};
 use hyscale_sim::SimRng;
 use hyscale_workload::bitbrains::{trace_to_load_pattern, SyntheticTrace};
 use hyscale_workload::{LoadPattern, ServiceProfile, ServiceSpec};
@@ -263,6 +263,32 @@ pub fn chaos(scale: &Scale, algorithm: AlgorithmKind) -> ScenarioConfig {
     config
 }
 
+/// Chaos-control: the chaos experiment run through an *unreliable
+/// control plane* — Node Manager reports are lost/delayed/duplicated and
+/// scaling actuations fail, on top of the infrastructure fault storm.
+///
+/// Both arms run the control-plane layer (snapshot-mode balancer,
+/// staleness vetoes, safe-mode quorum, actuation retries) so the only
+/// difference between them is the degradation itself: the `degraded`
+/// arm adds 5% report loss, 10% delay up to 2 periods, 2% duplication,
+/// and 5% actuation failure; the healthy arm's link is perfect. The
+/// `chaos_control` bench bin compares SLO violations and availability
+/// across the two arms for all four algorithms.
+pub fn chaos_control(scale: &Scale, algorithm: AlgorithmKind, degraded: bool) -> ScenarioConfig {
+    let mut config = chaos(scale, algorithm);
+    let arm = if degraded { "degraded" } else { "healthy" };
+    config.name = format!("chaos-control-{arm}-{algorithm}");
+    config.control_plane = if degraded {
+        ControlPlaneConfig::degraded()
+    } else {
+        ControlPlaneConfig {
+            enabled: true,
+            ..ControlPlaneConfig::perfect()
+        }
+    };
+    config
+}
+
 /// Figures 9–10: the Bitbrains `Rnd` replay.
 ///
 /// The synthetic GWA-T-12-like trace (see `hyscale-workload::bitbrains`)
@@ -391,6 +417,23 @@ mod tests {
         // Scale-proportional fault counts: bench (4 nodes, 3 services)
         // schedules 1 crash + 1 OOM + 1 NIC + 1 outage.
         assert_eq!(a.faults.len(), 4);
+    }
+
+    #[test]
+    fn chaos_control_arms_differ_only_in_the_control_plane() {
+        let scale = Scale::bench();
+        let healthy = chaos_control(&scale, AlgorithmKind::HyScaleCpu, false);
+        let degraded = chaos_control(&scale, AlgorithmKind::HyScaleCpu, true);
+        healthy.validate().unwrap();
+        degraded.validate().unwrap();
+        assert!(healthy.control_plane.enabled);
+        assert!(degraded.control_plane.enabled);
+        assert_eq!(healthy.control_plane.loss_prob, 0.0);
+        assert!(degraded.control_plane.loss_prob > 0.0);
+        // Same fault storm underneath both arms.
+        assert_eq!(healthy.faults, degraded.faults);
+        assert!(healthy.name.contains("healthy"));
+        assert!(degraded.name.contains("degraded"));
     }
 
     #[test]

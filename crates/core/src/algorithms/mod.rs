@@ -19,9 +19,9 @@ pub use vertical::VerticalOnly;
 
 use std::collections::HashMap;
 
-use hyscale_cluster::ServiceId;
+use hyscale_cluster::{ContainerId, ServiceId};
 use hyscale_sim::{SimDuration, SimTime};
-use hyscale_trace::TraceSink;
+use hyscale_trace::{EventKind, TraceSink};
 
 use crate::actions::ScalingAction;
 use crate::view::ClusterView;
@@ -108,6 +108,74 @@ impl std::fmt::Display for AlgorithmKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// Drops capacity-reducing actions for services whose view data is older
+/// than the staleness budget, returning the surviving actions and the
+/// number of vetoes.
+///
+/// The asymmetry is deliberate and applies uniformly downstream of every
+/// algorithm: a wrong scale-*in* on stale data destroys capacity the
+/// service may still need, while a deferred scale-*out* only delays
+/// relief — so `Spawn` always passes, and for stale services we veto
+/// `Remove`, allocation-*lowering* `Update`s, and `SetNetCap` caps
+/// (lifting a cap is allowed). Actions targeting containers the view
+/// does not know pass through; the Monitor already drops actions on
+/// unknown entities.
+///
+/// Each veto emits an [`EventKind::StaleVeto`] into `trace`.
+pub fn veto_stale_reductions(
+    view: &ClusterView,
+    algorithm: &'static str,
+    actions: Vec<ScalingAction>,
+    trace: &mut TraceSink,
+) -> (Vec<ScalingAction>, u64) {
+    // container -> its service's view index, for reverse lookup.
+    let owner =
+        |container: ContainerId| -> Option<(&crate::view::ServiceView, &crate::view::ReplicaView)> {
+            view.services.iter().find_map(|s| {
+                s.replicas
+                    .iter()
+                    .find(|r| r.container == container)
+                    .map(|r| (s, r))
+            })
+        };
+    let mut vetoes = 0u64;
+    let mut kept = Vec::with_capacity(actions.len());
+    for action in actions {
+        let reduction = match action {
+            ScalingAction::Spawn { .. } => None,
+            ScalingAction::Remove { container } => owner(container).map(|(s, _)| s),
+            ScalingAction::Update {
+                container,
+                cpu,
+                mem,
+            } => owner(container).and_then(|(s, r)| {
+                let lowers_cpu = cpu.is_some_and(|c| c < r.cpu_requested);
+                let lowers_mem = mem.is_some_and(|m| m < r.mem_limit);
+                (lowers_cpu || lowers_mem).then_some(s)
+            }),
+            ScalingAction::SetNetCap { container, cap } => {
+                owner(container).and_then(|(s, _)| cap.is_some().then_some(s))
+            }
+        };
+        match reduction {
+            Some(s) if s.max_age_ticks() > view.staleness_budget_ticks => {
+                vetoes += 1;
+                trace.emit(
+                    view.now,
+                    EventKind::StaleVeto {
+                        algorithm,
+                        service: s.service.index(),
+                        age_ticks: s.max_age_ticks(),
+                        budget_ticks: view.staleness_budget_ticks,
+                    },
+                );
+            }
+            _ => kept.push(action),
+        }
+    }
+    (kept, vetoes)
 }
 
 /// The do-nothing policy used by the manual scaling studies of Sec. III.
@@ -239,5 +307,107 @@ mod tests {
         let svc = ServiceId::new(0);
         gate.record_down(svc, SimTime::from_secs(10.0));
         assert!(gate.allows(svc, SimTime::from_secs(10.0)));
+    }
+
+    mod stale_veto {
+        use super::super::*;
+        use crate::view::test_support::{replica, view_of};
+        use hyscale_cluster::{Cores, Mbps, MemMb, NodeId};
+
+        fn stale_view() -> ClusterView {
+            let mut r = replica(0, 0, 0.2, 0.5);
+            r.age_ticks = 3; // budget in view_of is 1
+            view_of(0, vec![r], vec![])
+        }
+
+        fn actions() -> Vec<ScalingAction> {
+            vec![
+                ScalingAction::Remove {
+                    container: ContainerId::new(0),
+                },
+                ScalingAction::Spawn {
+                    service: ServiceId::new(0),
+                    node: NodeId::new(1),
+                    cpu: Cores(0.5),
+                    mem: MemMb(256.0),
+                },
+            ]
+        }
+
+        #[test]
+        fn stale_service_keeps_spawns_but_loses_removes() {
+            let view = stale_view();
+            let mut trace = TraceSink::with_capacity(8);
+            let (kept, vetoes) = veto_stale_reductions(&view, "test", actions(), &mut trace);
+            assert_eq!(vetoes, 1);
+            assert_eq!(kept.len(), 1);
+            assert!(matches!(kept[0], ScalingAction::Spawn { .. }));
+            assert!(trace.events().any(|e| matches!(
+                e.kind,
+                EventKind::StaleVeto {
+                    age_ticks: 3,
+                    budget_ticks: 1,
+                    ..
+                }
+            )));
+        }
+
+        #[test]
+        fn fresh_service_passes_everything() {
+            let view = view_of(0, vec![replica(0, 0, 0.2, 0.5)], vec![]);
+            let mut trace = TraceSink::disabled();
+            let (kept, vetoes) = veto_stale_reductions(&view, "test", actions(), &mut trace);
+            assert_eq!(vetoes, 0);
+            assert_eq!(kept.len(), 2);
+        }
+
+        #[test]
+        fn updates_are_vetoed_only_when_they_lower_allocations() {
+            let view = stale_view();
+            let mut trace = TraceSink::disabled();
+            let raise = ScalingAction::Update {
+                container: ContainerId::new(0),
+                cpu: Some(Cores(1.0)), // above the current 0.5 request
+                mem: None,
+            };
+            let lower = ScalingAction::Update {
+                container: ContainerId::new(0),
+                cpu: Some(Cores(0.25)),
+                mem: None,
+            };
+            let (kept, vetoes) =
+                veto_stale_reductions(&view, "test", vec![raise, lower], &mut trace);
+            assert_eq!(vetoes, 1);
+            assert_eq!(kept, vec![raise]);
+        }
+
+        #[test]
+        fn net_caps_are_vetoed_but_uncapping_is_not() {
+            let view = stale_view();
+            let mut trace = TraceSink::disabled();
+            let cap = ScalingAction::SetNetCap {
+                container: ContainerId::new(0),
+                cap: Some(Mbps(10.0)),
+            };
+            let uncap = ScalingAction::SetNetCap {
+                container: ContainerId::new(0),
+                cap: None,
+            };
+            let (kept, vetoes) = veto_stale_reductions(&view, "test", vec![cap, uncap], &mut trace);
+            assert_eq!(vetoes, 1);
+            assert_eq!(kept, vec![uncap]);
+        }
+
+        #[test]
+        fn unknown_containers_pass_through() {
+            let view = stale_view();
+            let mut trace = TraceSink::disabled();
+            let ghost = ScalingAction::Remove {
+                container: ContainerId::new(99),
+            };
+            let (kept, vetoes) = veto_stale_reductions(&view, "test", vec![ghost], &mut trace);
+            assert_eq!(vetoes, 0);
+            assert_eq!(kept, vec![ghost]);
+        }
     }
 }

@@ -7,23 +7,190 @@
 //! 24 = 19 workers + 5 LBs split): each request is routed to the accepting
 //! replica with the fewest requests in flight, which is what a
 //! least-outstanding-requests proxy does.
+//!
+//! # Two modes
+//!
+//! The default balancer is *live*: it reads replica state straight off
+//! the cluster, the legacy perfectly-informed behaviour. Under an
+//! unreliable control plane ([`crate::ControlPlane`]) the balancer runs
+//! in *snapshot* mode instead: it only knows the backend lists from the
+//! last Monitor refresh, so replicas that die mid-period are still
+//! routed to — the roll-call gap. Per-replica **circuit breakers** close
+//! that gap: consecutive connection failures open a replica's breaker
+//! (requests stop flowing), and after a seeded cooldown one half-open
+//! probe is let through — success closes the breaker, failure re-opens
+//! it with a doubled, capped cooldown.
 
-use hyscale_cluster::{Cluster, ContainerId, ServiceId};
-use hyscale_sim::SimTime;
+use std::collections::BTreeMap;
+
+use hyscale_cluster::{Cluster, ContainerId, ContainerState, ServiceId};
+use hyscale_sim::{SimDuration, SimRng, SimTime};
+use hyscale_trace::{BreakerTag, EventKind, TraceSink};
+
+/// Per-replica circuit-breaker tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// First cooldown after opening, seconds.
+    pub base_cooldown_secs: f64,
+    /// Cooldown ceiling (doubles per failed half-open probe).
+    pub max_cooldown_secs: f64,
+    /// Seeded jitter applied to each cooldown: the actual cooldown is
+    /// uniform in `[base, base × (1 + jitter_frac)]`, decorrelating
+    /// probe storms across replicas.
+    pub jitter_frac: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            base_cooldown_secs: 2.0,
+            max_cooldown_secs: 16.0,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason if the threshold is zero, the
+    /// cooldown range is not finite-positive or inverted, or the jitter
+    /// fraction leaves `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.failure_threshold == 0 {
+            return Err("failure_threshold must be >= 1".into());
+        }
+        if !(self.base_cooldown_secs.is_finite() && self.base_cooldown_secs > 0.0) {
+            return Err(format!(
+                "base_cooldown_secs must be positive, got {}",
+                self.base_cooldown_secs
+            ));
+        }
+        if !(self.max_cooldown_secs.is_finite()
+            && self.max_cooldown_secs >= self.base_cooldown_secs)
+        {
+            return Err(format!(
+                "max_cooldown_secs must be >= base_cooldown_secs, got {}",
+                self.max_cooldown_secs
+            ));
+        }
+        if !(self.jitter_frac.is_finite() && (0.0..=1.0).contains(&self.jitter_frac)) {
+            return Err(format!(
+                "jitter_frac must be in [0, 1], got {}",
+                self.jitter_frac
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One replica's breaker state. Absence from the map means closed with a
+/// clean failure streak.
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    /// Consecutive failures observed.
+    consecutive: u32,
+    /// `Some(deadline)` while open: requests are blocked until the
+    /// deadline, after which the next request is a half-open probe.
+    open_until: Option<SimTime>,
+    /// Cooldown to impose if the next probe fails.
+    cooldown_secs: f64,
+}
 
 /// Routes client requests to microservice replicas.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LoadBalancer;
+#[derive(Debug, Clone, Default)]
+pub struct LoadBalancer {
+    /// `Some` in snapshot mode (control plane enabled), `None` live.
+    snapshot: Option<Snapshot>,
+}
+
+/// The snapshot-mode state: stale backend knowledge plus breakers.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    config: BreakerConfig,
+    rng: SimRng,
+    /// Backend lists as of the last [`LoadBalancer::refresh`].
+    backends: BTreeMap<ServiceId, Vec<ContainerId>>,
+    breakers: BTreeMap<ContainerId, Breaker>,
+    breaker_opens: u64,
+}
 
 impl LoadBalancer {
-    /// Creates a balancer.
+    /// Creates a live-mode balancer (perfect replica knowledge, no
+    /// breakers — the legacy behaviour).
     pub fn new() -> Self {
-        LoadBalancer
+        LoadBalancer::default()
+    }
+
+    /// Creates a snapshot-mode balancer with per-replica circuit
+    /// breakers; cooldown jitter draws from the given seeded stream.
+    pub fn with_breakers(config: BreakerConfig, rng: SimRng) -> Self {
+        LoadBalancer {
+            snapshot: Some(Snapshot {
+                config,
+                rng,
+                backends: BTreeMap::new(),
+                breakers: BTreeMap::new(),
+                breaker_opens: 0,
+            }),
+        }
+    }
+
+    /// Whether this balancer runs on snapshots and breakers.
+    pub fn snapshot_mode(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Breaker open transitions so far (0 in live mode).
+    pub fn breaker_opens(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.breaker_opens)
+    }
+
+    /// Whether `container`'s breaker currently blocks requests.
+    pub fn breaker_blocks(&self, container: ContainerId, now: SimTime) -> bool {
+        self.snapshot.as_ref().is_some_and(|s| {
+            s.breakers
+                .get(&container)
+                .and_then(|b| b.open_until)
+                .is_some_and(|until| now < until)
+        })
+    }
+
+    /// Refreshes the snapshot backend lists from the cluster (a no-op in
+    /// live mode). Call once per Monitor period, after scaling and
+    /// recovery have run: this is the balancer "hearing" the control
+    /// plane's latest roll call. Breakers of vanished containers are
+    /// dropped.
+    pub fn refresh(&mut self, cluster: &Cluster, services: &[ServiceId]) {
+        let Some(snap) = self.snapshot.as_mut() else {
+            return;
+        };
+        snap.backends.clear();
+        let mut known: Vec<ContainerId> = Vec::new();
+        for &service in services {
+            let replicas = cluster.service_replicas(service);
+            known.extend_from_slice(&replicas);
+            snap.backends.insert(service, replicas);
+        }
+        known.sort_unstable();
+        snap.breakers
+            .retain(|id, _| known.binary_search(id).is_ok());
     }
 
     /// Picks the replica of `service` to receive a request at `now`:
     /// the accepting replica with the fewest in-flight requests (ties
     /// broken by container id for determinism).
+    ///
+    /// In snapshot mode, candidates come from the last refresh: a
+    /// replica that died mid-period is still a candidate (the balancer
+    /// doesn't know — it sees an idle backend) until its breaker opens.
+    /// Open breakers exclude a replica until their cooldown elapses, at
+    /// which point it is let through again as a half-open probe.
     ///
     /// Returns `None` when no replica is accepting — the request becomes a
     /// *connection failure*, exactly the failure class the paper charges
@@ -34,15 +201,101 @@ impl LoadBalancer {
         service: ServiceId,
         now: SimTime,
     ) -> Option<ContainerId> {
-        cluster
-            .service_replicas(service)
-            .into_iter()
-            .filter_map(|id| {
-                let c = cluster.container(id)?;
-                c.accepting(now).then_some((c.in_flight_count(), id))
+        let Some(snap) = self.snapshot.as_ref() else {
+            return cluster
+                .service_replicas(service)
+                .into_iter()
+                .filter_map(|id| {
+                    let c = cluster.container(id)?;
+                    c.accepting(now).then_some((c.in_flight_count(), id))
+                })
+                .min()
+                .map(|(_, id)| id);
+        };
+        snap.backends
+            .get(&service)?
+            .iter()
+            .filter_map(|&id| {
+                if self.breaker_blocks(id, now) {
+                    return None;
+                }
+                match cluster.container(id) {
+                    // The replica is gone (or torn down) but the balancer
+                    // hasn't heard: it looks like an idle backend. Routing
+                    // to it fails and feeds the breaker.
+                    None => Some((0, id)),
+                    Some(c) if c.state() == ContainerState::Removed => Some((0, id)),
+                    Some(c) => c.accepting(now).then_some((c.in_flight_count(), id)),
+                }
             })
             .min()
             .map(|(_, id)| id)
+    }
+
+    /// Records a successfully admitted request (a no-op in live mode).
+    /// A success on a half-open probe closes the breaker.
+    pub fn record_success(&mut self, container: ContainerId, now: SimTime, trace: &mut TraceSink) {
+        let Some(snap) = self.snapshot.as_mut() else {
+            return;
+        };
+        if let Some(breaker) = snap.breakers.get(&container) {
+            if breaker.open_until.is_some() {
+                trace.emit(
+                    now,
+                    EventKind::Breaker {
+                        state: BreakerTag::Close,
+                        container: container.index(),
+                        until_us: 0,
+                    },
+                );
+            }
+            snap.breakers.remove(&container);
+        }
+    }
+
+    /// Records a failed admission (a no-op in live mode). Reaching the
+    /// consecutive-failure threshold opens the breaker; a failure on a
+    /// half-open probe re-opens it with a doubled, capped cooldown.
+    pub fn record_failure(&mut self, container: ContainerId, now: SimTime, trace: &mut TraceSink) {
+        let Some(snap) = self.snapshot.as_mut() else {
+            return;
+        };
+        let config = snap.config;
+        let breaker = snap.breakers.entry(container).or_insert(Breaker {
+            consecutive: 0,
+            open_until: None,
+            cooldown_secs: config.base_cooldown_secs,
+        });
+        breaker.consecutive += 1;
+        let open = match breaker.open_until {
+            // Failed half-open probe: double the cooldown and re-open.
+            Some(until) if now >= until => {
+                breaker.cooldown_secs = (breaker.cooldown_secs * 2.0).min(config.max_cooldown_secs);
+                true
+            }
+            // Still open; nothing should be routed here, but a failure
+            // that raced the opening just counts.
+            Some(_) => false,
+            None => breaker.consecutive >= config.failure_threshold,
+        };
+        if open {
+            let jitter = if config.jitter_frac > 0.0 {
+                1.0 + snap.rng.uniform_range(0.0, config.jitter_frac)
+            } else {
+                1.0
+            };
+            let until = now + SimDuration::from_secs(breaker.cooldown_secs * jitter);
+            breaker.open_until = Some(until);
+            snap.breaker_opens += 1;
+            trace.emit(
+                now,
+                EventKind::Breaker {
+                    state: BreakerTag::Open,
+                    container: container.index(),
+                    until_us: until.as_micros(),
+                },
+            );
+        }
     }
 }
 
@@ -133,5 +386,213 @@ mod tests {
         let _b = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
         // Both idle: lowest container id wins.
         assert_eq!(LoadBalancer::new().route(&cl, svc, SimTime::ZERO), Some(a));
+    }
+
+    fn snapshot_lb() -> LoadBalancer {
+        LoadBalancer::with_breakers(BreakerConfig::default(), SimRng::seed_from(7))
+    }
+
+    #[test]
+    fn live_mode_records_are_no_ops() {
+        let mut lb = LoadBalancer::new();
+        assert!(!lb.snapshot_mode());
+        let mut trace = TraceSink::with_capacity(8);
+        for _ in 0..10 {
+            lb.record_failure(ContainerId::new(0), SimTime::ZERO, &mut trace);
+        }
+        assert_eq!(lb.breaker_opens(), 0);
+        assert!(!lb.breaker_blocks(ContainerId::new(0), SimTime::ZERO));
+        assert_eq!(trace.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_mode_routes_from_refreshed_backends_only() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let mut lb = snapshot_lb();
+        // No refresh yet: the balancer knows nothing.
+        assert_eq!(lb.route(&cl, svc, SimTime::ZERO), None);
+        lb.refresh(&cl, &[svc]);
+        assert_eq!(lb.route(&cl, svc, SimTime::ZERO), Some(a));
+        // A replica spawned after the refresh is invisible until the next.
+        let b = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        for _ in 0..2 {
+            cl.admit_request(
+                a,
+                Request::cpu_bound(svc, SimTime::ZERO, 1.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(lb.route(&cl, svc, SimTime::ZERO), Some(a));
+        lb.refresh(&cl, &[svc]);
+        assert_eq!(lb.route(&cl, svc, SimTime::ZERO), Some(b));
+    }
+
+    /// Regression for the roll-call gap: a node crashes mid-period, the
+    /// balancer keeps routing to the dead replica until its breaker
+    /// opens, after which no requests flow to it while the breaker is
+    /// open (the bug this PR's circuit breakers fix).
+    #[test]
+    fn crashed_replica_stops_receiving_requests_once_breaker_opens() {
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        let n1 = cl.add_node(NodeSpec::uniform_worker());
+        let svc = ServiceId::new(0);
+        let alive = cl.start_container(n0, spec(svc), SimTime::ZERO).unwrap();
+        let doomed = cl.start_container(n1, spec(svc), SimTime::ZERO).unwrap();
+        let mut lb = snapshot_lb();
+        lb.refresh(&cl, &[svc]);
+        let mut trace = TraceSink::with_capacity(16);
+
+        // One request in flight on the live replica, so the (apparently
+        // idle) dead one wins the least-loaded comparison.
+        cl.admit_request(
+            alive,
+            Request::cpu_bound(svc, SimTime::ZERO, 5.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+
+        // Crash at tick T: the balancer's snapshot still lists `doomed`.
+        let t = SimTime::from_secs(1.0);
+        cl.crash_node(n1, t).unwrap();
+
+        // The dead replica looks idle (in-flight 0), so it keeps winning
+        // routes; each admission fails and feeds its breaker.
+        let threshold = BreakerConfig::default().failure_threshold;
+        for i in 0..threshold {
+            let picked = lb.route(&cl, svc, t).unwrap();
+            assert_eq!(picked, doomed, "failure {i} routed to the dead replica");
+            assert!(cl
+                .admit_request(picked, Request::cpu_bound(svc, t, 1.0), t)
+                .is_err());
+            lb.record_failure(picked, t, &mut trace);
+        }
+        assert_eq!(lb.breaker_opens(), 1);
+        assert!(lb.breaker_blocks(doomed, t));
+        assert!(trace.events().any(|e| matches!(
+            e.kind,
+            EventKind::Breaker {
+                state: BreakerTag::Open,
+                ..
+            }
+        )));
+
+        // While open, every request goes to the live replica.
+        for _ in 0..5 {
+            assert_eq!(lb.route(&cl, svc, t), Some(alive));
+        }
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_cooldown() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            base_cooldown_secs: 2.0,
+            max_cooldown_secs: 16.0,
+            jitter_frac: 0.0, // exact deadlines for the assertions
+        };
+        let mut lb = LoadBalancer::with_breakers(config, SimRng::seed_from(1));
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let dead = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        // Snapshot first, then the replica dies: the roll-call gap keeps
+        // it a (blind) candidate.
+        lb.refresh(&cl, &[svc]);
+        cl.remove_container(dead, SimTime::ZERO).unwrap();
+        let mut trace = TraceSink::with_capacity(16);
+
+        // First failure opens (threshold 1) for 2 s.
+        lb.record_failure(dead, SimTime::ZERO, &mut trace);
+        assert!(lb.breaker_blocks(dead, SimTime::from_secs(1.9)));
+        assert!(!lb.breaker_blocks(dead, SimTime::from_secs(2.0)));
+        // The half-open probe at 2 s is routable again...
+        assert_eq!(lb.route(&cl, svc, SimTime::from_secs(2.0)), Some(dead));
+        // ...and its failure re-opens for 4 s.
+        lb.record_failure(dead, SimTime::from_secs(2.0), &mut trace);
+        assert_eq!(lb.breaker_opens(), 2);
+        assert!(lb.breaker_blocks(dead, SimTime::from_secs(5.9)));
+        assert!(!lb.breaker_blocks(dead, SimTime::from_secs(6.0)));
+    }
+
+    #[test]
+    fn successful_probe_closes_the_breaker() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            jitter_frac: 0.0,
+            ..BreakerConfig::default()
+        };
+        let mut lb = LoadBalancer::with_breakers(config, SimRng::seed_from(2));
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        lb.refresh(&cl, &[svc]);
+        let mut trace = TraceSink::with_capacity(16);
+        lb.record_failure(a, SimTime::ZERO, &mut trace);
+        assert!(lb.breaker_blocks(a, SimTime::ZERO));
+        // Probe after the cooldown succeeds: breaker closes.
+        lb.record_success(a, SimTime::from_secs(3.0), &mut trace);
+        assert!(!lb.breaker_blocks(a, SimTime::from_secs(3.0)));
+        assert!(trace.events().any(|e| matches!(
+            e.kind,
+            EventKind::Breaker {
+                state: BreakerTag::Close,
+                ..
+            }
+        )));
+        // The streak reset: one more failure re-opens only at threshold.
+        lb.record_failure(a, SimTime::from_secs(4.0), &mut trace);
+        assert_eq!(lb.breaker_opens(), 2);
+    }
+
+    #[test]
+    fn refresh_prunes_breakers_of_vanished_containers() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let mut lb = snapshot_lb();
+        lb.refresh(&cl, &[svc]);
+        let mut trace = TraceSink::disabled();
+        for _ in 0..3 {
+            lb.record_failure(a, SimTime::ZERO, &mut trace);
+        }
+        assert!(lb.breaker_blocks(a, SimTime::ZERO));
+        cl.remove_container(a, SimTime::ZERO).unwrap();
+        // service_replicas no longer lists it after removal is complete;
+        // refresh drops the dead breaker state.
+        lb.refresh(&cl, &[svc]);
+        assert!(!lb.breaker_blocks(a, SimTime::ZERO));
+    }
+
+    #[test]
+    fn breaker_config_validation() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        assert!(BreakerConfig {
+            failure_threshold: 0,
+            ..BreakerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            base_cooldown_secs: 0.0,
+            ..BreakerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            base_cooldown_secs: 10.0,
+            max_cooldown_secs: 5.0,
+            ..BreakerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            jitter_frac: 2.0,
+            ..BreakerConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -24,6 +24,7 @@ use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec}
 
 use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
 use crate::balancer::LoadBalancer;
+use crate::controlplane::{ControlPlane, ControlPlaneConfig, ControlPlaneStats};
 use crate::error::CoreError;
 use crate::monitor::Monitor;
 use crate::recovery::{RecoveryConfig, RecoveryManager};
@@ -68,6 +69,11 @@ pub struct ScenarioConfig {
     pub faults: FaultPlan,
     /// Replica-recovery tunables (respawn floor, backoff).
     pub recovery: RecoveryConfig,
+    /// Control-plane degradation model (report loss/delay/duplication,
+    /// actuation failure) and the resilience machinery that survives it
+    /// (staleness vetoes, safe mode, circuit breakers). Disabled =
+    /// the legacy perfectly-reliable loop.
+    pub control_plane: ControlPlaneConfig,
     /// Worker threads for the per-tick resource model (1 = serial).
     /// Results are bit-identical at any setting; see
     /// [`Cluster::set_parallelism`].
@@ -151,6 +157,9 @@ impl ScenarioConfig {
         self.recovery
             .validate()
             .map_err(|e| CoreError::InvalidScenario(format!("recovery: {e}")))?;
+        self.control_plane
+            .validate()
+            .map_err(|e| CoreError::InvalidScenario(format!("control_plane: {e}")))?;
         Ok(())
     }
 }
@@ -210,6 +219,9 @@ pub struct RunReport {
     pub availability: BTreeMap<ServiceId, ServiceAvailability>,
     /// Faults actually applied during the run.
     pub faults: FaultLog,
+    /// Control-plane health counters (all zero when the control-plane
+    /// degradation layer is disabled).
+    pub control_plane: ControlPlaneStats,
 }
 
 impl RunReport {
@@ -367,7 +379,6 @@ impl SimulationDriver {
             .collect();
         let algorithm = config.algorithm.build(config.hpa, config.hyscale);
         let mut monitor = Monitor::new(algorithm, &cluster, templates.clone());
-        let balancer = LoadBalancer::new();
         let mut recovery = RecoveryManager::new(config.recovery);
         let mut injector = FaultInjector::new(&config.faults, &node_ids);
 
@@ -376,6 +387,25 @@ impl SimulationDriver {
             config.services.iter().map(|_| master_rng.split()).collect();
         let mut demand_rngs: Vec<SimRng> =
             config.services.iter().map(|_| master_rng.split()).collect();
+        // Control-plane streams split *after* the workload streams so a
+        // disabled control plane leaves every legacy stream untouched
+        // (the splits still happen, keeping seeds comparable across
+        // configs that only toggle `control_plane.enabled`).
+        let cp_rng = master_rng.split();
+        let lb_rng = master_rng.split();
+
+        let degraded_control = config.control_plane.enabled;
+        let service_ids: Vec<ServiceId> = config.services.iter().map(|s| s.id).collect();
+        let mut balancer = if degraded_control {
+            monitor.set_control_plane(ControlPlane::new(config.control_plane, cp_rng));
+            let mut lb = LoadBalancer::with_breakers(config.control_plane.breaker, lb_rng);
+            // The balancer's first backend snapshot is the initial
+            // placement; later ones arrive once per scaling period.
+            lb.refresh(&cluster, &service_ids);
+            lb
+        } else {
+            LoadBalancer::new()
+        };
         let mut arrivals: Vec<ArrivalProcess> = config
             .services
             .iter()
@@ -458,6 +488,11 @@ impl SimulationDriver {
                                 if cluster.admit_request(target, request, now).is_err() {
                                     requests.record_connection_failure();
                                     outcomes.record_connection_failure();
+                                    // Feeds the replica's circuit breaker
+                                    // (no-op for the live-mode balancer).
+                                    balancer.record_failure(target, now, trace);
+                                } else {
+                                    balancer.record_success(target, now, trace);
                                 }
                             }
                             None => {
@@ -530,6 +565,12 @@ impl SimulationDriver {
                                 t.record_recovery_failure();
                             }
                         }
+
+                        // The balancer hears the period's final replica
+                        // roll call (post scaling + recovery). Snapshot
+                        // mode routes off this until the next period;
+                        // live mode ignores it.
+                        balancer.refresh(&cluster, &service_ids);
 
                         // Periodic samples for the report.
                         let secs = now.as_secs();
@@ -614,12 +655,21 @@ impl SimulationDriver {
             TickOutcome::Continue
         });
 
+        // Control-plane health counters: the Monitor's control plane
+        // tallies the report/actuation/safe-mode side; the balancer owns
+        // the breaker tally.
+        let mut control_plane_stats = monitor
+            .control_plane()
+            .map(|cp| cp.stats)
+            .unwrap_or_default();
+        control_plane_stats.breaker_opens = balancer.breaker_opens();
+
         // Final counter dump through the metrics registry: names register
         // once, in a fixed order, so the journal tail is deterministic by
         // construction.
         if traced {
             let mut registry = MetricsRegistry::new();
-            let totals: [(&'static str, u64); 12] = [
+            let totals: [(&'static str, u64); 22] = [
                 ("requests.issued", requests.issued),
                 ("requests.completed", requests.completed),
                 ("failures.connection", requests.failures.connection),
@@ -632,6 +682,46 @@ impl SimulationDriver {
                 ("recovery.respawns", respawns_total),
                 ("recovery.failures", recovery_failures_total),
                 ("replica.deaths", deaths_total),
+                (
+                    "controlplane.reports_lost",
+                    control_plane_stats.reports_lost,
+                ),
+                (
+                    "controlplane.reports_late",
+                    control_plane_stats.reports_late,
+                ),
+                (
+                    "controlplane.reports_duplicated",
+                    control_plane_stats.reports_duplicated,
+                ),
+                (
+                    "controlplane.actuation_failures",
+                    control_plane_stats.actuation_failures,
+                ),
+                (
+                    "controlplane.actuation_retries",
+                    control_plane_stats.actuation_retries,
+                ),
+                (
+                    "controlplane.actuations_deduped",
+                    control_plane_stats.actuations_deduped,
+                ),
+                (
+                    "controlplane.actuations_abandoned",
+                    control_plane_stats.actuations_abandoned,
+                ),
+                (
+                    "controlplane.breaker_opens",
+                    control_plane_stats.breaker_opens,
+                ),
+                (
+                    "controlplane.safe_mode_periods",
+                    control_plane_stats.safe_mode_periods,
+                ),
+                (
+                    "controlplane.stale_vetoes",
+                    control_plane_stats.stale_vetoes,
+                ),
             ];
             for (name, value) in totals {
                 let id = registry.counter(name);
@@ -658,6 +748,7 @@ impl SimulationDriver {
                 .map(|(s, t)| (s, t.finalize()))
                 .collect(),
             faults: injector.log(),
+            control_plane: control_plane_stats,
         })
     }
 
@@ -694,6 +785,7 @@ impl SimulationDriver {
                 merged.availability.entry(svc).or_default().merge(&avail);
             }
             merged.faults += run.faults;
+            merged.control_plane += run.control_plane;
             merged.seeds.push(seed);
         }
         Ok(merged)
@@ -785,6 +877,7 @@ impl ScenarioBuilder {
                 node_events: Vec::new(),
                 faults: FaultPlan::new(),
                 recovery: RecoveryConfig::default(),
+                control_plane: ControlPlaneConfig::default(),
                 // Results are bit-identical at any worker count, so CI
                 // re-runs the whole suite with HYSCALE_PARALLELISM=4 to
                 // prove it; explicit .parallelism() still overrides.
@@ -846,6 +939,13 @@ impl ScenarioBuilder {
     /// Overrides the replica-recovery tunables.
     pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.config.recovery = recovery;
+        self
+    }
+
+    /// Installs a control-plane degradation model (lossy stats, failable
+    /// actuation) and its resilience machinery for the run.
+    pub fn control_plane(mut self, control_plane: ControlPlaneConfig) -> Self {
+        self.config.control_plane = control_plane;
         self
     }
 

@@ -54,6 +54,7 @@
 mod actions;
 mod algorithms;
 mod balancer;
+mod controlplane;
 mod driver;
 mod error;
 mod monitor;
@@ -63,10 +64,14 @@ mod view;
 
 pub use actions::ScalingAction;
 pub use algorithms::{
-    AlgorithmKind, Autoscaler, HpaConfig, HyScaleConfig, HyScaleCpu, HyScaleCpuMem, KubernetesHpa,
-    NetworkHpa, NoScaling, PlacementPolicy, RescaleGate, VerticalOnly,
+    veto_stale_reductions, AlgorithmKind, Autoscaler, HpaConfig, HyScaleConfig, HyScaleCpu,
+    HyScaleCpuMem, KubernetesHpa, NetworkHpa, NoScaling, PlacementPolicy, RescaleGate,
+    VerticalOnly,
 };
-pub use balancer::LoadBalancer;
+pub use balancer::{BreakerConfig, LoadBalancer};
+pub use controlplane::{
+    ActuationOutcome, ControlPlane, ControlPlaneConfig, ControlPlaneStats, NEVER_REPORTED,
+};
 pub use driver::{
     NodeEvent, RunReport, ScalingCounts, ScenarioBuilder, ScenarioConfig, SimulationDriver,
 };

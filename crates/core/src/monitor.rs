@@ -17,7 +17,8 @@ use hyscale_sim::SimTime;
 use hyscale_trace::{ActionTag, EventKind, TraceSink};
 
 use crate::actions::ScalingAction;
-use crate::algorithms::Autoscaler;
+use crate::algorithms::{veto_stale_reductions, Autoscaler};
+use crate::controlplane::{ControlPlane, NEVER_REPORTED};
 use crate::nodemanager::NodeManager;
 use crate::view::{ClusterView, NodeView, ReplicaView, ServiceView};
 
@@ -35,6 +36,10 @@ pub struct MonitorReport {
     /// Monitor removal decision — they died underneath the platform
     /// (node crash, OOM-kill) and are candidates for recovery respawn.
     pub dead_replicas: Vec<(ServiceId, ContainerId)>,
+    /// Whether this period ran in cluster-wide safe mode: too few nodes
+    /// had fresh reports, so all scaling (including actuation retries)
+    /// was frozen. Recovery is unaffected — it runs driver-side.
+    pub safe_mode: bool,
 }
 
 /// The central arbiter: collects, decides (via the plugged-in algorithm),
@@ -46,11 +51,19 @@ pub struct Monitor {
     templates: HashMap<ServiceId, ContainerSpec>,
     /// Nodes whose NodeManager stat reports are currently muted (fault
     /// injection); their containers fall back to stale usage figures.
+    /// Kept sorted so [`Monitor::collect`] can binary-search instead of
+    /// scanning per node.
     stat_outages: Vec<NodeId>,
     /// Replicas alive at the end of the previous period, sorted. The gap
     /// between this and the next period's roll call is how the Monitor
     /// notices replicas that died without being told.
     expected_replicas: Vec<(ServiceId, ContainerId)>,
+    /// The degraded control plane all reports and actuations flow
+    /// through; `None` keeps the legacy perfectly-reliable loop.
+    control_plane: Option<ControlPlane>,
+    /// Whether the previous period ran in safe mode, for emitting
+    /// entry/exit transitions exactly once.
+    in_safe_mode: bool,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -78,6 +91,8 @@ impl Monitor {
             templates,
             stat_outages: Vec::new(),
             expected_replicas: Vec::new(),
+            control_plane: None,
+            in_safe_mode: false,
         };
         monitor.expected_replicas = monitor.roll_call(cluster);
         monitor
@@ -88,10 +103,22 @@ impl Monitor {
         self.algorithm.name()
     }
 
+    /// Routes all Node Manager reports and scaling actuations through
+    /// the given (degraded) control plane from now on.
+    pub fn set_control_plane(&mut self, control_plane: ControlPlane) {
+        self.control_plane = Some(control_plane);
+    }
+
+    /// The control plane, if one is installed.
+    pub fn control_plane(&self) -> Option<&ControlPlane> {
+        self.control_plane.as_ref()
+    }
+
     /// Tells the Monitor which nodes' NodeManager reports are currently
     /// unavailable (fault injection). Their containers keep their last
     /// known (stale) usage in the next [`Monitor::collect`].
-    pub fn set_stat_outages(&mut self, nodes: Vec<NodeId>) {
+    pub fn set_stat_outages(&mut self, mut nodes: Vec<NodeId>) {
+        nodes.sort_unstable();
         self.stat_outages = nodes;
     }
 
@@ -156,19 +183,87 @@ impl Monitor {
             );
         }
 
-        let view = self.collect(cluster, now, period_secs);
-        let actions = self.algorithm.decide_traced(&view, trace);
-        let mut applied = Vec::with_capacity(actions.len());
-        let mut removal_failures = Vec::new();
-        for action in actions {
-            if self.apply(cluster, now, action, &mut removal_failures) {
-                if trace.is_enabled() {
-                    let kind = decision_event(cluster, self.algorithm.name(), &action);
-                    trace.emit(now, kind);
-                }
-                applied.push(action);
+        let view = if self.control_plane.is_some() {
+            self.collect_degraded(cluster, now, period_secs, trace)
+        } else {
+            self.collect(cluster, now, period_secs)
+        };
+
+        // Safe-mode quorum check: with too few fresh node reports the
+        // Monitor cannot trust its picture of the cluster, so it freezes
+        // all scaling (decisions *and* actuation retries). Recovery is
+        // unaffected — it runs driver-side off the roll call above.
+        let mut safe_mode = false;
+        if let Some(cp) = self.control_plane.as_mut() {
+            let budget = cp.config().staleness_budget_ticks;
+            let quorum = cp.config().quorum_fraction;
+            let total = self.node_managers.len();
+            let fresh = self
+                .node_managers
+                .iter()
+                .filter(|nm| cp.node_age(nm.node()) <= budget)
+                .count();
+            let required = (quorum * total as f64).ceil() as usize;
+            safe_mode = quorum > 0.0 && total > 0 && fresh < required;
+            if safe_mode {
+                cp.stats.safe_mode_periods += 1;
+            }
+            if safe_mode != self.in_safe_mode {
+                trace.emit(
+                    now,
+                    EventKind::SafeMode {
+                        entered: safe_mode,
+                        fresh_nodes: fresh as u32,
+                        total_nodes: total as u32,
+                    },
+                );
+                self.in_safe_mode = safe_mode;
             }
         }
+
+        let mut applied = Vec::new();
+        let mut removal_failures = Vec::new();
+
+        if !safe_mode {
+            // Failed actuations whose retry window arrived execute first,
+            // in idempotency-key (i.e. submission) order.
+            let retries = match self.control_plane.as_mut() {
+                Some(cp) => cp.due_retries(now, trace),
+                None => Vec::new(),
+            };
+            for action in retries {
+                if self.apply(cluster, now, action, &mut removal_failures) {
+                    if trace.is_enabled() {
+                        let kind = decision_event(cluster, self.algorithm.name(), &action);
+                        trace.emit(now, kind);
+                    }
+                    applied.push(action);
+                }
+            }
+
+            let actions = self.algorithm.decide_traced(&view, trace);
+            // Downstream of *every* algorithm: never scale in on stale
+            // data (a no-op when all samples are fresh).
+            let (actions, vetoes) =
+                veto_stale_reductions(&view, self.algorithm.name(), actions, trace);
+            if let Some(cp) = self.control_plane.as_mut() {
+                cp.stats.stale_vetoes += vetoes;
+            }
+            for action in actions {
+                let execute = match self.control_plane.as_mut() {
+                    Some(cp) => cp.submit(action, now, trace).executed(),
+                    None => true,
+                };
+                if execute && self.apply(cluster, now, action, &mut removal_failures) {
+                    if trace.is_enabled() {
+                        let kind = decision_event(cluster, self.algorithm.name(), &action);
+                        trace.emit(now, kind);
+                    }
+                    applied.push(action);
+                }
+            }
+        }
+
         // Snapshot *after* acting so the Monitor's own removals and spawns
         // are part of next period's expectation.
         self.expected_replicas = self.roll_call(cluster);
@@ -177,6 +272,7 @@ impl Monitor {
             applied,
             removal_failures,
             dead_replicas,
+            safe_mode,
         }
     }
 
@@ -188,7 +284,10 @@ impl Monitor {
         // fall back to the stale defaults below.
         let mut usage_by_container = HashMap::new();
         for nm in &self.node_managers {
-            if self.stat_outages.contains(&nm.node()) {
+            // `stat_outages` is kept sorted by `set_stat_outages`, so the
+            // muted check is O(log outages) instead of a linear scan per
+            // node.
+            if self.stat_outages.binary_search(&nm.node()).is_ok() {
                 continue;
             }
             if let Ok(report) = nm.report(cluster) {
@@ -237,6 +336,8 @@ impl Monitor {
                 in_flight: container.in_flight_count(),
                 swapping: usage.map(|u| u.swapping).unwrap_or(false),
                 ready: container.live(now),
+                // A perfectly reliable loop always sees this period's data.
+                age_ticks: 0,
             });
         }
 
@@ -269,6 +370,133 @@ impl Monitor {
             period_secs,
             services,
             nodes,
+            staleness_budget_ticks: self
+                .control_plane
+                .as_ref()
+                .map(|cp| cp.config().staleness_budget_ticks)
+                .unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Collects the periodic snapshot through the degraded control
+    /// plane: Node Manager reports are *transmitted* (and possibly lost,
+    /// delayed, or duplicated) rather than read directly, and the view
+    /// is assembled from the control plane's sample store, each replica
+    /// stamped with its sample age.
+    ///
+    /// Only the *stats* path degrades. Replica existence/readiness and
+    /// node free resources stay live queries: they model the placement
+    /// API (`docker ps` against the managers), which is a separate,
+    /// synchronous channel in the paper's platform — and what the roll
+    /// call already relies on.
+    fn collect_degraded(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        period_secs: f64,
+        trace: &mut TraceSink,
+    ) -> ClusterView {
+        let cp = self
+            .control_plane
+            .as_mut()
+            .expect("collect_degraded requires a control plane");
+        cp.begin_period(now, trace);
+        for nm in &self.node_managers {
+            // A muted Node Manager (stat outage fault) sends nothing at
+            // all — its samples age until the outage lifts.
+            if self.stat_outages.binary_search(&nm.node()).is_ok() {
+                continue;
+            }
+            if let Ok(report) = nm.report(cluster) {
+                cp.transmit(nm.node(), report.containers, now, trace);
+            }
+        }
+        let mut live: Vec<ContainerId> = cluster
+            .containers()
+            .filter(|c| !c.spec().antagonist)
+            .map(|c| c.id())
+            .collect();
+        live.sort_unstable();
+        cp.prune_missing(&live);
+
+        let mut services: Vec<ServiceView> = self
+            .templates
+            .iter()
+            .map(|(&service, template)| ServiceView {
+                service,
+                replicas: Vec::new(),
+                template_cpu: template.cpu_request,
+                template_mem: template.mem_limit,
+                base_mem: template.base_mem,
+            })
+            .collect();
+        services.sort_by_key(|s| s.service);
+
+        for container in cluster.containers() {
+            if container.spec().antagonist || container.state() == ContainerState::Removed {
+                continue;
+            }
+            let Some(service_view) = services
+                .iter_mut()
+                .find(|s| s.service == container.service())
+            else {
+                continue;
+            };
+            let sample = cp.sample(container.id());
+            service_view.replicas.push(ReplicaView {
+                container: container.id(),
+                node: container.node(),
+                cpu_used: sample.map(|(u, _)| u.cpu_used).unwrap_or_default(),
+                cpu_requested: container.spec().cpu_request,
+                mem_used: sample
+                    .map(|(u, _)| u.mem_used)
+                    .unwrap_or(container.resident_mem()),
+                mem_limit: container.spec().mem_limit,
+                net_used: sample.map(|(u, _)| u.net_used).unwrap_or_default(),
+                net_requested: container.spec().net_request,
+                in_flight: sample
+                    .map(|(u, _)| u.in_flight)
+                    .unwrap_or(container.in_flight_count()),
+                swapping: sample.map(|(u, _)| u.swapping).unwrap_or(false),
+                ready: container.live(now),
+                age_ticks: sample.map(|(_, age)| age).unwrap_or(NEVER_REPORTED),
+            });
+        }
+
+        let nodes = cluster
+            .nodes()
+            .map(|n| {
+                let (free_cpu, free_mem) = cluster
+                    .free_resources(n.id())
+                    .expect("node exists while iterating");
+                let mut hosted: Vec<ServiceId> = n
+                    .containers()
+                    .iter()
+                    .filter_map(|&c| cluster.container(c))
+                    .filter(|c| c.state() != ContainerState::Removed && !c.spec().antagonist)
+                    .map(|c| c.service())
+                    .collect();
+                hosted.sort_unstable();
+                hosted.dedup();
+                NodeView {
+                    node: n.id(),
+                    free_cpu,
+                    free_mem,
+                    hosted_services: hosted,
+                }
+            })
+            .collect();
+
+        ClusterView {
+            now,
+            period_secs,
+            services,
+            nodes,
+            staleness_budget_ticks: self
+                .control_plane
+                .as_ref()
+                .map(|cp| cp.config().staleness_budget_ticks)
+                .expect("control plane present"),
         }
     }
 
@@ -663,5 +891,269 @@ mod tests {
         let dbg = format!("{monitor:?}");
         assert!(dbg.contains("none"));
         assert_eq!(monitor.algorithm_name(), "none");
+    }
+
+    #[test]
+    fn stat_outage_order_does_not_matter() {
+        // Satellite fix: the outage set is sorted and binary-searched;
+        // behaviour must be identical to the old linear scan regardless
+        // of the order the injector hands the nodes over in.
+        let (mut cl, svc) = cluster_with_one_service();
+        let node1 = cl.nodes().nth(1).unwrap().id();
+        cl.start_container(
+            node1,
+            ContainerSpec::new(svc).with_startup_secs(0.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        for ctr in cl.service_replicas(svc) {
+            cl.admit_request(
+                ctr,
+                Request::cpu_bound(svc, SimTime::ZERO, 100.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            cl.advance(now, dt);
+            now += dt;
+        }
+        let node0 = cl.nodes().next().unwrap().id();
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        // Reverse (unsorted) input mutes exactly the same nodes.
+        monitor.set_stat_outages(vec![node1, node0]);
+        let both_muted = monitor.collect(&mut cl, now, 5.0);
+        for r in &both_muted.services[0].replicas {
+            assert_eq!(r.cpu_used.get(), 0.0, "replica {:?} not muted", r.container);
+        }
+        monitor.set_stat_outages(vec![node1]);
+        let one_muted = monitor.collect(&mut cl, now, 5.0);
+        let by_node = |view: &ClusterView, node: NodeId| {
+            view.services[0]
+                .replicas
+                .iter()
+                .find(|r| r.node == node)
+                .unwrap()
+                .cpu_used
+                .get()
+        };
+        assert!(by_node(&one_muted, node0) > 0.0);
+        assert_eq!(by_node(&one_muted, node1), 0.0);
+    }
+
+    mod degraded {
+        use super::*;
+        use crate::controlplane::{ControlPlane, ControlPlaneConfig};
+        use hyscale_sim::SimRng;
+
+        /// A scripted policy: emits each queued action list once, in
+        /// order, then holds.
+        #[derive(Debug)]
+        struct Scripted {
+            script: Vec<Vec<ScalingAction>>,
+            cursor: usize,
+        }
+
+        impl Scripted {
+            fn new(script: Vec<Vec<ScalingAction>>) -> Self {
+                Scripted { script, cursor: 0 }
+            }
+        }
+
+        impl Autoscaler for Scripted {
+            fn name(&self) -> &'static str {
+                "scripted"
+            }
+
+            fn decide(&mut self, _view: &ClusterView) -> Vec<ScalingAction> {
+                let actions = self.script.get(self.cursor).cloned().unwrap_or_default();
+                self.cursor += 1;
+                actions
+            }
+        }
+
+        fn enabled_config() -> ControlPlaneConfig {
+            ControlPlaneConfig {
+                enabled: true,
+                staleness_budget_ticks: 0,
+                quorum_fraction: 1.0,
+                ..ControlPlaneConfig::perfect()
+            }
+        }
+
+        #[test]
+        fn healthy_control_plane_matches_perfect_views() {
+            let (mut cl, svc) = cluster_with_one_service();
+            let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+            monitor.set_control_plane(ControlPlane::new(enabled_config(), SimRng::seed_from(1)));
+            let report = monitor.run_period(&mut cl, SimTime::from_secs(5.0), 5.0);
+            assert!(!report.safe_mode);
+            let replica = &report.view.services[0].replicas[0];
+            assert_eq!(replica.age_ticks, 0);
+        }
+
+        #[test]
+        fn safe_mode_engages_and_disengages_with_trace_events() {
+            let (mut cl, svc) = cluster_with_one_service();
+            let node0 = cl.nodes().next().unwrap().id();
+            let node1 = cl.nodes().nth(1).unwrap().id();
+            // A scripted spawn every period proves scaling freezes.
+            let script: Vec<Vec<ScalingAction>> = (0..10)
+                .map(|_| {
+                    vec![ScalingAction::Spawn {
+                        service: svc,
+                        node: node1,
+                        cpu: Cores(0.1),
+                        mem: MemMb(64.0),
+                    }]
+                })
+                .collect();
+            let mut monitor = Monitor::new(Box::new(Scripted::new(script)), &cl, templates(svc));
+            monitor.set_control_plane(ControlPlane::new(enabled_config(), SimRng::seed_from(2)));
+            let mut trace = TraceSink::with_capacity(256);
+
+            // Period 1: everyone reports; scaling proceeds.
+            let r1 = monitor.run_period_traced(&mut cl, SimTime::from_secs(5.0), 5.0, &mut trace);
+            assert!(!r1.safe_mode);
+            assert_eq!(r1.applied.len(), 1);
+
+            // Quorum of nodes muted: no fresh reports -> safe mode, all
+            // scaling frozen.
+            monitor.set_stat_outages(vec![node0, node1]);
+            let r2 = monitor.run_period_traced(&mut cl, SimTime::from_secs(10.0), 5.0, &mut trace);
+            assert!(r2.safe_mode);
+            assert!(r2.applied.is_empty(), "scaling must freeze in safe mode");
+            assert!(trace
+                .events()
+                .any(|e| matches!(e.kind, EventKind::SafeMode { entered: true, .. })));
+            // Staying in safe mode does not re-emit the entry event.
+            let r3 = monitor.run_period_traced(&mut cl, SimTime::from_secs(15.0), 5.0, &mut trace);
+            assert!(r3.safe_mode);
+            let entries = trace
+                .events()
+                .filter(|e| matches!(e.kind, EventKind::SafeMode { entered: true, .. }))
+                .count();
+            assert_eq!(entries, 1);
+
+            // Reports return: safe mode exits with an event and scaling
+            // resumes.
+            monitor.set_stat_outages(Vec::new());
+            let r4 = monitor.run_period_traced(&mut cl, SimTime::from_secs(20.0), 5.0, &mut trace);
+            assert!(!r4.safe_mode);
+            assert_eq!(r4.applied.len(), 1);
+            assert!(trace
+                .events()
+                .any(|e| matches!(e.kind, EventKind::SafeMode { entered: false, .. })));
+            let stats = monitor.control_plane().unwrap().stats;
+            assert_eq!(stats.safe_mode_periods, 2);
+        }
+
+        #[test]
+        fn lost_ack_spawn_is_never_double_placed() {
+            // Idempotency-key invariant: every actuation fails with a
+            // lost ack (the action executed, the Monitor never hears),
+            // so every retry would double-place without the key.
+            let (mut cl, svc) = cluster_with_one_service();
+            let node1 = cl.nodes().nth(1).unwrap().id();
+            let script = vec![vec![ScalingAction::Spawn {
+                service: svc,
+                node: node1,
+                cpu: Cores(0.1),
+                mem: MemMb(64.0),
+            }]];
+            let config = ControlPlaneConfig {
+                actuation_failure_prob: 1.0,
+                lost_ack_frac: 1.0,
+                retry_base_secs: 1.0,
+                ..enabled_config()
+            };
+            let mut monitor = Monitor::new(Box::new(Scripted::new(script)), &cl, templates(svc));
+            monitor.set_control_plane(ControlPlane::new(config, SimRng::seed_from(3)));
+            let before = cl.service_replicas(svc).len();
+            let r1 = monitor.run_period(&mut cl, SimTime::from_secs(5.0), 5.0);
+            assert_eq!(r1.applied.len(), 1, "lost-ack action still executes");
+            assert_eq!(cl.service_replicas(svc).len(), before + 1);
+            // Several more periods: the pending retry is deduplicated,
+            // never re-executed.
+            for p in 2..6 {
+                monitor.run_period(&mut cl, SimTime::from_secs(5.0 * p as f64), 5.0);
+            }
+            assert_eq!(
+                cl.service_replicas(svc).len(),
+                before + 1,
+                "the idempotency key must prevent duplicate placement"
+            );
+            let stats = monitor.control_plane().unwrap().stats;
+            assert_eq!(stats.actuations_deduped, 1);
+            assert_eq!(monitor.control_plane().unwrap().pending_retries(), 0);
+        }
+
+        #[test]
+        fn dropped_actuation_retries_through_the_monitor() {
+            let (mut cl, svc) = cluster_with_one_service();
+            let node1 = cl.nodes().nth(1).unwrap().id();
+            let script = vec![vec![ScalingAction::Spawn {
+                service: svc,
+                node: node1,
+                cpu: Cores(0.1),
+                mem: MemMb(64.0),
+            }]];
+            let config = ControlPlaneConfig {
+                actuation_failure_prob: 1.0,
+                lost_ack_frac: 0.0,
+                retry_base_secs: 1.0,
+                retry_max_secs: 1.0,
+                max_actuation_retries: 10,
+                ..enabled_config()
+            };
+            let mut monitor = Monitor::new(Box::new(Scripted::new(script)), &cl, templates(svc));
+            monitor.set_control_plane(ControlPlane::new(config, SimRng::seed_from(4)));
+            let before = cl.service_replicas(svc).len();
+            let r1 = monitor.run_period(&mut cl, SimTime::from_secs(5.0), 5.0);
+            assert!(r1.applied.is_empty(), "dropped action must not execute");
+            assert_eq!(cl.service_replicas(svc).len(), before);
+            // Heal the data plane mid-run: the pending retry executes on
+            // the next period.
+            monitor
+                .control_plane
+                .as_mut()
+                .unwrap()
+                .config_mut()
+                .actuation_failure_prob = 0.0;
+            let r2 = monitor.run_period(&mut cl, SimTime::from_secs(10.0), 5.0);
+            assert_eq!(r2.applied.len(), 1);
+            assert_eq!(cl.service_replicas(svc).len(), before + 1);
+        }
+
+        #[test]
+        fn stale_service_is_never_scaled_in() {
+            // 100% report loss: data ages past the budget immediately;
+            // a scripted Remove must be vetoed every period. Quorum is
+            // disabled so the veto (not safe mode) is what blocks it.
+            let (mut cl, svc) = cluster_with_one_service();
+            let victim = cl.service_replicas(svc)[0];
+            let script: Vec<Vec<ScalingAction>> = (0..5)
+                .map(|_| vec![ScalingAction::Remove { container: victim }])
+                .collect();
+            let config = ControlPlaneConfig {
+                loss_prob: 1.0,
+                quorum_fraction: 0.0,
+                staleness_budget_ticks: 0,
+                ..enabled_config()
+            };
+            let mut monitor = Monitor::new(Box::new(Scripted::new(script)), &cl, templates(svc));
+            monitor.set_control_plane(ControlPlane::new(config, SimRng::seed_from(5)));
+            for p in 1..=5 {
+                let r = monitor.run_period(&mut cl, SimTime::from_secs(5.0 * p as f64), 5.0);
+                assert!(!r.safe_mode);
+                assert!(r.applied.is_empty(), "period {p}: {:?}", r.applied);
+            }
+            assert_eq!(cl.service_replicas(svc).len(), 1, "replica must survive");
+            let stats = monitor.control_plane().unwrap().stats;
+            assert_eq!(stats.stale_vetoes, 5);
+            assert_eq!(stats.reports_lost, 10); // 2 nodes × 5 periods
+        }
     }
 }

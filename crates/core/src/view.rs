@@ -35,6 +35,11 @@ pub struct ReplicaView {
     pub swapping: bool,
     /// Whether the replica is past its startup delay and serving.
     pub ready: bool,
+    /// How many Monitor periods old this usage sample is. 0 with a
+    /// perfectly reliable control plane; grows when reports are lost or
+    /// delayed ([`crate::controlplane::NEVER_REPORTED`] when no report
+    /// for this replica ever arrived).
+    pub age_ticks: u32,
 }
 
 impl ReplicaView {
@@ -131,6 +136,13 @@ impl ServiceView {
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
     }
+
+    /// Age of the *oldest* usage sample backing this service's view, in
+    /// Monitor periods (0 for no replicas: an empty service has nothing
+    /// stale to mis-scale).
+    pub fn max_age_ticks(&self) -> u32 {
+        self.replicas.iter().map(|r| r.age_ticks).max().unwrap_or(0)
+    }
 }
 
 /// One node's advertised free resources.
@@ -166,6 +178,12 @@ pub struct ClusterView {
     pub services: Vec<ServiceView>,
     /// Per-node free-resource views.
     pub nodes: Vec<NodeView>,
+    /// The staleness budget in Monitor periods: a service whose oldest
+    /// sample exceeds this age must not be scaled *in* (see
+    /// [`crate::algorithms::veto_stale_reductions`]). 0 budget with a
+    /// perfect control plane still vetoes nothing, because every sample
+    /// has age 0.
+    pub staleness_budget_ticks: u32,
 }
 
 impl ClusterView {
@@ -182,6 +200,13 @@ impl ClusterView {
     /// Total replicas across all services.
     pub fn total_replicas(&self) -> usize {
         self.services.iter().map(ServiceView::replica_count).sum()
+    }
+
+    /// Whether a service's data is older than the staleness budget
+    /// (false for unknown services).
+    pub fn service_is_stale(&self, id: ServiceId) -> bool {
+        self.service(id)
+            .is_some_and(|s| s.max_age_ticks() > self.staleness_budget_ticks)
     }
 }
 
@@ -206,6 +231,7 @@ pub(crate) mod test_support {
             in_flight: 1,
             swapping: false,
             ready: true,
+            age_ticks: 0,
         }
     }
 
@@ -222,6 +248,7 @@ pub(crate) mod test_support {
                 base_mem: MemMb(64.0),
             }],
             nodes,
+            staleness_budget_ticks: 1,
         }
     }
 
@@ -278,6 +305,21 @@ mod tests {
             v.service(ServiceId::new(0)).unwrap().mean_cpu_utilization(),
             0.0
         );
+    }
+
+    #[test]
+    fn staleness_follows_the_oldest_sample() {
+        let mut fresh = replica(0, 0, 0.2, 0.5);
+        let mut old = replica(1, 1, 0.2, 0.5);
+        fresh.age_ticks = 0;
+        old.age_ticks = 3;
+        let v = view_of(0, vec![fresh, old], vec![]);
+        assert_eq!(v.services[0].max_age_ticks(), 3);
+        assert!(v.service_is_stale(ServiceId::new(0)), "budget is 1, age 3");
+        assert!(!v.service_is_stale(ServiceId::new(9)));
+        let all_fresh = view_of(1, vec![replica(0, 0, 0.2, 0.5)], vec![]);
+        assert!(!all_fresh.service_is_stale(ServiceId::new(1)));
+        assert_eq!(view_of(2, vec![], vec![]).services[0].max_age_ticks(), 0);
     }
 
     #[test]

@@ -107,6 +107,78 @@ impl FaultTag {
     }
 }
 
+/// What happened to one NodeManager report in transit through the
+/// (possibly degraded) control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTag {
+    /// The report was dropped on the wire and never arrived.
+    Lost,
+    /// The report arrived late; the Monitor sees data measured
+    /// `delay_periods` periods ago.
+    Late,
+    /// The report was delivered twice; the duplicate was idempotently
+    /// re-applied.
+    Duplicate,
+}
+
+impl LinkTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkTag::Lost => "lost",
+            LinkTag::Late => "late",
+            LinkTag::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// What happened to one scaling-action attempt through the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuationTag {
+    /// The attempt failed; a retry was scheduled with backoff.
+    Failed,
+    /// A scheduled retry attempt executed successfully.
+    Retried,
+    /// A retry was suppressed: the idempotency key shows the action
+    /// already executed (its ack was lost), so re-running it would
+    /// double-place.
+    Deduped,
+    /// Retries were exhausted; the action was dropped for good.
+    Abandoned,
+}
+
+impl ActuationTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActuationTag::Failed => "failed",
+            ActuationTag::Retried => "retried",
+            ActuationTag::Deduped => "deduped",
+            ActuationTag::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// A circuit-breaker transition on one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTag {
+    /// Consecutive failures tripped the breaker (or a half-open probe
+    /// failed and it re-opened with a doubled cooldown).
+    Open,
+    /// A half-open probe succeeded; the breaker closed and reset.
+    Close,
+}
+
+impl BreakerTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerTag::Open => "open",
+            BreakerTag::Close => "close",
+        }
+    }
+}
+
 /// One traced occurrence in the control loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -216,6 +288,61 @@ pub enum EventKind {
         /// Final value.
         value: u64,
     },
+    /// A NodeManager report was perturbed on its way to the Monitor.
+    ReportLink {
+        /// What the degraded link did to the report.
+        link: LinkTag,
+        /// The reporting node.
+        node: u32,
+        /// How many Monitor periods late the data arrived (0 for losses
+        /// and duplicates).
+        delay_periods: u32,
+    },
+    /// A scaling action's delivery to the data plane failed, retried,
+    /// was deduplicated, or was abandoned.
+    Actuation {
+        /// What happened to the attempt.
+        outcome: ActuationTag,
+        /// The action's idempotency key (monotonic per run).
+        key: u64,
+        /// Which attempt this was (1 = the original submission).
+        attempt: u32,
+        /// When the next retry fires, µs (0 when no retry is pending).
+        retry_at_us: u64,
+    },
+    /// A replica's circuit breaker changed state.
+    Breaker {
+        /// Opened or closed.
+        state: BreakerTag,
+        /// The replica the breaker guards.
+        container: u32,
+        /// For opens: the cooldown deadline (µs) after which a half-open
+        /// probe is allowed. 0 for closes.
+        until_us: u64,
+    },
+    /// The Monitor entered or left cluster-wide safe mode (scaling
+    /// frozen because too few nodes have fresh reports).
+    SafeMode {
+        /// `true` on entry, `false` on exit.
+        entered: bool,
+        /// Nodes whose data was within the staleness budget.
+        fresh_nodes: u32,
+        /// Nodes the Monitor polls.
+        total_nodes: u32,
+    },
+    /// A capacity-reducing action was vetoed because the service's view
+    /// was older than the staleness budget.
+    StaleVeto {
+        /// The deciding algorithm's report name.
+        algorithm: &'static str,
+        /// Numeric service id.
+        service: u32,
+        /// Age of the oldest replica sample backing the decision, in
+        /// Monitor periods.
+        age_ticks: u32,
+        /// The configured staleness budget, in Monitor periods.
+        budget_ticks: u32,
+    },
 }
 
 impl EventKind {
@@ -232,6 +359,11 @@ impl EventKind {
             EventKind::RecoveryBackoff { .. } => "recovery_backoff",
             EventKind::BalancerStats { .. } => "balancer",
             EventKind::Counter { .. } => "counter",
+            EventKind::ReportLink { .. } => "report_link",
+            EventKind::Actuation { .. } => "actuation",
+            EventKind::Breaker { .. } => "breaker",
+            EventKind::SafeMode { .. } => "safe_mode",
+            EventKind::StaleVeto { .. } => "stale_veto",
         }
     }
 }
@@ -265,6 +397,15 @@ mod tests {
         assert_eq!(ActionTag::NetCap.label(), "net_cap");
         assert_eq!(FaultTag::NodeCrash.label(), "node_crash");
         assert_eq!(FaultTag::NicRestore.label(), "nic_restore");
+        assert_eq!(LinkTag::Lost.label(), "lost");
+        assert_eq!(LinkTag::Late.label(), "late");
+        assert_eq!(LinkTag::Duplicate.label(), "duplicate");
+        assert_eq!(ActuationTag::Failed.label(), "failed");
+        assert_eq!(ActuationTag::Retried.label(), "retried");
+        assert_eq!(ActuationTag::Deduped.label(), "deduped");
+        assert_eq!(ActuationTag::Abandoned.label(), "abandoned");
+        assert_eq!(BreakerTag::Open.label(), "open");
+        assert_eq!(BreakerTag::Close.label(), "close");
     }
 
     #[test]
@@ -323,6 +464,33 @@ mod tests {
             EventKind::Counter {
                 name: "requests.issued",
                 value: 42,
+            },
+            EventKind::ReportLink {
+                link: LinkTag::Late,
+                node: 2,
+                delay_periods: 1,
+            },
+            EventKind::Actuation {
+                outcome: ActuationTag::Failed,
+                key: 7,
+                attempt: 1,
+                retry_at_us: 10_000_000,
+            },
+            EventKind::Breaker {
+                state: BreakerTag::Open,
+                container: 4,
+                until_us: 12_000_000,
+            },
+            EventKind::SafeMode {
+                entered: true,
+                fresh_nodes: 1,
+                total_nodes: 4,
+            },
+            EventKind::StaleVeto {
+                algorithm: "hybrid",
+                service: 0,
+                age_ticks: 3,
+                budget_ticks: 1,
             },
         ];
         let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();

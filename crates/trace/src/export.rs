@@ -172,6 +172,62 @@ fn jsonl_event(out: &mut String, event: &TraceEvent) {
         EventKind::Counter { name, value } => {
             let _ = write!(out, ",\"name\":\"{}\",\"value\":{value}", json_escape(name));
         }
+        EventKind::ReportLink {
+            link,
+            node,
+            delay_periods,
+        } => {
+            let _ = write!(
+                out,
+                ",\"link\":\"{}\",\"node\":{node},\"delay_periods\":{delay_periods}",
+                link.label()
+            );
+        }
+        EventKind::Actuation {
+            outcome,
+            key,
+            attempt,
+            retry_at_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"outcome\":\"{}\",\"key\":{key},\"attempt\":{attempt},\"retry_at_us\":{retry_at_us}",
+                outcome.label()
+            );
+        }
+        EventKind::Breaker {
+            state,
+            container,
+            until_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"state\":\"{}\",\"container\":{container},\"until_us\":{until_us}",
+                state.label()
+            );
+        }
+        EventKind::SafeMode {
+            entered,
+            fresh_nodes,
+            total_nodes,
+        } => {
+            let _ = write!(
+                out,
+                ",\"entered\":{entered},\"fresh_nodes\":{fresh_nodes},\"total_nodes\":{total_nodes}"
+            );
+        }
+        EventKind::StaleVeto {
+            algorithm,
+            service,
+            age_ticks,
+            budget_ticks,
+        } => {
+            let _ = write!(
+                out,
+                ",\"algorithm\":\"{}\",\"service\":{service},\"age_ticks\":{age_ticks},\"budget_ticks\":{budget_ticks}",
+                json_escape(algorithm)
+            );
+        }
     }
     out.push_str("}\n");
 }
@@ -356,6 +412,82 @@ pub fn csv(sink: &TraceSink) -> String {
                 String::new(),
                 String::new(),
             ),
+            EventKind::ReportLink {
+                link,
+                node,
+                delay_periods,
+            } => (
+                String::new(),
+                link.label().into(),
+                String::new(),
+                node.to_string(),
+                String::new(),
+                delay_periods.to_string(),
+                String::new(),
+                String::new(),
+            ),
+            EventKind::Actuation {
+                outcome,
+                key,
+                attempt,
+                retry_at_us,
+            } => (
+                String::new(),
+                outcome.label().into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                key.to_string(),
+                attempt.to_string(),
+                retry_at_us.to_string(),
+            ),
+            EventKind::Breaker {
+                state,
+                container,
+                until_us,
+            } => (
+                String::new(),
+                state.label().into(),
+                String::new(),
+                String::new(),
+                container.to_string(),
+                until_us.to_string(),
+                String::new(),
+                String::new(),
+            ),
+            EventKind::SafeMode {
+                entered,
+                fresh_nodes,
+                total_nodes,
+            } => (
+                String::new(),
+                if entered {
+                    "enter".into()
+                } else {
+                    "exit".into()
+                },
+                String::new(),
+                String::new(),
+                String::new(),
+                fresh_nodes.to_string(),
+                total_nodes.to_string(),
+                String::new(),
+            ),
+            EventKind::StaleVeto {
+                algorithm,
+                service,
+                age_ticks,
+                budget_ticks,
+            } => (
+                algorithm.into(),
+                String::new(),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                age_ticks.to_string(),
+                budget_ticks.to_string(),
+                String::new(),
+            ),
         };
         let _ = writeln!(
             out,
@@ -531,6 +663,33 @@ mod tests {
                 name: "requests.issued",
                 value: 500,
             },
+            EventKind::ReportLink {
+                link: crate::event::LinkTag::Lost,
+                node: 3,
+                delay_periods: 0,
+            },
+            EventKind::Actuation {
+                outcome: crate::event::ActuationTag::Deduped,
+                key: 11,
+                attempt: 2,
+                retry_at_us: 0,
+            },
+            EventKind::Breaker {
+                state: crate::event::BreakerTag::Open,
+                container: 6,
+                until_us: 15_000_000,
+            },
+            EventKind::SafeMode {
+                entered: true,
+                fresh_nodes: 1,
+                total_nodes: 4,
+            },
+            EventKind::StaleVeto {
+                algorithm: "hybrid",
+                service: 1,
+                age_ticks: 2,
+                budget_ticks: 1,
+            },
         ];
         for kind in kinds {
             sink.emit(SimTime::from_secs(1.0), kind);
@@ -543,10 +702,15 @@ mod tests {
             "\"retry_at_us\":45000000",
             "\"routed\":120",
             "\"name\":\"requests.issued\"",
+            "\"link\":\"lost\"",
+            "\"outcome\":\"deduped\"",
+            "\"state\":\"open\",\"container\":6,\"until_us\":15000000",
+            "\"entered\":true,\"fresh_nodes\":1,\"total_nodes\":4",
+            "\"age_ticks\":2,\"budget_ticks\":1",
         ] {
             assert!(journal.contains(needle), "missing {needle} in {journal}");
         }
         let table = csv(&sink);
-        assert_eq!(table.lines().count(), 7);
+        assert_eq!(table.lines().count(), 12);
     }
 }

@@ -49,6 +49,8 @@ mod event;
 pub mod export;
 mod sink;
 
-pub use event::{ActionTag, EventKind, FaultTag, Metric, TraceEvent, Verdict};
+pub use event::{
+    ActionTag, ActuationTag, BreakerTag, EventKind, FaultTag, LinkTag, Metric, TraceEvent, Verdict,
+};
 pub use export::RunMeta;
 pub use sink::TraceSink;

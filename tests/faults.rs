@@ -9,8 +9,11 @@ use hyscale::cluster::{
     Cluster, ClusterConfig, ContainerSpec, FailureKind, FaultInjector, FaultKind, FaultPlan,
     FaultPlanConfig, NodeSpec, Request, ServiceId,
 };
-use hyscale::core::{AlgorithmKind, NodeEvent, RunReport, ScenarioBuilder};
+use hyscale::core::{
+    AlgorithmKind, ControlPlaneConfig, NodeEvent, RunReport, ScenarioBuilder, SimulationDriver,
+};
 use hyscale::sim::{SimDuration, SimRng, SimTime};
+use hyscale::trace::{export, RunMeta, TraceSink};
 use hyscale::workload::{LoadPattern, ServiceProfile};
 
 /// Drives a short two-service scenario under the given fault plan.
@@ -314,4 +317,209 @@ fn scale_in_aborts_are_tallied_exactly_once() {
     // Removing the already-removed container is an error, not a second
     // batch of failures.
     assert!(cl.remove_container(victim, now).is_err());
+}
+
+/// A hot degraded control plane for the property runs: well beyond the
+/// bench's 5%-loss figure so every resilience path exercises.
+fn hot_control_plane() -> ControlPlaneConfig {
+    let mut cp = ControlPlaneConfig::degraded();
+    cp.loss_prob = 0.2;
+    cp.delay_prob = 0.3;
+    cp.duplicate_prob = 0.1;
+    cp.actuation_failure_prob = 0.3;
+    cp
+}
+
+/// Property: the PR 2 request-conservation invariants survive the fault
+/// storm *and* a lossy, delayed, duplicating, actuation-dropping control
+/// plane at the same time — degradation reorders and suppresses scaling,
+/// it never corrupts accounting.
+#[test]
+fn conservation_holds_under_a_degraded_control_plane() {
+    let mut rng = SimRng::seed_from(0xC0_17A0);
+    for round in 0..4u64 {
+        let cfg = FaultPlanConfig {
+            horizon_secs: 90.0,
+            nodes: 4,
+            services: 2,
+            node_crashes: 2,
+            oom_kills: 2,
+            nic_degradations: 1,
+            stat_outages: 1,
+            min_down_secs: 5.0,
+            max_down_secs: 20.0,
+        };
+        let plan = FaultPlan::random(&cfg, &mut rng);
+        let report = ScenarioBuilder::new("degraded-conservation")
+            .nodes(4)
+            .services(
+                2,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 6.0 },
+            )
+            .duration_secs(90.0)
+            .algorithm(AlgorithmKind::HyScaleCpu)
+            .seed(round + 1)
+            .faults(plan)
+            .control_plane(hot_control_plane())
+            .run()
+            .expect("degraded chaos scenario runs");
+        assert!(report.requests.issued > 0);
+        assert!(
+            report.control_plane.reports_lost > 0,
+            "the degradation layer must actually fire: {:?}",
+            report.control_plane
+        );
+        assert_conserved(&report);
+    }
+}
+
+/// Property: when *every* report is lost the Monitor's view of every
+/// service is permanently older than the staleness budget, so no replica
+/// is ever scaled in — for any algorithm, any seed. (Scale-in on stale
+/// data is the cascade the veto exists to prevent: removing replicas the
+/// cluster still needs because the stats saying otherwise got dropped.)
+#[test]
+fn no_scale_in_from_views_older_than_the_staleness_budget() {
+    let mut cp = ControlPlaneConfig::degraded();
+    cp.loss_prob = 1.0;
+    cp.delay_prob = 0.0;
+    cp.duplicate_prob = 0.0;
+    cp.actuation_failure_prob = 0.0;
+    cp.quorum_fraction = 0.0; // no safe mode: the veto alone must hold
+    cp.staleness_budget_ticks = 0;
+    for algorithm in [
+        AlgorithmKind::Kubernetes,
+        AlgorithmKind::HyScaleCpu,
+        AlgorithmKind::HyScaleCpuMem,
+        AlgorithmKind::Network,
+    ] {
+        for seed in [1u64, 7, 42] {
+            let report = ScenarioBuilder::new("stale-freeze")
+                .nodes(4)
+                .services(
+                    2,
+                    ServiceProfile::CpuBound,
+                    LoadPattern::Constant { rate: 2.0 },
+                )
+                .duration_secs(90.0)
+                .algorithm(algorithm)
+                .seed(seed)
+                .control_plane(cp)
+                .run()
+                .expect("scenario runs");
+            assert!(report.control_plane.reports_lost > 0);
+            assert_eq!(
+                report.scaling.removals, 0,
+                "{algorithm:?} seed {seed}: scaled in from a stale view"
+            );
+        }
+    }
+}
+
+/// Property: one seeded degraded run serializes to a byte-identical
+/// trace journal serial vs node-parallel — every control-plane draw
+/// (loss, delay, duplication, actuation failure, breaker jitter) happens
+/// in the serial phase.
+#[test]
+fn degraded_replay_is_byte_identical_serial_vs_parallel() {
+    let mut rng = SimRng::seed_from(0xB17_1DE7);
+    let plan = FaultPlan::random(
+        &FaultPlanConfig {
+            horizon_secs: 90.0,
+            nodes: 4,
+            services: 2,
+            ..FaultPlanConfig::default()
+        },
+        &mut rng,
+    );
+    let build = |parallelism: usize| {
+        ScenarioBuilder::new("degraded-replay")
+            .nodes(4)
+            .services(
+                2,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 6.0 },
+            )
+            .duration_secs(90.0)
+            .algorithm(AlgorithmKind::HyScaleCpu)
+            .seed(13)
+            .parallelism(parallelism)
+            .faults(plan.clone())
+            .control_plane(hot_control_plane())
+            .build()
+    };
+    let journal = |parallelism: usize| {
+        let config = build(parallelism);
+        let mut sink = TraceSink::with_capacity(16_384);
+        SimulationDriver::run_traced(&config, &mut sink).expect("scenario runs");
+        let meta = RunMeta {
+            scenario: &config.name,
+            seed: config.seed,
+            algorithm: config.algorithm.label(),
+        };
+        export::jsonl(&sink, &meta)
+    };
+    let serial = journal(1);
+    assert!(serial.contains("\"ev\":\"report_link\""));
+    assert_eq!(
+        serial,
+        journal(4),
+        "degraded replay diverged under parallelism"
+    );
+}
+
+/// Acceptance: losing quorum drops the cluster into safe mode — scaling
+/// freezes entirely, with a matching trace event — while the recovery
+/// path keeps respawning replicas the fault storm kills.
+#[test]
+fn safe_mode_freezes_scaling_but_recovery_still_respawns() {
+    let mut cp = ControlPlaneConfig::degraded();
+    cp.loss_prob = 1.0; // no node is ever fresh
+    cp.quorum_fraction = 1.0;
+    let config = ScenarioBuilder::new("safe-mode-e2e")
+        .nodes(2)
+        .services(
+            1,
+            ServiceProfile::CpuBound,
+            LoadPattern::Constant { rate: 2.0 },
+        )
+        .duration_secs(120.0)
+        .algorithm(AlgorithmKind::HyScaleCpu)
+        .seed(5)
+        .faults(FaultPlan::new().with(
+            30.0,
+            FaultKind::NodeCrash {
+                node: 0,
+                down_secs: 60.0,
+            },
+        ))
+        .control_plane(cp)
+        .build();
+    let mut sink = TraceSink::with_capacity(16_384);
+    let report = SimulationDriver::run_traced(&config, &mut sink).expect("scenario runs");
+    let meta = RunMeta {
+        scenario: &config.name,
+        seed: config.seed,
+        algorithm: config.algorithm.label(),
+    };
+    let journal = export::jsonl(&sink, &meta);
+
+    assert!(
+        report.control_plane.safe_mode_periods > 0,
+        "safe mode never engaged: {:?}",
+        report.control_plane
+    );
+    assert_eq!(
+        report.scaling.total(),
+        0,
+        "safe mode must freeze all scaling: {:?}",
+        report.scaling
+    );
+    assert!(
+        report.total_respawns() >= 1,
+        "recovery must keep running in safe mode: {report:?}"
+    );
+    assert!(journal.contains("\"ev\":\"safe_mode\""));
+    assert!(journal.contains("\"entered\":true"));
 }

@@ -186,6 +186,7 @@ fn random_view(rng: &mut SimRng) -> ClusterView {
             in_flight: 1,
             swapping: false,
             ready: true,
+            age_ticks: 0,
         })
         .collect();
     let nodes: Vec<(f64, f64)> = (0..3)
@@ -218,6 +219,7 @@ fn random_view(rng: &mut SimRng) -> ClusterView {
                 hosted_services: hosted[n as usize].clone(),
             })
             .collect(),
+        staleness_budget_ticks: 1,
     }
 }
 

@@ -5,7 +5,9 @@
 //! when a run outgrows it.
 
 use hyscale::cluster::{FaultKind, FaultPlan};
-use hyscale::core::{AlgorithmKind, RunReport, ScenarioBuilder, ScenarioConfig, SimulationDriver};
+use hyscale::core::{
+    AlgorithmKind, ControlPlaneConfig, RunReport, ScenarioBuilder, ScenarioConfig, SimulationDriver,
+};
 use hyscale::trace::{export, RunMeta, TraceSink};
 use hyscale::workload::{LoadPattern, ServiceProfile};
 
@@ -50,6 +52,21 @@ fn chaos_config(seed: u64, parallelism: usize) -> ScenarioConfig {
                 ),
         )
         .build()
+}
+
+/// The chaos scenario run through a hot degraded control plane: loss,
+/// delay, duplication, and actuation failure all cranked high enough
+/// that every control-plane event kind fires within the run.
+fn degraded_config(seed: u64, parallelism: usize) -> ScenarioConfig {
+    let mut config = chaos_config(seed, parallelism);
+    config.name = "trace-chaos-degraded".to_string();
+    let mut cp = ControlPlaneConfig::degraded();
+    cp.loss_prob = 0.2;
+    cp.delay_prob = 0.3;
+    cp.duplicate_prob = 0.1;
+    cp.actuation_failure_prob = 0.5;
+    config.control_plane = cp;
+    config
 }
 
 /// Runs `config` with an enabled sink of `capacity` and returns the JSONL
@@ -125,6 +142,46 @@ fn chaos_journal_covers_the_whole_event_taxonomy() {
     assert!(journal.contains(&issued), "counter dump disagrees");
 }
 
+/// Acceptance gate: the degraded control plane draws all its chaos in
+/// the serial Monitor phase, so the journal — drops, late deliveries,
+/// retries, breaker transitions and all — must be byte-identical at any
+/// worker count.
+#[test]
+fn degraded_journal_is_byte_identical_across_worker_counts() {
+    let (one, _) = journal(&degraded_config(9, 1), 16_384);
+    let (two, _) = journal(&degraded_config(9, 2), 16_384);
+    let (four, _) = journal(&degraded_config(9, 4), 16_384);
+    assert!(
+        one.contains("\"ev\":\"report_link\""),
+        "the degradation layer must actually fire"
+    );
+    assert_eq!(one, two, "worker count 2 leaked into the degraded journal");
+    assert_eq!(one, four, "worker count 4 leaked into the degraded journal");
+}
+
+#[test]
+fn degraded_journal_covers_the_control_plane_taxonomy() {
+    let (journal, report) = journal(&degraded_config(9, 1), 16_384);
+    for needle in [
+        "\"ev\":\"report_link\"",
+        "\"link\":\"lost\"",
+        "\"link\":\"late\"",
+        "\"link\":\"duplicate\"",
+        "\"ev\":\"actuation\"",
+        "\"outcome\":\"failed\"",
+    ] {
+        assert!(journal.contains(needle), "missing {needle}");
+    }
+    assert!(report.control_plane.reports_lost > 0);
+    assert!(report.control_plane.actuation_failures > 0);
+    // The counter tail agrees with the report the same run produced.
+    let lost = format!(
+        "\"name\":\"controlplane.reports_lost\",\"value\":{}",
+        report.control_plane.reports_lost
+    );
+    assert!(journal.contains(&lost), "counter dump disagrees");
+}
+
 #[test]
 fn recovery_respawns_show_up_in_the_journal() {
     // No autoscaler: when the only replica's node crashes, the recovery
@@ -187,5 +244,8 @@ fn ring_wraparound_keeps_newest_events_and_stays_deterministic() {
     let journal = tiny(9);
     assert!(journal.lines().count() == 65);
     assert!(journal.contains("\"name\":\"replica.deaths\""));
+    // The control-plane counters are appended after the legacy dozen;
+    // the ring must still be wide enough that the whole dump survives.
+    assert!(journal.contains("\"name\":\"controlplane.stale_vetoes\""));
     assert_eq!(journal, tiny(9), "wraparound must not break determinism");
 }
