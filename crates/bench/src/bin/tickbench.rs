@@ -3,26 +3,43 @@
 //! Drives a synthetic 24-node / 15-service cluster in a busy steady state
 //! (every node ~90% CPU-loaded, modest egress) through `Cluster::advance`
 //! alone — no autoscaler, no load balancer — so the numbers isolate the
-//! simulation hot loop. Sweeps the persistent worker pool across worker
-//! counts {1, 2, 4, 8}, asserts every configuration is bit-identical to
-//! serial (order-sensitive completion digest), and writes
-//! `BENCH_tick.json` with per-configuration ticks/sec, requests/sec, and
-//! per-tick latency percentiles, plus the speedups over both the serial
-//! run and the pre-rework engine's recorded baseline, so later PRs can
-//! be checked against the trajectory.
+//! simulation hot loop. Four sections:
+//!
+//! 1. **Request mode** — the legacy per-request object path: one
+//!    `Request` per container per tick, swept across worker counts
+//!    {1, 2, 4, 8} with a serial bit-identity check.
+//! 2. **Cohort mode** — the flow-cohort hot path: one 64-member cohort
+//!    per container per tick carries the same CPU load as request mode
+//!    but moves 64x the members per record, swept and digest-checked the
+//!    same way. Its parallel requests/sec is the headline figure.
+//! 3. **Ramp mode** — offered-rps staircase
+//!    (`--initial-rps/--increment-rps/--max-rps`): each step drives a
+//!    fresh cluster at a fixed offered rate and the saturation knee is
+//!    the last step that completed >= 95% of what was offered.
+//! 4. **Million users** — 96 containers x 11,000-member cohorts put
+//!    1,056,000 concurrent members in flight, drained to empty serially
+//!    and in parallel with digests compared, then the post-drain idle
+//!    stretch is jumped with `Cluster::advance_warp`.
+//!
+//! Results land in `BENCH_tick.json`; the top-level `requests_per_sec`
+//! and `bit_identical` fields summarize the cohort headline and the
+//! cross-worker digest checks across every section.
 //!
 //! Usage: `cargo run --release -p hyscale-bench --bin tickbench [-- flags]`
 //!
 //! * `--smoke` — CI scale: fewer measured ticks, same assertions.
-//! * `--gate`  — regression gate: fail if parallel(4) throughput falls
-//!   below the floor for this machine's core count (guards against
-//!   reintroducing per-tick spawn overhead; see `gate_floor`).
+//! * `--gate`  — regression gate: fail if parallel(4) tick throughput
+//!   falls below this machine's floor (see `gate_floor`) or the cohort
+//!   path stops beating request mode by at least `COHORT_GATE_FACTOR`.
+//! * `--million-only` — run only the million-user section (CI smoke).
+//! * `--initial-rps N` / `--increment-rps N` / `--max-rps N` — ramp
+//!   staircase parameters (defaults 20000 / 20000 / 160000).
 
 use std::time::Instant;
 
 use hyscale_cluster::{
-    Cluster, ClusterConfig, ContainerId, ContainerSpec, Cores, MemMb, NodeSpec, Request, ServiceId,
-    TickReport,
+    Cluster, ClusterConfig, Cohort, ContainerId, ContainerSpec, Cores, MemMb, NodeSpec, Request,
+    ServiceId, TickReport,
 };
 use hyscale_sim::{SimDuration, SimRng, SimTime};
 
@@ -32,15 +49,36 @@ const CONTAINERS_PER_NODE: usize = 4;
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const HEADLINE_WORKERS: usize = 4;
 
+/// Members per cohort in the cohort-mode sweep. Per-member CPU demand is
+/// request mode's divided by this, so both modes run the nodes at the
+/// same ~90% utilization while cohort mode moves 64x the members.
+const COHORT_MEMBERS: u64 = 64;
+
 /// Serial ticks/sec of the pre-rework engine (per-tick allocations, no
 /// idle fast path) on this exact scenario, measured on the reference
 /// machine before the tick-engine rework landed. The acceptance bar for
 /// the rework was >= 2x this figure.
 const BASELINE_TICKS_PER_SEC: f64 = 1480.0;
 
+/// Serial requests/sec of the per-request object model on the reference
+/// machine before the flow-cohort rework (96 requests per 100 ms tick).
+/// The cohort hot path's acceptance bar is >= 10x this figure there.
+const BASELINE_REQUESTS_PER_SEC: f64 = 162_560.0;
+
+/// Hardware-aware cohort gate: cohort-mode parallel throughput must beat
+/// the *same run's* request-mode serial throughput by at least this
+/// factor, whatever the machine (the 10x reference-hardware target gives
+/// plenty of margin; 5x catches a broken columnar path anywhere).
+const COHORT_GATE_FACTOR: f64 = 5.0;
+
+/// Million-user scenario shape: 96 containers x 11,000 members each =
+/// 1,056,000 concurrent in-flight members.
+const MILLION_MEMBERS_PER_CONTAINER: u64 = 11_000;
+const MILLION_FLOOR: u64 = 1_000_000;
+
 /// The 24-node / 15-service steady-state scenario: four replicas per node,
 /// services striped round-robin across the replica grid.
-fn build_cluster(parallelism: usize) -> (Cluster, Vec<ContainerId>) {
+fn build_cluster(parallelism: usize, queue_cap: usize) -> (Cluster, Vec<ContainerId>) {
     let mut cluster = Cluster::new(ClusterConfig::default());
     cluster.set_parallelism(parallelism);
     let mut containers = Vec::new();
@@ -51,6 +89,7 @@ fn build_cluster(parallelism: usize) -> (Cluster, Vec<ContainerId>) {
             let spec = ContainerSpec::new(service)
                 .with_cpu_request(Cores(1.0))
                 .with_mem_limit(MemMb(512.0))
+                .with_queue_cap(queue_cap)
                 .with_startup_secs(0.0);
             let id = cluster
                 .start_container(node, spec, SimTime::ZERO)
@@ -94,13 +133,39 @@ struct RunOutcome {
     ticks_per_sec: f64,
     requests_per_sec: f64,
     latency: Latency,
-    /// Order-sensitive digest of every completion (id, response time):
-    /// two configurations are bit-identical iff digests match.
+    /// Order-sensitive digest of every completion (id, member count,
+    /// response time): two configurations are bit-identical iff digests
+    /// match.
     checksum: u64,
 }
 
-fn drive(parallelism: usize, warmup_ticks: usize, measured_ticks: usize) -> RunOutcome {
-    let (mut cluster, containers) = build_cluster(parallelism);
+/// Folds one tick's completions into a running order-sensitive digest and
+/// returns the member count completed this tick.
+fn fold_completions(report: &TickReport, checksum: &mut u64) -> u64 {
+    let mut members = 0u64;
+    for done in &report.completed {
+        members += done.count;
+        *checksum = checksum
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(done.id.index())
+            .wrapping_add(done.count.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(done.response_time.as_secs().to_bits());
+    }
+    members
+}
+
+/// Drives one configuration: `warmup_ticks` un-timed ticks admit load,
+/// fill queues to steady state, and — crucially for the parallel runs —
+/// spin the persistent worker pool up and through its first epochs, so
+/// thread creation and first-touch page faults never land inside the
+/// timed window. Then `measured_ticks` are timed.
+fn drive(
+    parallelism: usize,
+    warmup_ticks: usize,
+    measured_ticks: usize,
+    cohorts: bool,
+) -> RunOutcome {
+    let (mut cluster, containers) = build_cluster(parallelism, 1024);
     let mut rng = SimRng::seed_from(0x71C2);
     let dt = SimDuration::from_millis(100);
     let mut now = SimTime::ZERO;
@@ -113,23 +178,38 @@ fn drive(parallelism: usize, warmup_ticks: usize, measured_ticks: usize) -> RunO
         .collect();
 
     let admit = |cluster: &mut Cluster, rng: &mut SimRng, now: SimTime, next: &mut usize| {
-        // One request per container per tick keeps each 4-core node at
-        // roughly 90% CPU: 4 × (0.085 mean cpu_secs + base tax) per 0.4
-        // core-secs of tick capacity.
+        // One admission per container per tick keeps each 4-core node at
+        // roughly 90% CPU: 4 x (0.085 mean core-secs + base tax) per 0.4
+        // core-secs of tick capacity. Cohort mode spreads the same work
+        // across COHORT_MEMBERS members of a single columnar record.
         for _ in 0..CONTAINERS_PER_NODE * NODES {
             let idx = *next % containers.len();
             let id = containers[idx];
             let service = services[idx];
             *next += 1;
-            let cpu_secs = rng.uniform_range(0.07, 0.10);
-            let megabits = rng.uniform_range(0.2, 0.8);
-            let request = Request::new(service, now, cpu_secs, MemMb(8.0), megabits);
-            // Full queues just shed load; the steady state stays steady.
-            let _ = cluster.admit_request(id, request, now);
+            if cohorts {
+                let cpu_secs = rng.uniform_range(0.07, 0.10) / COHORT_MEMBERS as f64;
+                let megabits = rng.uniform_range(0.2, 0.8) / COHORT_MEMBERS as f64;
+                let cohort = Cohort::new(
+                    service,
+                    now,
+                    COHORT_MEMBERS,
+                    cpu_secs,
+                    MemMb(8.0 / COHORT_MEMBERS as f64),
+                    megabits,
+                );
+                // Full queues just shed load; the steady state stays steady.
+                let _ = cluster.admit_cohort(id, cohort, now);
+            } else {
+                let cpu_secs = rng.uniform_range(0.07, 0.10);
+                let megabits = rng.uniform_range(0.2, 0.8);
+                let request = Request::new(service, now, cpu_secs, MemMb(8.0), megabits);
+                let _ = cluster.admit_request(id, request, now);
+            }
         }
     };
 
-    for _ in 0..warmup_ticks {
+    for _ in 0..warmup_ticks.max(1) {
         admit(&mut cluster, &mut rng, now, &mut next);
         cluster.advance_into(now, dt, &mut report);
         now += dt;
@@ -144,13 +224,7 @@ fn drive(parallelism: usize, warmup_ticks: usize, measured_ticks: usize) -> RunO
         let t0 = Instant::now();
         cluster.advance_into(now, dt, &mut report);
         tick_ns.push(t0.elapsed().as_nanos() as u64);
-        completed += report.completed.len() as u64;
-        for done in &report.completed {
-            checksum = checksum
-                .wrapping_mul(0x100_0000_01B3)
-                .wrapping_add(done.id.index())
-                .wrapping_add(done.response_time.as_secs().to_bits());
-        }
+        completed += fold_completions(&report, &mut checksum);
         now += dt;
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -163,7 +237,7 @@ fn drive(parallelism: usize, warmup_ticks: usize, measured_ticks: usize) -> RunO
         checksum,
     };
     println!(
-        "workers={:<2} {:>10.0} ticks/s {:>11.0} req/s  p50 {:>7.1}us p95 {:>7.1}us p99 {:>7.1}us max {:>8.1}us  (checksum {:016x})",
+        "  workers={:<2} {:>10.0} ticks/s {:>12.0} req/s  p50 {:>7.1}us p95 {:>7.1}us p99 {:>7.1}us max {:>8.1}us  (checksum {:016x})",
         outcome.workers,
         outcome.ticks_per_sec,
         outcome.requests_per_sec,
@@ -174,6 +248,229 @@ fn drive(parallelism: usize, warmup_ticks: usize, measured_ticks: usize) -> RunO
         outcome.checksum
     );
     outcome
+}
+
+/// Sweeps one mode across the worker counts and asserts every
+/// configuration's completion digest matches serial.
+fn sweep(
+    label: &str,
+    warmup_ticks: usize,
+    measured_ticks: usize,
+    cohorts: bool,
+) -> Vec<RunOutcome> {
+    println!("{label}:");
+    let outcomes: Vec<RunOutcome> = WORKER_SWEEP
+        .iter()
+        .map(|&w| drive(w, warmup_ticks, measured_ticks, cohorts))
+        .collect();
+    let serial = &outcomes[0];
+    for o in &outcomes[1..] {
+        assert_eq!(
+            serial.checksum, o.checksum,
+            "{label}: parallel engine diverged from serial at {} workers",
+            o.workers
+        );
+    }
+    println!("  all worker counts are bit-identical to serial");
+    outcomes
+}
+
+/// One step of the offered-rps staircase.
+struct RampStep {
+    offered_rps: f64,
+    completed_ratio: f64,
+}
+
+/// Drives a fresh cluster at a fixed offered rate for each staircase
+/// step. Arrivals are round-robin waterfilled cohorts; the knee is the
+/// last offered rate whose measured window completed >= 95% of what it
+/// admitted-or-shed (offered), i.e. the capacity of the fluid model on
+/// this topology.
+fn ramp(
+    initial_rps: f64,
+    increment_rps: f64,
+    max_rps: f64,
+    warmup_ticks: usize,
+    measured_ticks: usize,
+) -> (Vec<RampStep>, f64) {
+    assert!(
+        initial_rps > 0.0 && increment_rps > 0.0 && max_rps >= initial_rps,
+        "ramp requires 0 < initial-rps <= max-rps and increment-rps > 0"
+    );
+    let dt = SimDuration::from_millis(100);
+    let dt_secs = dt.as_secs();
+    println!(
+        "ramp: {initial_rps:.0} rps + {increment_rps:.0} rps steps to {max_rps:.0} rps, \
+         {measured_ticks} measured ticks per step"
+    );
+    let mut steps = Vec::new();
+    let mut knee = 0.0f64;
+    let mut offered = initial_rps;
+    while offered <= max_rps + 1e-9 {
+        let (mut cluster, containers) = build_cluster(HEADLINE_WORKERS, 4096);
+        let mut report = TickReport::default();
+        let mut now = SimTime::ZERO;
+        let members_per_tick = (offered * dt_secs).round().max(1.0) as u64;
+        let admit = |cluster: &mut Cluster, now: SimTime| {
+            // Waterfill the tick's members evenly across the grid; the
+            // remainder goes one extra member each to the first few.
+            let base = members_per_tick / containers.len() as u64;
+            let extra = (members_per_tick % containers.len() as u64) as usize;
+            for (i, &id) in containers.iter().enumerate() {
+                let count = base + u64::from(i < extra);
+                if count == 0 {
+                    continue;
+                }
+                let service = cluster.container(id).expect("live").spec().service;
+                let cohort = Cohort::new(service, now, count, 0.0013, MemMb(0.05), 0.006);
+                let _ = cluster.admit_cohort(id, cohort, now);
+            }
+        };
+        for _ in 0..warmup_ticks.max(1) {
+            admit(&mut cluster, now);
+            cluster.advance_into(now, dt, &mut report);
+            now += dt;
+        }
+        let mut completed = 0u64;
+        let mut checksum = 0u64;
+        for _ in 0..measured_ticks {
+            admit(&mut cluster, now);
+            cluster.advance_into(now, dt, &mut report);
+            completed += fold_completions(&report, &mut checksum);
+            now += dt;
+        }
+        let offered_members = members_per_tick * measured_ticks as u64;
+        let ratio = completed as f64 / offered_members as f64;
+        println!(
+            "  offered {:>8.0} rps -> completed ratio {:.3}{}",
+            offered,
+            ratio,
+            if ratio >= 0.95 { "" } else { "  [saturated]" }
+        );
+        let saturated = ratio < 0.95;
+        if !saturated {
+            knee = offered;
+        }
+        steps.push(RampStep {
+            offered_rps: offered,
+            completed_ratio: ratio,
+        });
+        if saturated {
+            break;
+        }
+        offered += increment_rps;
+    }
+    println!("  saturation knee: {knee:.0} rps");
+    (steps, knee)
+}
+
+/// Outcome of one million-user drain run.
+struct MillionOutcome {
+    peak_in_flight: u64,
+    drain_ticks: u64,
+    requests_per_sec: f64,
+    checksum: u64,
+    /// Idle ticks `advance_warp` jumped after the drain.
+    warp_ticks: u64,
+}
+
+/// Fills 96 wide-queue containers with 11,000-member cohorts (1,056,000
+/// concurrent in-flight members), then drains the cluster to empty,
+/// digesting every completion.
+fn million_drain(parallelism: usize) -> MillionOutcome {
+    let (mut cluster, containers) = build_cluster(parallelism, 16_384);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let mut report = TickReport::default();
+
+    for &id in &containers {
+        let service = cluster.container(id).expect("live").spec().service;
+        // Zero per-member memory keeps a million residents out of the
+        // swap model; 120 s timeouts sit far beyond the drain time.
+        let cohort = Cohort::new(
+            service,
+            now,
+            MILLION_MEMBERS_PER_CONTAINER,
+            0.002,
+            MemMb(0.0),
+            0.0,
+        )
+        .with_timeout(SimDuration::from_secs(120.0));
+        cluster
+            .admit_cohort(id, cohort, now)
+            .expect("wide queue takes the cohort");
+    }
+    let peak_in_flight = cluster.total_in_flight();
+    assert!(
+        peak_in_flight >= MILLION_FLOOR,
+        "expected >= {MILLION_FLOOR} concurrent members, got {peak_in_flight}"
+    );
+
+    let mut completed = 0u64;
+    let mut checksum = 0u64;
+    let mut drain_ticks = 0u64;
+    let start = Instant::now();
+    while cluster.total_in_flight() > 0 {
+        cluster.advance_into(now, dt, &mut report);
+        completed += fold_completions(&report, &mut checksum);
+        now += dt;
+        drain_ticks += 1;
+        assert!(
+            drain_ticks < 10_000,
+            "million-user drain did not converge ({} still in flight)",
+            cluster.total_in_flight()
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        completed, peak_in_flight,
+        "every member must complete (timeouts would fail some)"
+    );
+
+    // The post-drain stretch is provably idle: jump it in closed form.
+    let warp_ticks = cluster.advance_warp(now, dt, 3_000);
+    assert!(warp_ticks > 0, "idle cluster must be warpable");
+
+    let outcome = MillionOutcome {
+        peak_in_flight,
+        drain_ticks,
+        requests_per_sec: completed as f64 / elapsed,
+        checksum,
+        warp_ticks,
+    };
+    println!(
+        "  workers={:<2} {:>7} members in flight, drained in {} ticks ({:.2}s wall, {:>12.0} req/s, checksum {:016x})",
+        parallelism,
+        outcome.peak_in_flight,
+        outcome.drain_ticks,
+        elapsed,
+        outcome.requests_per_sec,
+        outcome.checksum
+    );
+    println!(
+        "  post-drain time warp skipped {} idle ticks in one jump",
+        outcome.warp_ticks
+    );
+    outcome
+}
+
+/// Runs the million-user scenario serially and at the headline worker
+/// count, asserting digest identity. Returns the parallel outcome.
+fn million_users() -> MillionOutcome {
+    println!(
+        "million_users: {} containers x {} members",
+        NODES * CONTAINERS_PER_NODE,
+        MILLION_MEMBERS_PER_CONTAINER
+    );
+    let serial = million_drain(1);
+    let parallel = million_drain(HEADLINE_WORKERS);
+    assert_eq!(
+        serial.checksum, parallel.checksum,
+        "million-user drain diverged between serial and parallel"
+    );
+    assert_eq!(serial.drain_ticks, parallel.drain_ticks);
+    println!("  serial and parallel drains are bit-identical");
+    parallel
 }
 
 /// The lowest acceptable parallel(4)/serial throughput ratio for a
@@ -191,11 +488,42 @@ fn gate_floor(hardware_threads: usize) -> f64 {
     }
 }
 
+/// Reads `--name value` or `--name=value` from the argument list.
+fn flag_value(args: &[String], name: &str) -> Option<f64> {
+    let prefix = format!("{name}=");
+    for (i, arg) in args.iter().enumerate() {
+        let raw = if let Some(v) = arg.strip_prefix(&prefix) {
+            v
+        } else if arg == name {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        } else {
+            continue;
+        };
+        return Some(
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{name}: {raw:?} is not a number")),
+        );
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let gate = args.iter().any(|a| a == "--gate");
+    let million_only = args.iter().any(|a| a == "--million-only");
+    let initial_rps = flag_value(&args, "--initial-rps").unwrap_or(20_000.0);
+    let increment_rps = flag_value(&args, "--increment-rps").unwrap_or(20_000.0);
+    let max_rps = flag_value(&args, "--max-rps").unwrap_or(160_000.0);
     let (warmup_ticks, measured_ticks) = if smoke { (500, 5_000) } else { (2_000, 30_000) };
+    let (ramp_warmup, ramp_measured) = if smoke { (30, 100) } else { (60, 200) };
+
+    if million_only {
+        million_users();
+        println!("million-user smoke passed");
+        return;
+    }
 
     let hardware_threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -206,37 +534,53 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let outcomes: Vec<RunOutcome> = WORKER_SWEEP
-        .iter()
-        .map(|&w| drive(w, warmup_ticks, measured_ticks))
-        .collect();
+    let request_outcomes = sweep("request mode", warmup_ticks, measured_ticks, false);
+    let cohort_outcomes = sweep("cohort mode", warmup_ticks, measured_ticks, true);
 
-    let serial = &outcomes[0];
-    for o in &outcomes[1..] {
-        assert_eq!(
-            serial.checksum, o.checksum,
-            "parallel engine diverged from serial at {} workers",
-            o.workers
-        );
-    }
-    println!("all worker counts are bit-identical to serial");
-
-    let parallel = outcomes
+    let serial = &request_outcomes[0];
+    let parallel = request_outcomes
         .iter()
         .find(|o| o.workers == HEADLINE_WORKERS)
         .expect("sweep includes the headline worker count");
+    let cohort_serial = &cohort_outcomes[0];
+    let cohort_parallel = cohort_outcomes
+        .iter()
+        .find(|o| o.workers == HEADLINE_WORKERS)
+        .expect("sweep includes the headline worker count");
+
     let speedup_parallel = parallel.ticks_per_sec / serial.ticks_per_sec;
     // On boxes with fewer cores than workers the serial engine wins;
     // track the trajectory against the best configuration either way.
-    let best = outcomes
+    let best = request_outcomes
         .iter()
         .map(|o| o.ticks_per_sec)
         .fold(f64::MIN, f64::max);
     let speedup_vs_baseline = best / BASELINE_TICKS_PER_SEC;
+    // Best of the cohort sweep: on boxes with fewer cores than the
+    // headline worker count the serial configuration wins wall-clock.
+    let headline_rps = cohort_outcomes
+        .iter()
+        .map(|o| o.requests_per_sec)
+        .fold(f64::MIN, f64::max);
+    let cohort_vs_request = headline_rps / serial.requests_per_sec;
+    let cohort_vs_baseline = headline_rps / BASELINE_REQUESTS_PER_SEC;
     println!(
-        "speedup: {speedup_parallel:.2}x parallel({HEADLINE_WORKERS}) over serial, \
+        "speedup: {speedup_parallel:.2}x parallel({HEADLINE_WORKERS}) over serial ticks, \
          {speedup_vs_baseline:.2}x over pre-rework baseline ({BASELINE_TICKS_PER_SEC:.0} ticks/s)"
     );
+    println!(
+        "cohort hot path: {headline_rps:.0} req/s = {cohort_vs_request:.1}x this machine's \
+         request mode, {cohort_vs_baseline:.1}x the {BASELINE_REQUESTS_PER_SEC:.0} req/s baseline"
+    );
+
+    let (ramp_steps, knee_rps) = ramp(
+        initial_rps,
+        increment_rps,
+        max_rps,
+        ramp_warmup,
+        ramp_measured,
+    );
+    let million = million_users();
 
     if gate {
         let floor = gate_floor(hardware_threads);
@@ -246,22 +590,44 @@ fn main() {
              below the {floor:.2}x floor for {hardware_threads} hardware thread(s) — \
              per-tick handoff overhead has regressed"
         );
-        println!("throughput gate passed ({speedup_parallel:.2}x >= {floor:.2}x floor)");
+        assert!(
+            cohort_vs_request >= COHORT_GATE_FACTOR,
+            "cohort gate: {headline_rps:.0} req/s is only {cohort_vs_request:.2}x this \
+             machine's request-mode serial ({:.0} req/s); the columnar hot path must stay \
+             >= {COHORT_GATE_FACTOR:.1}x",
+            serial.requests_per_sec
+        );
+        println!(
+            "throughput gates passed ({speedup_parallel:.2}x >= {floor:.2}x floor, \
+             cohort {cohort_vs_request:.1}x >= {COHORT_GATE_FACTOR:.1}x)"
+        );
     }
 
-    let sweep_json: Vec<String> = outcomes
+    let sweep_json = |outcomes: &[RunOutcome]| -> String {
+        outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "      {{ \"workers\": {}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
+                     \"tick_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1} }} }}",
+                    o.workers,
+                    o.ticks_per_sec,
+                    o.requests_per_sec,
+                    o.latency.p50,
+                    o.latency.p95,
+                    o.latency.p99,
+                    o.latency.max,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let ramp_json: Vec<String> = ramp_steps
         .iter()
-        .map(|o| {
+        .map(|s| {
             format!(
-                "    {{ \"workers\": {}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
-                 \"tick_latency_us\": {{ \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1} }} }}",
-                o.workers,
-                o.ticks_per_sec,
-                o.requests_per_sec,
-                o.latency.p50,
-                o.latency.p95,
-                o.latency.p99,
-                o.latency.max,
+                "      {{ \"offered_rps\": {:.0}, \"completed_ratio\": {:.3} }}",
+                s.offered_rps, s.completed_ratio
             )
         })
         .collect();
@@ -269,18 +635,41 @@ fn main() {
         "{{\n  \"scenario\": \"steady-state {NODES}x{CONTAINERS_PER_NODE} containers, {SERVICES} services\",\n  \
          \"measured_ticks\": {measured_ticks},\n  \
          \"baseline_ticks_per_sec\": {BASELINE_TICKS_PER_SEC:.1},\n  \
+         \"baseline_requests_per_sec\": {BASELINE_REQUESTS_PER_SEC:.1},\n  \
          \"hardware_threads\": {hardware_threads},\n  \
-         \"sweep\": [\n{}\n  ],\n  \
-         \"serial\": {{ \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n  \
-         \"parallel\": {{ \"workers\": {HEADLINE_WORKERS}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n  \
+         \"request_mode\": {{\n    \"sweep\": [\n{}\n    ],\n    \
+         \"serial\": {{ \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n    \
+         \"parallel\": {{ \"workers\": {HEADLINE_WORKERS}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }}\n  }},\n  \
+         \"cohort_mode\": {{\n    \"members_per_cohort\": {COHORT_MEMBERS},\n    \"sweep\": [\n{}\n    ],\n    \
+         \"serial\": {{ \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }},\n    \
+         \"parallel\": {{ \"workers\": {HEADLINE_WORKERS}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1} }}\n  }},\n  \
+         \"ramp\": {{\n    \"initial_rps\": {initial_rps:.0},\n    \"increment_rps\": {increment_rps:.0},\n    \
+         \"max_rps\": {max_rps:.0},\n    \"ticks_per_step\": {ramp_measured},\n    \
+         \"saturation_knee_rps\": {knee_rps:.0},\n    \"steps\": [\n{}\n    ]\n  }},\n  \
+         \"million_users\": {{\n    \"containers\": {},\n    \"members_per_container\": {MILLION_MEMBERS_PER_CONTAINER},\n    \
+         \"peak_in_flight\": {},\n    \"drain_ticks\": {},\n    \"requests_per_sec\": {:.1},\n    \
+         \"bit_identical\": true,\n    \"warp_ticks_skipped\": {}\n  }},\n  \
+         \"requests_per_sec\": {headline_rps:.1},\n  \
          \"bit_identical\": true,\n  \
          \"speedup_parallel_vs_serial\": {speedup_parallel:.2},\n  \
-         \"speedup_vs_baseline\": {speedup_vs_baseline:.2}\n}}\n",
-        sweep_json.join(",\n"),
+         \"speedup_vs_baseline\": {speedup_vs_baseline:.2},\n  \
+         \"speedup_requests_vs_baseline\": {cohort_vs_baseline:.2}\n}}\n",
+        sweep_json(&request_outcomes),
         serial.ticks_per_sec,
         serial.requests_per_sec,
         parallel.ticks_per_sec,
         parallel.requests_per_sec,
+        sweep_json(&cohort_outcomes),
+        cohort_serial.ticks_per_sec,
+        cohort_serial.requests_per_sec,
+        cohort_parallel.ticks_per_sec,
+        cohort_parallel.requests_per_sec,
+        ramp_json.join(",\n"),
+        NODES * CONTAINERS_PER_NODE,
+        million.peak_in_flight,
+        million.drain_ticks,
+        million.requests_per_sec,
+        million.warp_ticks,
     );
     std::fs::write("BENCH_tick.json", json).expect("write BENCH_tick.json");
     println!("wrote BENCH_tick.json");

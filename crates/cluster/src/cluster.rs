@@ -27,6 +27,7 @@ use std::ops::Range;
 use hyscale_exec::WorkerPool;
 use hyscale_sim::{SimDuration, SimTime};
 
+use crate::cohort::Cohort;
 use crate::container::{Container, ContainerSpec, ContainerState};
 use crate::cpu::{CpuAllocator, CpuDemand, CpuGrant};
 use crate::error::ClusterError;
@@ -48,12 +49,30 @@ pub struct ClusterConfig {
 use crate::overhead::OverheadModel;
 
 /// What happened during one tick of the fluid model.
+///
+/// Each record carries a `count`: individually-admitted requests settle
+/// as `count == 1` records, while a flow cohort settles as one record for
+/// all of its members. Sum the counts (see
+/// [`TickReport::completed_members`]) rather than taking `len()` when
+/// totalling requests.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickReport {
     /// Requests that finished during the tick.
     pub completed: Vec<CompletedRequest>,
     /// Requests that failed during the tick (timeouts).
     pub failed: Vec<FailedRequest>,
+}
+
+impl TickReport {
+    /// Total completed requests, counting cohort members.
+    pub fn completed_members(&self) -> u64 {
+        self.completed.iter().map(|c| c.count).sum()
+    }
+
+    /// Total failed requests, counting cohort members.
+    pub fn failed_members(&self) -> u64 {
+        self.failed.iter().map(|f| f.count).sum()
+    }
 }
 
 /// Time constant of the working-set throughput average (seconds).
@@ -93,6 +112,15 @@ struct TickScratch {
     /// `[cpu, net, disk]` start offsets of each live container's slice of
     /// the wanting lists (the end is the next container's start).
     wanting_ranges: Vec<[u32; 3]>,
+    /// Cohort-slot work lists, the SoA mirror of the per-request wanting
+    /// lists above: entries index into the container's `CohortTable`
+    /// columns.
+    cohort_cpu_wanting: Vec<u32>,
+    cohort_net_wanting: Vec<u32>,
+    cohort_disk_wanting: Vec<u32>,
+    /// `[cpu, net, disk]` start offsets of each live container's slice of
+    /// the cohort wanting lists.
+    cohort_ranges: Vec<[u32; 3]>,
     /// Water-filling work list shared by the CPU and disk allocators.
     outstanding: Vec<(usize, f64)>,
     net_scratch: NetScratch,
@@ -478,11 +506,12 @@ impl Cluster {
         }
         let node = c.node();
         c.mark_removed();
-        let failures: Vec<FailedRequest> = c
+        let mut failures: Vec<FailedRequest> = c
             .in_flight
             .drain(..)
             .map(|inflight| FailedRequest {
                 id: inflight.id,
+                count: 1,
                 service: inflight.request.service,
                 container: Some(id),
                 arrival: inflight.request.arrival,
@@ -490,6 +519,22 @@ impl Cluster {
                 kind,
             })
             .collect();
+        // Resident cohorts die with the replica — the "faults diverge a
+        // cohort" case degenerates to aborting the whole resident share,
+        // one aggregate failure record per cohort.
+        for i in 0..c.cohorts.len() {
+            let (first, count) = c.cohorts.id_range(i);
+            failures.push(FailedRequest {
+                id: first,
+                count,
+                service: c.cohorts.service[i],
+                container: Some(id),
+                arrival: c.cohorts.arrival[i],
+                failed_at: now,
+                kind,
+            });
+        }
+        c.cohorts.clear();
         self.nodes[node.as_usize()].detach(id);
         Ok(failures)
     }
@@ -639,11 +684,107 @@ impl Cluster {
         if c.spec().antagonist || !c.live(now) {
             return Err(ClusterError::NotAccepting(id));
         }
-        if c.in_flight.len() >= c.spec().queue_cap {
+        if c.in_flight_members() >= c.spec().queue_cap as u64 {
             return Err(ClusterError::QueueFull(id));
         }
         c.in_flight.push(InFlight::new(req_id, request, now));
         Ok(req_id)
+    }
+
+    /// Hands a whole flow cohort to a replica: `cohort.count` identical
+    /// requests admitted as one record. Returns the first member's
+    /// [`RequestId`]; members occupy the dense id range
+    /// `id .. id + count`.
+    ///
+    /// The queue cap is enforced on *members*: a cohort is admitted only
+    /// if all of it fits (the balancer splits cohorts across replicas
+    /// before admission, so partial fits are its job, not the queue's).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownContainer`] — no such container.
+    /// * [`ClusterError::NotAccepting`] — replica starting/removed or an
+    ///   antagonist.
+    /// * [`ClusterError::QueueFull`] — fewer than `cohort.count` slots
+    ///   left in the socket backlog.
+    pub fn admit_cohort(
+        &mut self,
+        id: ContainerId,
+        cohort: Cohort,
+        now: SimTime,
+    ) -> Result<RequestId, ClusterError> {
+        let count = cohort.count;
+        let c = self
+            .slot_mut(id)
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        if c.spec().antagonist || !c.live(now) {
+            return Err(ClusterError::NotAccepting(id));
+        }
+        if c.in_flight_members() + count > c.spec().queue_cap as u64 {
+            return Err(ClusterError::QueueFull(id));
+        }
+        // Reserve ids only once admission is certain, so failed admissions
+        // do not burn id space (mirrors `admit_request`, which allocates
+        // eagerly but singly).
+        let base = self.request_ids.next_range(count);
+        let c = self.slot_mut(id).expect("container existed above");
+        c.cohorts.push(&cohort, base);
+        Ok(RequestId::new(base))
+    }
+
+    /// Splits an in-flight cohort in place: slot `idx` of the container's
+    /// cohort table keeps `left` members, the remainder becomes a new
+    /// slot with identical remaining work. Member totals are conserved.
+    /// This is the divergence primitive faults and chaos tests use to
+    /// model a cohort partially re-routed mid-flight.
+    ///
+    /// Returns `true` if the split happened (`0 < left < count`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for an invalid or
+    /// removed container.
+    pub fn split_in_flight_cohort(
+        &mut self,
+        id: ContainerId,
+        idx: usize,
+        left: u64,
+    ) -> Result<bool, ClusterError> {
+        let c = self.live_container_mut(id)?;
+        if idx >= c.cohorts.len() {
+            return Ok(false);
+        }
+        Ok(c.cohorts.split(idx, left))
+    }
+
+    /// Merges cohort slot `j` back into slot `i` when the two halves are
+    /// re-joinable (adjacent id ranges, identical remaining state) — the
+    /// inverse of [`Cluster::split_in_flight_cohort`]. Returns whether
+    /// the merge happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for an invalid or
+    /// removed container.
+    pub fn merge_in_flight_cohorts(
+        &mut self,
+        id: ContainerId,
+        i: usize,
+        j: usize,
+    ) -> Result<bool, ClusterError> {
+        let c = self.live_container_mut(id)?;
+        Ok(c.cohorts.merge(i, j))
+    }
+
+    /// Total in-flight members across the whole cluster (individual
+    /// requests plus cohort members). One pass over all containers.
+    pub fn total_in_flight(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.slots.iter())
+            .filter(|c| c.state() != ContainerState::Removed)
+            .map(|c| c.in_flight_members())
+            .sum()
     }
 
     /// Advances the fluid model by one tick starting at `now` and lasting
@@ -687,7 +828,10 @@ impl Cluster {
                 if c.state() == ContainerState::Removed {
                     continue;
                 }
-                weight += 1 + c.in_flight.len() as u64;
+                // Tick cost scales with PS entries, and a cohort record
+                // costs about as much as one request regardless of its
+                // member count.
+                weight += 1 + c.in_flight.len() as u64 + c.cohorts.len() as u64;
                 if !c.spec().antagonist {
                     let idx = c.service().as_usize();
                     if idx >= self.replica_counts.len() {
@@ -776,6 +920,124 @@ impl Cluster {
             report.completed.append(&mut scratch.completed);
             report.failed.append(&mut scratch.failed);
         }
+    }
+
+    /// Advances the cluster across up to `max_ticks` consecutive *idle*
+    /// ticks in closed form — the time-warp extension of the per-node
+    /// idle fast path. During an idle span every tick performs the same
+    /// arithmetic (base CPU tax, throughput-EWMA decay, usage-window
+    /// bookkeeping), so all of it can be applied at once.
+    ///
+    /// Preconditions (checked; violation returns 0 and the caller falls
+    /// back to [`Cluster::advance_into`]):
+    ///
+    /// * no request or cohort is in flight anywhere,
+    /// * no antagonist container is live,
+    /// * every node's idle grant comes from the one-round closed form.
+    ///
+    /// The warp additionally clamps itself to stop before the earliest
+    /// container startup boundary, so no liveness transition falls inside
+    /// the span. Returns the number of ticks actually warped.
+    ///
+    /// Warping is deterministic (same inputs → same state), but the
+    /// floating-point accumulation uses closed-form products rather than
+    /// `k` repeated sums, so post-warp state is not bit-identical to `k`
+    /// looped idle ticks. The digest-relevant outputs — completions and
+    /// failures — are identically empty either way.
+    pub fn advance_warp(&mut self, now: SimTime, dt: SimDuration, max_ticks: u64) -> u64 {
+        let dt_secs = dt.as_secs();
+        if max_ticks == 0 || dt_secs <= 0.0 {
+            return 0;
+        }
+        let mut ticks = max_ticks;
+        let dt_us = dt.as_micros().max(1);
+        for node in &self.nodes {
+            for c in &node.slots {
+                if c.state() == ContainerState::Removed {
+                    continue;
+                }
+                if !c.in_flight.is_empty() || !c.cohorts.is_empty() {
+                    return 0;
+                }
+                if c.spec().antagonist && c.live(now) {
+                    return 0;
+                }
+                if c.ready_at() > now {
+                    // Ticks starting strictly before `ready_at` see the
+                    // container as not yet live; stop the warp there.
+                    let gap = (c.ready_at() - now).as_micros();
+                    ticks = ticks.min(gap.div_ceil(dt_us));
+                }
+            }
+        }
+        if ticks == 0 {
+            return 0;
+        }
+        let config = self.config;
+        let mem_model = self.mem_model;
+        let nodes = &mut self.nodes;
+        let scratch = &mut self.scratch[0];
+        // Pass 0 verifies every node's constant per-tick grant is the
+        // one-round closed form (nothing has been mutated if it is not);
+        // pass 1 applies the whole span.
+        for pass in 0..2 {
+            for node in nodes.iter_mut() {
+                scratch.live.clear();
+                scratch.cpu_demands.clear();
+                for (slot, c) in node.slots.iter().enumerate() {
+                    if c.state() == ContainerState::Removed {
+                        continue;
+                    }
+                    scratch.live.push(slot);
+                    let demand = if c.live(now) {
+                        c.spec().base_cpu.get() * dt_secs
+                    } else {
+                        0.0
+                    };
+                    scratch.cpu_demands.push(CpuDemand::new(
+                        c.id(),
+                        demand,
+                        c.spec().cpu_request.get(),
+                    ));
+                }
+                if scratch.live.is_empty() {
+                    continue;
+                }
+                let active = scratch
+                    .cpu_demands
+                    .iter()
+                    .filter(|d| d.demand > 1e-12)
+                    .count();
+                let capacity = node.spec().cores.get()
+                    * dt_secs
+                    * config.overheads.cpu_contention_factor(active);
+                if !idle_grants(capacity, &scratch.cpu_demands, &mut scratch.cpu_grants) {
+                    debug_assert_eq!(pass, 0, "feasibility changed between passes");
+                    return 0;
+                }
+                if pass == 0 {
+                    continue;
+                }
+                let kf = ticks as f64;
+                let alpha = (dt_secs / THROUGHPUT_TAU_SECS.max(dt_secs)).clamp(0.0, 1.0);
+                let decay = (1.0 - alpha).powf(kf);
+                for (i, &s) in scratch.live.iter().enumerate() {
+                    let c = &mut node.slots[s];
+                    let granted = scratch.cpu_grants[i].granted;
+                    if granted > 0.0 {
+                        c.cpu_used_total += granted * kf;
+                    }
+                    c.throughput_ewma *= decay;
+                    let resident = c.resident_mem_with(0.0);
+                    let swapping = mem_model
+                        .pressure(resident, c.spec().mem_limit)
+                        .is_swapping();
+                    c.window
+                        .record_span(dt_secs, ticks, granted, resident, swapping);
+                }
+            }
+        }
+        ticks
     }
 
     /// Snapshot (and reset) the usage windows of every container on a
@@ -914,6 +1176,10 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
         net_wanting,
         disk_wanting,
         wanting_ranges,
+        cohort_cpu_wanting,
+        cohort_net_wanting,
+        cohort_disk_wanting,
+        cohort_ranges,
         outstanding,
         net_scratch,
         completed,
@@ -929,7 +1195,10 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
             continue;
         }
         live.push(slot);
-        if !c.in_flight.is_empty() || (c.spec().antagonist && c.live(ctx.now)) {
+        if !c.in_flight.is_empty()
+            || !c.cohorts.is_empty()
+            || (c.spec().antagonist && c.live(ctx.now))
+        {
             idle = false;
         }
     }
@@ -954,6 +1223,10 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
     net_wanting.clear();
     disk_wanting.clear();
     wanting_ranges.clear();
+    cohort_cpu_wanting.clear();
+    cohort_net_wanting.clear();
+    cohort_disk_wanting.clear();
+    cohort_ranges.clear();
     for &s in live.iter() {
         let c = &node.slots[s];
         let pressure = ctx.mem_model.pressure(c.resident_mem(), c.spec().mem_limit);
@@ -963,6 +1236,11 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
             cpu_wanting.len() as u32,
             net_wanting.len() as u32,
             disk_wanting.len() as u32,
+        ]);
+        cohort_ranges.push([
+            cohort_cpu_wanting.len() as u32,
+            cohort_net_wanting.len() as u32,
+            cohort_disk_wanting.len() as u32,
         ]);
         let (cpu_demand, (net_demand, flows), disk_demand) = if !c.live(ctx.now) {
             (0.0, (0.0, 0), 0.0)
@@ -998,6 +1276,25 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 if inflight.wants_disk() {
                     disk_sum += inflight.disk_remaining;
                     disk_wanting.push(r as u32);
+                }
+            }
+            // Cohort columns: flat SoA sweeps, one entry per cohort
+            // record, each weighted by its member count.
+            let t = &c.cohorts;
+            for ci in 0..t.len() {
+                let n = t.count[ci] as f64;
+                if t.cpu_rem[ci] > 1e-12 {
+                    cpu_sum += t.cpu_rem[ci].min(thread_budget) * n;
+                    cohort_cpu_wanting.push(ci as u32);
+                }
+                if t.net_rem[ci] > 1e-9 {
+                    net_sum += t.net_rem[ci] * n;
+                    net_count = net_count.saturating_add(t.count[ci] as usize);
+                    cohort_net_wanting.push(ci as u32);
+                }
+                if t.disk_rem[ci] > 1e-9 {
+                    disk_sum += t.disk_rem[ci] * n;
+                    cohort_disk_wanting.push(ci as u32);
                 }
             }
             let flows = match c.spec().net_flow_pool {
@@ -1072,11 +1369,19 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
     for (i, &s) in live.iter().enumerate() {
         let c = &mut node.slots[s];
         let next = wanting_ranges.get(i + 1);
+        let cnext = cohort_ranges.get(i + 1);
 
         // CPU: processor sharing among requests that still want CPU —
         // round-robin equal split, honouring each request's per-tick
         // single-thread bound. The initial work list came from the fused
-        // demand pass (CPU progress hasn't been applied since).
+        // demand pass (CPU progress hasn't been applied since). Cohort
+        // records join the same PS pool: the per-round share divides the
+        // budget by total *members* (individual entries count 1, a cohort
+        // entry counts its membership), each member takes at most the
+        // share, and a cohort's take is charged `take × count` — exactly
+        // what `count` identical individual requests would drain. With no
+        // cohorts resident the member total equals the entry count and
+        // the arithmetic is bit-identical to the per-request engine.
         let granted = cpu_grants[i].granted;
         let mut used_cpu = 0.0;
         if granted > 0.0 {
@@ -1088,12 +1393,20 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 let start = wanting_ranges[i][0] as usize;
                 let end = next.map_or(cpu_wanting.len(), |r| r[0] as usize);
                 let wanting = &mut cpu_wanting[start..end];
+                let cstart = cohort_ranges[i][0] as usize;
+                let cend = cnext.map_or(cohort_cpu_wanting.len(), |r| r[0] as usize);
+                let cwanting = &mut cohort_cpu_wanting[cstart..cend];
                 let thread_budget = ctx.dt_secs / slowdowns[i];
                 let mut rounds = 0;
                 let mut count = wanting.len();
-                while budget > 1e-12 && count > 0 && rounds < 32 {
+                let mut ccount = cwanting.len();
+                let mut members = count as u64;
+                for &ci in cwanting.iter() {
+                    members += c.cohorts.count[ci as usize];
+                }
+                while budget > 1e-12 && members > 0 && rounds < 32 {
                     rounds += 1;
-                    let share = budget / count as f64;
+                    let share = budget / members as f64;
                     let mut keep = 0usize;
                     for idx in 0..count {
                         let r = wanting[idx];
@@ -1109,10 +1422,31 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                             keep += 1;
                         }
                     }
-                    if keep == count {
+                    members -= (count - keep) as u64;
+                    let mut ckeep = 0usize;
+                    for idx in 0..ccount {
+                        let ci = cwanting[idx];
+                        let n = c.cohorts.count[ci as usize];
+                        let rem = c.cohorts.cpu_rem[ci as usize];
+                        let need = rem.min(thread_budget);
+                        let take = share.min(need);
+                        let rem = (rem - take).max(0.0);
+                        c.cohorts.cpu_rem[ci as usize] = rem;
+                        budget -= take * n as f64;
+                        if rem > 1e-12 && take >= need - 1e-12 {
+                            members -= n; // all members hit the thread bound
+                        } else if rem > 1e-12 {
+                            cwanting[ckeep] = ci;
+                            ckeep += 1;
+                        } else {
+                            members -= n;
+                        }
+                    }
+                    if keep == count && ckeep == ccount {
                         break;
                     }
                     count = keep;
+                    ccount = ckeep;
                 }
             }
         }
@@ -1128,11 +1462,19 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 let start = wanting_ranges[i][1] as usize;
                 let end = next.map_or(net_wanting.len(), |r| r[1] as usize);
                 let wanting = &mut net_wanting[start..end];
+                let cstart = cohort_ranges[i][1] as usize;
+                let cend = cnext.map_or(cohort_net_wanting.len(), |r| r[1] as usize);
+                let cwanting = &mut cohort_net_wanting[cstart..cend];
                 let mut rounds = 0;
                 let mut count = wanting.len();
-                while budget > 1e-9 && count > 0 && rounds < 32 {
+                let mut ccount = cwanting.len();
+                let mut members = count as u64;
+                for &ci in cwanting.iter() {
+                    members += c.cohorts.count[ci as usize];
+                }
+                while budget > 1e-9 && members > 0 && rounds < 32 {
                     rounds += 1;
-                    let share = budget / count as f64;
+                    let share = budget / members as f64;
                     let mut keep = 0usize;
                     for idx in 0..count {
                         let r = wanting[idx];
@@ -1145,10 +1487,26 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                             keep += 1;
                         }
                     }
-                    if keep == count {
+                    members -= (count - keep) as u64;
+                    let mut ckeep = 0usize;
+                    for idx in 0..ccount {
+                        let ci = cwanting[idx];
+                        let n = c.cohorts.count[ci as usize];
+                        let take = share.min(c.cohorts.net_rem[ci as usize]);
+                        c.cohorts.net_rem[ci as usize] -= take;
+                        budget -= take * n as f64;
+                        if c.cohorts.net_rem[ci as usize] > 1e-9 {
+                            cwanting[ckeep] = ci;
+                            ckeep += 1;
+                        } else {
+                            members -= n;
+                        }
+                    }
+                    if keep == count && ckeep == ccount {
                         break;
                     }
                     count = keep;
+                    ccount = ckeep;
                 }
             }
         }
@@ -1162,11 +1520,19 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
             let start = wanting_ranges[i][2] as usize;
             let end = next.map_or(disk_wanting.len(), |r| r[2] as usize);
             let wanting = &mut disk_wanting[start..end];
+            let cstart = cohort_ranges[i][2] as usize;
+            let cend = cnext.map_or(cohort_disk_wanting.len(), |r| r[2] as usize);
+            let cwanting = &mut cohort_disk_wanting[cstart..cend];
             let mut rounds = 0;
             let mut count = wanting.len();
-            while budget > 1e-9 && count > 0 && rounds < 32 {
+            let mut ccount = cwanting.len();
+            let mut members = count as u64;
+            for &ci in cwanting.iter() {
+                members += c.cohorts.count[ci as usize];
+            }
+            while budget > 1e-9 && members > 0 && rounds < 32 {
                 rounds += 1;
-                let share = budget / count as f64;
+                let share = budget / members as f64;
                 let mut keep = 0usize;
                 for idx in 0..count {
                     let r = wanting[idx];
@@ -1179,10 +1545,26 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                         keep += 1;
                     }
                 }
-                if keep == count {
+                members -= (count - keep) as u64;
+                let mut ckeep = 0usize;
+                for idx in 0..ccount {
+                    let ci = cwanting[idx];
+                    let n = c.cohorts.count[ci as usize];
+                    let take = share.min(c.cohorts.disk_rem[ci as usize]);
+                    c.cohorts.disk_rem[ci as usize] -= take;
+                    budget -= take * n as f64;
+                    if c.cohorts.disk_rem[ci as usize] > 1e-9 {
+                        cwanting[ckeep] = ci;
+                        ckeep += 1;
+                    } else {
+                        members -= n;
+                    }
+                }
+                if keep == count && ckeep == ccount {
                     break;
                 }
                 count = keep;
+                ccount = ckeep;
             }
         }
 
@@ -1198,7 +1580,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
         let fanout = ctx.config.overheads.fanout_latency_secs(replicas)
             + c.spec().coordination_secs * replicas.saturating_sub(1) as f64;
         let id = c.id();
-        let mut completed_this_tick = 0usize;
+        let mut completed_this_tick = 0u64;
         // Per-request memory of the survivors, accumulated in the order
         // the scan settles them — which is their final index order, so the
         // sum is bit-identical to a fresh `resident_mem` sweep afterwards.
@@ -1217,6 +1599,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 let finished = ctx.end + SimDuration::from_secs(fanout);
                 completed.push(CompletedRequest {
                     id: inflight.id,
+                    count: 1,
                     service: inflight.request.service,
                     container: id,
                     arrival: inflight.request.arrival,
@@ -1227,6 +1610,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 let inflight = c.in_flight.swap_remove(r);
                 failed.push(FailedRequest {
                     id: inflight.id,
+                    count: 1,
                     service: inflight.request.service,
                     container: Some(id),
                     arrival: inflight.request.arrival,
@@ -1238,9 +1622,48 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                 r += 1;
             }
         }
+        // Cohort settlement: every member of a cohort finishes (or times
+        // out) together, so a whole cohort settles as one aggregate
+        // record.
+        let mut ci = 0;
+        while ci < c.cohorts.len() {
+            let t = &c.cohorts;
+            let done = t.cpu_rem[ci] <= 1e-12 && t.net_rem[ci] <= 1e-9 && t.disk_rem[ci] <= 1e-9;
+            let timed_out = !done && t.deadline[ci] <= ctx.end;
+            if done {
+                let (first, n) = t.id_range(ci);
+                completed_this_tick += n;
+                let finished = ctx.end + SimDuration::from_secs(fanout);
+                completed.push(CompletedRequest {
+                    id: first,
+                    count: n,
+                    service: t.service[ci],
+                    container: id,
+                    arrival: t.arrival[ci],
+                    finished,
+                    response_time: finished.saturating_since(t.arrival[ci]),
+                });
+                c.cohorts.swap_remove(ci);
+            } else if timed_out {
+                let (first, n) = t.id_range(ci);
+                failed.push(FailedRequest {
+                    id: first,
+                    count: n,
+                    service: t.service[ci],
+                    container: Some(id),
+                    arrival: t.arrival[ci],
+                    failed_at: ctx.end,
+                    kind: FailureKind::Connection,
+                });
+                c.cohorts.swap_remove(ci);
+            } else {
+                req_mem += t.mem_per[ci] * t.count[ci] as f64;
+                ci += 1;
+            }
+        }
         c.record_throughput(completed_this_tick, ctx.dt_secs, THROUGHPUT_TAU_SECS);
         let resident = c.resident_mem_with(req_mem);
-        let in_flight = c.in_flight.len();
+        let in_flight = c.in_flight.len() + c.cohorts.members() as usize;
         c.window.record_tick(
             ctx.dt_secs,
             used_cpu,

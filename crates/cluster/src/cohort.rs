@@ -1,0 +1,377 @@
+//! Flow cohorts: many identical requests carried as one record.
+//!
+//! Under processor sharing, identical requests admitted to the same
+//! replica at the same tick receive identical CPU/network/disk shares and
+//! therefore evolve identically. A [`Cohort`] exploits that: one record
+//! with a member `count` and a *per-member* demand profile exactly models
+//! `count` individual requests, turning the hot loop's cost from
+//! O(requests) into O(distinct flows). Cohorts are split only when
+//! something diverges their members — routing to different replicas,
+//! circuit-breaker state, or faults (a replica death aborts its whole
+//! resident cohort share).
+//!
+//! Inside a container, in-flight cohorts live in a [`CohortTable`], a
+//! struct-of-arrays layout whose parallel columns the allocator loop in
+//! `cluster.rs` iterates as flat arrays — no pointer chasing through
+//! per-request objects.
+
+use hyscale_sim::{SimDuration, SimTime};
+
+use crate::ids::{RequestId, ServiceId};
+use crate::request::Request;
+use crate::MemMb;
+
+/// A batch of identical in-flight requests: `count` members, each with
+/// the same per-member demand profile and deadline.
+///
+/// Construct directly, via [`Cohort::from_request`], or by splitting an
+/// existing cohort with [`Cohort::split`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cohort {
+    /// The microservice every member targets.
+    pub service: ServiceId,
+    /// When the members were issued (they share one arrival tick).
+    pub arrival: SimTime,
+    /// Number of member requests represented by this record.
+    pub count: u64,
+    /// CPU work per member, core-seconds.
+    pub cpu_secs: f64,
+    /// Memory held per member while in flight.
+    pub mem: MemMb,
+    /// Egress traffic per member, megabits.
+    pub megabits_out: f64,
+    /// Disk traffic per member, megabits.
+    pub disk_megabits: f64,
+    /// Members fail as connection failures if not done by
+    /// `arrival + timeout`.
+    pub timeout: SimDuration,
+}
+
+impl Cohort {
+    /// Creates a cohort with explicit per-member demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or any demand is negative or non-finite.
+    pub fn new(
+        service: ServiceId,
+        arrival: SimTime,
+        count: u64,
+        cpu_secs: f64,
+        mem: MemMb,
+        megabits_out: f64,
+    ) -> Self {
+        assert!(count > 0, "cohort count must be positive");
+        assert!(
+            cpu_secs.is_finite() && cpu_secs >= 0.0,
+            "cpu_secs must be finite and non-negative"
+        );
+        assert!(
+            mem.get().is_finite() && mem.get() >= 0.0,
+            "mem must be finite and non-negative"
+        );
+        assert!(
+            megabits_out.is_finite() && megabits_out >= 0.0,
+            "megabits_out must be finite and non-negative"
+        );
+        Cohort {
+            service,
+            arrival,
+            count,
+            cpu_secs,
+            mem,
+            megabits_out,
+            disk_megabits: 0.0,
+            timeout: Request::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// A cohort of `count` copies of one request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn from_request(request: &Request, count: u64) -> Self {
+        Cohort::new(
+            request.service,
+            request.arrival,
+            count,
+            request.cpu_secs,
+            request.mem,
+            request.megabits_out,
+        )
+        .with_disk(request.disk_megabits)
+        .with_timeout(request.timeout)
+    }
+
+    /// Adds per-member disk traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk_megabits` is negative or not finite.
+    pub fn with_disk(mut self, disk_megabits: f64) -> Self {
+        assert!(
+            disk_megabits.is_finite() && disk_megabits >= 0.0,
+            "disk_megabits must be finite and non-negative"
+        );
+        self.disk_megabits = disk_megabits;
+        self
+    }
+
+    /// Overrides the timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The absolute deadline after which members fail.
+    pub fn deadline(&self) -> SimTime {
+        self.arrival + self.timeout
+    }
+
+    /// Splits off `left` members, returning `(left_part, right_part)`.
+    /// Both halves keep the shared demand profile; member identities
+    /// partition in order (the left part keeps the low request ids once
+    /// admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < left < self.count`.
+    pub fn split(self, left: u64) -> (Cohort, Cohort) {
+        assert!(
+            left > 0 && left < self.count,
+            "split point must leave both halves non-empty"
+        );
+        let mut a = self.clone();
+        let mut b = self;
+        a.count = left;
+        b.count -= left;
+        (a, b)
+    }
+}
+
+/// Struct-of-arrays storage for a container's in-flight cohorts.
+///
+/// Every field is a parallel column indexed by cohort slot; the tick
+/// engine's demand, processor-sharing, and completion sweeps iterate these
+/// flat arrays directly. Member request ids are the dense range
+/// `id_base[i] .. id_base[i] + count[i]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct CohortTable {
+    pub id_base: Vec<u64>,
+    pub count: Vec<u64>,
+    pub service: Vec<ServiceId>,
+    pub arrival: Vec<SimTime>,
+    pub deadline: Vec<SimTime>,
+    /// CPU core-seconds still owed *per member*.
+    pub cpu_rem: Vec<f64>,
+    /// Egress megabits still owed *per member*.
+    pub net_rem: Vec<f64>,
+    /// Disk megabits still owed *per member*.
+    pub disk_rem: Vec<f64>,
+    /// In-flight memory *per member*, MB.
+    pub mem_per: Vec<f64>,
+    /// Running total of members across all slots.
+    members: u64,
+}
+
+impl CohortTable {
+    pub fn len(&self) -> usize {
+        self.count.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count.is_empty()
+    }
+
+    /// Total members across all cohorts (maintained incrementally).
+    pub fn members(&self) -> u64 {
+        self.members
+    }
+
+    pub fn push(&mut self, cohort: &Cohort, id_base: u64) {
+        self.id_base.push(id_base);
+        self.count.push(cohort.count);
+        self.service.push(cohort.service);
+        self.arrival.push(cohort.arrival);
+        self.deadline.push(cohort.deadline());
+        self.cpu_rem.push(cohort.cpu_secs);
+        self.net_rem.push(cohort.megabits_out);
+        self.disk_rem.push(cohort.disk_megabits);
+        self.mem_per.push(cohort.mem.get());
+        self.members += cohort.count;
+    }
+
+    /// Removes slot `i` (order-insensitive, O(1)), returning its member
+    /// count.
+    pub fn swap_remove(&mut self, i: usize) -> u64 {
+        let n = self.count[i];
+        self.id_base.swap_remove(i);
+        self.count.swap_remove(i);
+        self.service.swap_remove(i);
+        self.arrival.swap_remove(i);
+        self.deadline.swap_remove(i);
+        self.cpu_rem.swap_remove(i);
+        self.net_rem.swap_remove(i);
+        self.disk_rem.swap_remove(i);
+        self.mem_per.swap_remove(i);
+        self.members -= n;
+        n
+    }
+
+    pub fn clear(&mut self) {
+        self.id_base.clear();
+        self.count.clear();
+        self.service.clear();
+        self.arrival.clear();
+        self.deadline.clear();
+        self.cpu_rem.clear();
+        self.net_rem.clear();
+        self.disk_rem.clear();
+        self.mem_per.clear();
+        self.members = 0;
+    }
+
+    /// Per-member memory times member count, summed — the cohorts' share
+    /// of the container's resident set.
+    pub fn resident_mem(&self) -> f64 {
+        self.mem_per
+            .iter()
+            .zip(&self.count)
+            .map(|(m, &n)| m * n as f64)
+            .sum()
+    }
+
+    /// Splits slot `i` in place: the slot keeps `left` members (and the
+    /// low end of the id range); the remainder is appended as a new slot
+    /// with identical remaining work. Total members are conserved.
+    ///
+    /// Returns `false` (no-op) unless `0 < left < count[i]`.
+    pub fn split(&mut self, i: usize, left: u64) -> bool {
+        if left == 0 || left >= self.count[i] {
+            return false;
+        }
+        let right = self.count[i] - left;
+        self.count[i] = left;
+        self.id_base.push(self.id_base[i] + left);
+        self.count.push(right);
+        self.service.push(self.service[i]);
+        self.arrival.push(self.arrival[i]);
+        self.deadline.push(self.deadline[i]);
+        self.cpu_rem.push(self.cpu_rem[i]);
+        self.net_rem.push(self.net_rem[i]);
+        self.disk_rem.push(self.disk_rem[i]);
+        self.mem_per.push(self.mem_per[i]);
+        true
+    }
+
+    /// Merges slot `j` back into slot `i` when the two are re-joinable:
+    /// identical remaining work, profile, deadline, and id ranges that are
+    /// adjacent (`id_base[i] + count[i] == id_base[j]`). Returns whether
+    /// the merge happened; on success slot `j` is removed.
+    pub fn merge(&mut self, i: usize, j: usize) -> bool {
+        if i == j || i >= self.len() || j >= self.len() {
+            return false;
+        }
+        let rejoinable = self.id_base[i] + self.count[i] == self.id_base[j]
+            && self.service[i] == self.service[j]
+            && self.arrival[i] == self.arrival[j]
+            && self.deadline[i] == self.deadline[j]
+            && self.cpu_rem[i] == self.cpu_rem[j]
+            && self.net_rem[i] == self.net_rem[j]
+            && self.disk_rem[i] == self.disk_rem[j]
+            && self.mem_per[i] == self.mem_per[j];
+        if !rejoinable {
+            return false;
+        }
+        let moved = self.count[j];
+        self.count[i] += moved;
+        // swap_remove subtracts j's (already-moved) members; restore them.
+        self.swap_remove(j);
+        self.members += moved;
+        debug_assert_eq!(
+            self.members,
+            self.count.iter().sum::<u64>(),
+            "member total out of sync after merge"
+        );
+        true
+    }
+
+    /// The member request-id range of slot `i`.
+    pub fn id_range(&self, i: usize) -> (RequestId, u64) {
+        (RequestId::new(self.id_base[i]), self.count[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cohort(count: u64) -> Cohort {
+        Cohort::new(
+            ServiceId::new(1),
+            SimTime::from_secs(1.0),
+            count,
+            0.2,
+            MemMb(4.0),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn from_request_copies_profile() {
+        let r = Request::cpu_bound(ServiceId::new(2), SimTime::ZERO, 0.3)
+            .with_disk(1.5)
+            .with_timeout(SimDuration::from_secs(5.0));
+        let c = Cohort::from_request(&r, 10);
+        assert_eq!(c.count, 10);
+        assert_eq!(c.cpu_secs, 0.3);
+        assert_eq!(c.disk_megabits, 1.5);
+        assert_eq!(c.deadline(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be positive")]
+    fn zero_count_panics() {
+        let _ = cohort(0);
+    }
+
+    #[test]
+    fn split_partitions_members() {
+        let (a, b) = cohort(10).split(3);
+        assert_eq!(a.count, 3);
+        assert_eq!(b.count, 7);
+        assert_eq!(a.cpu_secs, b.cpu_secs);
+    }
+
+    #[test]
+    fn table_push_split_merge_conserves_members() {
+        let mut t = CohortTable::default();
+        t.push(&cohort(10), 100);
+        t.push(&cohort(4), 200);
+        assert_eq!(t.members(), 14);
+        assert!(t.split(0, 6));
+        assert_eq!(t.members(), 14);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id_base[2], 106);
+        assert_eq!(t.count[2], 4);
+        // Re-join the halves.
+        assert!(t.merge(0, 2));
+        assert_eq!(t.members(), 14);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count[0], 10);
+        // Non-adjacent ids refuse to merge.
+        assert!(!t.merge(0, 1));
+        assert_eq!(t.swap_remove(0), 10);
+        assert_eq!(t.members(), 4);
+    }
+
+    #[test]
+    fn degenerate_splits_are_noops() {
+        let mut t = CohortTable::default();
+        t.push(&cohort(5), 0);
+        assert!(!t.split(0, 0));
+        assert!(!t.split(0, 5));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 
 use hyscale_sim::SimTime;
 
+use crate::cohort::CohortTable;
 use crate::ids::{ContainerId, NodeId, ServiceId};
 use crate::request::InFlight;
 use crate::stats::UsageWindow;
@@ -226,6 +227,10 @@ pub struct Container {
     state: ContainerState,
     ready_at: SimTime,
     pub(crate) in_flight: Vec<InFlight>,
+    /// In-flight flow cohorts (struct-of-arrays; each slot carries many
+    /// identical member requests). Individually-admitted requests stay in
+    /// `in_flight`; the two populations share the processor fairly.
+    pub(crate) cohorts: CohortTable,
     /// Cumulative core-seconds consumed (for stats).
     pub(crate) cpu_used_total: f64,
     /// Cumulative megabits sent (for stats).
@@ -249,6 +254,7 @@ impl Container {
             state: ContainerState::Starting,
             ready_at,
             in_flight: Vec::new(),
+            cohorts: CohortTable::default(),
             cpu_used_total: 0.0,
             megabits_sent_total: 0.0,
             throughput_ewma: 0.0,
@@ -286,9 +292,22 @@ impl Container {
         self.ready_at
     }
 
-    /// Number of requests currently in flight.
+    /// Number of requests currently in flight, counting every member of
+    /// every resident cohort.
     pub fn in_flight_count(&self) -> usize {
-        self.in_flight.len()
+        self.in_flight.len() + self.cohorts.members() as usize
+    }
+
+    /// Total in-flight members as a wide count (individually-admitted
+    /// requests plus cohort members), safe beyond `usize` semantics for
+    /// million-user scenarios.
+    pub fn in_flight_members(&self) -> u64 {
+        self.in_flight.len() as u64 + self.cohorts.members()
+    }
+
+    /// Number of distinct in-flight cohort records (not members).
+    pub fn cohort_count(&self) -> usize {
+        self.cohorts.len()
     }
 
     /// True if the container can accept a request at `now`.
@@ -296,7 +315,16 @@ impl Container {
         !self.spec.antagonist
             && self.state != ContainerState::Removed
             && now >= self.ready_at
-            && self.in_flight.len() < self.spec.queue_cap
+            && self.in_flight_members() < self.spec.queue_cap as u64
+    }
+
+    /// Queue headroom at `now`: how many more members fit under
+    /// `queue_cap`. Zero when not accepting.
+    pub fn queue_headroom(&self, now: SimTime) -> u64 {
+        if !self.accepting(now) {
+            return 0;
+        }
+        (self.spec.queue_cap as u64).saturating_sub(self.in_flight_members())
     }
 
     /// True if the container serves traffic at `now` (started and live).
@@ -308,7 +336,7 @@ impl Container {
     /// set, and per-request memory of everything in flight.
     pub fn resident_mem(&self) -> MemMb {
         let req_mem: f64 = self.in_flight.iter().map(|r| r.request.mem.get()).sum();
-        self.resident_mem_with(req_mem)
+        self.resident_mem_with(req_mem + self.cohorts.resident_mem())
     }
 
     /// `resident_mem` with the per-request sum supplied by a caller that
@@ -328,7 +356,7 @@ impl Container {
 
     /// Updates the throughput EWMA with `completed` requests over a tick
     /// of `dt_secs` (time constant `tau_secs`).
-    pub(crate) fn record_throughput(&mut self, completed: usize, dt_secs: f64, tau_secs: f64) {
+    pub(crate) fn record_throughput(&mut self, completed: u64, dt_secs: f64, tau_secs: f64) {
         if dt_secs <= 0.0 {
             return;
         }

@@ -104,6 +104,17 @@ impl IdAllocator {
         self.next += 1;
         id
     }
+
+    /// Reserves `n` consecutive ids, returning the first. Cohort members
+    /// keep dense per-request identities without per-member allocation.
+    pub(crate) fn next_range(&mut self, n: u64) -> u64 {
+        let id = self.next;
+        self.next = self
+            .next
+            .checked_add(n)
+            .expect("request id space exhausted");
+        id
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod cohort;
 mod container;
 mod cpu;
 mod error;
@@ -62,6 +63,7 @@ mod request;
 mod stats;
 
 pub use crate::cluster::{Cluster, ClusterConfig, TickReport};
+pub use cohort::Cohort;
 pub use container::{Container, ContainerSpec, ContainerState};
 pub use cpu::{CpuAllocator, CpuDemand, CpuGrant};
 pub use error::ClusterError;

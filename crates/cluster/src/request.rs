@@ -173,11 +173,18 @@ impl InFlight {
     }
 }
 
-/// Record of a successfully served request.
+/// Record of successfully served requests.
+///
+/// Individually-admitted requests complete as one record with
+/// `count == 1`; a flow cohort completes as one record whose `count` is
+/// the cohort's membership (member ids are `id .. id + count`). All
+/// members share the arrival, finish time, and response time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedRequest {
-    /// The request's identifier.
+    /// The (first) request's identifier.
     pub id: RequestId,
+    /// How many identical requests this record represents (≥ 1).
+    pub count: u64,
     /// The microservice that served it.
     pub service: ServiceId,
     /// The replica that served it.
@@ -210,11 +217,14 @@ impl std::fmt::Display for FailureKind {
     }
 }
 
-/// Record of a failed request.
+/// Record of failed requests. Like [`CompletedRequest`], one record can
+/// carry a whole cohort (`count` members failing identically).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailedRequest {
-    /// The request's identifier.
+    /// The (first) request's identifier.
     pub id: RequestId,
+    /// How many identical requests this record represents (≥ 1).
+    pub count: u64,
     /// The microservice it targeted.
     pub service: ServiceId,
     /// The replica it was running on, if it was ever admitted.

@@ -232,6 +232,81 @@ impl LoadBalancer {
             .map(|(_, id)| id)
     }
 
+    /// Splits a cohort of `count` identical arrivals across the replicas
+    /// of `service`, appending `(replica, members)` shares to `out` and
+    /// returning the number of members that found no slot (they become
+    /// connection failures).
+    ///
+    /// The discipline is a deterministic greedy waterfill over the same
+    /// preference key as [`LoadBalancer::route`]: candidates are visited
+    /// in ascending `(in-flight members, container id)` order and each
+    /// receives as many members as its queue headroom allows before the
+    /// next candidate is considered. This is where cohorts *diverge* —
+    /// members of one arrival batch land on different replicas only when
+    /// this split sends them there.
+    ///
+    /// In snapshot mode candidates come from the last refresh and open
+    /// breakers are skipped. A dead-but-unannounced replica looks like an
+    /// idle backend with unlimited headroom, so the batch prefers it,
+    /// admission fails, and the failure feeds its breaker — the same
+    /// roll-call gap the per-request path has.
+    pub fn route_cohort(
+        &self,
+        cluster: &Cluster,
+        service: ServiceId,
+        count: u64,
+        now: SimTime,
+        out: &mut Vec<(ContainerId, u64)>,
+    ) -> u64 {
+        let mut candidates: Vec<(u64, ContainerId, u64)> = Vec::new();
+        match self.snapshot.as_ref() {
+            None => {
+                for id in cluster.service_replicas(service) {
+                    let Some(c) = cluster.container(id) else {
+                        continue;
+                    };
+                    let headroom = c.queue_headroom(now);
+                    if headroom > 0 {
+                        candidates.push((c.in_flight_members(), id, headroom));
+                    }
+                }
+            }
+            Some(snap) => {
+                let Some(backends) = snap.backends.get(&service) else {
+                    return count;
+                };
+                for &id in backends {
+                    if self.breaker_blocks(id, now) {
+                        continue;
+                    }
+                    match cluster.container(id) {
+                        None => candidates.push((0, id, u64::MAX)),
+                        Some(c) if c.state() == ContainerState::Removed => {
+                            candidates.push((0, id, u64::MAX));
+                        }
+                        Some(c) => {
+                            let headroom = c.queue_headroom(now);
+                            if headroom > 0 {
+                                candidates.push((c.in_flight_members(), id, headroom));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        let mut remaining = count;
+        for (_, id, headroom) in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(headroom);
+            out.push((id, take));
+            remaining -= take;
+        }
+        remaining
+    }
+
     /// Records a successfully admitted request (a no-op in live mode).
     /// A success on a half-open probe closes the breaker.
     pub fn record_success(&mut self, container: ContainerId, now: SimTime, trace: &mut TraceSink) {
@@ -386,6 +461,70 @@ mod tests {
         let _b = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
         // Both idle: lowest container id wins.
         assert_eq!(LoadBalancer::new().route(&cl, svc, SimTime::ZERO), Some(a));
+    }
+
+    #[test]
+    fn route_cohort_waterfills_in_preference_order() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let a = cl
+            .start_container(node, spec(svc).with_queue_cap(4), SimTime::ZERO)
+            .unwrap();
+        let b = cl
+            .start_container(node, spec(svc).with_queue_cap(8), SimTime::ZERO)
+            .unwrap();
+        let lb = LoadBalancer::new();
+        let mut out = Vec::new();
+        let unrouted = lb.route_cohort(&cl, svc, 10, SimTime::ZERO, &mut out);
+        // Both idle: lowest id fills to its headroom first, spillover next.
+        assert_eq!(unrouted, 0);
+        assert_eq!(out, vec![(a, 4), (b, 6)]);
+    }
+
+    #[test]
+    fn route_cohort_reports_overflow_as_unrouted() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        for _ in 0..2 {
+            cl.start_container(node, spec(svc).with_queue_cap(2), SimTime::ZERO)
+                .unwrap();
+        }
+        let lb = LoadBalancer::new();
+        let mut out = Vec::new();
+        let unrouted = lb.route_cohort(&cl, svc, 10, SimTime::ZERO, &mut out);
+        assert_eq!(unrouted, 6);
+        assert_eq!(out.iter().map(|&(_, n)| n).sum::<u64>(), 4);
+        // No replicas at all: the whole batch bounces.
+        let mut none = Vec::new();
+        assert_eq!(
+            lb.route_cohort(&cl, ServiceId::new(9), 7, SimTime::ZERO, &mut none),
+            7
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn route_cohort_snapshot_mode_prefers_the_unannounced_dead_replica() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        let alive = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        let doomed = cl.start_container(node, spec(svc), SimTime::ZERO).unwrap();
+        cl.admit_request(
+            alive,
+            Request::cpu_bound(svc, SimTime::ZERO, 5.0),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut lb = snapshot_lb();
+        lb.refresh(&cl, &[svc]);
+        cl.remove_container(doomed, SimTime::ZERO).unwrap();
+        // The dead replica looks idle with unlimited headroom: the whole
+        // batch funnels into it (and will fail admission, feeding its
+        // breaker), exactly like the per-request roll-call gap.
+        let mut out = Vec::new();
+        let unrouted = lb.route_cohort(&cl, svc, 100, SimTime::ZERO, &mut out);
+        assert_eq!(unrouted, 0);
+        assert_eq!(out, vec![(doomed, 100)]);
     }
 
     fn snapshot_lb() -> LoadBalancer {

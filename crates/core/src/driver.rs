@@ -11,8 +11,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hyscale_cluster::{
-    Cluster, ClusterConfig, ContainerSpec, FailureKind, FaultInjector, FaultLog, FaultPlan, NodeId,
-    NodeSpec, ServiceId, TickReport,
+    Cluster, ClusterConfig, ContainerId, ContainerSpec, FailureKind, FaultInjector, FaultLog,
+    FaultPlan, NodeId, NodeSpec, ServiceId, TickReport,
 };
 use hyscale_metrics::{
     AvailabilityTracker, CostMeter, MetricsRegistry, RequestOutcomes, ServiceAvailability,
@@ -78,6 +78,18 @@ pub struct ScenarioConfig {
     /// Results are bit-identical at any setting; see
     /// [`Cluster::set_parallelism`].
     pub parallelism: usize,
+    /// Carry each tick's arrivals per service as one flow cohort instead
+    /// of scheduling per-request arrival events: the tick draws a Poisson
+    /// count, materializes one [`ServiceSpec::make_cohort`], and
+    /// waterfills it across replicas. A different (fluid) arrival
+    /// discipline from the default thinning process — not bit-comparable
+    /// with it — but deterministic and bit-identical across parallelism.
+    pub cohort_arrivals: bool,
+    /// Let provably idle stretches (nothing in flight, no event, fault,
+    /// or arrival due) be advanced in closed form as one jump. The warp
+    /// is deterministic but not bit-identical to ticking through the same
+    /// stretch (EWMA decay and usage windows are applied in closed form).
+    pub time_warp: bool,
 }
 
 /// A scheduled change to the machine pool.
@@ -222,6 +234,9 @@ pub struct RunReport {
     /// Control-plane health counters (all zero when the control-plane
     /// degradation layer is disabled).
     pub control_plane: ControlPlaneStats,
+    /// Ticks the time-warp fast path skipped in closed form (0 unless
+    /// [`ScenarioConfig::time_warp`] was enabled).
+    pub warp_ticks: u64,
 }
 
 impl RunReport {
@@ -272,17 +287,19 @@ fn record_failure(
     per_service: &mut BTreeMap<ServiceId, RequestOutcomes>,
     failure: &FailedRequest,
 ) {
+    // Per-request paths always carry count 1; aborted cohorts arrive as
+    // one aggregate record carrying their member count.
     match failure.kind {
         FailureKind::Removal => {
-            requests.record_removal_failure();
+            requests.record_removal_failures(failure.count);
             if let Some(out) = per_service.get_mut(&failure.service) {
-                out.record_removal_failure();
+                out.record_removal_failures(failure.count);
             }
         }
         FailureKind::Connection => {
-            requests.record_connection_failure();
+            requests.record_connection_failures(failure.count);
             if let Some(out) = per_service.get_mut(&failure.service) {
-                out.record_connection_failure();
+                out.record_connection_failures(failure.count);
             }
         }
     }
@@ -413,10 +430,15 @@ impl SimulationDriver {
             .collect();
 
         let mut events: EventQueue<Event> = EventQueue::new();
-        for (idx, process) in arrivals.iter_mut().enumerate() {
-            let first = process.next_arrival(SimTime::ZERO, &mut arrival_rngs[idx]);
-            if first < SimTime::MAX {
-                events.schedule(first, Event::Arrival(idx));
+        if !config.cohort_arrivals {
+            // Per-request mode: each service runs a thinned Poisson
+            // process of individual arrival events. Cohort mode draws a
+            // per-tick Poisson count inside the tick body instead.
+            for (idx, process) in arrivals.iter_mut().enumerate() {
+                let first = process.next_arrival(SimTime::ZERO, &mut arrival_rngs[idx]);
+                if first < SimTime::MAX {
+                    events.schedule(first, Event::Arrival(idx));
+                }
             }
         }
         events.schedule(SimTime::ZERO + config.scale_period, Event::Scale);
@@ -461,6 +483,9 @@ impl SimulationDriver {
         let mut engine = TickEngine::new(config.tick, horizon)?;
         let scale_period_secs = config.scale_period.as_secs();
         let mut tick_report = TickReport::default();
+        // Cohort-mode scratch (reused across ticks) and the warp tally.
+        let mut cohort_routes: Vec<(ContainerId, u64)> = Vec::new();
+        let mut warp_ticks = 0u64;
 
         engine.run(|now, dt| {
             // 0. Fault injection strikes at the start of the tick, in the
@@ -629,13 +654,73 @@ impl SimulationDriver {
                 }
             }
 
+            // 1b. Cohort-mode arrivals: one Poisson draw per service per
+            // tick, carried as a single flow cohort and waterfilled
+            // across replicas. The draw uses the same arrival/demand RNG
+            // streams as per-request mode (one count draw, one profile
+            // draw), so seeds stay comparable across services.
+            if config.cohort_arrivals {
+                let dt_secs = dt.as_secs();
+                for (idx, service) in config.services.iter().enumerate() {
+                    let mean = service.load.rate_at(now) * dt_secs;
+                    let n = arrival_rngs[idx].poisson(mean);
+                    if n == 0 {
+                        continue;
+                    }
+                    requests.record_issued_n(n);
+                    let outcomes = per_service.get_mut(&service.id).expect("known service");
+                    outcomes.record_issued_n(n);
+                    let cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
+                    cohort_routes.clear();
+                    let unrouted =
+                        balancer.route_cohort(&cluster, service.id, n, now, &mut cohort_routes);
+                    let mut routed_members = 0u64;
+                    let mut rejected_members = unrouted;
+                    for &(target, members) in cohort_routes.iter() {
+                        let mut share = cohort.clone();
+                        share.count = members;
+                        if cluster.admit_cohort(target, share, now).is_err() {
+                            rejected_members += members;
+                            requests.record_connection_failures(members);
+                            outcomes.record_connection_failures(members);
+                            // Feeds the replica's circuit breaker (no-op
+                            // for the live-mode balancer).
+                            balancer.record_failure(target, now, trace);
+                        } else {
+                            routed_members += members;
+                            balancer.record_success(target, now, trace);
+                        }
+                    }
+                    if unrouted > 0 {
+                        requests.record_connection_failures(unrouted);
+                        outcomes.record_connection_failures(unrouted);
+                    }
+                    balancer_deltas[idx].0 += routed_members;
+                    balancer_deltas[idx].1 += rejected_members;
+                    balancer_total.0 += routed_members;
+                    balancer_total.1 += rejected_members;
+                    if traced {
+                        trace.emit(
+                            now,
+                            EventKind::CohortFlow {
+                                service: service.id.index(),
+                                count: n,
+                                routed: routed_members,
+                                rejected: rejected_members,
+                            },
+                        );
+                    }
+                }
+            }
+
             // 2. Advance the resource model (reusing one report buffer
             // across ticks keeps the hot loop allocation-free).
             cluster.advance_into(now, dt, &mut tick_report);
+            let had_outcomes = !tick_report.completed.is_empty() || !tick_report.failed.is_empty();
             for done in tick_report.completed.drain(..) {
-                requests.record_completed(done.response_time.as_secs());
+                requests.record_completed_n(done.response_time.as_secs(), done.count);
                 if let Some(out) = per_service.get_mut(&done.service) {
-                    out.record_completed(done.response_time.as_secs());
+                    out.record_completed_n(done.response_time.as_secs(), done.count);
                 }
             }
             for failed in tick_report.failed.drain(..) {
@@ -650,6 +735,66 @@ impl SimulationDriver {
                 for (service, tracker) in availability.iter_mut() {
                     let up = ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
                     tracker.record_tick(dt_secs, up);
+                }
+            }
+
+            // 4. Time warp: when this tick ended with nothing in flight
+            // and nothing due before the next event boundary, advance the
+            // idle stretch in closed form and tell the engine to skip it.
+            // The boundary is the earliest of the next queued event (a
+            // Scale event is always queued), the next fault or recovery,
+            // and the horizon; in cohort mode the span is additionally
+            // shrunk until the load patterns are provably silent over it.
+            if config.time_warp && !had_outcomes && cluster.total_in_flight() == 0 {
+                let end = now + dt;
+                let mut boundary = events.peek_time().unwrap_or(horizon).min(horizon);
+                if let Some(due) = injector.next_due_time() {
+                    boundary = boundary.min(due);
+                }
+                if boundary > end {
+                    let dt_us = dt.as_micros().max(1);
+                    // Number of tick starts in [end, boundary): ticks
+                    // starting at or past the boundary must run normally.
+                    let mut k = (boundary - end).as_micros().div_ceil(dt_us);
+                    if config.cohort_arrivals {
+                        while k > 0 {
+                            let span_end = end + dt * k;
+                            let quiet = config
+                                .services
+                                .iter()
+                                .all(|s| s.load.max_rate_in(end, span_end) == 0.0);
+                            if quiet {
+                                break;
+                            }
+                            k /= 2;
+                        }
+                    }
+                    let warped = cluster.advance_warp(end, dt, k);
+                    if warped > 0 {
+                        warp_ticks += warped;
+                        if track_availability {
+                            // Liveness is constant across the warped span
+                            // (advance_warp clamps at startup
+                            // boundaries), so one roll call covers it.
+                            cluster.ready_replicas_into(end, &mut ready_counts);
+                            let span_secs = dt.as_secs() * warped as f64;
+                            for (service, tracker) in availability.iter_mut() {
+                                let up =
+                                    ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
+                                tracker.record_tick(span_secs, up);
+                            }
+                        }
+                        if traced {
+                            trace.emit(
+                                end,
+                                EventKind::TimeWarp {
+                                    ticks: warped,
+                                    span_us: dt.as_micros() * warped,
+                                },
+                            );
+                        }
+                        return TickOutcome::SkipAhead(warped);
+                    }
                 }
             }
             TickOutcome::Continue
@@ -669,7 +814,7 @@ impl SimulationDriver {
         // construction.
         if traced {
             let mut registry = MetricsRegistry::new();
-            let totals: [(&'static str, u64); 22] = [
+            let totals: [(&'static str, u64); 23] = [
                 ("requests.issued", requests.issued),
                 ("requests.completed", requests.completed),
                 ("failures.connection", requests.failures.connection),
@@ -722,6 +867,7 @@ impl SimulationDriver {
                     "controlplane.stale_vetoes",
                     control_plane_stats.stale_vetoes,
                 ),
+                ("timewarp.ticks_skipped", warp_ticks),
             ];
             for (name, value) in totals {
                 let id = registry.counter(name);
@@ -749,6 +895,7 @@ impl SimulationDriver {
                 .collect(),
             faults: injector.log(),
             control_plane: control_plane_stats,
+            warp_ticks,
         })
     }
 
@@ -786,6 +933,7 @@ impl SimulationDriver {
             }
             merged.faults += run.faults;
             merged.control_plane += run.control_plane;
+            merged.warp_ticks += run.warp_ticks;
             merged.seeds.push(seed);
         }
         Ok(merged)
@@ -882,6 +1030,8 @@ impl ScenarioBuilder {
                 // re-runs the whole suite with HYSCALE_PARALLELISM=4 to
                 // prove it; explicit .parallelism() still overrides.
                 parallelism: parallelism_from_env(),
+                cohort_arrivals: false,
+                time_warp: false,
             },
             next_service_index: 0,
         }
@@ -1008,6 +1158,21 @@ impl ScenarioBuilder {
     /// change wall-clock time.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.config.parallelism = workers;
+        self
+    }
+
+    /// Switches the workload to flow-cohort arrivals: one Poisson batch
+    /// per service per tick instead of individual arrival events. See
+    /// [`ScenarioConfig::cohort_arrivals`].
+    pub fn cohort_arrivals(mut self, on: bool) -> Self {
+        self.config.cohort_arrivals = on;
+        self
+    }
+
+    /// Enables closed-form skipping of provably idle tick stretches. See
+    /// [`ScenarioConfig::time_warp`].
+    pub fn time_warp(mut self, on: bool) -> Self {
+        self.config.time_warp = on;
         self
     }
 
@@ -1502,5 +1667,154 @@ mod tests {
         assert_eq!(config.hpa.target, 0.7);
         assert_eq!(config.hyscale.cpu_target, 0.6);
         assert!(config.validate().is_ok());
+    }
+
+    fn cohort_config(seed: u64, parallelism: usize) -> ScenarioConfig {
+        ScenarioBuilder::new("cohort")
+            .nodes(3)
+            .services(
+                2,
+                ServiceProfile::CpuBound,
+                LoadPattern::Constant { rate: 40.0 },
+            )
+            .duration_secs(60.0)
+            .algorithm(AlgorithmKind::HyScaleCpu)
+            .seed(seed)
+            .parallelism(parallelism)
+            .cohort_arrivals(true)
+            .build()
+    }
+
+    #[test]
+    fn cohort_mode_completes_requests_and_conserves_them() {
+        let report = SimulationDriver::run(&cohort_config(7, 1)).unwrap();
+        assert!(report.requests.issued > 1000, "{}", report.requests.issued);
+        assert!(report.requests.completed > 0);
+        // Every issued member is completed, failed, or still in flight at
+        // the horizon: outstanding() saturates at 0 on violation, so
+        // check the exact identity.
+        assert!(
+            report.requests.completed + report.requests.failures.total() <= report.requests.issued,
+            "overcounted outcomes: {:?}",
+            report.requests
+        );
+        let issued: u64 = report.per_service.values().map(|o| o.issued).sum();
+        assert_eq!(issued, report.requests.issued);
+    }
+
+    #[test]
+    fn cohort_mode_is_deterministic_and_parallelism_invariant() {
+        let digest = |report: &RunReport| {
+            (
+                report.requests.issued,
+                report.requests.completed,
+                report.requests.failures,
+                report.scaling,
+                report.requests.mean_response_secs().to_bits(),
+            )
+        };
+        let serial = SimulationDriver::run(&cohort_config(11, 1)).unwrap();
+        let serial_again = SimulationDriver::run(&cohort_config(11, 1)).unwrap();
+        let parallel = SimulationDriver::run(&cohort_config(11, 4)).unwrap();
+        assert_eq!(digest(&serial), digest(&serial_again));
+        assert_eq!(
+            digest(&serial),
+            digest(&parallel),
+            "cohort runs must be bit-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn time_warp_skips_idle_stretches_without_changing_outcomes() {
+        // A short burst then silence: most of the run is provably idle.
+        let build = |warp: bool| {
+            ScenarioBuilder::new("warp")
+                .nodes(2)
+                .services(
+                    1,
+                    ServiceProfile::CpuBound,
+                    LoadPattern::Burst {
+                        base: 0.0,
+                        peak: 30.0,
+                        period_secs: 600.0,
+                        duty: 0.05,
+                    },
+                )
+                .duration_secs(300.0)
+                .algorithm(AlgorithmKind::None)
+                .seed(3)
+                .cohort_arrivals(true)
+                .time_warp(warp)
+                .build()
+        };
+        let plain = SimulationDriver::run(&build(false)).unwrap();
+        let warped = SimulationDriver::run(&build(true)).unwrap();
+        assert_eq!(plain.warp_ticks, 0);
+        assert!(warped.warp_ticks > 100, "warped {}", warped.warp_ticks);
+        assert_eq!(plain.requests.issued, warped.requests.issued);
+        assert_eq!(plain.requests.completed, warped.requests.completed);
+        assert_eq!(plain.requests.failures, warped.requests.failures);
+        assert_eq!(
+            plain.requests.mean_response_secs().to_bits(),
+            warped.requests.mean_response_secs().to_bits(),
+            "warped runs must complete the same members at the same times"
+        );
+    }
+
+    #[test]
+    fn time_warp_is_safe_under_events_and_faults() {
+        use hyscale_cluster::FaultKind;
+        let build = |warp: bool| {
+            ScenarioBuilder::new("warp-chaos")
+                .nodes(3)
+                .services(
+                    1,
+                    ServiceProfile::CpuBound,
+                    LoadPattern::Burst {
+                        base: 0.0,
+                        peak: 20.0,
+                        period_secs: 120.0,
+                        duty: 0.1,
+                    },
+                )
+                .duration_secs(240.0)
+                .algorithm(AlgorithmKind::HyScaleCpu)
+                .seed(13)
+                .faults(FaultPlan::new().with(
+                    90.0,
+                    FaultKind::NodeCrash {
+                        node: 0,
+                        down_secs: 30.0,
+                    },
+                ))
+                .cohort_arrivals(true)
+                .time_warp(warp)
+                .build()
+        };
+        let plain = SimulationDriver::run(&build(false)).unwrap();
+        let warped = SimulationDriver::run(&build(true)).unwrap();
+        // Faults and arrivals land identically: the warp never jumps a
+        // fault boundary, and skipped ticks draw nothing (zero-rate
+        // Poisson draws consume no randomness). Completions are compared
+        // loosely only because scaling decisions read closed-form usage
+        // state that is not bitwise-identical to ticked decay.
+        assert_eq!(plain.faults.node_crashes, warped.faults.node_crashes);
+        assert_eq!(plain.faults.reboots, warped.faults.reboots);
+        assert_eq!(plain.requests.issued, warped.requests.issued);
+        assert!(warped.requests.completed > 0);
+        assert!(warped.warp_ticks > 0, "chaos run never warped");
+        // Availability observed the full horizon either way.
+        for (plain_a, warp_a) in plain
+            .availability
+            .values()
+            .zip(warped.availability.values())
+        {
+            assert!(
+                (plain_a.observed_secs - warp_a.observed_secs).abs() < 1e-6,
+                "warp lost wall-clock: {} vs {}",
+                plain_a.observed_secs,
+                warp_a.observed_secs
+            );
+        }
     }
 }

@@ -78,6 +78,32 @@ impl RequestOutcomes {
         self.failures.connection += 1;
     }
 
+    /// Records `n` requests issued at once (a cohort arrival batch).
+    pub fn record_issued_n(&mut self, n: u64) {
+        self.issued += n;
+    }
+
+    /// Records `n` completions sharing one response time — a cohort whose
+    /// members finished together. O(n): the summary retains every sample
+    /// so the distribution stays exact; cohort counts at the driver level
+    /// are per-tick batches, not the million-member bench cohorts.
+    pub fn record_completed_n(&mut self, response_secs: f64, n: u64) {
+        self.completed += n;
+        for _ in 0..n {
+            self.response_times.record(response_secs);
+        }
+    }
+
+    /// Records `n` removal failures at once.
+    pub fn record_removal_failures(&mut self, n: u64) {
+        self.failures.removal += n;
+    }
+
+    /// Records `n` connection failures at once.
+    pub fn record_connection_failures(&mut self, n: u64) {
+        self.failures.connection += n;
+    }
+
     /// Fraction of issued requests that failed, in percent (Fig. 6–8's
     /// "% requests failed"); 0.0 when nothing was issued.
     pub fn failed_pct(&self) -> f64 {
@@ -185,6 +211,37 @@ mod tests {
         o.record_issued();
         o.record_completed(0.5);
         assert_eq!(o.outstanding(), 1);
+    }
+
+    #[test]
+    fn batch_records_match_singles() {
+        let mut batched = RequestOutcomes::new();
+        batched.record_issued_n(10);
+        batched.record_completed_n(0.25, 6);
+        batched.record_connection_failures(3);
+        batched.record_removal_failures(1);
+
+        let mut single = RequestOutcomes::new();
+        for _ in 0..10 {
+            single.record_issued();
+        }
+        for _ in 0..6 {
+            single.record_completed(0.25);
+        }
+        for _ in 0..3 {
+            single.record_connection_failure();
+        }
+        single.record_removal_failure();
+
+        assert_eq!(batched.issued, single.issued);
+        assert_eq!(batched.completed, single.completed);
+        assert_eq!(batched.failures, single.failures);
+        assert_eq!(batched.outstanding(), 0);
+        assert_eq!(
+            batched.response_times.count(),
+            single.response_times.count()
+        );
+        assert_eq!(batched.mean_response_secs(), single.mean_response_secs());
     }
 
     #[test]

@@ -330,6 +330,26 @@ pub enum EventKind {
         /// Nodes the Monitor polls.
         total_nodes: u32,
     },
+    /// A batch of identical arrivals flowed through the balancer as one
+    /// cohort (cohort-arrival driver mode).
+    CohortFlow {
+        /// Numeric service id.
+        service: u32,
+        /// Members in the arrival batch.
+        count: u64,
+        /// Members the balancer placed on replicas.
+        routed: u64,
+        /// Members rejected: no live replica, open breakers, or full
+        /// queues.
+        rejected: u64,
+    },
+    /// The closed-form time warp skipped a run of idle ticks in one jump.
+    TimeWarp {
+        /// Whole ticks skipped.
+        ticks: u64,
+        /// Simulated microseconds the warp covered.
+        span_us: u64,
+    },
     /// A capacity-reducing action was vetoed because the service's view
     /// was older than the staleness budget.
     StaleVeto {
@@ -363,6 +383,8 @@ impl EventKind {
             EventKind::Actuation { .. } => "actuation",
             EventKind::Breaker { .. } => "breaker",
             EventKind::SafeMode { .. } => "safe_mode",
+            EventKind::CohortFlow { .. } => "cohort_flow",
+            EventKind::TimeWarp { .. } => "time_warp",
             EventKind::StaleVeto { .. } => "stale_veto",
         }
     }
@@ -485,6 +507,16 @@ mod tests {
                 entered: true,
                 fresh_nodes: 1,
                 total_nodes: 4,
+            },
+            EventKind::CohortFlow {
+                service: 0,
+                count: 1_000,
+                routed: 990,
+                rejected: 10,
+            },
+            EventKind::TimeWarp {
+                ticks: 48,
+                span_us: 4_800_000,
             },
             EventKind::StaleVeto {
                 algorithm: "hybrid",

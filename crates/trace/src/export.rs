@@ -216,6 +216,20 @@ fn jsonl_event(out: &mut String, event: &TraceEvent) {
                 ",\"entered\":{entered},\"fresh_nodes\":{fresh_nodes},\"total_nodes\":{total_nodes}"
             );
         }
+        EventKind::CohortFlow {
+            service,
+            count,
+            routed,
+            rejected,
+        } => {
+            let _ = write!(
+                out,
+                ",\"service\":{service},\"count\":{count},\"routed\":{routed},\"rejected\":{rejected}"
+            );
+        }
+        EventKind::TimeWarp { ticks, span_us } => {
+            let _ = write!(out, ",\"ticks\":{ticks},\"span_us\":{span_us}");
+        }
         EventKind::StaleVeto {
             algorithm,
             service,
@@ -473,6 +487,31 @@ pub fn csv(sink: &TraceSink) -> String {
                 total_nodes.to_string(),
                 String::new(),
             ),
+            EventKind::CohortFlow {
+                service,
+                count,
+                routed,
+                rejected,
+            } => (
+                String::new(),
+                String::new(),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                count.to_string(),
+                routed.to_string(),
+                rejected.to_string(),
+            ),
+            EventKind::TimeWarp { ticks, span_us } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                ticks.to_string(),
+                span_us.to_string(),
+                String::new(),
+            ),
             EventKind::StaleVeto {
                 algorithm,
                 service,
@@ -690,6 +729,16 @@ mod tests {
                 age_ticks: 2,
                 budget_ticks: 1,
             },
+            EventKind::CohortFlow {
+                service: 4,
+                count: 2_048,
+                routed: 2_000,
+                rejected: 48,
+            },
+            EventKind::TimeWarp {
+                ticks: 37,
+                span_us: 3_700_000,
+            },
         ];
         for kind in kinds {
             sink.emit(SimTime::from_secs(1.0), kind);
@@ -707,10 +756,14 @@ mod tests {
             "\"state\":\"open\",\"container\":6,\"until_us\":15000000",
             "\"entered\":true,\"fresh_nodes\":1,\"total_nodes\":4",
             "\"age_ticks\":2,\"budget_ticks\":1",
+            "\"ev\":\"cohort_flow\"",
+            "\"count\":2048,\"routed\":2000,\"rejected\":48",
+            "\"ev\":\"time_warp\"",
+            "\"ticks\":37,\"span_us\":3700000",
         ] {
             assert!(journal.contains(needle), "missing {needle} in {journal}");
         }
         let table = csv(&sink);
-        assert_eq!(table.lines().count(), 12);
+        assert_eq!(table.lines().count(), 14);
     }
 }

@@ -7,7 +7,7 @@
 //! construct one per microservice, then call
 //! [`ServiceSpec::make_request`] for each client arrival.
 
-use hyscale_cluster::{ContainerSpec, Cores, Mbps, MemMb, Request, ServiceId};
+use hyscale_cluster::{Cohort, ContainerSpec, Cores, Mbps, MemMb, Request, ServiceId};
 use hyscale_sim::{SimDuration, SimRng, SimTime};
 
 use crate::pattern::LoadPattern;
@@ -173,6 +173,19 @@ impl ServiceSpec {
         .with_disk(jitter(rng, self.disk_megabits_per_req))
         .with_timeout(self.timeout)
     }
+
+    /// Materializes a cohort of `count` identical requests arriving at
+    /// `arrival`. One jitter draw per demand dimension is shared by all
+    /// members — the cohort is a fluid batch of one flow, not `count`
+    /// independent samples — so building it consumes exactly as much of
+    /// the RNG stream as a single [`ServiceSpec::make_request`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn make_cohort(&self, arrival: SimTime, count: u64, rng: &mut SimRng) -> Cohort {
+        Cohort::from_request(&self.make_request(arrival, rng), count)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +265,23 @@ mod tests {
         let r = s.make_request(SimTime::ZERO, &mut rng);
         assert_eq!(r.timeout, SimDuration::from_secs(5.0));
         assert_eq!(r.service, ServiceId::new(3));
+    }
+
+    #[test]
+    fn make_cohort_matches_one_request_draw() {
+        let s = spec(ServiceProfile::Mixed);
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let r = s.make_request(SimTime::from_secs(2.0), &mut a);
+        let c = s.make_cohort(SimTime::from_secs(2.0), 1_000, &mut b);
+        assert_eq!(c.count, 1_000);
+        assert_eq!(c.cpu_secs, r.cpu_secs);
+        assert_eq!(c.mem, r.mem);
+        assert_eq!(c.megabits_out, r.megabits_out);
+        assert_eq!(c.disk_megabits, r.disk_megabits);
+        assert_eq!(c.timeout, r.timeout);
+        // RNG streams stay in lockstep afterwards.
+        assert_eq!(a.uniform_f64(), b.uniform_f64());
     }
 
     #[test]

@@ -440,3 +440,163 @@ fn rng_samples_stay_in_domain() {
         assert!(n < 7);
     }
 }
+
+// ---------------------------------------------------------------------
+// Flow-cohort member conservation
+// ---------------------------------------------------------------------
+
+use hyscale::cluster::{Cluster, ClusterConfig, Cohort, ContainerSpec, NodeSpec, TickReport};
+use hyscale::sim::SimDuration;
+
+/// Runs a randomized churn of cohort admissions, in-place splits, merges,
+/// and ticks, then drains the cluster. Returns
+/// `(issued, completed, failed, digest)` where the digest is an
+/// order-sensitive fold of every completion and failure.
+fn cohort_churn(seed: u64, workers: usize) -> (u64, u64, u64, u64) {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.set_parallelism(workers);
+    let mut containers = Vec::new();
+    for _ in 0..2 {
+        let node = cluster.add_node(NodeSpec::uniform_worker());
+        for c in 0..3u32 {
+            let spec = ContainerSpec::new(ServiceId::new(c))
+                .with_queue_cap(4096)
+                .with_startup_secs(0.0);
+            containers.push(
+                cluster
+                    .start_container(node, spec, SimTime::ZERO)
+                    .expect("placement fits"),
+            );
+        }
+    }
+
+    let mut rng = SimRng::seed_from(seed);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let mut report = TickReport::default();
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut digest = 0u64;
+
+    let drain = |cluster: &mut Cluster,
+                 report: &mut TickReport,
+                 completed: &mut u64,
+                 failed: &mut u64,
+                 digest: &mut u64| {
+        for done in report.completed.drain(..) {
+            *completed += done.count;
+            *digest = digest
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(done.id.index())
+                .wrapping_add(done.count)
+                .wrapping_add(done.response_time.as_secs().to_bits());
+        }
+        for gone in report.failed.drain(..) {
+            *failed += gone.count;
+            *digest = digest
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(gone.id.index())
+                .wrapping_add(gone.count.wrapping_mul(3));
+        }
+        *completed + *failed + cluster.total_in_flight()
+    };
+
+    for _ in 0..400 {
+        match rng.uniform_usize(8) {
+            0..=3 => {
+                let idx = rng.uniform_usize(containers.len());
+                let id = containers[idx];
+                let count = 1 + rng.uniform_usize(64) as u64;
+                let cpu = rng.uniform_range(0.001, 0.02);
+                let net = rng.uniform_range(0.0, 0.05);
+                let service = cluster.container(id).expect("live").spec().service;
+                let cohort = Cohort::new(service, now, count, cpu, MemMb(0.1), net);
+                if cluster.admit_cohort(id, cohort, now).is_ok() {
+                    issued += count;
+                }
+            }
+            4 => {
+                // Split a random resident cohort at a random point.
+                let idx = rng.uniform_usize(containers.len());
+                let id = containers[idx];
+                let slots = cluster.container(id).map_or(0, |c| c.cohort_count());
+                if slots > 0 {
+                    let slot = rng.uniform_usize(slots);
+                    let left = 1 + rng.uniform_usize(64) as u64;
+                    let _ = cluster.split_in_flight_cohort(id, slot, left);
+                }
+            }
+            5 => {
+                // Try to re-join two random slots (often refused —
+                // non-adjacent ids — which must also conserve members).
+                let idx = rng.uniform_usize(containers.len());
+                let id = containers[idx];
+                let slots = cluster.container(id).map_or(0, |c| c.cohort_count());
+                if slots > 1 {
+                    let i = rng.uniform_usize(slots);
+                    let j = rng.uniform_usize(slots);
+                    let _ = cluster.merge_in_flight_cohorts(id, i, j);
+                }
+            }
+            _ => {
+                cluster.advance_into(now, dt, &mut report);
+                let accounted = drain(
+                    &mut cluster,
+                    &mut report,
+                    &mut completed,
+                    &mut failed,
+                    &mut digest,
+                );
+                assert_eq!(accounted, issued, "conservation broke mid-churn");
+                now += dt;
+            }
+        }
+    }
+
+    // Drain to empty: default 30 s timeouts bound the tail, so every
+    // member must resolve well before the tick cap.
+    let mut guard = 0;
+    while cluster.total_in_flight() > 0 {
+        cluster.advance_into(now, dt, &mut report);
+        let accounted = drain(
+            &mut cluster,
+            &mut report,
+            &mut completed,
+            &mut failed,
+            &mut digest,
+        );
+        assert_eq!(accounted, issued, "conservation broke during drain");
+        now += dt;
+        guard += 1;
+        assert!(guard < 5_000, "drain did not converge");
+    }
+    (issued, completed, failed, digest)
+}
+
+#[test]
+fn cohort_churn_conserves_members_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let (issued, completed, failed, _) = cohort_churn(seed, 1);
+        assert!(issued > 1_000, "churn issued too little: {issued}");
+        assert_eq!(
+            issued,
+            completed + failed,
+            "seed {seed}: generated members must all complete or fail"
+        );
+    }
+}
+
+#[test]
+fn cohort_churn_is_bit_identical_across_worker_counts() {
+    for seed in [1u64, 7, 42] {
+        let serial = cohort_churn(seed, 1);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                serial,
+                cohort_churn(seed, workers),
+                "seed {seed}: {workers}-worker churn diverged from serial"
+            );
+        }
+    }
+}
