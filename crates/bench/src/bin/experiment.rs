@@ -1,0 +1,189 @@
+//! Declarative experiment harness: runs the `algorithms × rps ramp`
+//! grid described by a text config (see `experiments/sample.toml`) over
+//! a weighted scenario mix, and writes the comparison table to
+//! `results/experiment_<name>[_smoke].txt`.
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin experiment -- experiments/sample.toml
+//! cargo run --release -p hyscale-bench --bin experiment -- experiments/sample.toml --smoke
+//! cargo run --release -p hyscale-bench --bin experiment -- --selftest
+//! ```
+//!
+//! `--smoke` caps the simulated duration for CI; `--selftest` exercises
+//! the parser and one tiny run without reading any file.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use hyscale_bench::config::{parse, ExperimentSpec};
+use hyscale_bench::runner::sweep;
+use hyscale_metrics::{format_speedup, Table};
+
+/// The checked-in sample, embedded so `--selftest` needs no files.
+const SAMPLE: &str = include_str!("../../../../experiments/sample.toml");
+
+fn grid_table(spec: &ExperimentSpec, rows: &[(String, f64, hyscale_core::RunReport)]) -> Table {
+    // Speedup baseline: the first listed algorithm at the same rps step.
+    let baseline = spec.algorithms[0].label();
+    let mut table = Table::new(vec![
+        "run",
+        "rps",
+        "mean rt (ms)",
+        "p95 rt (ms)",
+        "failed %",
+        "avail %",
+        "scale actions",
+        "speedup vs first",
+        "state digest",
+    ]);
+    for (label, rps, report) in rows {
+        let base_mean = rows
+            .iter()
+            .find(|(l, r, _)| (r - rps).abs() < 1e-9 && l.contains(baseline))
+            .map(|(_, _, rep)| rep.requests.mean_response_secs())
+            .unwrap_or(0.0);
+        let r = &report.requests;
+        table.row(vec![
+            label.clone(),
+            format!("{rps:.0}"),
+            format!("{:.1}", report.mean_response_ms()),
+            format!("{:.1}", r.response_times.percentile(95.0) * 1e3),
+            format!("{:.2}", r.failed_pct()),
+            format!("{:.2}", r.availability_pct()),
+            report.scaling.total().to_string(),
+            format_speedup(base_mean, r.mean_response_secs()),
+            report
+                .state_digest
+                .map(|d| format!("{d:016x}"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    table
+}
+
+fn run_spec(spec: &ExperimentSpec, smoke: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let runs = spec.runs();
+    println!(
+        "[experiment '{}': {} algorithms x {} rps steps x {} scenario classes = {} runs]",
+        spec.name,
+        spec.algorithms.len(),
+        spec.ramp.steps().len(),
+        spec.scenarios.len(),
+        runs.len()
+    );
+    let pairs = runs
+        .iter()
+        .map(|r| (r.algorithm, r.config.clone()))
+        .collect();
+    let reports = sweep(pairs, &[spec.seed])?;
+    let rows: Vec<(String, f64, hyscale_core::RunReport)> = runs
+        .iter()
+        .zip(reports)
+        .map(|(run, row)| (run.label.clone(), run.rps, row.report))
+        .collect();
+
+    let mut out = String::new();
+    writeln!(out, "=== Experiment: {} ===", spec.name)?;
+    writeln!(
+        out,
+        "mix: {}",
+        spec.scenarios
+            .iter()
+            .map(|m| format!("{} {}% {}", m.name, m.weight, m.profile))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    writeln!(
+        out,
+        "ramp: {:.0} -> {:.0} rps in steps of {:.0}; {} nodes, {:.0} s each, seed {}",
+        spec.ramp.initial_rps,
+        spec.ramp.max_rps,
+        spec.ramp.increment_rps,
+        spec.nodes,
+        spec.duration_secs,
+        spec.seed
+    )?;
+    writeln!(out, "{}", grid_table(spec, &rows))?;
+    if let Some(snap) = &spec.snapshot {
+        writeln!(
+            out,
+            "snapshots: every {} ticks under {} (resume via ScenarioBuilder::resume_from)",
+            snap.every_ticks, snap.dir
+        )?;
+    }
+    print!("{out}");
+
+    let suffix = if smoke { "_smoke" } else { "" };
+    let path = format!("results/experiment_{}{suffix}.txt", spec.name);
+    if std::fs::create_dir_all("results").is_ok() {
+        std::fs::write(&path, &out)?;
+        println!("[written: {path}]");
+    }
+    Ok(())
+}
+
+fn selftest() -> Result<(), Box<dyn std::error::Error>> {
+    // The embedded sample must parse and expand.
+    let spec = parse(SAMPLE)?;
+    let runs = spec.runs();
+    assert_eq!(runs.len(), spec.algorithms.len() * spec.ramp.steps().len());
+
+    // Malformed input must come back as a descriptive error, not a panic.
+    let err = parse("[experiment]\nbogus = 1\n").expect_err("bad key must be rejected");
+    assert!(err.to_string().contains("line 2"), "error names the line");
+
+    // One tiny end-to-end run through the first grid cell.
+    let mut config = runs[0].config.clone();
+    config.duration = hyscale_sim::SimDuration::from_secs(20.0);
+    config.snapshot = None;
+    let report = hyscale_core::SimulationDriver::run(&config)?;
+    assert!(report.requests.issued > 0, "selftest run served traffic");
+    println!(
+        "[selftest: parser + {} grid cells + tiny run ok]",
+        runs.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--selftest") {
+        return match selftest() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("selftest failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: experiment <config.toml> [--smoke] | --selftest");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut spec = match parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if smoke {
+        spec.duration_secs = spec.duration_secs.min(30.0);
+        println!("[smoke: duration capped at {:.0} s]", spec.duration_secs);
+    }
+    match run_spec(&spec, smoke) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,851 @@
+//! Declarative experiment configs: a hand-rolled, dependency-free parser
+//! for a TOML-like text format describing weighted scenario mixes, rps
+//! ramps, and algorithm matrices, plus the expansion of one parsed spec
+//! into the concrete [`ScenarioConfig`] grid the `experiment` binary
+//! runs.
+//!
+//! The grammar is a strict subset of TOML:
+//!
+//! * `[experiment]`, `[ramp]`, `[snapshot]` — singleton sections;
+//! * `[[scenario]]` — repeatable, one per workload class in the mix;
+//! * `key = value` lines where a value is a number, a `"quoted string"`,
+//!   or a `["list", "of", "strings"]`;
+//! * `#` comments (full-line or trailing) and blank lines.
+//!
+//! Every parse failure is a descriptive [`ConfigError`] carrying the
+//! 1-based line number — malformed input must never panic.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use hyscale_core::{AlgorithmKind, ScenarioBuilder, ScenarioConfig};
+use hyscale_workload::{LoadPattern, ServiceProfile, ServiceSpec};
+
+/// A parse or validation failure, pointing at the offending line
+/// (`line == 0` for file-level problems such as a missing section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number, or 0 when no single line is to blame.
+    pub line: usize,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+impl ConfigError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ConfigError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn file(message: impl Into<String>) -> Self {
+        ConfigError::at(0, message)
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The rps ramp: total offered load starts at `initial_rps` and rises by
+/// `increment_rps` per step until it would exceed `max_rps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ramp {
+    /// Offered load of the first step, requests/s across the whole mix.
+    pub initial_rps: f64,
+    /// Additive step size, requests/s.
+    pub increment_rps: f64,
+    /// Inclusive ceiling on the offered load.
+    pub max_rps: f64,
+}
+
+impl Ramp {
+    /// The concrete rps steps the ramp expands to.
+    pub fn steps(&self) -> Vec<f64> {
+        let mut steps = Vec::new();
+        let mut rps = self.initial_rps;
+        while rps <= self.max_rps + 1e-9 {
+            steps.push(rps);
+            rps += self.increment_rps;
+        }
+        steps
+    }
+}
+
+/// One workload class in the weighted mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMix {
+    /// Human-readable class name (becomes the service name).
+    pub name: String,
+    /// Share of the total offered load, in percent. All weights in a
+    /// spec sum to exactly 100.
+    pub weight: u32,
+    /// The resource flavour of the class.
+    pub profile: ServiceProfile,
+}
+
+/// Optional snapshotting of every run in the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSpec {
+    /// Snapshot cadence in ticks.
+    pub every_ticks: u64,
+    /// Root directory; each run snapshots into its own subdirectory.
+    pub dir: String,
+}
+
+/// A fully parsed and validated experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (used in run labels and the results file).
+    pub name: String,
+    /// Base RNG seed shared by every run in the grid.
+    pub seed: u64,
+    /// Simulated duration per run, seconds.
+    pub duration_secs: f64,
+    /// Autoscaler decision period, seconds.
+    pub scale_period_secs: f64,
+    /// Worker node count.
+    pub nodes: usize,
+    /// Replicas per service at t = 0.
+    pub initial_replicas: usize,
+    /// The algorithms to sweep (the matrix's first axis).
+    pub algorithms: Vec<AlgorithmKind>,
+    /// The rps ramp (the matrix's second axis).
+    pub ramp: Ramp,
+    /// The weighted scenario mix every run serves.
+    pub scenarios: Vec<ScenarioMix>,
+    /// Optional snapshotting policy applied to every run.
+    pub snapshot: Option<SnapshotSpec>,
+}
+
+/// One cell of the experiment grid, ready to run.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Unique label, e.g. `sample-mix/hybrid/rps6`.
+    pub label: String,
+    /// The algorithm axis value.
+    pub algorithm: AlgorithmKind,
+    /// The offered-load axis value, requests/s.
+    pub rps: f64,
+    /// The concrete scenario.
+    pub config: ScenarioConfig,
+}
+
+impl ExperimentSpec {
+    /// Expands the spec into the full `algorithms × ramp steps` grid.
+    pub fn runs(&self) -> Vec<ExperimentRun> {
+        let mut runs = Vec::new();
+        for &algorithm in &self.algorithms {
+            for rps in self.ramp.steps() {
+                let label = format!("{}/{}/rps{rps:.0}", self.name, algorithm.label());
+                let mut builder = ScenarioBuilder::new(label.clone())
+                    .nodes(self.nodes)
+                    .duration_secs(self.duration_secs)
+                    .scale_period_secs(self.scale_period_secs)
+                    .initial_replicas(self.initial_replicas)
+                    .algorithm(algorithm)
+                    .seed(self.seed);
+                for (index, mix) in self.scenarios.iter().enumerate() {
+                    let rate = rps * f64::from(mix.weight) / 100.0;
+                    let mut spec = ServiceSpec::synthetic(
+                        index as u32,
+                        mix.profile,
+                        LoadPattern::Constant { rate },
+                    );
+                    spec.name = format!("{}-{}", mix.name, mix.profile);
+                    builder = builder.service(spec);
+                }
+                if let Some(snap) = &self.snapshot {
+                    let subdir = PathBuf::from(&snap.dir).join(label.replace('/', "_"));
+                    builder = builder.snapshot_every(snap.every_ticks, subdir);
+                }
+                runs.push(ExperimentRun {
+                    label,
+                    algorithm,
+                    rps,
+                    config: builder.build(),
+                });
+            }
+        }
+        runs
+    }
+}
+
+/// A parsed `key = value` right-hand side.
+enum Value {
+    Num(f64),
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "a number",
+            Value::Str(_) => "a quoted string",
+            Value::List(_) => "a list of strings",
+        }
+    }
+
+    fn num(&self, key: &str, line: usize) -> Result<f64, ConfigError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(ConfigError::at(
+                line,
+                format!("'{key}' must be a number, not {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn integer(&self, key: &str, line: usize) -> Result<u64, ConfigError> {
+        let n = self.num(key, line)?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(ConfigError::at(
+                line,
+                format!("'{key}' must be a non-negative integer, got {n}"),
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    fn string(&self, key: &str, line: usize) -> Result<String, ConfigError> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(ConfigError::at(
+                line,
+                format!("'{key}' must be a quoted string, not {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn list(&self, key: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::List(items) => Ok(items.clone()),
+            other => Err(ConfigError::at(
+                line,
+                format!(
+                    "'{key}' must be a [\"...\"] list of strings, not {}",
+                    other.type_name()
+                ),
+            )),
+        }
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(ConfigError::at(line, "missing value after '='"));
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(ConfigError::at(line, "unterminated string literal"));
+        };
+        if inner.contains('"') {
+            return Err(ConfigError::at(
+                line,
+                "stray '\"' inside string literal (escapes are not supported)",
+            ));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(ConfigError::at(line, "unterminated list (expected ']')"));
+        };
+        let inner = inner.trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in inner.split(',') {
+                match parse_value(item, line)? {
+                    Value::Str(s) => items.push(s),
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!(
+                                "lists may only contain quoted strings, found {}",
+                                other.type_name()
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    raw.parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| {
+            ConfigError::at(
+                line,
+                format!("expected a number, \"string\", or [\"...\"] list, got '{raw}'"),
+            )
+        })
+}
+
+fn parse_algorithm(label: &str, line: usize) -> Result<AlgorithmKind, ConfigError> {
+    AlgorithmKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = AlgorithmKind::ALL.iter().map(|k| k.label()).collect();
+            ConfigError::at(
+                line,
+                format!(
+                    "unknown algorithm '{label}' (expected one of {})",
+                    known.join(", ")
+                ),
+            )
+        })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    None,
+    Experiment,
+    Ramp,
+    Snapshot,
+    Scenario,
+}
+
+#[derive(Default)]
+struct ExperimentDraft {
+    name: Option<String>,
+    seed: Option<u64>,
+    duration_secs: Option<f64>,
+    scale_period_secs: Option<f64>,
+    nodes: Option<u64>,
+    initial_replicas: Option<u64>,
+    algorithms: Option<Vec<AlgorithmKind>>,
+}
+
+#[derive(Default)]
+struct RampDraft {
+    initial_rps: Option<f64>,
+    increment_rps: Option<f64>,
+    max_rps: Option<f64>,
+}
+
+#[derive(Default)]
+struct SnapshotDraft {
+    every_ticks: Option<u64>,
+    dir: Option<String>,
+}
+
+#[derive(Default)]
+struct ScenarioDraft {
+    line: usize,
+    name: Option<String>,
+    weight: Option<u64>,
+    profile: Option<ServiceProfile>,
+}
+
+fn require<T>(field: Option<T>, section: &str, key: &str, line: usize) -> Result<T, ConfigError> {
+    field.ok_or_else(|| ConfigError::at(line, format!("{section} is missing required key '{key}'")))
+}
+
+fn positive(value: f64, key: &str, line: usize) -> Result<f64, ConfigError> {
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ConfigError::at(
+            line,
+            format!("'{key}' must be positive, got {value}"),
+        ))
+    }
+}
+
+/// Parses and validates an experiment config.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the offending line for any syntax
+/// error, unknown section/key, type mismatch, missing required key, or
+/// failed cross-field validation (e.g. weights not summing to 100).
+pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
+    let mut section = Section::None;
+    let mut section_line = 0usize;
+    let mut experiment: Option<ExperimentDraft> = None;
+    let mut ramp: Option<RampDraft> = None;
+    let mut snapshot: Option<SnapshotDraft> = None;
+    let mut scenarios: Vec<ScenarioDraft> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = strip_comment(raw_line).trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(header) = content.strip_prefix("[[") {
+            let Some(name) = header.strip_suffix("]]") else {
+                return Err(ConfigError::at(line, "malformed section header"));
+            };
+            match name.trim() {
+                "scenario" => {
+                    section = Section::Scenario;
+                    section_line = line;
+                    scenarios.push(ScenarioDraft {
+                        line,
+                        ..ScenarioDraft::default()
+                    });
+                }
+                other => {
+                    return Err(ConfigError::at(
+                        line,
+                        format!("unknown repeated section '[[{other}]]' (expected [[scenario]])"),
+                    ))
+                }
+            }
+            continue;
+        }
+        if let Some(header) = content.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(ConfigError::at(line, "malformed section header"));
+            };
+            section_line = line;
+            section = match name.trim() {
+                "experiment" => {
+                    if experiment.is_some() {
+                        return Err(ConfigError::at(line, "duplicate [experiment] section"));
+                    }
+                    experiment = Some(ExperimentDraft::default());
+                    Section::Experiment
+                }
+                "ramp" => {
+                    if ramp.is_some() {
+                        return Err(ConfigError::at(line, "duplicate [ramp] section"));
+                    }
+                    ramp = Some(RampDraft::default());
+                    Section::Ramp
+                }
+                "snapshot" => {
+                    if snapshot.is_some() {
+                        return Err(ConfigError::at(line, "duplicate [snapshot] section"));
+                    }
+                    snapshot = Some(SnapshotDraft::default());
+                    Section::Snapshot
+                }
+                other => {
+                    return Err(ConfigError::at(
+                        line,
+                        format!(
+                            "unknown section '[{other}]' \
+                             (expected [experiment], [ramp], [snapshot], or [[scenario]])"
+                        ),
+                    ))
+                }
+            };
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else {
+            return Err(ConfigError::at(
+                line,
+                format!("expected 'key = value' or a section header, got '{content}'"),
+            ));
+        };
+        let key = key.trim();
+        let value = parse_value(value, line)?;
+        match section {
+            Section::None => {
+                return Err(ConfigError::at(
+                    line,
+                    format!("'{key}' appears before any section header"),
+                ))
+            }
+            Section::Experiment => {
+                let draft = experiment.as_mut().expect("section implies draft");
+                match key {
+                    "name" => draft.name = Some(value.string(key, line)?),
+                    "seed" => draft.seed = Some(value.integer(key, line)?),
+                    "duration_secs" => {
+                        draft.duration_secs = Some(positive(value.num(key, line)?, key, line)?)
+                    }
+                    "scale_period_secs" => {
+                        draft.scale_period_secs = Some(positive(value.num(key, line)?, key, line)?)
+                    }
+                    "nodes" => draft.nodes = Some(value.integer(key, line)?),
+                    "initial_replicas" => draft.initial_replicas = Some(value.integer(key, line)?),
+                    "algorithms" => {
+                        let labels = value.list(key, line)?;
+                        if labels.is_empty() {
+                            return Err(ConfigError::at(line, "'algorithms' must not be empty"));
+                        }
+                        let mut kinds = Vec::new();
+                        for label in &labels {
+                            let kind = parse_algorithm(label, line)?;
+                            if kinds.contains(&kind) {
+                                return Err(ConfigError::at(
+                                    line,
+                                    format!("algorithm '{label}' listed twice"),
+                                ));
+                            }
+                            kinds.push(kind);
+                        }
+                        draft.algorithms = Some(kinds);
+                    }
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!("unknown key '{other}' in [experiment]"),
+                        ))
+                    }
+                }
+            }
+            Section::Ramp => {
+                let draft = ramp.as_mut().expect("section implies draft");
+                match key {
+                    "initial_rps" => {
+                        draft.initial_rps = Some(positive(value.num(key, line)?, key, line)?)
+                    }
+                    "increment_rps" => {
+                        draft.increment_rps = Some(positive(value.num(key, line)?, key, line)?)
+                    }
+                    "max_rps" => draft.max_rps = Some(positive(value.num(key, line)?, key, line)?),
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!("unknown key '{other}' in [ramp]"),
+                        ))
+                    }
+                }
+            }
+            Section::Snapshot => {
+                let draft = snapshot.as_mut().expect("section implies draft");
+                match key {
+                    "every_ticks" => {
+                        let ticks = value.integer(key, line)?;
+                        if ticks == 0 {
+                            return Err(ConfigError::at(line, "'every_ticks' must be positive"));
+                        }
+                        draft.every_ticks = Some(ticks);
+                    }
+                    "dir" => draft.dir = Some(value.string(key, line)?),
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!("unknown key '{other}' in [snapshot]"),
+                        ))
+                    }
+                }
+            }
+            Section::Scenario => {
+                let draft = scenarios.last_mut().expect("section implies draft");
+                match key {
+                    "name" => draft.name = Some(value.string(key, line)?),
+                    "weight" => draft.weight = Some(value.integer(key, line)?),
+                    "profile" => {
+                        let label = value.string(key, line)?;
+                        draft.profile = Some(
+                            label
+                                .parse::<ServiceProfile>()
+                                .map_err(|e| ConfigError::at(line, e))?,
+                        );
+                    }
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!("unknown key '{other}' in [[scenario]]"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    let _ = section_line;
+
+    // Assemble + cross-validate.
+    let Some(draft) = experiment else {
+        return Err(ConfigError::file("missing required [experiment] section"));
+    };
+    let name = require(draft.name, "[experiment]", "name", 0)?;
+    if name.is_empty() {
+        return Err(ConfigError::file("'name' must not be empty"));
+    }
+    let Some(ramp_draft) = ramp else {
+        return Err(ConfigError::file("missing required [ramp] section"));
+    };
+    let ramp = Ramp {
+        initial_rps: require(ramp_draft.initial_rps, "[ramp]", "initial_rps", 0)?,
+        increment_rps: require(ramp_draft.increment_rps, "[ramp]", "increment_rps", 0)?,
+        max_rps: require(ramp_draft.max_rps, "[ramp]", "max_rps", 0)?,
+    };
+    if ramp.max_rps + 1e-9 < ramp.initial_rps {
+        return Err(ConfigError::file(format!(
+            "'max_rps' ({}) must be at least 'initial_rps' ({})",
+            ramp.max_rps, ramp.initial_rps
+        )));
+    }
+    if scenarios.is_empty() {
+        return Err(ConfigError::file(
+            "at least one [[scenario]] section is required",
+        ));
+    }
+    let mut mix = Vec::new();
+    for draft in scenarios {
+        let line = draft.line;
+        let weight = require(draft.weight, "[[scenario]]", "weight", line)?;
+        if weight == 0 || weight > 100 {
+            return Err(ConfigError::at(
+                line,
+                format!("'weight' must be in 1..=100, got {weight}"),
+            ));
+        }
+        mix.push(ScenarioMix {
+            name: require(draft.name, "[[scenario]]", "name", line)?,
+            weight: weight as u32,
+            profile: require(draft.profile, "[[scenario]]", "profile", line)?,
+        });
+    }
+    let total_weight: u32 = mix.iter().map(|m| m.weight).sum();
+    if total_weight != 100 {
+        return Err(ConfigError::file(format!(
+            "scenario weights must sum to exactly 100, got {total_weight}"
+        )));
+    }
+    let snapshot = match snapshot {
+        Some(draft) => Some(SnapshotSpec {
+            every_ticks: require(draft.every_ticks, "[snapshot]", "every_ticks", 0)?,
+            dir: require(draft.dir, "[snapshot]", "dir", 0)?,
+        }),
+        None => None,
+    };
+    let nodes = require(draft.nodes, "[experiment]", "nodes", 0)?;
+    if nodes == 0 {
+        return Err(ConfigError::file("'nodes' must be at least 1"));
+    }
+    Ok(ExperimentSpec {
+        name,
+        seed: draft.seed.unwrap_or(1),
+        duration_secs: require(draft.duration_secs, "[experiment]", "duration_secs", 0)?,
+        scale_period_secs: draft.scale_period_secs.unwrap_or(12.0),
+        nodes: nodes as usize,
+        initial_replicas: draft.initial_replicas.unwrap_or(1).max(1) as usize,
+        algorithms: require(draft.algorithms, "[experiment]", "algorithms", 0)?,
+        ramp,
+        scenarios: mix,
+        snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The checked-in sample, kept in sync with `experiments/sample.toml`.
+    pub(crate) const SAMPLE: &str = include_str!("../../../experiments/sample.toml");
+
+    #[test]
+    fn golden_sample_parses() {
+        let spec = parse(SAMPLE).expect("sample config parses");
+        assert_eq!(spec.name, "sample-mix");
+        assert_eq!(spec.nodes, 4);
+        assert_eq!(
+            spec.algorithms,
+            vec![AlgorithmKind::Kubernetes, AlgorithmKind::HyScaleCpu]
+        );
+        let weights: Vec<u32> = spec.scenarios.iter().map(|m| m.weight).collect();
+        assert_eq!(weights, vec![80, 15, 5]);
+        assert_eq!(spec.scenarios[0].profile, ServiceProfile::CpuBound);
+        assert_eq!(spec.scenarios[1].profile, ServiceProfile::Mixed);
+        assert_eq!(spec.scenarios[2].profile, ServiceProfile::NetBound);
+        assert_eq!(spec.ramp.steps(), vec![2.0, 4.0, 6.0]);
+        assert!(spec.snapshot.is_some());
+    }
+
+    #[test]
+    fn golden_sample_expands_to_full_grid() {
+        let spec = parse(SAMPLE).unwrap();
+        let runs = spec.runs();
+        assert_eq!(runs.len(), spec.algorithms.len() * spec.ramp.steps().len());
+        for run in &runs {
+            assert_eq!(run.config.services.len(), 3);
+            run.config.validate().expect("expanded config is valid");
+            // The weighted split reconstructs the total offered load.
+            let total: f64 = run
+                .config
+                .services
+                .iter()
+                .map(|s| match s.load {
+                    LoadPattern::Constant { rate } => rate,
+                    _ => panic!("mix services use constant load"),
+                })
+                .sum();
+            assert!((total - run.rps).abs() < 1e-9);
+            // Per-run snapshot dirs must not collide.
+            let dir = run.config.snapshot.as_ref().unwrap().dir.clone();
+            assert!(dir.to_string_lossy().contains(&run.label.replace('/', "_")));
+        }
+    }
+
+    #[test]
+    fn minimal_config_applies_defaults() {
+        let spec = parse(
+            r#"
+            [experiment]
+            name = "tiny"
+            duration_secs = 30
+            nodes = 2
+            algorithms = ["hybrid"]
+            [ramp]
+            initial_rps = 1
+            increment_rps = 1
+            max_rps = 1
+            [[scenario]]
+            name = "only"
+            weight = 100
+            profile = "mem-bound"
+            "#,
+        )
+        .expect("minimal config parses");
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.scale_period_secs, 12.0);
+        assert_eq!(spec.initial_replicas, 1);
+        assert!(spec.snapshot.is_none());
+        assert_eq!(spec.ramp.steps(), vec![1.0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = parse(
+            "# leading comment\n\n[experiment]\nname = \"c\" # trailing\nduration_secs = 1\nnodes = 1\nalgorithms = [\"network\"]\n[ramp]\ninitial_rps = 1\nincrement_rps = 1\nmax_rps = 2\n[[scenario]]\nname = \"a # not a comment\"\nweight = 100\nprofile = \"mixed\"\n",
+        )
+        .expect("commented config parses");
+        assert_eq!(spec.scenarios[0].name, "a # not a comment");
+        assert_eq!(spec.ramp.steps(), vec![1.0, 2.0]);
+    }
+
+    fn err_of(text: &str) -> ConfigError {
+        parse(text).expect_err("config must be rejected")
+    }
+
+    #[test]
+    fn malformed_inputs_give_descriptive_line_errors() {
+        // (input, line, message fragment) triples.
+        let cases: Vec<(&str, usize, &str)> = vec![
+            ("[experiment\nname = \"x\"", 1, "malformed section header"),
+            ("[mystery]\n", 1, "unknown section"),
+            ("[[mystery]]\n", 1, "unknown repeated section"),
+            ("name = \"x\"\n", 1, "before any section header"),
+            ("[experiment]\nbogus = 1\n", 2, "unknown key 'bogus'"),
+            ("[experiment]\nname = unquoted\n", 2, "expected a number"),
+            ("[experiment]\nname = \"open\n", 2, "unterminated string"),
+            (
+                "[experiment]\nalgorithms = [\"hybrid\"\n",
+                2,
+                "unterminated list",
+            ),
+            (
+                "[experiment]\nalgorithms = [\"warp-drive\"]\n",
+                2,
+                "unknown algorithm 'warp-drive'",
+            ),
+            ("[experiment]\nseed = -4\n", 2, "non-negative integer"),
+            ("[experiment]\nnodes = 2.5\n", 2, "non-negative integer"),
+            ("[experiment]\nname = 7\n", 2, "must be a quoted string"),
+            ("[ramp]\ninitial_rps = 0\n", 2, "must be positive"),
+            ("[experiment]\njust a line\n", 2, "expected 'key = value'"),
+            (
+                "[snapshot]\nevery_ticks = 0\n",
+                2,
+                "'every_ticks' must be positive",
+            ),
+            (
+                "[[scenario]]\nprofile = \"gpu-bound\"\n",
+                2,
+                "unknown service profile 'gpu-bound'",
+            ),
+        ];
+        for (text, line, fragment) in cases {
+            let err = err_of(text);
+            assert_eq!(err.line, line, "wrong line for {text:?}: {err}");
+            assert!(
+                err.message.contains(fragment),
+                "error for {text:?} should mention '{fragment}', got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_field_validation_is_enforced() {
+        let base = |weights: &[u32]| {
+            let mut text = String::from(
+                "[experiment]\nname = \"w\"\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 1\nincrement_rps = 1\nmax_rps = 2\n",
+            );
+            for (i, w) in weights.iter().enumerate() {
+                text.push_str(&format!(
+                    "[[scenario]]\nname = \"s{i}\"\nweight = {w}\nprofile = \"mixed\"\n"
+                ));
+            }
+            text
+        };
+        let err = err_of(&base(&[60, 30]));
+        assert!(err.message.contains("sum to exactly 100"), "{err}");
+        let err = err_of(&base(&[]));
+        assert!(err.message.contains("at least one [[scenario]]"), "{err}");
+        let err = err_of(
+            "[experiment]\nname = \"w\"\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 5\nincrement_rps = 1\nmax_rps = 2\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
+        );
+        assert!(err.message.contains("'max_rps'"), "{err}");
+        let err = err_of("[ramp]\ninitial_rps = 1\n");
+        assert!(
+            err.message.contains("missing required [experiment]"),
+            "{err}"
+        );
+        let err = err_of("[experiment]\nname = \"w\"\n[experiment]\n");
+        assert!(err.message.contains("duplicate [experiment]"), "{err}");
+        let err = err_of(
+            "[experiment]\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 1\nincrement_rps = 1\nmax_rps = 1\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
+        );
+        assert!(err.message.contains("missing required key 'name'"), "{err}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        // Assorted hostile inputs: all must return Err, never panic.
+        for garbage in [
+            "",
+            "=",
+            "= =",
+            "[",
+            "]",
+            "[[",
+            "[[]]",
+            "[]",
+            "\u{0}\u{1}\u{2}",
+            "[experiment]\n= 3",
+            "[experiment]\nname =",
+            "[experiment]\nalgorithms = [3]",
+            "[experiment]\nalgorithms = [\"a\", 3]",
+            "[experiment]\nseed = 999999999999999999999999",
+            "[experiment]\nseed = nan",
+            "[experiment]\nseed = inf",
+        ] {
+            assert!(parse(garbage).is_err(), "garbage accepted: {garbage:?}");
+        }
+    }
+}

@@ -25,7 +25,7 @@
 use std::ops::Range;
 
 use hyscale_exec::WorkerPool;
-use hyscale_sim::{SimDuration, SimTime};
+use hyscale_sim::{SimDuration, SimTime, SnapReader, SnapWriter, SnapshotError};
 
 use crate::cohort::Cohort;
 use crate::container::{Container, ContainerSpec, ContainerState};
@@ -251,6 +251,85 @@ impl Cluster {
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Serializes the cluster's full mutable state: every node with its
+    /// container slots (replica table, in-flight requests, `CohortTable`
+    /// columns, usage accumulators), the container location table, and
+    /// the three id-allocator cursors.
+    ///
+    /// Derived per-tick state (scratch buffers, partitions, replica
+    /// counts) and the worker pool are *not* written: the pool respawns
+    /// lazily on the first parallel `advance` after a restore, and the
+    /// scratch is rebuilt every tick.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            node.snapshot_write(w);
+        }
+        w.put_usize(self.locs.len());
+        for loc in &self.locs {
+            w.put_u32(loc.node);
+            w.put_u32(loc.slot);
+        }
+        w.put_u64(self.node_ids.cursor());
+        w.put_u64(self.container_ids.cursor());
+        w.put_u64(self.request_ids.cursor());
+    }
+
+    /// Overlays state captured by [`Cluster::snapshot_write`] onto this
+    /// cluster, replacing its nodes, location table, and id cursors.
+    ///
+    /// Call on a cluster built from the same configuration the snapshot
+    /// was taken under (same overhead model, same parallelism setup);
+    /// the worker pool is reconstructed lazily and need not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from a truncated or corrupt payload; the
+    /// cluster is left untouched on error.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(Node::snapshot_read(r)?);
+        }
+        let n = r.get_usize()?;
+        let mut locs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = r.get_u32()?;
+            let slot = r.get_u32()?;
+            locs.push(ContainerLoc { node, slot });
+        }
+        for loc in &locs {
+            let Some(node) = nodes.get(loc.node as usize) else {
+                return Err(SnapshotError::Corrupt(format!(
+                    "container location points at missing node {}",
+                    loc.node
+                )));
+            };
+            if loc.slot as usize >= node.slots.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "container location points at missing slot {} of node {}",
+                    loc.slot, loc.node
+                )));
+            }
+        }
+        let node_cursor = r.get_u64()?;
+        let container_cursor = r.get_u64()?;
+        let request_cursor = r.get_u64()?;
+        if locs.len() as u64 != container_cursor {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} container locations but container cursor {container_cursor}",
+                locs.len()
+            )));
+        }
+        self.nodes = nodes;
+        self.locs = locs;
+        self.node_ids.set_cursor(node_cursor);
+        self.container_ids.set_cursor(container_cursor);
+        self.request_ids.set_cursor(request_cursor);
+        Ok(())
     }
 
     /// Sets how many OS threads [`Cluster::advance`] may use to tick nodes

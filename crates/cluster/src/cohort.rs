@@ -15,7 +15,7 @@
 //! `cluster.rs` iterates as flat arrays — no pointer chasing through
 //! per-request objects.
 
-use hyscale_sim::{SimDuration, SimTime};
+use hyscale_sim::{SimDuration, SimTime, SnapReader, SnapWriter, SnapshotError};
 
 use crate::ids::{RequestId, ServiceId};
 use crate::request::Request;
@@ -300,6 +300,48 @@ impl CohortTable {
     /// The member request-id range of slot `i`.
     pub fn id_range(&self, i: usize) -> (RequestId, u64) {
         (RequestId::new(self.id_base[i]), self.count[i])
+    }
+
+    /// Serializes every column slot-by-slot (snapshot support).
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_usize(self.len());
+        for i in 0..self.len() {
+            w.put_u64(self.id_base[i]);
+            w.put_u64(self.count[i]);
+            w.put_u32(self.service[i].index());
+            w.put_u64(self.arrival[i].as_micros());
+            w.put_u64(self.deadline[i].as_micros());
+            w.put_f64(self.cpu_rem[i]);
+            w.put_f64(self.net_rem[i]);
+            w.put_f64(self.disk_rem[i]);
+            w.put_f64(self.mem_per[i]);
+        }
+    }
+
+    /// Rebuilds a table from [`CohortTable::snapshot_write`] output. The
+    /// member total is recomputed from the restored counts.
+    pub fn snapshot_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.get_usize()?;
+        let mut t = CohortTable::default();
+        for _ in 0..len {
+            t.id_base.push(r.get_u64()?);
+            let count = r.get_u64()?;
+            if count == 0 {
+                return Err(SnapshotError::Corrupt(
+                    "cohort slot with zero members".into(),
+                ));
+            }
+            t.count.push(count);
+            t.service.push(ServiceId::new(r.get_u32()?));
+            t.arrival.push(SimTime::from_micros(r.get_u64()?));
+            t.deadline.push(SimTime::from_micros(r.get_u64()?));
+            t.cpu_rem.push(r.get_f64()?);
+            t.net_rem.push(r.get_f64()?);
+            t.disk_rem.push(r.get_f64()?);
+            t.mem_per.push(r.get_f64()?);
+            t.members += count;
+        }
+        Ok(t)
     }
 }
 

@@ -7,7 +7,7 @@
 //! application overhead — the image plus JVM-like resident set and a base
 //! CPU tax — that makes horizontal scaling non-free (Sec. III-A/B).
 
-use hyscale_sim::SimTime;
+use hyscale_sim::{SimTime, SnapReader, SnapWriter, SnapshotError};
 
 use crate::cohort::CohortTable;
 use crate::ids::{ContainerId, NodeId, ServiceId};
@@ -245,6 +245,109 @@ pub struct Container {
 }
 
 impl Container {
+    /// Serializes the full replica state — spec, lifecycle, in-flight
+    /// requests, cohorts, usage accumulators (snapshot support).
+    pub(crate) fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_u32(self.id.index());
+        w.put_u32(self.node.index());
+        // Spec, field by field.
+        w.put_u32(self.spec.service.index());
+        w.put_f64(self.spec.cpu_request.get());
+        w.put_f64(self.spec.mem_limit.get());
+        w.put_f64(self.spec.net_request.get());
+        w.put_opt_f64(self.spec.net_cap.map(|c| c.get()));
+        w.put_f64(self.spec.base_cpu.get());
+        w.put_f64(self.spec.base_mem.get());
+        w.put_f64(self.spec.mem_per_rps.get());
+        w.put_usize(self.spec.queue_cap);
+        match self.spec.net_flow_pool {
+            Some(n) => {
+                w.put_bool(true);
+                w.put_usize(n);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_f64(self.spec.startup_secs);
+        w.put_f64(self.spec.coordination_secs);
+        w.put_bool(self.spec.antagonist);
+        // Lifecycle.
+        w.put_u8(match self.state {
+            ContainerState::Starting => 0,
+            ContainerState::Running => 1,
+            ContainerState::Removed => 2,
+        });
+        w.put_u64(self.ready_at.as_micros());
+        // In-flight per-request state.
+        w.put_usize(self.in_flight.len());
+        for inf in &self.in_flight {
+            inf.snapshot_write(w);
+        }
+        self.cohorts.snapshot_write(w);
+        w.put_f64(self.cpu_used_total);
+        w.put_f64(self.megabits_sent_total);
+        w.put_f64(self.throughput_ewma);
+        self.window.snapshot_write(w);
+    }
+
+    /// Rebuilds a replica from [`Container::snapshot_write`] output.
+    ///
+    /// Unlike [`Container::new`], this does not restart the startup
+    /// clock: the snapshotted `state` and `ready_at` are reinstated
+    /// verbatim.
+    pub(crate) fn snapshot_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let id = ContainerId::new(r.get_u32()?);
+        let node = NodeId::new(r.get_u32()?);
+        let spec = ContainerSpec {
+            service: ServiceId::new(r.get_u32()?),
+            cpu_request: Cores(r.get_f64()?),
+            mem_limit: MemMb(r.get_f64()?),
+            net_request: Mbps(r.get_f64()?),
+            net_cap: r.get_opt_f64()?.map(Mbps),
+            base_cpu: Cores(r.get_f64()?),
+            base_mem: MemMb(r.get_f64()?),
+            mem_per_rps: MemMb(r.get_f64()?),
+            queue_cap: r.get_usize()?,
+            net_flow_pool: if r.get_bool()? {
+                Some(r.get_usize()?)
+            } else {
+                None
+            },
+            startup_secs: r.get_f64()?,
+            coordination_secs: r.get_f64()?,
+            antagonist: r.get_bool()?,
+        };
+        let state = match r.get_u8()? {
+            0 => ContainerState::Starting,
+            1 => ContainerState::Running,
+            2 => ContainerState::Removed,
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown container state tag {other}"
+                )))
+            }
+        };
+        let ready_at = SimTime::from_micros(r.get_u64()?);
+        let n = r.get_usize()?;
+        let mut in_flight = Vec::with_capacity(n);
+        for _ in 0..n {
+            in_flight.push(InFlight::snapshot_read(r)?);
+        }
+        let cohorts = CohortTable::snapshot_read(r)?;
+        Ok(Container {
+            id,
+            node,
+            spec,
+            state,
+            ready_at,
+            in_flight,
+            cohorts,
+            cpu_used_total: r.get_f64()?,
+            megabits_sent_total: r.get_f64()?,
+            throughput_ewma: r.get_f64()?,
+            window: UsageWindow::snapshot_read(r)?,
+        })
+    }
+
     pub(crate) fn new(id: ContainerId, node: NodeId, spec: ContainerSpec, now: SimTime) -> Self {
         let ready_at = now + hyscale_sim::SimDuration::from_secs(spec.startup_secs);
         Container {

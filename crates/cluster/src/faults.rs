@@ -24,7 +24,7 @@
 //! never inside the parallel per-node tick workers, so the determinism
 //! guarantee of [`Cluster::set_parallelism`] carries over unchanged.
 
-use hyscale_sim::{SimDuration, SimRng, SimTime};
+use hyscale_sim::{SimDuration, SimRng, SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{EventKind, FaultTag, TraceSink};
 
 use crate::cluster::Cluster;
@@ -348,6 +348,92 @@ impl FaultInjector {
             node_ids: node_ids.to_vec(),
             log: FaultLog::default(),
         }
+    }
+
+    /// Serializes the injector's mutable state: schedule progress, owed
+    /// recoveries, live stat outages, and the fault log (snapshot
+    /// support). The schedule itself and the node mapping are *not*
+    /// written — they are rebuilt deterministically from the scenario's
+    /// `FaultPlan` before [`FaultInjector::snapshot_restore`] overlays
+    /// this state.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_usize(self.cursor);
+        w.put_usize(self.pending.len());
+        for &(at, recovery) in &self.pending {
+            w.put_u64(at.as_micros());
+            match recovery {
+                Recovery::Reboot(node) => {
+                    w.put_u8(0);
+                    w.put_u32(node.index());
+                }
+                Recovery::NicRestore(node) => {
+                    w.put_u8(1);
+                    w.put_u32(node.index());
+                }
+            }
+        }
+        w.put_usize(self.outages.len());
+        for &(node, until) in &self.outages {
+            w.put_u32(node.index());
+            w.put_u64(until.as_micros());
+        }
+        w.put_u64(self.log.node_crashes);
+        w.put_u64(self.log.reboots);
+        w.put_u64(self.log.oom_kills);
+        w.put_u64(self.log.nic_degradations);
+        w.put_u64(self.log.stat_outages);
+        w.put_u64(self.log.skipped);
+    }
+
+    /// Overlays state captured by [`FaultInjector::snapshot_write`] onto
+    /// a freshly rebuilt injector (same plan, same node list).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] / [`SnapshotError::Corrupt`] if the
+    /// payload under-runs or the cursor exceeds the schedule length.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let cursor = r.get_usize()?;
+        if cursor > self.schedule.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "fault cursor {cursor} exceeds schedule length {}",
+                self.schedule.len()
+            )));
+        }
+        let n = r.get_usize()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::from_micros(r.get_u64()?);
+            let recovery = match r.get_u8()? {
+                0 => Recovery::Reboot(NodeId::new(r.get_u32()?)),
+                1 => Recovery::NicRestore(NodeId::new(r.get_u32()?)),
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "unknown recovery tag {other}"
+                    )))
+                }
+            };
+            pending.push((at, recovery));
+        }
+        let n = r.get_usize()?;
+        let mut outages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = NodeId::new(r.get_u32()?);
+            let until = SimTime::from_micros(r.get_u64()?);
+            outages.push((node, until));
+        }
+        self.cursor = cursor;
+        self.pending = pending;
+        self.outages = outages;
+        self.log = FaultLog {
+            node_crashes: r.get_u64()?,
+            reboots: r.get_u64()?,
+            oom_kills: r.get_u64()?,
+            nic_degradations: r.get_u64()?,
+            stat_outages: r.get_u64()?,
+            skipped: r.get_u64()?,
+        };
+        Ok(())
     }
 
     /// Applies every fault and recovery due at or before `now`, returning

@@ -93,6 +93,18 @@ pub(crate) struct IdAllocator {
 }
 
 impl IdAllocator {
+    /// The next id this allocator would hand out (snapshot support).
+    pub(crate) fn cursor(&self) -> u64 {
+        self.next
+    }
+
+    /// Restores the allocation cursor from a snapshot. The allocator
+    /// resumes exactly where the snapshotted one stopped, so no id is
+    /// ever reissued across a restore.
+    pub(crate) fn set_cursor(&mut self, next: u64) {
+        self.next = next;
+    }
+
     pub(crate) fn next_u32(&mut self) -> u32 {
         let id = self.next;
         self.next += 1;

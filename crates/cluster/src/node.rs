@@ -1,5 +1,7 @@
 //! Physical nodes (machines) of the simulated cluster.
 
+use hyscale_sim::{SnapReader, SnapWriter, SnapshotError};
+
 use crate::container::Container;
 use crate::ids::{ContainerId, NodeId};
 use crate::{Cores, Mbps, MemMb};
@@ -155,6 +157,57 @@ impl Node {
 
     pub(crate) fn set_nic_factor(&mut self, factor: f64) {
         self.nic_factor = factor.clamp(0.0, 1.0);
+    }
+
+    /// Serializes the machine and every container slot it hosts
+    /// (snapshot support).
+    pub(crate) fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_u32(self.id.index());
+        w.put_f64(self.spec.cores.get());
+        w.put_f64(self.spec.memory.get());
+        w.put_f64(self.spec.nic.get());
+        w.put_f64(self.spec.disk.get());
+        w.put_usize(self.containers.len());
+        for &c in &self.containers {
+            w.put_u32(c.index());
+        }
+        w.put_usize(self.slots.len());
+        for slot in &self.slots {
+            slot.snapshot_write(w);
+        }
+        w.put_bool(self.decommissioned);
+        w.put_bool(self.offline);
+        w.put_f64(self.nic_factor);
+    }
+
+    /// Rebuilds a machine from [`Node::snapshot_write`] output.
+    pub(crate) fn snapshot_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let id = NodeId::new(r.get_u32()?);
+        let spec = NodeSpec {
+            cores: Cores(r.get_f64()?),
+            memory: MemMb(r.get_f64()?),
+            nic: Mbps(r.get_f64()?),
+            disk: Mbps(r.get_f64()?),
+        };
+        let n = r.get_usize()?;
+        let mut containers = Vec::with_capacity(n);
+        for _ in 0..n {
+            containers.push(ContainerId::new(r.get_u32()?));
+        }
+        let n = r.get_usize()?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(Container::snapshot_read(r)?);
+        }
+        Ok(Node {
+            id,
+            spec,
+            containers,
+            slots,
+            decommissioned: r.get_bool()?,
+            offline: r.get_bool()?,
+            nic_factor: r.get_f64()?,
+        })
     }
 }
 

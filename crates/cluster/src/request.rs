@@ -7,7 +7,7 @@
 //! and disk bytes are all done; its response time is completion minus
 //! arrival plus the service's replica fan-out latency.
 
-use hyscale_sim::{SimDuration, SimTime};
+use hyscale_sim::{SimDuration, SimTime, SnapReader, SnapWriter, SnapshotError};
 
 use crate::ids::{ContainerId, RequestId, ServiceId};
 use crate::MemMb;
@@ -158,6 +158,45 @@ impl InFlight {
         self.cpu_remaining <= 1e-12
             && self.megabits_remaining <= 1e-9
             && self.disk_remaining <= 1e-9
+    }
+
+    /// Serializes this record, including the full request profile
+    /// (snapshot support).
+    pub(crate) fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id.index());
+        w.put_u32(self.request.service.index());
+        w.put_u64(self.request.arrival.as_micros());
+        w.put_f64(self.request.cpu_secs);
+        w.put_f64(self.request.mem.get());
+        w.put_f64(self.request.megabits_out);
+        w.put_f64(self.request.disk_megabits);
+        w.put_u64(self.request.timeout.as_micros());
+        w.put_u64(self.admitted.as_micros());
+        w.put_f64(self.cpu_remaining);
+        w.put_f64(self.megabits_remaining);
+        w.put_f64(self.disk_remaining);
+    }
+
+    /// Rebuilds a record from [`InFlight::snapshot_write`] output.
+    pub(crate) fn snapshot_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let id = RequestId::new(r.get_u64()?);
+        let request = Request {
+            service: ServiceId::new(r.get_u32()?),
+            arrival: SimTime::from_micros(r.get_u64()?),
+            cpu_secs: r.get_f64()?,
+            mem: MemMb(r.get_f64()?),
+            megabits_out: r.get_f64()?,
+            disk_megabits: r.get_f64()?,
+            timeout: SimDuration::from_micros(r.get_u64()?),
+        };
+        Ok(InFlight {
+            id,
+            request,
+            admitted: SimTime::from_micros(r.get_u64()?),
+            cpu_remaining: r.get_f64()?,
+            megabits_remaining: r.get_f64()?,
+            disk_remaining: r.get_f64()?,
+        })
     }
 
     pub(crate) fn wants_cpu(&self) -> bool {

@@ -141,6 +141,32 @@ impl UsageWindow {
     pub fn elapsed_secs(&self) -> f64 {
         self.elapsed_secs
     }
+
+    /// Serializes the accumulator fields (snapshot support).
+    pub(crate) fn snapshot_write(&self, w: &mut hyscale_sim::SnapWriter) {
+        w.put_f64(self.cpu_core_secs);
+        w.put_f64(self.megabits);
+        w.put_f64(self.disk_megabits);
+        w.put_f64(self.elapsed_secs);
+        w.put_f64(self.last_mem);
+        w.put_usize(self.last_in_flight);
+        w.put_bool(self.swapped);
+    }
+
+    /// Rebuilds a window from [`UsageWindow::snapshot_write`] output.
+    pub(crate) fn snapshot_read(
+        r: &mut hyscale_sim::SnapReader<'_>,
+    ) -> Result<Self, hyscale_sim::SnapshotError> {
+        Ok(UsageWindow {
+            cpu_core_secs: r.get_f64()?,
+            megabits: r.get_f64()?,
+            disk_megabits: r.get_f64()?,
+            elapsed_secs: r.get_f64()?,
+            last_mem: r.get_f64()?,
+            last_in_flight: r.get_usize()?,
+            swapped: r.get_bool()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -539,6 +539,14 @@ impl Autoscaler for HyScaleCpu {
     fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
         self.engine.decide_traced(view, trace)
     }
+
+    fn gate_entries(&self) -> Vec<(u32, u64)> {
+        self.engine.gate.entries()
+    }
+
+    fn restore_gate(&mut self, entries: &[(u32, u64)]) {
+        self.engine.gate.restore_entries(entries);
+    }
 }
 
 /// HyScaleCPU+Mem: the hybrid autoscaler on CPU *and* memory
@@ -578,6 +586,14 @@ impl Autoscaler for HyScaleCpuMem {
 
     fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
         self.engine.decide_traced(view, trace)
+    }
+
+    fn gate_entries(&self) -> Vec<(u32, u64)> {
+        self.engine.gate.entries()
+    }
+
+    fn restore_gate(&mut self, entries: &[(u32, u64)]) {
+        self.engine.gate.restore_entries(entries);
     }
 }
 

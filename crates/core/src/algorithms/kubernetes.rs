@@ -274,6 +274,14 @@ impl Autoscaler for KubernetesHpa {
         }
         actions
     }
+
+    fn gate_entries(&self) -> Vec<(u32, u64)> {
+        self.gate.entries()
+    }
+
+    fn restore_gate(&mut self, entries: &[(u32, u64)]) {
+        self.gate.restore_entries(entries);
+    }
 }
 
 #[cfg(test)]

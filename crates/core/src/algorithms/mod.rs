@@ -45,6 +45,19 @@ pub trait Autoscaler: std::fmt::Debug + Send {
         let _ = trace;
         self.decide(view)
     }
+
+    /// The algorithm's rescale-gate state as sorted `(service index,
+    /// blocked-until µs)` pairs, for snapshot serialization. Stateless
+    /// algorithms return an empty list (the default).
+    fn gate_entries(&self) -> Vec<(u32, u64)> {
+        Vec::new()
+    }
+
+    /// Restores rescale-gate state captured by
+    /// [`Autoscaler::gate_entries`]. A no-op for stateless algorithms.
+    fn restore_gate(&mut self, entries: &[(u32, u64)]) {
+        let _ = entries;
+    }
 }
 
 /// Selects an algorithm by name (the paper's command-line switch).
@@ -241,6 +254,28 @@ impl RescaleGate {
     /// horizontal operations for the scale-down interval.
     pub fn record_down(&mut self, service: ServiceId, now: SimTime) {
         self.blocked_until.insert(service, now + self.down_interval);
+    }
+
+    /// The throttle table as sorted `(service index, blocked-until µs)`
+    /// pairs (snapshot support).
+    pub fn entries(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .blocked_until
+            .iter()
+            .map(|(svc, until)| (svc.index(), until.as_micros()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Replaces the throttle table with entries captured by
+    /// [`RescaleGate::entries`] (snapshot support). The configured
+    /// intervals are kept — they come from scenario config, not state.
+    pub fn restore_entries(&mut self, entries: &[(u32, u64)]) {
+        self.blocked_until = entries
+            .iter()
+            .map(|&(svc, until)| (ServiceId::new(svc), SimTime::from_micros(until)))
+            .collect();
     }
 }
 

@@ -50,6 +50,14 @@ impl Autoscaler for NetworkHpa {
     fn decide_traced(&mut self, view: &ClusterView, trace: &mut TraceSink) -> Vec<ScalingAction> {
         self.inner.decide_traced(view, trace)
     }
+
+    fn gate_entries(&self) -> Vec<(u32, u64)> {
+        self.inner.gate_entries()
+    }
+
+    fn restore_gate(&mut self, entries: &[(u32, u64)]) {
+        self.inner.restore_gate(entries);
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 
 use hyscale_cluster::{Cluster, ContainerId, ContainerState, ServiceId};
-use hyscale_sim::{SimDuration, SimRng, SimTime};
+use hyscale_sim::{SimDuration, SimRng, SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{BreakerTag, EventKind, TraceSink};
 
 /// Per-replica circuit-breaker tunables.
@@ -371,6 +371,93 @@ impl LoadBalancer {
                 },
             );
         }
+    }
+
+    /// Serializes the balancer's mutable state (snapshot support). Live
+    /// mode carries no state beyond the mode flag; snapshot mode writes
+    /// the RNG stream, stale backend lists, and breaker table. The
+    /// breaker configuration is rebuilt from scenario config on restore.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_bool(self.snapshot.is_some());
+        let Some(s) = &self.snapshot else {
+            return;
+        };
+        for word in s.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(s.backends.len());
+        for (&svc, list) in &s.backends {
+            w.put_u32(svc.index());
+            w.put_usize(list.len());
+            for &c in list {
+                w.put_u32(c.index());
+            }
+        }
+        w.put_usize(s.breakers.len());
+        for (&container, b) in &s.breakers {
+            w.put_u32(container.index());
+            w.put_u32(b.consecutive);
+            match b.open_until {
+                Some(until) => {
+                    w.put_bool(true);
+                    w.put_u64(until.as_micros());
+                }
+                None => w.put_bool(false),
+            }
+            w.put_f64(b.cooldown_secs);
+        }
+        w.put_u64(s.breaker_opens);
+    }
+
+    /// Overlays state captured by [`LoadBalancer::snapshot_write`] onto
+    /// this (freshly constructed) balancer. The balancer must already be
+    /// in the same mode the snapshot was taken in.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let snapshot_mode = r.get_bool()?;
+        if snapshot_mode != self.snapshot.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "load-balancer mode differs between snapshot and scenario".into(),
+            ));
+        }
+        let Some(s) = self.snapshot.as_mut() else {
+            return Ok(());
+        };
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        s.rng = SimRng::from_state(state);
+        s.backends.clear();
+        for _ in 0..r.get_usize()? {
+            let svc = ServiceId::new(r.get_u32()?);
+            let n = r.get_usize()?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                list.push(ContainerId::new(r.get_u32()?));
+            }
+            s.backends.insert(svc, list);
+        }
+        s.breakers.clear();
+        for _ in 0..r.get_usize()? {
+            let container = ContainerId::new(r.get_u32()?);
+            let consecutive = r.get_u32()?;
+            let open_until = if r.get_bool()? {
+                Some(SimTime::from_micros(r.get_u64()?))
+            } else {
+                None
+            };
+            let cooldown_secs = r.get_f64()?;
+            s.breakers.insert(
+                container,
+                Breaker {
+                    consecutive,
+                    open_until,
+                    cooldown_secs,
+                },
+            );
+        }
+        s.breaker_opens = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -30,8 +30,8 @@
 
 use std::collections::BTreeMap;
 
-use hyscale_cluster::{ContainerId, ContainerUsage, NodeId};
-use hyscale_sim::{SimDuration, SimRng, SimTime};
+use hyscale_cluster::{ContainerId, ContainerUsage, Cores, Mbps, MemMb, NodeId, ServiceId};
+use hyscale_sim::{SimDuration, SimRng, SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{ActuationTag, EventKind, LinkTag, TraceSink};
 
 use crate::actions::ScalingAction;
@@ -566,6 +566,223 @@ impl ControlPlane {
     /// Pending (not yet abandoned) actuation retries.
     pub fn pending_retries(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Serializes the full mutable control-plane state (snapshot
+    /// support). The configuration is *not* written — it is rebuilt from
+    /// scenario config on restore.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_u64(self.period);
+        w.put_usize(self.node_delivered.len());
+        for (&node, &measured) in &self.node_delivered {
+            w.put_u32(node.index());
+            w.put_u64(measured);
+        }
+        w.put_usize(self.samples.len());
+        for (&container, &(ref usage, measured)) in &self.samples {
+            w.put_u32(container.index());
+            write_usage(w, usage);
+            w.put_u64(measured);
+        }
+        w.put_usize(self.delayed.len());
+        for report in &self.delayed {
+            w.put_u64(report.deliver_period);
+            w.put_u32(report.node.index());
+            w.put_u64(report.measured_period);
+            w.put_usize(report.samples.len());
+            for usage in &report.samples {
+                write_usage(w, usage);
+            }
+        }
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_u64(p.key);
+            write_action(w, &p.action);
+            w.put_u32(p.attempts);
+            w.put_u64(p.next_attempt.as_micros());
+            w.put_f64(p.backoff_secs);
+            w.put_bool(p.executed);
+        }
+        w.put_u64(self.next_key);
+        let s = &self.stats;
+        for v in [
+            s.reports_lost,
+            s.reports_late,
+            s.reports_duplicated,
+            s.actuation_failures,
+            s.actuation_retries,
+            s.actuations_deduped,
+            s.actuations_abandoned,
+            s.breaker_opens,
+            s.safe_mode_periods,
+            s.stale_vetoes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Overlays state captured by [`ControlPlane::snapshot_write`] onto
+    /// this (freshly constructed) control plane.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        self.period = r.get_u64()?;
+        self.node_delivered.clear();
+        for _ in 0..r.get_usize()? {
+            let node = NodeId::new(r.get_u32()?);
+            let measured = r.get_u64()?;
+            self.node_delivered.insert(node, measured);
+        }
+        self.samples.clear();
+        for _ in 0..r.get_usize()? {
+            let container = ContainerId::new(r.get_u32()?);
+            let usage = read_usage(r)?;
+            let measured = r.get_u64()?;
+            self.samples.insert(container, (usage, measured));
+        }
+        self.delayed.clear();
+        for _ in 0..r.get_usize()? {
+            let deliver_period = r.get_u64()?;
+            let node = NodeId::new(r.get_u32()?);
+            let measured_period = r.get_u64()?;
+            let n = r.get_usize()?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(read_usage(r)?);
+            }
+            self.delayed.push(DelayedReport {
+                deliver_period,
+                node,
+                measured_period,
+                samples,
+            });
+        }
+        self.pending.clear();
+        for _ in 0..r.get_usize()? {
+            let key = r.get_u64()?;
+            let action = read_action(r)?;
+            let attempts = r.get_u32()?;
+            let next_attempt = SimTime::from_micros(r.get_u64()?);
+            let backoff_secs = r.get_f64()?;
+            let executed = r.get_bool()?;
+            self.pending.push(PendingActuation {
+                key,
+                action,
+                attempts,
+                next_attempt,
+                backoff_secs,
+                executed,
+            });
+        }
+        self.next_key = r.get_u64()?;
+        self.stats = ControlPlaneStats {
+            reports_lost: r.get_u64()?,
+            reports_late: r.get_u64()?,
+            reports_duplicated: r.get_u64()?,
+            actuation_failures: r.get_u64()?,
+            actuation_retries: r.get_u64()?,
+            actuations_deduped: r.get_u64()?,
+            actuations_abandoned: r.get_u64()?,
+            breaker_opens: r.get_u64()?,
+            safe_mode_periods: r.get_u64()?,
+            stale_vetoes: r.get_u64()?,
+        };
+        Ok(())
+    }
+}
+
+/// Serializes one usage sample (snapshot support).
+fn write_usage(w: &mut SnapWriter, u: &ContainerUsage) {
+    w.put_u32(u.container.index());
+    w.put_f64(u.cpu_used.get());
+    w.put_f64(u.mem_used.get());
+    w.put_f64(u.net_used.get());
+    w.put_f64(u.disk_used.get());
+    w.put_usize(u.in_flight);
+    w.put_bool(u.swapping);
+}
+
+/// Reads a usage sample written by [`write_usage`].
+fn read_usage(r: &mut SnapReader<'_>) -> Result<ContainerUsage, SnapshotError> {
+    Ok(ContainerUsage {
+        container: ContainerId::new(r.get_u32()?),
+        cpu_used: Cores(r.get_f64()?),
+        mem_used: MemMb(r.get_f64()?),
+        net_used: Mbps(r.get_f64()?),
+        disk_used: Mbps(r.get_f64()?),
+        in_flight: r.get_usize()?,
+        swapping: r.get_bool()?,
+    })
+}
+
+/// Serializes one scaling action as a tag byte plus its fields
+/// (snapshot support for pending actuation retries).
+fn write_action(w: &mut SnapWriter, action: &ScalingAction) {
+    match *action {
+        ScalingAction::Update {
+            container,
+            cpu,
+            mem,
+        } => {
+            w.put_u8(0);
+            w.put_u32(container.index());
+            w.put_opt_f64(cpu.map(|c| c.get()));
+            w.put_opt_f64(mem.map(|m| m.get()));
+        }
+        ScalingAction::Spawn {
+            service,
+            node,
+            cpu,
+            mem,
+        } => {
+            w.put_u8(1);
+            w.put_u32(service.index());
+            w.put_u32(node.index());
+            w.put_f64(cpu.get());
+            w.put_f64(mem.get());
+        }
+        ScalingAction::Remove { container } => {
+            w.put_u8(2);
+            w.put_u32(container.index());
+        }
+        ScalingAction::SetNetCap { container, cap } => {
+            w.put_u8(3);
+            w.put_u32(container.index());
+            w.put_opt_f64(cap.map(|c| c.get()));
+        }
+    }
+}
+
+/// Reads a scaling action written by [`write_action`].
+fn read_action(r: &mut SnapReader<'_>) -> Result<ScalingAction, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(ScalingAction::Update {
+            container: ContainerId::new(r.get_u32()?),
+            cpu: r.get_opt_f64()?.map(Cores),
+            mem: r.get_opt_f64()?.map(MemMb),
+        }),
+        1 => Ok(ScalingAction::Spawn {
+            service: ServiceId::new(r.get_u32()?),
+            node: NodeId::new(r.get_u32()?),
+            cpu: Cores(r.get_f64()?),
+            mem: MemMb(r.get_f64()?),
+        }),
+        2 => Ok(ScalingAction::Remove {
+            container: ContainerId::new(r.get_u32()?),
+        }),
+        3 => Ok(ScalingAction::SetNetCap {
+            container: ContainerId::new(r.get_u32()?),
+            cap: r.get_opt_f64()?.map(Mbps),
+        }),
+        tag => Err(SnapshotError::Corrupt(format!(
+            "unknown scaling-action tag {tag}"
+        ))),
     }
 }
 

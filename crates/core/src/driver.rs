@@ -9,6 +9,7 @@
 //! five runs is [`SimulationDriver::run_averaged`] over five seeds.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 
 use hyscale_cluster::{
     Cluster, ClusterConfig, ContainerId, ContainerSpec, FailureKind, FaultInjector, FaultLog,
@@ -18,7 +19,10 @@ use hyscale_metrics::{
     AvailabilityTracker, CostMeter, MetricsRegistry, RequestOutcomes, ServiceAvailability,
     TimeSeries,
 };
-use hyscale_sim::{EventQueue, SimDuration, SimRng, SimTime, TickEngine, TickOutcome};
+use hyscale_sim::{
+    fnv1a, EventQueue, SimDuration, SimRng, SimTime, SnapReader, SnapWriter, SnapshotError,
+    TickEngine, TickOutcome,
+};
 use hyscale_trace::{EventKind, TraceSink};
 use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
 
@@ -90,6 +94,39 @@ pub struct ScenarioConfig {
     /// is deterministic but not bit-identical to ticking through the same
     /// stretch (EWMA decay and usage windows are applied in closed form).
     pub time_warp: bool,
+    /// Periodic full-state snapshots: write the complete deterministic
+    /// simulation state to disk at tick boundaries. `None` = no
+    /// snapshots. Does not perturb the simulation: a run with snapshots
+    /// enabled is bit-identical to one without.
+    pub snapshot: Option<SnapshotPolicy>,
+    /// Resume from a snapshot file written by a run of this *exact*
+    /// configuration (checked via a config digest; parallelism and the
+    /// snapshot/resume controls themselves may differ). `None` = start
+    /// from tick zero.
+    pub resume: Option<PathBuf>,
+}
+
+/// When and where [`SimulationDriver`] writes full-state snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPolicy {
+    /// Write a snapshot each time this many ticks have elapsed (time-warp
+    /// jumps that overshoot a boundary snapshot once, at the landing
+    /// tick). Must be positive.
+    pub every_ticks: u64,
+    /// Directory snapshot files are written into (created on demand).
+    pub dir: PathBuf,
+    /// Stop the run immediately after the first snapshot is written,
+    /// without emitting the end-of-run counter dump. The returned report
+    /// covers only the ticks that ran; the snapshot file plus
+    /// [`ScenarioConfig::resume`] continue the run losslessly.
+    pub halt_after_first: bool,
+}
+
+impl SnapshotPolicy {
+    /// The file a snapshot taken after `tick` ticks is written to.
+    pub fn file_for(&self, tick: u64) -> PathBuf {
+        self.dir.join(format!("tick-{tick:010}.snap"))
+    }
 }
 
 /// A scheduled change to the machine pool.
@@ -172,6 +209,13 @@ impl ScenarioConfig {
         self.control_plane
             .validate()
             .map_err(|e| CoreError::InvalidScenario(format!("control_plane: {e}")))?;
+        if let Some(policy) = &self.snapshot {
+            if policy.every_ticks == 0 {
+                return Err(CoreError::InvalidScenario(
+                    "snapshot.every_ticks must be positive".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -237,6 +281,11 @@ pub struct RunReport {
     /// Ticks the time-warp fast path skipped in closed form (0 unless
     /// [`ScenarioConfig::time_warp`] was enabled).
     pub warp_ticks: u64,
+    /// FNV-1a digest of the full serialized end-of-run state. `Some`
+    /// only for single-seed runs that finished the horizon with
+    /// snapshotting or resume enabled; two runs with equal digests ended
+    /// in bit-identical simulation states.
+    pub state_digest: Option<u64>,
 }
 
 impl RunReport {
@@ -351,7 +400,9 @@ impl SimulationDriver {
         config.validate()?;
         let mut master_rng = SimRng::seed_from(config.seed);
         let traced = trace.is_enabled();
-        if traced {
+        // A resumed run continues the interrupted run's journal: it
+        // neither re-announces the run nor restarts sequence numbers.
+        if traced && config.resume.is_none() {
             trace.emit(
                 SimTime::ZERO,
                 EventKind::RunStart {
@@ -487,318 +538,505 @@ impl SimulationDriver {
         let mut cohort_routes: Vec<(ContainerId, u64)> = Vec::new();
         let mut warp_ticks = 0u64;
 
-        engine.run(|now, dt| {
-            // 0. Fault injection strikes at the start of the tick, in the
-            // serial phase (never inside the parallel node workers), so
-            // chaos runs stay bit-identical at any parallelism setting.
-            if !injector.drained() {
-                for failure in injector.apply_due_traced(&mut cluster, now, trace) {
-                    record_failure(&mut requests, &mut per_service, &failure);
-                }
-            }
+        // --- Snapshot / resume ------------------------------------------------
+        let cfg_digest = config_digest(config);
+        let snapshot_policy = config.snapshot.clone();
+        let mut next_snapshot_tick = snapshot_policy.as_ref().map_or(0, |p| p.every_ticks);
+        let mut halted = false;
 
-            // 1. Deliver due events at the start of the tick.
-            while let Some((event_time, event)) = events.pop_due(now) {
-                match event {
-                    Event::Arrival(idx) => {
-                        let service = &config.services[idx];
-                        requests.record_issued();
-                        let outcomes = per_service.get_mut(&service.id).expect("known service");
-                        outcomes.record_issued();
-                        let request = service.make_request(event_time, &mut demand_rngs[idx]);
-                        match balancer.route(&cluster, service.id, now) {
-                            Some(target) => {
-                                balancer_deltas[idx].0 += 1;
-                                balancer_total.0 += 1;
-                                if cluster.admit_request(target, request, now).is_err() {
+        if let Some(path) = &config.resume {
+            // Overlay the snapshot onto the freshly built deterministic
+            // setup above. The file is validated end to end (magic,
+            // version, checksum, config digest, exact payload length)
+            // before any state is committed by the all-or-nothing
+            // sub-restores, so a bad file can never leave a partial run.
+            let bytes = std::fs::read(path).map_err(SnapshotError::from)?;
+            let mut r = SnapReader::open(&bytes)?;
+            let found = r.get_u64()?;
+            if found != cfg_digest {
+                return Err(SnapshotError::ConfigMismatch {
+                    expected: cfg_digest,
+                    found,
+                }
+                .into());
+            }
+            let now = SimTime::from_micros(r.get_u64()?);
+            let ticks_run = r.get_u64()?;
+            engine.restore_clock(now, ticks_run);
+            let seq = r.get_u64()?;
+            if traced {
+                trace.resume_at(seq);
+            }
+            cluster.snapshot_restore(&mut r)?;
+            monitor.snapshot_restore(&mut r)?;
+            balancer.snapshot_restore(&mut r)?;
+            recovery.snapshot_restore(&mut r)?;
+            injector.snapshot_restore(&mut r)?;
+            restore_rngs(&mut r, &mut arrival_rngs)?;
+            restore_rngs(&mut r, &mut demand_rngs)?;
+            events = EventQueue::new();
+            for _ in 0..r.get_usize()? {
+                let time = SimTime::from_micros(r.get_u64()?);
+                let event = match r.get_u8()? {
+                    0 => Event::Arrival(r.get_usize()?),
+                    1 => Event::Scale,
+                    2 => Event::NodeChange(r.get_usize()?),
+                    tag => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "unknown driver-event tag {tag}"
+                        ))
+                        .into());
+                    }
+                };
+                events.schedule(time, event);
+            }
+            requests = read_outcomes(&mut r)?;
+            let mut restored_per_service: BTreeMap<ServiceId, RequestOutcomes> = BTreeMap::new();
+            for _ in 0..r.get_usize()? {
+                let svc = ServiceId::new(r.get_u32()?);
+                restored_per_service.insert(svc, read_outcomes(&mut r)?);
+            }
+            per_service = restored_per_service;
+            scaling = ScalingCounts {
+                vertical: r.get_u64()?,
+                spawns: r.get_u64()?,
+                removals: r.get_u64()?,
+            };
+            cost =
+                CostMeter::from_raw_parts((r.get_f64()?, r.get_f64()?, r.get_f64()?, r.get_f64()?));
+            read_series_into(&mut r, &mut replicas_ts)?;
+            read_series_into(&mut r, &mut cpu_ts)?;
+            read_series_into(&mut r, &mut mem_ts)?;
+            let mut restored_avail: BTreeMap<ServiceId, AvailabilityTracker> = BTreeMap::new();
+            for _ in 0..r.get_usize()? {
+                let svc = ServiceId::new(r.get_u32()?);
+                let parts = (
+                    r.get_f64()?,
+                    r.get_f64()?,
+                    r.get_u64()?,
+                    r.get_u64()?,
+                    r.get_f64()?,
+                    r.get_opt_f64()?,
+                    r.get_u64()?,
+                    r.get_u64()?,
+                    r.get_u64()?,
+                );
+                restored_avail.insert(svc, AvailabilityTracker::from_raw_parts(parts));
+            }
+            availability = restored_avail;
+            let n = r.get_usize()?;
+            if n != balancer_deltas.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot carries {n} balancer tallies, scenario has {} services",
+                    balancer_deltas.len()
+                ))
+                .into());
+            }
+            for delta in balancer_deltas.iter_mut() {
+                *delta = (r.get_u64()?, r.get_u64()?);
+            }
+            balancer_total = (r.get_u64()?, r.get_u64()?);
+            deaths_total = r.get_u64()?;
+            respawns_total = r.get_u64()?;
+            recovery_failures_total = r.get_u64()?;
+            warp_ticks = r.get_u64()?;
+            r.expect_done()?;
+            if let Some(policy) = &snapshot_policy {
+                next_snapshot_tick =
+                    (engine.ticks_run() / policy.every_ticks + 1) * policy.every_ticks;
+            }
+        }
+
+        while !engine.finished() {
+            let outcome = engine.step(|now, dt| {
+                // 0. Fault injection strikes at the start of the tick, in the
+                // serial phase (never inside the parallel node workers), so
+                // chaos runs stay bit-identical at any parallelism setting.
+                if !injector.drained() {
+                    for failure in injector.apply_due_traced(&mut cluster, now, trace) {
+                        record_failure(&mut requests, &mut per_service, &failure);
+                    }
+                }
+
+                // 1. Deliver due events at the start of the tick.
+                while let Some((event_time, event)) = events.pop_due(now) {
+                    match event {
+                        Event::Arrival(idx) => {
+                            let service = &config.services[idx];
+                            requests.record_issued();
+                            let outcomes = per_service.get_mut(&service.id).expect("known service");
+                            outcomes.record_issued();
+                            let request = service.make_request(event_time, &mut demand_rngs[idx]);
+                            match balancer.route(&cluster, service.id, now) {
+                                Some(target) => {
+                                    balancer_deltas[idx].0 += 1;
+                                    balancer_total.0 += 1;
+                                    if cluster.admit_request(target, request, now).is_err() {
+                                        requests.record_connection_failure();
+                                        outcomes.record_connection_failure();
+                                        // Feeds the replica's circuit breaker
+                                        // (no-op for the live-mode balancer).
+                                        balancer.record_failure(target, now, trace);
+                                    } else {
+                                        balancer.record_success(target, now, trace);
+                                    }
+                                }
+                                None => {
+                                    balancer_deltas[idx].1 += 1;
+                                    balancer_total.1 += 1;
                                     requests.record_connection_failure();
                                     outcomes.record_connection_failure();
-                                    // Feeds the replica's circuit breaker
-                                    // (no-op for the live-mode balancer).
-                                    balancer.record_failure(target, now, trace);
-                                } else {
-                                    balancer.record_success(target, now, trace);
                                 }
                             }
-                            None => {
-                                balancer_deltas[idx].1 += 1;
-                                balancer_total.1 += 1;
-                                requests.record_connection_failure();
-                                outcomes.record_connection_failure();
+                            let next =
+                                arrivals[idx].next_arrival(event_time, &mut arrival_rngs[idx]);
+                            if next < SimTime::MAX && next < horizon {
+                                events.schedule(next, Event::Arrival(idx));
                             }
                         }
-                        let next = arrivals[idx].next_arrival(event_time, &mut arrival_rngs[idx]);
-                        if next < SimTime::MAX && next < horizon {
-                            events.schedule(next, Event::Arrival(idx));
-                        }
-                    }
-                    Event::NodeChange(idx) => {
-                        let (_, event) = &config.node_events[idx];
-                        match event {
-                            NodeEvent::Decommission(node_idx) => {
-                                let failures: Vec<FailedRequest> = cluster
-                                    .decommission_node(node_ids[*node_idx], now)
-                                    .unwrap_or_default();
-                                for failure in &failures {
-                                    record_failure(&mut requests, &mut per_service, failure);
+                        Event::NodeChange(idx) => {
+                            let (_, event) = &config.node_events[idx];
+                            match event {
+                                NodeEvent::Decommission(node_idx) => {
+                                    let failures: Vec<FailedRequest> = cluster
+                                        .decommission_node(node_ids[*node_idx], now)
+                                        .unwrap_or_default();
+                                    for failure in &failures {
+                                        record_failure(&mut requests, &mut per_service, failure);
+                                    }
+                                }
+                                NodeEvent::Commission(spec) => {
+                                    cluster.add_node(*spec);
                                 }
                             }
-                            NodeEvent::Commission(spec) => {
-                                cluster.add_node(*spec);
-                            }
                         }
-                    }
-                    Event::Scale => {
-                        // Muted NodeManagers (stat outages) leave their
-                        // containers on stale usage this period.
-                        monitor.set_stat_outages(injector.muted_nodes(now));
-                        let report =
-                            monitor.run_period_traced(&mut cluster, now, scale_period_secs, trace);
-                        for action in &report.applied {
-                            use crate::actions::ScalingAction;
-                            match action {
-                                ScalingAction::Update { .. } | ScalingAction::SetNetCap { .. } => {
-                                    scaling.vertical += 1;
+                        Event::Scale => {
+                            // Muted NodeManagers (stat outages) leave their
+                            // containers on stale usage this period.
+                            monitor.set_stat_outages(injector.muted_nodes(now));
+                            let report = monitor.run_period_traced(
+                                &mut cluster,
+                                now,
+                                scale_period_secs,
+                                trace,
+                            );
+                            for action in &report.applied {
+                                use crate::actions::ScalingAction;
+                                match action {
+                                    ScalingAction::Update { .. }
+                                    | ScalingAction::SetNetCap { .. } => {
+                                        scaling.vertical += 1;
+                                    }
+                                    ScalingAction::Spawn { .. } => scaling.spawns += 1,
+                                    ScalingAction::Remove { .. } => scaling.removals += 1,
                                 }
-                                ScalingAction::Spawn { .. } => scaling.spawns += 1,
-                                ScalingAction::Remove { .. } => scaling.removals += 1,
                             }
-                        }
-                        for failure in &report.removal_failures {
-                            record_failure(&mut requests, &mut per_service, failure);
-                        }
-
-                        // Replicas that died underneath the platform are
-                        // respawned through the recovery path (placement +
-                        // capped exponential backoff).
-                        deaths_total += report.dead_replicas.len() as u64;
-                        for (service, _) in &report.dead_replicas {
-                            if let Some(t) = availability.get_mut(service) {
-                                t.record_death();
+                            for failure in &report.removal_failures {
+                                record_failure(&mut requests, &mut per_service, failure);
                             }
-                        }
-                        let recovered = recovery.run_traced(&mut cluster, &templates, now, trace);
-                        respawns_total += recovered.respawned.len() as u64;
-                        recovery_failures_total += recovered.failed.len() as u64;
-                        for (service, _) in &recovered.respawned {
-                            if let Some(t) = availability.get_mut(service) {
-                                t.record_respawn();
+
+                            // Replicas that died underneath the platform are
+                            // respawned through the recovery path (placement +
+                            // capped exponential backoff).
+                            deaths_total += report.dead_replicas.len() as u64;
+                            for (service, _) in &report.dead_replicas {
+                                if let Some(t) = availability.get_mut(service) {
+                                    t.record_death();
+                                }
                             }
-                        }
-                        for service in &recovered.failed {
-                            if let Some(t) = availability.get_mut(service) {
-                                t.record_recovery_failure();
+                            let recovered =
+                                recovery.run_traced(&mut cluster, &templates, now, trace);
+                            respawns_total += recovered.respawned.len() as u64;
+                            recovery_failures_total += recovered.failed.len() as u64;
+                            for (service, _) in &recovered.respawned {
+                                if let Some(t) = availability.get_mut(service) {
+                                    t.record_respawn();
+                                }
                             }
-                        }
-
-                        // The balancer hears the period's final replica
-                        // roll call (post scaling + recovery). Snapshot
-                        // mode routes off this until the next period;
-                        // live mode ignores it.
-                        balancer.refresh(&cluster, &service_ids);
-
-                        // Periodic samples for the report.
-                        let secs = now.as_secs();
-                        replicas_ts.push(secs, report.view.total_replicas() as f64);
-                        let cpu_used: f64 = report
-                            .view
-                            .services
-                            .iter()
-                            .map(|s| s.total_cpu_used().get())
-                            .sum();
-                        let mem_used: f64 = report
-                            .view
-                            .services
-                            .iter()
-                            .map(|s| s.total_mem_used().get())
-                            .sum();
-                        cpu_ts.push(secs, cpu_used);
-                        mem_ts.push(secs, mem_used);
-
-                        let allocated: f64 = report
-                            .view
-                            .services
-                            .iter()
-                            .flat_map(|s| s.replicas.iter())
-                            .map(|r| r.cpu_requested.get())
-                            .sum();
-                        let containers = report.view.total_replicas();
-                        let busy_nodes = report
-                            .view
-                            .nodes
-                            .iter()
-                            .filter(|n| !n.hosted_services.is_empty())
-                            .count();
-                        cost.record_interval(scale_period_secs, allocated, containers, busy_nodes);
-
-                        // Periodic trace snapshots: per-node allocator
-                        // headroom, then this period's routing deltas.
-                        if traced {
-                            cluster.trace_pressure(now, trace);
-                            for (svc_idx, service) in config.services.iter().enumerate() {
-                                let (routed, rejected) = balancer_deltas[svc_idx];
-                                trace.emit(
-                                    now,
-                                    EventKind::BalancerStats {
-                                        service: service.id.index(),
-                                        routed,
-                                        rejected,
-                                    },
-                                );
-                                balancer_deltas[svc_idx] = (0, 0);
+                            for service in &recovered.failed {
+                                if let Some(t) = availability.get_mut(service) {
+                                    t.record_recovery_failure();
+                                }
                             }
-                        }
 
-                        events.schedule(now + config.scale_period, Event::Scale);
-                    }
-                }
-            }
+                            // The balancer hears the period's final replica
+                            // roll call (post scaling + recovery). Snapshot
+                            // mode routes off this until the next period;
+                            // live mode ignores it.
+                            balancer.refresh(&cluster, &service_ids);
 
-            // 1b. Cohort-mode arrivals: one Poisson draw per service per
-            // tick, carried as a single flow cohort and waterfilled
-            // across replicas. The draw uses the same arrival/demand RNG
-            // streams as per-request mode (one count draw, one profile
-            // draw), so seeds stay comparable across services.
-            if config.cohort_arrivals {
-                let dt_secs = dt.as_secs();
-                for (idx, service) in config.services.iter().enumerate() {
-                    let mean = service.load.rate_at(now) * dt_secs;
-                    let n = arrival_rngs[idx].poisson(mean);
-                    if n == 0 {
-                        continue;
-                    }
-                    requests.record_issued_n(n);
-                    let outcomes = per_service.get_mut(&service.id).expect("known service");
-                    outcomes.record_issued_n(n);
-                    let cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
-                    cohort_routes.clear();
-                    let unrouted =
-                        balancer.route_cohort(&cluster, service.id, n, now, &mut cohort_routes);
-                    let mut routed_members = 0u64;
-                    let mut rejected_members = unrouted;
-                    for &(target, members) in cohort_routes.iter() {
-                        let mut share = cohort.clone();
-                        share.count = members;
-                        if cluster.admit_cohort(target, share, now).is_err() {
-                            rejected_members += members;
-                            requests.record_connection_failures(members);
-                            outcomes.record_connection_failures(members);
-                            // Feeds the replica's circuit breaker (no-op
-                            // for the live-mode balancer).
-                            balancer.record_failure(target, now, trace);
-                        } else {
-                            routed_members += members;
-                            balancer.record_success(target, now, trace);
-                        }
-                    }
-                    if unrouted > 0 {
-                        requests.record_connection_failures(unrouted);
-                        outcomes.record_connection_failures(unrouted);
-                    }
-                    balancer_deltas[idx].0 += routed_members;
-                    balancer_deltas[idx].1 += rejected_members;
-                    balancer_total.0 += routed_members;
-                    balancer_total.1 += rejected_members;
-                    if traced {
-                        trace.emit(
-                            now,
-                            EventKind::CohortFlow {
-                                service: service.id.index(),
-                                count: n,
-                                routed: routed_members,
-                                rejected: rejected_members,
-                            },
-                        );
-                    }
-                }
-            }
-
-            // 2. Advance the resource model (reusing one report buffer
-            // across ticks keeps the hot loop allocation-free).
-            cluster.advance_into(now, dt, &mut tick_report);
-            let had_outcomes = !tick_report.completed.is_empty() || !tick_report.failed.is_empty();
-            for done in tick_report.completed.drain(..) {
-                requests.record_completed_n(done.response_time.as_secs(), done.count);
-                if let Some(out) = per_service.get_mut(&done.service) {
-                    out.record_completed_n(done.response_time.as_secs(), done.count);
-                }
-            }
-            for failed in tick_report.failed.drain(..) {
-                record_failure(&mut requests, &mut per_service, &failed);
-            }
-
-            // 3. Availability roll call: a service is up in this tick iff
-            // at least one ready replica exists.
-            if track_availability {
-                cluster.ready_replicas_into(now, &mut ready_counts);
-                let dt_secs = dt.as_secs();
-                for (service, tracker) in availability.iter_mut() {
-                    let up = ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
-                    tracker.record_tick(dt_secs, up);
-                }
-            }
-
-            // 4. Time warp: when this tick ended with nothing in flight
-            // and nothing due before the next event boundary, advance the
-            // idle stretch in closed form and tell the engine to skip it.
-            // The boundary is the earliest of the next queued event (a
-            // Scale event is always queued), the next fault or recovery,
-            // and the horizon; in cohort mode the span is additionally
-            // shrunk until the load patterns are provably silent over it.
-            if config.time_warp && !had_outcomes && cluster.total_in_flight() == 0 {
-                let end = now + dt;
-                let mut boundary = events.peek_time().unwrap_or(horizon).min(horizon);
-                if let Some(due) = injector.next_due_time() {
-                    boundary = boundary.min(due);
-                }
-                if boundary > end {
-                    let dt_us = dt.as_micros().max(1);
-                    // Number of tick starts in [end, boundary): ticks
-                    // starting at or past the boundary must run normally.
-                    let mut k = (boundary - end).as_micros().div_ceil(dt_us);
-                    if config.cohort_arrivals {
-                        while k > 0 {
-                            let span_end = end + dt * k;
-                            let quiet = config
+                            // Periodic samples for the report.
+                            let secs = now.as_secs();
+                            replicas_ts.push(secs, report.view.total_replicas() as f64);
+                            let cpu_used: f64 = report
+                                .view
                                 .services
                                 .iter()
-                                .all(|s| s.load.max_rate_in(end, span_end) == 0.0);
-                            if quiet {
-                                break;
+                                .map(|s| s.total_cpu_used().get())
+                                .sum();
+                            let mem_used: f64 = report
+                                .view
+                                .services
+                                .iter()
+                                .map(|s| s.total_mem_used().get())
+                                .sum();
+                            cpu_ts.push(secs, cpu_used);
+                            mem_ts.push(secs, mem_used);
+
+                            let allocated: f64 = report
+                                .view
+                                .services
+                                .iter()
+                                .flat_map(|s| s.replicas.iter())
+                                .map(|r| r.cpu_requested.get())
+                                .sum();
+                            let containers = report.view.total_replicas();
+                            let busy_nodes = report
+                                .view
+                                .nodes
+                                .iter()
+                                .filter(|n| !n.hosted_services.is_empty())
+                                .count();
+                            cost.record_interval(
+                                scale_period_secs,
+                                allocated,
+                                containers,
+                                busy_nodes,
+                            );
+
+                            // Periodic trace snapshots: per-node allocator
+                            // headroom, then this period's routing deltas.
+                            if traced {
+                                cluster.trace_pressure(now, trace);
+                                for (svc_idx, service) in config.services.iter().enumerate() {
+                                    let (routed, rejected) = balancer_deltas[svc_idx];
+                                    trace.emit(
+                                        now,
+                                        EventKind::BalancerStats {
+                                            service: service.id.index(),
+                                            routed,
+                                            rejected,
+                                        },
+                                    );
+                                    balancer_deltas[svc_idx] = (0, 0);
+                                }
                             }
-                            k /= 2;
+
+                            events.schedule(now + config.scale_period, Event::Scale);
                         }
                     }
-                    let warped = cluster.advance_warp(end, dt, k);
-                    if warped > 0 {
-                        warp_ticks += warped;
-                        if track_availability {
-                            // Liveness is constant across the warped span
-                            // (advance_warp clamps at startup
-                            // boundaries), so one roll call covers it.
-                            cluster.ready_replicas_into(end, &mut ready_counts);
-                            let span_secs = dt.as_secs() * warped as f64;
-                            for (service, tracker) in availability.iter_mut() {
-                                let up =
-                                    ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
-                                tracker.record_tick(span_secs, up);
+                }
+
+                // 1b. Cohort-mode arrivals: one Poisson draw per service per
+                // tick, carried as a single flow cohort and waterfilled
+                // across replicas. The draw uses the same arrival/demand RNG
+                // streams as per-request mode (one count draw, one profile
+                // draw), so seeds stay comparable across services.
+                if config.cohort_arrivals {
+                    let dt_secs = dt.as_secs();
+                    for (idx, service) in config.services.iter().enumerate() {
+                        let mean = service.load.rate_at(now) * dt_secs;
+                        let n = arrival_rngs[idx].poisson(mean);
+                        if n == 0 {
+                            continue;
+                        }
+                        requests.record_issued_n(n);
+                        let outcomes = per_service.get_mut(&service.id).expect("known service");
+                        outcomes.record_issued_n(n);
+                        let cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
+                        cohort_routes.clear();
+                        let unrouted =
+                            balancer.route_cohort(&cluster, service.id, n, now, &mut cohort_routes);
+                        let mut routed_members = 0u64;
+                        let mut rejected_members = unrouted;
+                        for &(target, members) in cohort_routes.iter() {
+                            let mut share = cohort.clone();
+                            share.count = members;
+                            if cluster.admit_cohort(target, share, now).is_err() {
+                                rejected_members += members;
+                                requests.record_connection_failures(members);
+                                outcomes.record_connection_failures(members);
+                                // Feeds the replica's circuit breaker (no-op
+                                // for the live-mode balancer).
+                                balancer.record_failure(target, now, trace);
+                            } else {
+                                routed_members += members;
+                                balancer.record_success(target, now, trace);
                             }
                         }
+                        if unrouted > 0 {
+                            requests.record_connection_failures(unrouted);
+                            outcomes.record_connection_failures(unrouted);
+                        }
+                        balancer_deltas[idx].0 += routed_members;
+                        balancer_deltas[idx].1 += rejected_members;
+                        balancer_total.0 += routed_members;
+                        balancer_total.1 += rejected_members;
                         if traced {
                             trace.emit(
-                                end,
-                                EventKind::TimeWarp {
-                                    ticks: warped,
-                                    span_us: dt.as_micros() * warped,
+                                now,
+                                EventKind::CohortFlow {
+                                    service: service.id.index(),
+                                    count: n,
+                                    routed: routed_members,
+                                    rejected: rejected_members,
                                 },
                             );
                         }
-                        return TickOutcome::SkipAhead(warped);
+                    }
+                }
+
+                // 2. Advance the resource model (reusing one report buffer
+                // across ticks keeps the hot loop allocation-free).
+                cluster.advance_into(now, dt, &mut tick_report);
+                let had_outcomes =
+                    !tick_report.completed.is_empty() || !tick_report.failed.is_empty();
+                for done in tick_report.completed.drain(..) {
+                    requests.record_completed_n(done.response_time.as_secs(), done.count);
+                    if let Some(out) = per_service.get_mut(&done.service) {
+                        out.record_completed_n(done.response_time.as_secs(), done.count);
+                    }
+                }
+                for failed in tick_report.failed.drain(..) {
+                    record_failure(&mut requests, &mut per_service, &failed);
+                }
+
+                // 3. Availability roll call: a service is up in this tick iff
+                // at least one ready replica exists.
+                if track_availability {
+                    cluster.ready_replicas_into(now, &mut ready_counts);
+                    let dt_secs = dt.as_secs();
+                    for (service, tracker) in availability.iter_mut() {
+                        let up = ready_counts.get(service.as_usize()).is_some_and(|&n| n > 0);
+                        tracker.record_tick(dt_secs, up);
+                    }
+                }
+
+                // 4. Time warp: when this tick ended with nothing in flight
+                // and nothing due before the next event boundary, advance the
+                // idle stretch in closed form and tell the engine to skip it.
+                // The boundary is the earliest of the next queued event (a
+                // Scale event is always queued), the next fault or recovery,
+                // and the horizon; in cohort mode the span is additionally
+                // shrunk until the load patterns are provably silent over it.
+                if config.time_warp && !had_outcomes && cluster.total_in_flight() == 0 {
+                    let end = now + dt;
+                    let mut boundary = events.peek_time().unwrap_or(horizon).min(horizon);
+                    if let Some(due) = injector.next_due_time() {
+                        boundary = boundary.min(due);
+                    }
+                    if boundary > end {
+                        let dt_us = dt.as_micros().max(1);
+                        // Number of tick starts in [end, boundary): ticks
+                        // starting at or past the boundary must run normally.
+                        let mut k = (boundary - end).as_micros().div_ceil(dt_us);
+                        if config.cohort_arrivals {
+                            while k > 0 {
+                                let span_end = end + dt * k;
+                                let quiet = config
+                                    .services
+                                    .iter()
+                                    .all(|s| s.load.max_rate_in(end, span_end) == 0.0);
+                                if quiet {
+                                    break;
+                                }
+                                k /= 2;
+                            }
+                        }
+                        let warped = cluster.advance_warp(end, dt, k);
+                        if warped > 0 {
+                            warp_ticks += warped;
+                            if track_availability {
+                                // Liveness is constant across the warped span
+                                // (advance_warp clamps at startup
+                                // boundaries), so one roll call covers it.
+                                cluster.ready_replicas_into(end, &mut ready_counts);
+                                let span_secs = dt.as_secs() * warped as f64;
+                                for (service, tracker) in availability.iter_mut() {
+                                    let up = ready_counts
+                                        .get(service.as_usize())
+                                        .is_some_and(|&n| n > 0);
+                                    tracker.record_tick(span_secs, up);
+                                }
+                            }
+                            if traced {
+                                trace.emit(
+                                    end,
+                                    EventKind::TimeWarp {
+                                        ticks: warped,
+                                        span_us: dt.as_micros() * warped,
+                                    },
+                                );
+                            }
+                            return TickOutcome::SkipAhead(warped);
+                        }
+                    }
+                }
+                TickOutcome::Continue
+            })?;
+
+            // Snapshot at the tick boundary the body just crossed. `>=`
+            // plus the recompute below lets a time-warp jump that
+            // overshot a boundary snapshot once at its landing tick.
+            if let Some(policy) = &snapshot_policy {
+                if engine.ticks_run() >= next_snapshot_tick && !engine.finished() {
+                    let tick = engine.ticks_run();
+                    let boundary = engine.now();
+                    // The Snapshot event is emitted *before* the state is
+                    // serialized, so the captured trace cursor already
+                    // counts it: an interrupted journal ends exactly
+                    // where the resumed journal begins.
+                    if traced {
+                        trace.emit(
+                            boundary,
+                            EventKind::Snapshot {
+                                tick,
+                                now_us: boundary.as_micros(),
+                            },
+                        );
+                    }
+                    let writer = serialize_state(
+                        cfg_digest,
+                        &DriverState {
+                            engine: &engine,
+                            trace_seq: trace.total_emitted(),
+                            cluster: &cluster,
+                            monitor: &monitor,
+                            balancer: &balancer,
+                            recovery: &recovery,
+                            injector: &injector,
+                            arrival_rngs: &arrival_rngs,
+                            demand_rngs: &demand_rngs,
+                            events: &events,
+                            requests: &requests,
+                            per_service: &per_service,
+                            scaling: &scaling,
+                            cost: &cost,
+                            replicas_ts: &replicas_ts,
+                            cpu_ts: &cpu_ts,
+                            mem_ts: &mem_ts,
+                            availability: &availability,
+                            balancer_deltas: &balancer_deltas,
+                            balancer_total,
+                            deaths_total,
+                            respawns_total,
+                            recovery_failures_total,
+                            warp_ticks,
+                        },
+                    );
+                    std::fs::create_dir_all(&policy.dir).map_err(SnapshotError::from)?;
+                    std::fs::write(policy.file_for(tick), writer.finish())
+                        .map_err(SnapshotError::from)?;
+                    next_snapshot_tick = (tick / policy.every_ticks + 1) * policy.every_ticks;
+                    if policy.halt_after_first {
+                        halted = true;
                     }
                 }
             }
-            TickOutcome::Continue
-        });
+            if halted || matches!(outcome, TickOutcome::Stop) {
+                break;
+            }
+        }
 
         // Control-plane health counters: the Monitor's control plane
         // tallies the report/actuation/safe-mode side; the balancer owns
@@ -809,10 +1047,55 @@ impl SimulationDriver {
             .unwrap_or_default();
         control_plane_stats.breaker_opens = balancer.breaker_opens();
 
+        // End-of-horizon state digest: cheap bit-exactness witness for
+        // the resume-equivalence battery. Skipped for halted runs (their
+        // state is mid-flight by design).
+        let state_digest = if !halted
+            && engine.finished()
+            && (config.snapshot.is_some() || config.resume.is_some())
+        {
+            Some(
+                serialize_state(
+                    cfg_digest,
+                    &DriverState {
+                        engine: &engine,
+                        trace_seq: trace.total_emitted(),
+                        cluster: &cluster,
+                        monitor: &monitor,
+                        balancer: &balancer,
+                        recovery: &recovery,
+                        injector: &injector,
+                        arrival_rngs: &arrival_rngs,
+                        demand_rngs: &demand_rngs,
+                        events: &events,
+                        requests: &requests,
+                        per_service: &per_service,
+                        scaling: &scaling,
+                        cost: &cost,
+                        replicas_ts: &replicas_ts,
+                        cpu_ts: &cpu_ts,
+                        mem_ts: &mem_ts,
+                        availability: &availability,
+                        balancer_deltas: &balancer_deltas,
+                        balancer_total,
+                        deaths_total,
+                        respawns_total,
+                        recovery_failures_total,
+                        warp_ticks,
+                    },
+                )
+                .digest(),
+            )
+        } else {
+            None
+        };
+
         // Final counter dump through the metrics registry: names register
         // once, in a fixed order, so the journal tail is deterministic by
-        // construction.
-        if traced {
+        // construction. A halted (snapshot-and-stop) run skips it: the
+        // resumed run emits the dump at the true horizon, keeping the
+        // concatenated journal identical to an uninterrupted one.
+        if traced && !halted {
             let mut registry = MetricsRegistry::new();
             let totals: [(&'static str, u64); 23] = [
                 ("requests.issued", requests.issued),
@@ -896,6 +1179,7 @@ impl SimulationDriver {
             faults: injector.log(),
             control_plane: control_plane_stats,
             warp_ticks,
+            state_digest,
         })
     }
 
@@ -936,8 +1220,233 @@ impl SimulationDriver {
             merged.warp_ticks += run.warp_ticks;
             merged.seeds.push(seed);
         }
+        if !rest.is_empty() {
+            // A state digest witnesses one run's end state; a merged
+            // report no longer corresponds to any single run.
+            merged.state_digest = None;
+        }
         Ok(merged)
     }
+}
+
+/// Digest of every configuration field that shapes the deterministic
+/// simulation, via the fields' `Debug` forms. Excludes `parallelism`
+/// (bit-identical at any worker count) and the snapshot/resume controls
+/// themselves, so a resumed run may snapshot differently or run on more
+/// workers than the run that wrote the file.
+fn config_digest(config: &ScenarioConfig) -> u64 {
+    let repr = format!(
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+        config.name,
+        config.seed,
+        config.duration,
+        config.tick,
+        config.scale_period,
+        config.nodes,
+        config.services,
+        config.initial_replicas,
+        config.algorithm,
+        config.hpa,
+        config.hyscale,
+        config.cluster,
+        config.antagonists,
+        config.node_events,
+        config.faults,
+        config.recovery,
+        config.control_plane,
+        config.cohort_arrivals,
+        config.time_warp,
+    );
+    fnv1a(repr.as_bytes())
+}
+
+/// Shared borrows of every piece of mutable run state a snapshot
+/// captures, bundled so [`serialize_state`] has one coherent signature.
+struct DriverState<'a> {
+    engine: &'a TickEngine,
+    trace_seq: u64,
+    cluster: &'a Cluster,
+    monitor: &'a Monitor,
+    balancer: &'a LoadBalancer,
+    recovery: &'a RecoveryManager,
+    injector: &'a FaultInjector,
+    arrival_rngs: &'a [SimRng],
+    demand_rngs: &'a [SimRng],
+    events: &'a EventQueue<Event>,
+    requests: &'a RequestOutcomes,
+    per_service: &'a BTreeMap<ServiceId, RequestOutcomes>,
+    scaling: &'a ScalingCounts,
+    cost: &'a CostMeter,
+    replicas_ts: &'a TimeSeries,
+    cpu_ts: &'a TimeSeries,
+    mem_ts: &'a TimeSeries,
+    availability: &'a BTreeMap<ServiceId, AvailabilityTracker>,
+    balancer_deltas: &'a [(u64, u64)],
+    balancer_total: (u64, u64),
+    deaths_total: u64,
+    respawns_total: u64,
+    recovery_failures_total: u64,
+    warp_ticks: u64,
+}
+
+/// Serializes the complete run state into an (unframed) snapshot payload.
+/// [`SnapWriter::finish`] frames it; [`SnapWriter::digest`] turns it into
+/// the end-of-run state digest. The read side is the resume overlay in
+/// [`SimulationDriver::run_traced`]; the two must mirror exactly.
+fn serialize_state(cfg_digest: u64, s: &DriverState<'_>) -> SnapWriter {
+    let mut w = SnapWriter::new();
+    w.put_u64(cfg_digest);
+    w.put_u64(s.engine.now().as_micros());
+    w.put_u64(s.engine.ticks_run());
+    w.put_u64(s.trace_seq);
+    s.cluster.snapshot_write(&mut w);
+    s.monitor.snapshot_write(&mut w);
+    s.balancer.snapshot_write(&mut w);
+    s.recovery.snapshot_write(&mut w);
+    s.injector.snapshot_write(&mut w);
+    write_rngs(&mut w, s.arrival_rngs);
+    write_rngs(&mut w, s.demand_rngs);
+    let entries = s.events.entries_in_order();
+    w.put_usize(entries.len());
+    for (time, event) in entries {
+        w.put_u64(time.as_micros());
+        match *event {
+            Event::Arrival(idx) => {
+                w.put_u8(0);
+                w.put_usize(idx);
+            }
+            Event::Scale => w.put_u8(1),
+            Event::NodeChange(idx) => {
+                w.put_u8(2);
+                w.put_usize(idx);
+            }
+        }
+    }
+    write_outcomes(&mut w, s.requests);
+    w.put_usize(s.per_service.len());
+    for (&svc, outcomes) in s.per_service {
+        w.put_u32(svc.index());
+        write_outcomes(&mut w, outcomes);
+    }
+    w.put_u64(s.scaling.vertical);
+    w.put_u64(s.scaling.spawns);
+    w.put_u64(s.scaling.removals);
+    let (core_secs, container_secs, busy_node_secs, elapsed_secs) = s.cost.raw_parts();
+    w.put_f64(core_secs);
+    w.put_f64(container_secs);
+    w.put_f64(busy_node_secs);
+    w.put_f64(elapsed_secs);
+    write_series(&mut w, s.replicas_ts);
+    write_series(&mut w, s.cpu_ts);
+    write_series(&mut w, s.mem_ts);
+    w.put_usize(s.availability.len());
+    for (&svc, tracker) in s.availability {
+        w.put_u32(svc.index());
+        let parts = tracker.raw_parts();
+        w.put_f64(parts.0);
+        w.put_f64(parts.1);
+        w.put_u64(parts.2);
+        w.put_u64(parts.3);
+        w.put_f64(parts.4);
+        w.put_opt_f64(parts.5);
+        w.put_u64(parts.6);
+        w.put_u64(parts.7);
+        w.put_u64(parts.8);
+    }
+    w.put_usize(s.balancer_deltas.len());
+    for &(routed, rejected) in s.balancer_deltas {
+        w.put_u64(routed);
+        w.put_u64(rejected);
+    }
+    w.put_u64(s.balancer_total.0);
+    w.put_u64(s.balancer_total.1);
+    w.put_u64(s.deaths_total);
+    w.put_u64(s.respawns_total);
+    w.put_u64(s.recovery_failures_total);
+    w.put_u64(s.warp_ticks);
+    w
+}
+
+/// Writes the internal states of a slice of RNG streams.
+fn write_rngs(w: &mut SnapWriter, rngs: &[SimRng]) {
+    w.put_usize(rngs.len());
+    for rng in rngs {
+        for word in rng.state() {
+            w.put_u64(word);
+        }
+    }
+}
+
+/// Restores RNG streams written by [`write_rngs`] in place; the count
+/// must match the scenario's stream count exactly.
+fn restore_rngs(r: &mut SnapReader<'_>, rngs: &mut [SimRng]) -> Result<(), SnapshotError> {
+    let n = r.get_usize()?;
+    if n != rngs.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "snapshot carries {n} RNG streams, scenario expects {}",
+            rngs.len()
+        )));
+    }
+    for rng in rngs {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        *rng = SimRng::from_state(state);
+    }
+    Ok(())
+}
+
+/// Writes request outcomes including every response-time sample, so the
+/// restored Welford accumulator is bit-exact (it is replay-order
+/// deterministic).
+fn write_outcomes(w: &mut SnapWriter, o: &RequestOutcomes) {
+    w.put_u64(o.issued);
+    w.put_u64(o.completed);
+    w.put_u64(o.failures.removal);
+    w.put_u64(o.failures.connection);
+    let samples = o.response_times.samples();
+    w.put_usize(samples.len());
+    for &v in samples {
+        w.put_f64(v);
+    }
+    w.put_u64(o.response_times.nan_dropped());
+}
+
+/// Reads outcomes written by [`write_outcomes`].
+fn read_outcomes(r: &mut SnapReader<'_>) -> Result<RequestOutcomes, SnapshotError> {
+    let mut o = RequestOutcomes::new();
+    o.issued = r.get_u64()?;
+    o.completed = r.get_u64()?;
+    o.failures.removal = r.get_u64()?;
+    o.failures.connection = r.get_u64()?;
+    for _ in 0..r.get_usize()? {
+        o.response_times.record(r.get_f64()?);
+    }
+    for _ in 0..r.get_u64()? {
+        o.response_times.record(f64::NAN);
+    }
+    Ok(o)
+}
+
+/// Writes one time series as its `(secs, value)` points.
+fn write_series(w: &mut SnapWriter, ts: &TimeSeries) {
+    let points = ts.points();
+    w.put_usize(points.len());
+    for &(secs, value) in points {
+        w.put_f64(secs);
+        w.put_f64(value);
+    }
+}
+
+/// Appends points written by [`write_series`] into a (fresh) series.
+fn read_series_into(r: &mut SnapReader<'_>, ts: &mut TimeSeries) -> Result<(), SnapshotError> {
+    for _ in 0..r.get_usize()? {
+        let secs = r.get_f64()?;
+        let value = r.get_f64()?;
+        ts.push(secs, value);
+    }
+    Ok(())
 }
 
 /// Parses a `HYSCALE_PARALLELISM` value: a positive integer worker count.
@@ -1032,6 +1541,8 @@ impl ScenarioBuilder {
                 parallelism: parallelism_from_env(),
                 cohort_arrivals: false,
                 time_warp: false,
+                snapshot: None,
+                resume: None,
             },
             next_service_index: 0,
         }
@@ -1173,6 +1684,35 @@ impl ScenarioBuilder {
     /// [`ScenarioConfig::time_warp`].
     pub fn time_warp(mut self, on: bool) -> Self {
         self.config.time_warp = on;
+        self
+    }
+
+    /// Writes a full-state snapshot into `dir` every `every_ticks` ticks.
+    /// Snapshotting never perturbs the simulation. See
+    /// [`ScenarioConfig::snapshot`].
+    pub fn snapshot_every(mut self, every_ticks: u64, dir: impl Into<PathBuf>) -> Self {
+        self.config.snapshot = Some(SnapshotPolicy {
+            every_ticks,
+            dir: dir.into(),
+            halt_after_first: false,
+        });
+        self
+    }
+
+    /// Stops the run right after the first snapshot is written (requires
+    /// [`ScenarioBuilder::snapshot_every`] first). See
+    /// [`SnapshotPolicy::halt_after_first`].
+    pub fn snapshot_halt(mut self, on: bool) -> Self {
+        if let Some(policy) = self.config.snapshot.as_mut() {
+            policy.halt_after_first = on;
+        }
+        self
+    }
+
+    /// Resumes from a snapshot file written by a run of this exact
+    /// configuration. See [`ScenarioConfig::resume`].
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.resume = Some(path.into());
         self
     }
 

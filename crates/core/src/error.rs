@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use hyscale_cluster::ClusterError;
-use hyscale_sim::SimError;
+use hyscale_sim::{SimError, SnapshotError};
 
 /// Errors raised by the autoscaler platform and simulation driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +16,8 @@ pub enum CoreError {
     Cluster(ClusterError),
     /// An error bubbled up from the simulation substrate.
     Sim(SimError),
+    /// A snapshot file could not be written, read, or restored.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +26,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidScenario(reason) => write!(f, "invalid scenario: {reason}"),
             CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -33,6 +36,7 @@ impl Error for CoreError {
         match self {
             CoreError::Cluster(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Snapshot(e) => Some(e),
             CoreError::InvalidScenario(_) => None,
         }
     }
@@ -47,6 +51,12 @@ impl From<ClusterError> for CoreError {
 impl From<SimError> for CoreError {
     fn from(e: SimError) -> Self {
         CoreError::Sim(e)
+    }
+}
+
+impl From<SnapshotError> for CoreError {
+    fn from(e: SnapshotError) -> Self {
+        CoreError::Snapshot(e)
     }
 }
 

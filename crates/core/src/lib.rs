@@ -74,6 +74,7 @@ pub use controlplane::{
 };
 pub use driver::{
     NodeEvent, RunReport, ScalingCounts, ScenarioBuilder, ScenarioConfig, SimulationDriver,
+    SnapshotPolicy,
 };
 pub use error::CoreError;
 pub use monitor::{Monitor, MonitorReport};

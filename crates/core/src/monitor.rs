@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use hyscale_cluster::{
     Cluster, ContainerId, ContainerSpec, ContainerState, FailedRequest, NodeId, ServiceId,
 };
-use hyscale_sim::SimTime;
+use hyscale_sim::{SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{ActionTag, EventKind, TraceSink};
 
 use crate::actions::ScalingAction;
@@ -120,6 +120,60 @@ impl Monitor {
     pub fn set_stat_outages(&mut self, mut nodes: Vec<NodeId>) {
         nodes.sort_unstable();
         self.stat_outages = nodes;
+    }
+
+    /// Serializes the Monitor's mutable state: the algorithm's rescale
+    /// gate, the expected-replica roll call, the safe-mode flag, and the
+    /// control plane if installed (snapshot support). Node managers and
+    /// stat outages are transient — rebuilt at the top of every period.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        let gate = self.algorithm.gate_entries();
+        w.put_usize(gate.len());
+        for (svc, until) in gate {
+            w.put_u32(svc);
+            w.put_u64(until);
+        }
+        w.put_usize(self.expected_replicas.len());
+        for &(svc, container) in &self.expected_replicas {
+            w.put_u32(svc.index());
+            w.put_u32(container.index());
+        }
+        w.put_bool(self.in_safe_mode);
+        w.put_bool(self.control_plane.is_some());
+        if let Some(cp) = &self.control_plane {
+            cp.snapshot_write(w);
+        }
+    }
+
+    /// Overlays state captured by [`Monitor::snapshot_write`] onto this
+    /// (freshly constructed) Monitor. The algorithm and control plane
+    /// must already be installed per scenario config.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_usize()?;
+        let mut gate = Vec::with_capacity(n);
+        for _ in 0..n {
+            let svc = r.get_u32()?;
+            let until = r.get_u64()?;
+            gate.push((svc, until));
+        }
+        self.algorithm.restore_gate(&gate);
+        self.expected_replicas.clear();
+        for _ in 0..r.get_usize()? {
+            let svc = ServiceId::new(r.get_u32()?);
+            let container = ContainerId::new(r.get_u32()?);
+            self.expected_replicas.push((svc, container));
+        }
+        self.in_safe_mode = r.get_bool()?;
+        let has_cp = r.get_bool()?;
+        if has_cp != self.control_plane.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "control-plane presence differs between snapshot and scenario".into(),
+            ));
+        }
+        if let Some(cp) = self.control_plane.as_mut() {
+            cp.snapshot_restore(r)?;
+        }
+        Ok(())
     }
 
     /// The managed replicas currently alive in `cluster`, sorted.

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use hyscale_cluster::{Cluster, ContainerSpec, NodeId, ServiceId};
-use hyscale_sim::{SimDuration, SimTime};
+use hyscale_sim::{SimDuration, SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{EventKind, TraceSink};
 
 use crate::algorithms::PlacementPolicy;
@@ -227,6 +227,43 @@ impl RecoveryManager {
                 free_cpu >= template.cpu_request.get() && free_mem >= template.mem_limit.get()
             })
             .map(|&(node, _, _)| node)
+    }
+
+    /// Serializes the per-service backoff table, sorted by service
+    /// (snapshot support). The configuration is rebuilt from scenario
+    /// config on restore.
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        let mut entries: Vec<(u32, u64, f64)> = self
+            .backoff
+            .iter()
+            .map(|(svc, b)| (svc.index(), b.next_attempt.as_micros(), b.current_secs))
+            .collect();
+        entries.sort_unstable_by_key(|&(svc, ..)| svc);
+        w.put_usize(entries.len());
+        for (svc, next_attempt, current_secs) in entries {
+            w.put_u32(svc);
+            w.put_u64(next_attempt);
+            w.put_f64(current_secs);
+        }
+    }
+
+    /// Overlays the backoff table captured by
+    /// [`RecoveryManager::snapshot_write`].
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.backoff.clear();
+        for _ in 0..r.get_usize()? {
+            let svc = ServiceId::new(r.get_u32()?);
+            let next_attempt = SimTime::from_micros(r.get_u64()?);
+            let current_secs = r.get_f64()?;
+            self.backoff.insert(
+                svc,
+                Backoff {
+                    next_attempt,
+                    current_secs,
+                },
+            );
+        }
+        Ok(())
     }
 }
 

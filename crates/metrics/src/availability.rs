@@ -38,6 +38,41 @@ impl AvailabilityTracker {
         AvailabilityTracker::default()
     }
 
+    /// Raw internal counters in declaration order: `(observed_secs,
+    /// down_secs, outages, repairs, repair_secs, current_outage_secs,
+    /// respawns, recovery_failures, deaths)` (snapshot support).
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (f64, f64, u64, u64, f64, Option<f64>, u64, u64, u64) {
+        (
+            self.observed_secs,
+            self.down_secs,
+            self.outages,
+            self.repairs,
+            self.repair_secs,
+            self.current_outage_secs,
+            self.respawns,
+            self.recovery_failures,
+            self.deaths,
+        )
+    }
+
+    /// Rebuilds a tracker from counters captured by
+    /// [`AvailabilityTracker::raw_parts`].
+    #[allow(clippy::type_complexity)]
+    pub fn from_raw_parts(parts: (f64, f64, u64, u64, f64, Option<f64>, u64, u64, u64)) -> Self {
+        AvailabilityTracker {
+            observed_secs: parts.0,
+            down_secs: parts.1,
+            outages: parts.2,
+            repairs: parts.3,
+            repair_secs: parts.4,
+            current_outage_secs: parts.5,
+            respawns: parts.6,
+            recovery_failures: parts.7,
+            deaths: parts.8,
+        }
+    }
+
     /// Records one tick of length `dt_secs` during which the service was
     /// `up` (had at least one ready replica) or not.
     pub fn record_tick(&mut self, dt_secs: f64, up: bool) {

@@ -56,6 +56,28 @@ impl CostMeter {
         self.busy_node_secs += busy_nodes as f64 * dt_secs;
     }
 
+    /// Raw accumulators `(core_secs, container_secs, busy_node_secs,
+    /// elapsed_secs)` (snapshot support).
+    pub fn raw_parts(&self) -> (f64, f64, f64, f64) {
+        (
+            self.core_secs,
+            self.container_secs,
+            self.busy_node_secs,
+            self.elapsed_secs,
+        )
+    }
+
+    /// Rebuilds a meter from accumulators captured by
+    /// [`CostMeter::raw_parts`].
+    pub fn from_raw_parts(parts: (f64, f64, f64, f64)) -> Self {
+        CostMeter {
+            core_secs: parts.0,
+            container_secs: parts.1,
+            busy_node_secs: parts.2,
+            elapsed_secs: parts.3,
+        }
+    }
+
     /// Allocated core-hours.
     pub fn core_hours(&self) -> f64 {
         self.core_secs / 3600.0

@@ -95,6 +95,15 @@ impl Summary {
         self.samples.len()
     }
 
+    /// The recorded samples in insertion order (snapshot support).
+    ///
+    /// Replaying these through [`Summary::record`] in order — plus
+    /// [`Summary::nan_dropped`] NaN records — rebuilds a bit-identical
+    /// summary, because Welford's updates are order-deterministic.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

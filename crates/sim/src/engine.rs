@@ -106,6 +106,15 @@ impl TickEngine {
         self.now >= self.horizon
     }
 
+    /// Restores the clock to a previously captured position (snapshot
+    /// resume). `now` must be a tick boundary within the horizon; the
+    /// engine resumes stepping from there as if it had ticked to that
+    /// point itself.
+    pub fn restore_clock(&mut self, now: SimTime, ticks_run: u64) {
+        self.now = now;
+        self.ticks_run = ticks_run;
+    }
+
     /// Advances one tick, invoking `body` with the tick's start time and
     /// length (the final tick is truncated to end exactly at the horizon).
     ///

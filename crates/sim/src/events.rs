@@ -115,6 +115,18 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Queued events in delivery order — `(time, event)` pairs sorted by
+    /// time with scheduling order breaking ties (snapshot support).
+    ///
+    /// Re-scheduling the returned pairs in order into a fresh queue
+    /// reproduces the exact delivery sequence: fresh sequence numbers are
+    /// assigned in the same relative order the originals held.
+    pub fn entries_in_order(&self) -> Vec<(SimTime, &E)> {
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| (e.time, &e.event)).collect()
+    }
 }
 
 impl<E> Default for EventQueue<E> {

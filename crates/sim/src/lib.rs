@@ -35,10 +35,14 @@ mod engine;
 mod error;
 mod events;
 mod rng;
+mod snapshot;
 mod time;
 
 pub use engine::{TickEngine, TickOutcome};
 pub use error::SimError;
 pub use events::EventQueue;
 pub use rng::SimRng;
+pub use snapshot::{
+    fnv1a, SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use time::{SimDuration, SimTime};

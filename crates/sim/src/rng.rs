@@ -58,6 +58,19 @@ impl SimRng {
         }
     }
 
+    /// Returns the raw xoshiro256** internal state (snapshot support).
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    ///
+    /// The restored generator continues the exact stream the original
+    /// would have produced.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SimRng { state }
+    }
+
     /// Derives an independent sub-stream, advancing this generator once.
     ///
     /// Useful for giving each simulated entity (service, node, client) its

@@ -350,6 +350,13 @@ pub enum EventKind {
         /// Simulated microseconds the warp covered.
         span_us: u64,
     },
+    /// A full simulation snapshot was written at a tick boundary.
+    Snapshot {
+        /// Ticks executed when the snapshot was taken.
+        tick: u64,
+        /// The simulated clock at the boundary, microseconds.
+        now_us: u64,
+    },
     /// A capacity-reducing action was vetoed because the service's view
     /// was older than the staleness budget.
     StaleVeto {
@@ -385,6 +392,7 @@ impl EventKind {
             EventKind::SafeMode { .. } => "safe_mode",
             EventKind::CohortFlow { .. } => "cohort_flow",
             EventKind::TimeWarp { .. } => "time_warp",
+            EventKind::Snapshot { .. } => "snapshot",
             EventKind::StaleVeto { .. } => "stale_veto",
         }
     }
@@ -517,6 +525,10 @@ mod tests {
             EventKind::TimeWarp {
                 ticks: 48,
                 span_us: 4_800_000,
+            },
+            EventKind::Snapshot {
+                tick: 120,
+                now_us: 12_000_000,
             },
             EventKind::StaleVeto {
                 algorithm: "hybrid",

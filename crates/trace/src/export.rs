@@ -230,6 +230,9 @@ fn jsonl_event(out: &mut String, event: &TraceEvent) {
         EventKind::TimeWarp { ticks, span_us } => {
             let _ = write!(out, ",\"ticks\":{ticks},\"span_us\":{span_us}");
         }
+        EventKind::Snapshot { tick, now_us } => {
+            let _ = write!(out, ",\"tick\":{tick},\"now_us\":{now_us}");
+        }
         EventKind::StaleVeto {
             algorithm,
             service,
@@ -512,6 +515,16 @@ pub fn csv(sink: &TraceSink) -> String {
                 span_us.to_string(),
                 String::new(),
             ),
+            EventKind::Snapshot { tick, now_us } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                tick.to_string(),
+                now_us.to_string(),
+                String::new(),
+            ),
             EventKind::StaleVeto {
                 algorithm,
                 service,
@@ -739,6 +752,10 @@ mod tests {
                 ticks: 37,
                 span_us: 3_700_000,
             },
+            EventKind::Snapshot {
+                tick: 450,
+                now_us: 45_000_000,
+            },
         ];
         for kind in kinds {
             sink.emit(SimTime::from_secs(1.0), kind);
@@ -760,10 +777,12 @@ mod tests {
             "\"count\":2048,\"routed\":2000,\"rejected\":48",
             "\"ev\":\"time_warp\"",
             "\"ticks\":37,\"span_us\":3700000",
+            "\"ev\":\"snapshot\"",
+            "\"tick\":450,\"now_us\":45000000",
         ] {
             assert!(journal.contains(needle), "missing {needle} in {journal}");
         }
         let table = csv(&sink);
-        assert_eq!(table.lines().count(), 14);
+        assert_eq!(table.lines().count(), 15);
     }
 }

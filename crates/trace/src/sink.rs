@@ -126,6 +126,14 @@ impl TraceSink {
         self.next = 0;
         self.dropped = 0;
     }
+
+    /// Re-establishes the emission cursor after a snapshot resume: the
+    /// next event emitted gets sequence number `seq`, so the resumed
+    /// run's journal continues exactly where the interrupted run's
+    /// exported journal left off.
+    pub fn resume_at(&mut self, seq: u64) {
+        self.seq = seq;
+    }
 }
 
 impl Default for TraceSink {

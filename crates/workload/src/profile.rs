@@ -40,6 +40,27 @@ impl std::fmt::Display for ServiceProfile {
     }
 }
 
+impl std::str::FromStr for ServiceProfile {
+    type Err = String;
+
+    /// Parses the [`std::fmt::Display`] labels back (as used by
+    /// experiment config files): `cpu-bound`, `mem-bound`, `net-bound`,
+    /// `disk-bound`, `mixed`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu-bound" => Ok(ServiceProfile::CpuBound),
+            "mem-bound" => Ok(ServiceProfile::MemBound),
+            "net-bound" => Ok(ServiceProfile::NetBound),
+            "disk-bound" => Ok(ServiceProfile::DiskBound),
+            "mixed" => Ok(ServiceProfile::Mixed),
+            other => Err(format!(
+                "unknown service profile '{other}' \
+                 (expected cpu-bound, mem-bound, net-bound, disk-bound, or mixed)"
+            )),
+        }
+    }
+}
+
 /// One emulated microservice: identity, per-request demands, client load,
 /// and the container template its replicas are launched from.
 #[derive(Debug, Clone, PartialEq)]
