@@ -1,8 +1,10 @@
 //! Trace-journal determinism gate and journal generator: replays the
 //! chaos benchmark scenario with an enabled trace sink, proves the JSONL
 //! journal is byte-identical serial vs node-parallel and across repeated
-//! seeded runs, then writes `TRACE_journal.jsonl` / `TRACE_journal.csv`
-//! and prints the event-kind census.
+//! seeded runs — likewise for the graph scenario's journal, which adds
+//! per-hop span events — then writes `TRACE_journal.jsonl` /
+//! `TRACE_journal.csv` / `TRACE_graph.jsonl` and prints the event-kind
+//! census.
 //!
 //! ```sh
 //! cargo run --release -p hyscale-bench --bin trace [-- --full | --smoke]
@@ -10,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use hyscale_bench::scenarios::{chaos, Scale};
+use hyscale_bench::scenarios::{chaos, graph, Scale};
 use hyscale_core::{AlgorithmKind, ScenarioConfig, SimulationDriver};
 use hyscale_trace::{export, RunMeta, TraceSink};
 
@@ -84,9 +86,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("[isolation: traced and untraced reports are bit-identical]");
 
+    // Gate 4: the graph scenario's journal — which adds per-hop span
+    // events — is also byte-identical serial vs node-parallel, and
+    // actually contains spans.
+    let mut graph_config = graph(&scale, AlgorithmKind::HyScaleCpu);
+    graph_config.seed = scale.seeds[0];
+    graph_config.parallelism = 1;
+    let (graph_sink, graph_serial) = traced_journal(&graph_config)?;
+    let mut graph_wide = graph_config.clone();
+    graph_wide.parallelism = 4;
+    let (_, graph_parallel) = traced_journal(&graph_wide)?;
+    assert_eq!(
+        graph_serial, graph_parallel,
+        "graph trace journal diverged between serial and parallelism(4)"
+    );
+    let spans = graph_sink
+        .events()
+        .filter(|e| e.kind.label() == "span")
+        .count();
+    assert!(spans > 0, "graph journal carries no span events");
+    println!("[determinism: graph journal byte-identical, {spans} spans]");
+
     std::fs::write("TRACE_journal.jsonl", &serial)?;
     std::fs::write("TRACE_journal.csv", export::csv(&sink))?;
-    println!("wrote TRACE_journal.jsonl + TRACE_journal.csv");
+    std::fs::write("TRACE_graph.jsonl", &graph_serial)?;
+    println!("wrote TRACE_journal.jsonl + TRACE_journal.csv + TRACE_graph.jsonl");
 
     let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
     for event in sink.events() {

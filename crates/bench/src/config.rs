@@ -346,6 +346,9 @@ struct ExperimentDraft {
 
 #[derive(Default)]
 struct RampDraft {
+    /// Line of the `[ramp]` section header, for cross-field errors that
+    /// have no single offending key line.
+    line: usize,
     initial_rps: Option<f64>,
     increment_rps: Option<f64>,
     max_rps: Option<f64>,
@@ -440,7 +443,10 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
                     if ramp.is_some() {
                         return Err(ConfigError::at(line, "duplicate [ramp] section"));
                     }
-                    ramp = Some(RampDraft::default());
+                    ramp = Some(RampDraft {
+                        line,
+                        ..RampDraft::default()
+                    });
                     Section::Ramp
                 }
                 "snapshot" => {
@@ -589,16 +595,28 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
     let Some(ramp_draft) = ramp else {
         return Err(ConfigError::file("missing required [ramp] section"));
     };
+    let ramp_line = ramp_draft.line;
     let ramp = Ramp {
-        initial_rps: require(ramp_draft.initial_rps, "[ramp]", "initial_rps", 0)?,
-        increment_rps: require(ramp_draft.increment_rps, "[ramp]", "increment_rps", 0)?,
-        max_rps: require(ramp_draft.max_rps, "[ramp]", "max_rps", 0)?,
+        initial_rps: require(ramp_draft.initial_rps, "[ramp]", "initial_rps", ramp_line)?,
+        increment_rps: require(
+            ramp_draft.increment_rps,
+            "[ramp]",
+            "increment_rps",
+            ramp_line,
+        )?,
+        max_rps: require(ramp_draft.max_rps, "[ramp]", "max_rps", ramp_line)?,
     };
+    // A staircase that starts above its own ceiling would run zero
+    // steps; blame the [ramp] section header since no single key line
+    // is wrong on its own.
     if ramp.max_rps + 1e-9 < ramp.initial_rps {
-        return Err(ConfigError::file(format!(
-            "'max_rps' ({}) must be at least 'initial_rps' ({})",
-            ramp.max_rps, ramp.initial_rps
-        )));
+        return Err(ConfigError::at(
+            ramp_line,
+            format!(
+                "'max_rps' ({}) must be at least 'initial_rps' ({})",
+                ramp.max_rps, ramp.initial_rps
+            ),
+        ));
     }
     if scenarios.is_empty() {
         return Err(ConfigError::file(
@@ -811,6 +829,8 @@ mod tests {
             "[experiment]\nname = \"w\"\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 5\nincrement_rps = 1\nmax_rps = 2\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
         );
         assert!(err.message.contains("'max_rps'"), "{err}");
+        // Cross-field ramp errors blame the `[ramp]` section header line.
+        assert_eq!(err.line, 6, "{err}");
         let err = err_of("[ramp]\ninitial_rps = 1\n");
         assert!(
             err.message.contains("missing required [experiment]"),
@@ -822,6 +842,31 @@ mod tests {
             "[experiment]\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 1\nincrement_rps = 1\nmax_rps = 1\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
         );
         assert!(err.message.contains("missing required key 'name'"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_ramps_are_rejected_with_line_numbers() {
+        // A zero increment would loop the ramp forever at `initial_rps`;
+        // the error points at the offending key's own line.
+        let err = err_of(
+            "[experiment]\nname = \"w\"\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 1\nincrement_rps = 0\nmax_rps = 2\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
+        );
+        assert_eq!(err.line, 8, "{err}");
+        assert!(
+            err.message.contains("'increment_rps' must be positive"),
+            "{err}"
+        );
+        // `max_rps` below `initial_rps` is a cross-field error: no single
+        // key is at fault, so it is reported at the `[ramp]` header line.
+        let err = err_of(
+            "[experiment]\nname = \"w\"\nduration_secs = 10\nnodes = 1\nalgorithms = [\"hybrid\"]\n[ramp]\ninitial_rps = 9\nincrement_rps = 1\nmax_rps = 3\n[[scenario]]\nname = \"s\"\nweight = 100\nprofile = \"mixed\"\n",
+        );
+        assert_eq!(err.line, 6, "{err}");
+        assert!(
+            err.message
+                .contains("'max_rps' (3) must be at least 'initial_rps' (9)"),
+            "{err}"
+        );
     }
 
     #[test]

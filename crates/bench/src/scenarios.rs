@@ -11,7 +11,7 @@ use hyscale_cluster::{FaultPlan, FaultPlanConfig, Mbps, MemMb, NodeSpec};
 use hyscale_core::{AlgorithmKind, ControlPlaneConfig, ScenarioBuilder, ScenarioConfig};
 use hyscale_sim::SimRng;
 use hyscale_workload::bitbrains::{trace_to_load_pattern, SyntheticTrace};
-use hyscale_workload::{LoadPattern, ServiceProfile, ServiceSpec};
+use hyscale_workload::{GraphEdge, LoadPattern, ServiceGraph, ServiceProfile, ServiceSpec};
 
 /// The paper's five-run averaging protocol, as seeds.
 pub const PAPER_SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
@@ -289,6 +289,40 @@ pub fn chaos_control(scale: &Scale, algorithm: AlgorithmKind, degraded: bool) ->
     config
 }
 
+/// Graph: the CPU-bound low-burst experiment rewired as a three-tier
+/// call graph (frontends → aggregators → backends).
+///
+/// Client load attaches only to the frontend tier; every other tier sees
+/// purely derived traffic. Each frontend request fans out to two requests
+/// on every aggregator (half the CPU cost — routing, not computing), and
+/// each aggregator request issues one request per backend (a quarter of
+/// the CPU but twice the egress — the data-heavy tier). The `graph`
+/// bench bin reports per-entry-point end-to-end p95/p99 on top of the
+/// usual per-hop metrics, which no independent-services scenario can
+/// attribute.
+pub fn graph(scale: &Scale, algorithm: AlgorithmKind) -> ScenarioConfig {
+    let mut config = cpu_bound(scale, Burst::Low, algorithm);
+    config.name = format!("graph-{algorithm}");
+    let n = config.services.len();
+    assert!(n >= 3, "the graph scenario needs at least three services");
+    // Tier sizes: n/3 frontends, n/3 aggregators, the rest backends.
+    let fronts = (n / 3).max(1);
+    let mids = (n / 3).max(1);
+    let mut g = ServiceGraph::new(n);
+    for f in 0..fronts {
+        for m in fronts..fronts + mids {
+            g = g.with_edge_spec(GraphEdge::new(f, m, 2).with_costs(0.5, 1.0));
+        }
+    }
+    for m in fronts..fronts + mids {
+        for b in fronts + mids..n {
+            g = g.with_edge_spec(GraphEdge::new(m, b, 1).with_costs(0.25, 2.0));
+        }
+    }
+    config.graph = Some(g);
+    config
+}
+
 /// Figures 9–10: the Bitbrains `Rnd` replay.
 ///
 /// The synthetic GWA-T-12-like trace (see `hyscale-workload::bitbrains`)
@@ -365,7 +399,22 @@ mod tests {
                 network(&scale, burst, kind).validate().unwrap();
             }
             bitbrains(&scale, kind).validate().unwrap();
+            graph(&scale, kind).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn graph_scenario_has_three_tiers() {
+        let config = graph(&Scale::bench(), AlgorithmKind::HyScaleCpu);
+        let g = config.graph.as_ref().expect("graph scenario sets a graph");
+        assert_eq!(g.nodes(), config.services.len());
+        // bench scale: 3 services => one per tier, chained 0 -> 1 -> 2.
+        assert_eq!(g.entry_points(), vec![0]);
+        assert!(!g.is_trivial());
+        assert!(g.is_entry(0) && !g.is_entry(1) && !g.is_entry(2));
+        // The quick scale (6 services) keeps a frontend tier of two.
+        let wide = graph(&Scale::quick(), AlgorithmKind::HyScaleCpu);
+        assert_eq!(wide.graph.as_ref().unwrap().entry_points(), vec![0, 1]);
     }
 
     #[test]

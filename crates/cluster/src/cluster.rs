@@ -807,7 +807,7 @@ impl Cluster {
         // eagerly but singly).
         let base = self.request_ids.next_range(count);
         let c = self.slot_mut(id).expect("container existed above");
-        c.cohorts.push(&cohort, base);
+        c.cohorts.push(&cohort, base, now);
         Ok(RequestId::new(base))
     }
 
@@ -1682,6 +1682,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                     service: inflight.request.service,
                     container: id,
                     arrival: inflight.request.arrival,
+                    admitted: inflight.admitted,
                     finished,
                     response_time: finished.saturating_since(inflight.request.arrival),
                 });
@@ -1719,6 +1720,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
                     service: t.service[ci],
                     container: id,
                     arrival: t.arrival[ci],
+                    admitted: t.admitted[ci],
                     finished,
                     response_time: finished.saturating_since(t.arrival[ci]),
                 });

@@ -162,6 +162,9 @@ pub(crate) struct CohortTable {
     pub count: Vec<u64>,
     pub service: Vec<ServiceId>,
     pub arrival: Vec<SimTime>,
+    /// When the members were admitted to this container (queue delay is
+    /// `admitted - arrival`; service time runs from here).
+    pub admitted: Vec<SimTime>,
     pub deadline: Vec<SimTime>,
     /// CPU core-seconds still owed *per member*.
     pub cpu_rem: Vec<f64>,
@@ -189,11 +192,12 @@ impl CohortTable {
         self.members
     }
 
-    pub fn push(&mut self, cohort: &Cohort, id_base: u64) {
+    pub fn push(&mut self, cohort: &Cohort, id_base: u64, admitted: SimTime) {
         self.id_base.push(id_base);
         self.count.push(cohort.count);
         self.service.push(cohort.service);
         self.arrival.push(cohort.arrival);
+        self.admitted.push(admitted);
         self.deadline.push(cohort.deadline());
         self.cpu_rem.push(cohort.cpu_secs);
         self.net_rem.push(cohort.megabits_out);
@@ -210,6 +214,7 @@ impl CohortTable {
         self.count.swap_remove(i);
         self.service.swap_remove(i);
         self.arrival.swap_remove(i);
+        self.admitted.swap_remove(i);
         self.deadline.swap_remove(i);
         self.cpu_rem.swap_remove(i);
         self.net_rem.swap_remove(i);
@@ -224,6 +229,7 @@ impl CohortTable {
         self.count.clear();
         self.service.clear();
         self.arrival.clear();
+        self.admitted.clear();
         self.deadline.clear();
         self.cpu_rem.clear();
         self.net_rem.clear();
@@ -257,6 +263,7 @@ impl CohortTable {
         self.count.push(right);
         self.service.push(self.service[i]);
         self.arrival.push(self.arrival[i]);
+        self.admitted.push(self.admitted[i]);
         self.deadline.push(self.deadline[i]);
         self.cpu_rem.push(self.cpu_rem[i]);
         self.net_rem.push(self.net_rem[i]);
@@ -276,6 +283,7 @@ impl CohortTable {
         let rejoinable = self.id_base[i] + self.count[i] == self.id_base[j]
             && self.service[i] == self.service[j]
             && self.arrival[i] == self.arrival[j]
+            && self.admitted[i] == self.admitted[j]
             && self.deadline[i] == self.deadline[j]
             && self.cpu_rem[i] == self.cpu_rem[j]
             && self.net_rem[i] == self.net_rem[j]
@@ -310,6 +318,7 @@ impl CohortTable {
             w.put_u64(self.count[i]);
             w.put_u32(self.service[i].index());
             w.put_u64(self.arrival[i].as_micros());
+            w.put_u64(self.admitted[i].as_micros());
             w.put_u64(self.deadline[i].as_micros());
             w.put_f64(self.cpu_rem[i]);
             w.put_f64(self.net_rem[i]);
@@ -334,6 +343,7 @@ impl CohortTable {
             t.count.push(count);
             t.service.push(ServiceId::new(r.get_u32()?));
             t.arrival.push(SimTime::from_micros(r.get_u64()?));
+            t.admitted.push(SimTime::from_micros(r.get_u64()?));
             t.deadline.push(SimTime::from_micros(r.get_u64()?));
             t.cpu_rem.push(r.get_f64()?);
             t.net_rem.push(r.get_f64()?);
@@ -389,8 +399,8 @@ mod tests {
     #[test]
     fn table_push_split_merge_conserves_members() {
         let mut t = CohortTable::default();
-        t.push(&cohort(10), 100);
-        t.push(&cohort(4), 200);
+        t.push(&cohort(10), 100, SimTime::from_secs(1.0));
+        t.push(&cohort(4), 200, SimTime::from_secs(1.0));
         assert_eq!(t.members(), 14);
         assert!(t.split(0, 6));
         assert_eq!(t.members(), 14);
@@ -411,7 +421,7 @@ mod tests {
     #[test]
     fn degenerate_splits_are_noops() {
         let mut t = CohortTable::default();
-        t.push(&cohort(5), 0);
+        t.push(&cohort(5), 0, SimTime::from_secs(1.0));
         assert!(!t.split(0, 0));
         assert!(!t.split(0, 5));
         assert_eq!(t.len(), 1);

@@ -230,6 +230,9 @@ pub struct CompletedRequest {
     pub container: ContainerId,
     /// Client-issued time.
     pub arrival: SimTime,
+    /// When the replica admitted it (queue delay is
+    /// `admitted - arrival`; service time is `finished - admitted`).
+    pub admitted: SimTime,
     /// Completion time (including fan-out latency).
     pub finished: SimTime,
     /// End-to-end response time.

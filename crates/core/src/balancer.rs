@@ -107,6 +107,11 @@ struct Breaker {
 pub struct LoadBalancer {
     /// `Some` in snapshot mode (control plane enabled), `None` live.
     snapshot: Option<Snapshot>,
+    /// Candidate scratch reused across [`LoadBalancer::route_cohort`]
+    /// calls (like the tick engine's reusable buffers): cleared, filled,
+    /// and sorted per call, never dropped — so the steady state allocates
+    /// nothing. Transient: deliberately absent from snapshots.
+    cohort_scratch: Vec<(u64, ContainerId, u64)>,
 }
 
 /// The snapshot-mode state: stale backend knowledge plus breakers.
@@ -138,6 +143,7 @@ impl LoadBalancer {
                 breakers: BTreeMap::new(),
                 breaker_opens: 0,
             }),
+            cohort_scratch: Vec::new(),
         }
     }
 
@@ -251,14 +257,15 @@ impl LoadBalancer {
     /// admission fails, and the failure feeds its breaker — the same
     /// roll-call gap the per-request path has.
     pub fn route_cohort(
-        &self,
+        &mut self,
         cluster: &Cluster,
         service: ServiceId,
         count: u64,
         now: SimTime,
         out: &mut Vec<(ContainerId, u64)>,
     ) -> u64 {
-        let mut candidates: Vec<(u64, ContainerId, u64)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.cohort_scratch);
+        candidates.clear();
         match self.snapshot.as_ref() {
             None => {
                 for id in cluster.service_replicas(service) {
@@ -272,10 +279,9 @@ impl LoadBalancer {
                 }
             }
             Some(snap) => {
-                let Some(backends) = snap.backends.get(&service) else {
-                    return count;
-                };
-                for &id in backends {
+                // An unknown service has no candidates: the whole batch
+                // falls through the waterfill below as unrouted.
+                for &id in snap.backends.get(&service).map_or(&[][..], Vec::as_slice) {
                     if self.breaker_blocks(id, now) {
                         continue;
                     }
@@ -296,7 +302,7 @@ impl LoadBalancer {
         }
         candidates.sort_unstable();
         let mut remaining = count;
-        for (_, id, headroom) in candidates {
+        for &(_, id, headroom) in &candidates {
             if remaining == 0 {
                 break;
             }
@@ -304,7 +310,14 @@ impl LoadBalancer {
             out.push((id, take));
             remaining -= take;
         }
+        self.cohort_scratch = candidates;
         remaining
+    }
+
+    /// Capacity of the cohort-routing scratch buffer (regression hook:
+    /// steady-state routing must not reallocate it).
+    pub fn cohort_scratch_capacity(&self) -> usize {
+        self.cohort_scratch.capacity()
     }
 
     /// Records a successfully admitted request (a no-op in live mode).
@@ -560,7 +573,7 @@ mod tests {
         let b = cl
             .start_container(node, spec(svc).with_queue_cap(8), SimTime::ZERO)
             .unwrap();
-        let lb = LoadBalancer::new();
+        let mut lb = LoadBalancer::new();
         let mut out = Vec::new();
         let unrouted = lb.route_cohort(&cl, svc, 10, SimTime::ZERO, &mut out);
         // Both idle: lowest id fills to its headroom first, spillover next.
@@ -576,7 +589,7 @@ mod tests {
             cl.start_container(node, spec(svc).with_queue_cap(2), SimTime::ZERO)
                 .unwrap();
         }
-        let lb = LoadBalancer::new();
+        let mut lb = LoadBalancer::new();
         let mut out = Vec::new();
         let unrouted = lb.route_cohort(&cl, svc, 10, SimTime::ZERO, &mut out);
         assert_eq!(unrouted, 6);
@@ -616,6 +629,57 @@ mod tests {
 
     fn snapshot_lb() -> LoadBalancer {
         LoadBalancer::with_breakers(BreakerConfig::default(), SimRng::seed_from(7))
+    }
+
+    /// Regression: repeated cohort routing reuses one scratch buffer
+    /// instead of allocating a fresh candidates Vec per call.
+    #[test]
+    fn route_cohort_reuses_scratch_without_reallocating() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        for _ in 0..8 {
+            cl.start_container(node, spec(svc).with_queue_cap(64), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut lb = LoadBalancer::new();
+        let mut out = Vec::new();
+        // First call sizes the scratch to the candidate count.
+        lb.route_cohort(&cl, svc, 100, SimTime::ZERO, &mut out);
+        let cap = lb.cohort_scratch_capacity();
+        assert!(cap >= 8, "scratch should hold all candidates, cap {cap}");
+        for _ in 0..50 {
+            out.clear();
+            lb.route_cohort(&cl, svc, 100, SimTime::ZERO, &mut out);
+        }
+        assert_eq!(
+            lb.cohort_scratch_capacity(),
+            cap,
+            "steady-state routing reallocated the scratch"
+        );
+    }
+
+    /// All replicas with zero queue headroom: every member bounces as
+    /// unrouted and no shares are emitted.
+    #[test]
+    fn route_cohort_all_zero_headroom_leaves_batch_unrouted() {
+        let (mut cl, svc) = setup();
+        let node = cl.nodes().next().unwrap().id();
+        for _ in 0..3 {
+            let c = cl
+                .start_container(node, spec(svc).with_queue_cap(1), SimTime::ZERO)
+                .unwrap();
+            cl.admit_request(
+                c,
+                Request::cpu_bound(svc, SimTime::ZERO, 1.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let mut lb = LoadBalancer::new();
+        let mut out = Vec::new();
+        let unrouted = lb.route_cohort(&cl, svc, 25, SimTime::ZERO, &mut out);
+        assert_eq!(unrouted, 25, "every member should bounce");
+        assert!(out.is_empty(), "no shares with zero headroom everywhere");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 
 use hyscale_cluster::{
-    Cluster, ClusterConfig, ContainerId, ContainerSpec, FailureKind, FaultInjector, FaultLog,
-    FaultPlan, NodeId, NodeSpec, ServiceId, TickReport,
+    Cluster, ClusterConfig, Cohort, ContainerId, ContainerSpec, FailureKind, FaultInjector,
+    FaultLog, FaultPlan, MemMb, NodeId, NodeSpec, Request, ServiceId, TickReport,
 };
 use hyscale_metrics::{
     AvailabilityTracker, CostMeter, MetricsRegistry, RequestOutcomes, ServiceAvailability,
@@ -24,12 +24,13 @@ use hyscale_sim::{
     TickEngine, TickOutcome,
 };
 use hyscale_trace::{EventKind, TraceSink};
-use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceProfile, ServiceSpec};
+use hyscale_workload::{ArrivalProcess, LoadPattern, ServiceGraph, ServiceProfile, ServiceSpec};
 
 use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
 use crate::balancer::LoadBalancer;
 use crate::controlplane::{ControlPlane, ControlPlaneConfig, ControlPlaneStats};
 use crate::error::CoreError;
+use crate::flowgraph::{EntryPointStats, GraphTracker};
 use crate::monitor::Monitor;
 use crate::recovery::{RecoveryConfig, RecoveryManager};
 use hyscale_cluster::FailedRequest;
@@ -94,6 +95,17 @@ pub struct ScenarioConfig {
     /// is deterministic but not bit-identical to ticking through the same
     /// stretch (EWMA decay and usage windows are applied in closed form).
     pub time_warp: bool,
+    /// Service dependency DAG over the service list (by index). `None` =
+    /// the classic independent-services model. With a graph, client load
+    /// attaches only to entry-point services; each completed hop spawns
+    /// child work along its outgoing edges (admitted at the next tick, so
+    /// inter-tier queueing is real), per-hop spans are journaled, and
+    /// end-to-end outcomes per entry point land in
+    /// [`RunReport::entry_points`]. Derived traffic draws no randomness:
+    /// child demands are the child's base demands scaled by the edge
+    /// multipliers, so an edge-free graph reproduces the graph-free run
+    /// byte for byte (every service is then an entry point).
+    pub graph: Option<ServiceGraph>,
     /// Periodic full-state snapshots: write the complete deterministic
     /// simulation state to disk at tick boundaries. `None` = no
     /// snapshots. Does not perturb the simulation: a run with snapshots
@@ -216,6 +228,18 @@ impl ScenarioConfig {
                 ));
             }
         }
+        if let Some(graph) = &self.graph {
+            graph
+                .validate()
+                .map_err(|e| CoreError::InvalidScenario(format!("graph: {e}")))?;
+            if graph.nodes() != self.services.len() {
+                return Err(CoreError::InvalidScenario(format!(
+                    "graph spans {} services, scenario has {}",
+                    graph.nodes(),
+                    self.services.len()
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -281,6 +305,9 @@ pub struct RunReport {
     /// Ticks the time-warp fast path skipped in closed form (0 unless
     /// [`ScenarioConfig::time_warp`] was enabled).
     pub warp_ticks: u64,
+    /// End-to-end outcomes per entry point, in ascending service order
+    /// (empty unless [`ScenarioConfig::graph`] was set).
+    pub entry_points: Vec<EntryPointStats>,
     /// FNV-1a digest of the full serialized end-of-run state. `Some`
     /// only for single-seed runs that finished the horizon with
     /// snapshotting or resume enabled; two runs with equal digests ended
@@ -330,12 +357,17 @@ impl RunReport {
 /// scale-in and decommission aborts are **removal** failures,
 /// infrastructure deaths / queue / timeout aborts are **connection**
 /// failures. Every failure-recording site in the driver funnels through
-/// here, so a request can never be double-counted or dropped.
+/// here, so a request can never be double-counted or dropped — and, in
+/// graph mode, so every lost hop reliably fails its root.
 fn record_failure(
     requests: &mut RequestOutcomes,
     per_service: &mut BTreeMap<ServiceId, RequestOutcomes>,
+    graph: Option<&mut GraphTracker>,
     failure: &FailedRequest,
 ) {
+    if let Some(tracker) = graph {
+        tracker.on_failed(failure);
+    }
     // Per-request paths always carry count 1; aborted cohorts arrive as
     // one aggregate record carrying their member count.
     match failure.kind {
@@ -480,12 +512,28 @@ impl SimulationDriver {
             .map(|s| ArrivalProcess::new(s.load.clone()))
             .collect();
 
+        // Graph mode: client load attaches only to entry points; every
+        // non-entry tier sees purely derived traffic. Non-entry services
+        // never draw from their arrival streams, which is exactly why an
+        // edge-free graph (every service an entry) reproduces the
+        // graph-free run bit for bit.
+        let mut graph_tracker: Option<GraphTracker> = config
+            .graph
+            .as_ref()
+            .map(|g| GraphTracker::new(g.clone(), &config.services));
+        let takes_client_load = |idx: usize, tracker: &Option<GraphTracker>| {
+            tracker.as_ref().is_none_or(|t| t.is_entry(idx))
+        };
+
         let mut events: EventQueue<Event> = EventQueue::new();
         if !config.cohort_arrivals {
             // Per-request mode: each service runs a thinned Poisson
             // process of individual arrival events. Cohort mode draws a
             // per-tick Poisson count inside the tick body instead.
             for (idx, process) in arrivals.iter_mut().enumerate() {
+                if !takes_client_load(idx, &graph_tracker) {
+                    continue;
+                }
                 let first = process.next_arrival(SimTime::ZERO, &mut arrival_rngs[idx]);
                 if first < SimTime::MAX {
                     events.schedule(first, Event::Arrival(idx));
@@ -640,6 +688,19 @@ impl SimulationDriver {
             respawns_total = r.get_u64()?;
             recovery_failures_total = r.get_u64()?;
             warp_ticks = r.get_u64()?;
+            // Graph-tracker state (presence is pinned by the config
+            // digest, but the tag is still validated).
+            match (r.get_u8()?, graph_tracker.as_mut()) {
+                (0, None) => {}
+                (1, Some(tracker)) => tracker.snapshot_restore(&mut r)?,
+                (tag, tracker) => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "graph-state tag {tag} does not match scenario (graph {})",
+                        if tracker.is_some() { "on" } else { "off" }
+                    ))
+                    .into());
+                }
+            }
             r.expect_done()?;
             if let Some(policy) = &snapshot_policy {
                 next_snapshot_tick =
@@ -654,7 +715,12 @@ impl SimulationDriver {
                 // chaos runs stay bit-identical at any parallelism setting.
                 if !injector.drained() {
                     for failure in injector.apply_due_traced(&mut cluster, now, trace) {
-                        record_failure(&mut requests, &mut per_service, &failure);
+                        record_failure(
+                            &mut requests,
+                            &mut per_service,
+                            graph_tracker.as_mut(),
+                            &failure,
+                        );
                     }
                 }
 
@@ -667,18 +733,38 @@ impl SimulationDriver {
                             let outcomes = per_service.get_mut(&service.id).expect("known service");
                             outcomes.record_issued();
                             let request = service.make_request(event_time, &mut demand_rngs[idx]);
+                            // In graph mode every arrival opens a root; a
+                            // request the balancer or admission rejects
+                            // fails it on the spot (seal resolves roots
+                            // that registered no hop).
+                            let root = graph_tracker
+                                .as_mut()
+                                .map(|t| t.begin_root(idx, event_time, 1));
                             match balancer.route(&cluster, service.id, now) {
                                 Some(target) => {
                                     balancer_deltas[idx].0 += 1;
                                     balancer_total.0 += 1;
-                                    if cluster.admit_request(target, request, now).is_err() {
-                                        requests.record_connection_failure();
-                                        outcomes.record_connection_failure();
-                                        // Feeds the replica's circuit breaker
-                                        // (no-op for the live-mode balancer).
-                                        balancer.record_failure(target, now, trace);
-                                    } else {
-                                        balancer.record_success(target, now, trace);
+                                    match cluster.admit_request(target, request, now) {
+                                        Ok(id) => {
+                                            if let (Some(t), Some(root)) =
+                                                (graph_tracker.as_mut(), root)
+                                            {
+                                                t.register_hop(root, id.index(), 0);
+                                            }
+                                            balancer.record_success(target, now, trace);
+                                        }
+                                        Err(_) => {
+                                            requests.record_connection_failure();
+                                            outcomes.record_connection_failure();
+                                            // Feeds the replica's circuit breaker
+                                            // (no-op for the live-mode balancer).
+                                            balancer.record_failure(target, now, trace);
+                                            if let (Some(t), Some(root)) =
+                                                (graph_tracker.as_mut(), root)
+                                            {
+                                                t.fail_root(root);
+                                            }
+                                        }
                                     }
                                 }
                                 None => {
@@ -686,7 +772,13 @@ impl SimulationDriver {
                                     balancer_total.1 += 1;
                                     requests.record_connection_failure();
                                     outcomes.record_connection_failure();
+                                    if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
+                                        t.fail_root(root);
+                                    }
                                 }
+                            }
+                            if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
+                                t.seal_root(root);
                             }
                             let next =
                                 arrivals[idx].next_arrival(event_time, &mut arrival_rngs[idx]);
@@ -702,7 +794,12 @@ impl SimulationDriver {
                                         .decommission_node(node_ids[*node_idx], now)
                                         .unwrap_or_default();
                                     for failure in &failures {
-                                        record_failure(&mut requests, &mut per_service, failure);
+                                        record_failure(
+                                            &mut requests,
+                                            &mut per_service,
+                                            graph_tracker.as_mut(),
+                                            failure,
+                                        );
                                     }
                                 }
                                 NodeEvent::Commission(spec) => {
@@ -732,7 +829,12 @@ impl SimulationDriver {
                                 }
                             }
                             for failure in &report.removal_failures {
-                                record_failure(&mut requests, &mut per_service, failure);
+                                record_failure(
+                                    &mut requests,
+                                    &mut per_service,
+                                    graph_tracker.as_mut(),
+                                    failure,
+                                );
                             }
 
                             // Replicas that died underneath the platform are
@@ -835,6 +937,9 @@ impl SimulationDriver {
                 if config.cohort_arrivals {
                     let dt_secs = dt.as_secs();
                     for (idx, service) in config.services.iter().enumerate() {
+                        if !takes_client_load(idx, &graph_tracker) {
+                            continue;
+                        }
                         let mean = service.load.rate_at(now) * dt_secs;
                         let n = arrival_rngs[idx].poisson(mean);
                         if n == 0 {
@@ -844,6 +949,7 @@ impl SimulationDriver {
                         let outcomes = per_service.get_mut(&service.id).expect("known service");
                         outcomes.record_issued_n(n);
                         let cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
+                        let root = graph_tracker.as_mut().map(|t| t.begin_root(idx, now, n));
                         cohort_routes.clear();
                         let unrouted =
                             balancer.route_cohort(&cluster, service.id, n, now, &mut cohort_routes);
@@ -852,21 +958,35 @@ impl SimulationDriver {
                         for &(target, members) in cohort_routes.iter() {
                             let mut share = cohort.clone();
                             share.count = members;
-                            if cluster.admit_cohort(target, share, now).is_err() {
-                                rejected_members += members;
-                                requests.record_connection_failures(members);
-                                outcomes.record_connection_failures(members);
-                                // Feeds the replica's circuit breaker (no-op
-                                // for the live-mode balancer).
-                                balancer.record_failure(target, now, trace);
-                            } else {
-                                routed_members += members;
-                                balancer.record_success(target, now, trace);
+                            match cluster.admit_cohort(target, share, now) {
+                                Ok(base) => {
+                                    routed_members += members;
+                                    if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
+                                        t.register_hop(root, base.index(), 0);
+                                    }
+                                    balancer.record_success(target, now, trace);
+                                }
+                                Err(_) => {
+                                    rejected_members += members;
+                                    requests.record_connection_failures(members);
+                                    outcomes.record_connection_failures(members);
+                                    // Feeds the replica's circuit breaker (no-op
+                                    // for the live-mode balancer).
+                                    balancer.record_failure(target, now, trace);
+                                }
                             }
                         }
                         if unrouted > 0 {
                             requests.record_connection_failures(unrouted);
                             outcomes.record_connection_failures(unrouted);
+                        }
+                        if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
+                            // Any lost member fails the whole root; a root
+                            // with no admitted hop resolves right here.
+                            if rejected_members > 0 {
+                                t.fail_root(root);
+                            }
+                            t.seal_root(root);
                         }
                         balancer_deltas[idx].0 += routed_members;
                         balancer_deltas[idx].1 += rejected_members;
@@ -886,6 +1006,79 @@ impl SimulationDriver {
                     }
                 }
 
+                // 1c. Graph mode: admit the child hops queued by hops that
+                // completed last tick. Children ride the cohort machinery
+                // regardless of arrival mode (one aggregate record per
+                // admitted share, valid for count = 1), and their arrival
+                // time is the parent's finish — the gap until `now` is the
+                // inter-tier queueing delay the spans report.
+                if graph_tracker
+                    .as_ref()
+                    .is_some_and(GraphTracker::has_pending)
+                {
+                    let tracker = graph_tracker.as_mut().expect("checked above");
+                    let pending = tracker.take_pending();
+                    for hop in &pending {
+                        let service = &config.services[hop.service];
+                        let svc_idx = hop.service;
+                        requests.record_issued_n(hop.count);
+                        let outcomes = per_service.get_mut(&service.id).expect("known service");
+                        outcomes.record_issued_n(hop.count);
+                        let child = Request::new(
+                            service.id,
+                            hop.arrival,
+                            hop.cpu_secs,
+                            MemMb(hop.mem_mb),
+                            hop.megabits,
+                        )
+                        .with_disk(hop.disk_megabits)
+                        .with_timeout(service.timeout);
+                        let cohort = Cohort::from_request(&child, hop.count);
+                        cohort_routes.clear();
+                        let unrouted = balancer.route_cohort(
+                            &cluster,
+                            service.id,
+                            hop.count,
+                            now,
+                            &mut cohort_routes,
+                        );
+                        let mut routed_members = 0u64;
+                        let mut rejected_members = unrouted;
+                        for &(target, members) in cohort_routes.iter() {
+                            let mut share = cohort.clone();
+                            share.count = members;
+                            match cluster.admit_cohort(target, share, now) {
+                                Ok(base) => {
+                                    routed_members += members;
+                                    tracker.register_hop(hop.root, base.index(), hop.depth);
+                                    balancer.record_success(target, now, trace);
+                                }
+                                Err(_) => {
+                                    rejected_members += members;
+                                    requests.record_connection_failures(members);
+                                    outcomes.record_connection_failures(members);
+                                    balancer.record_failure(target, now, trace);
+                                }
+                            }
+                        }
+                        if unrouted > 0 {
+                            requests.record_connection_failures(unrouted);
+                            outcomes.record_connection_failures(unrouted);
+                        }
+                        if rejected_members > 0 {
+                            tracker.fail_root(hop.root);
+                        }
+                        // The queued entry itself is settled last, so the
+                        // root cannot resolve before its shares register.
+                        tracker.settle_queued(hop.root);
+                        balancer_deltas[svc_idx].0 += routed_members;
+                        balancer_deltas[svc_idx].1 += rejected_members;
+                        balancer_total.0 += routed_members;
+                        balancer_total.1 += rejected_members;
+                    }
+                    tracker.return_pending_scratch(pending);
+                }
+
                 // 2. Advance the resource model (reusing one report buffer
                 // across ticks keeps the hot loop allocation-free).
                 cluster.advance_into(now, dt, &mut tick_report);
@@ -896,9 +1089,20 @@ impl SimulationDriver {
                     if let Some(out) = per_service.get_mut(&done.service) {
                         out.record_completed_n(done.response_time.as_secs(), done.count);
                     }
+                    if let Some(tracker) = graph_tracker.as_mut() {
+                        // Journals the hop's span, queues its children for
+                        // next tick, and resolves the root if this was its
+                        // last outstanding hop.
+                        tracker.on_completed(&done, &config.services, trace, traced);
+                    }
                 }
                 for failed in tick_report.failed.drain(..) {
-                    record_failure(&mut requests, &mut per_service, &failed);
+                    record_failure(
+                        &mut requests,
+                        &mut per_service,
+                        graph_tracker.as_mut(),
+                        &failed,
+                    );
                 }
 
                 // 3. Availability roll call: a service is up in this tick iff
@@ -919,7 +1123,11 @@ impl SimulationDriver {
                 // Scale event is always queued), the next fault or recovery,
                 // and the horizon; in cohort mode the span is additionally
                 // shrunk until the load patterns are provably silent over it.
-                if config.time_warp && !had_outcomes && cluster.total_in_flight() == 0 {
+                if config.time_warp
+                    && !had_outcomes
+                    && cluster.total_in_flight() == 0
+                    && graph_tracker.as_ref().is_none_or(GraphTracker::is_idle)
+                {
                     let end = now + dt;
                     let mut boundary = events.peek_time().unwrap_or(horizon).min(horizon);
                     if let Some(due) = injector.next_due_time() {
@@ -1022,6 +1230,7 @@ impl SimulationDriver {
                             respawns_total,
                             recovery_failures_total,
                             warp_ticks,
+                            graph: graph_tracker.as_ref(),
                         },
                     );
                     std::fs::create_dir_all(&policy.dir).map_err(SnapshotError::from)?;
@@ -1082,6 +1291,7 @@ impl SimulationDriver {
                         respawns_total,
                         recovery_failures_total,
                         warp_ticks,
+                        graph: graph_tracker.as_ref(),
                     },
                 )
                 .digest(),
@@ -1094,10 +1304,12 @@ impl SimulationDriver {
         // once, in a fixed order, so the journal tail is deterministic by
         // construction. A halted (snapshot-and-stop) run skips it: the
         // resumed run emits the dump at the true horizon, keeping the
-        // concatenated journal identical to an uninterrupted one.
+        // concatenated journal identical to an uninterrupted one. Graph
+        // counters are appended only for graph scenarios so a graph-free
+        // journal stays byte-identical to pre-graph builds.
         if traced && !halted {
             let mut registry = MetricsRegistry::new();
-            let totals: [(&'static str, u64); 23] = [
+            let mut totals: Vec<(&'static str, u64)> = vec![
                 ("requests.issued", requests.issued),
                 ("requests.completed", requests.completed),
                 ("failures.connection", requests.failures.connection),
@@ -1152,6 +1364,17 @@ impl SimulationDriver {
                 ),
                 ("timewarp.ticks_skipped", warp_ticks),
             ];
+            if let Some(tracker) = graph_tracker.as_ref() {
+                let stats = tracker.entry_stats();
+                totals.push((
+                    "graph.roots_completed",
+                    stats.iter().map(|s| s.roots_completed).sum(),
+                ));
+                totals.push((
+                    "graph.roots_failed",
+                    stats.iter().map(|s| s.roots_failed).sum(),
+                ));
+            }
             for (name, value) in totals {
                 let id = registry.counter(name);
                 registry.add(id, value);
@@ -1179,6 +1402,9 @@ impl SimulationDriver {
             faults: injector.log(),
             control_plane: control_plane_stats,
             warp_ticks,
+            entry_points: graph_tracker
+                .map(GraphTracker::into_entry_stats)
+                .unwrap_or_default(),
             state_digest,
         })
     }
@@ -1218,6 +1444,11 @@ impl SimulationDriver {
             merged.faults += run.faults;
             merged.control_plane += run.control_plane;
             merged.warp_ticks += run.warp_ticks;
+            // Entry points come out in the same (ascending service)
+            // order for every seed of one config.
+            for (into, from) in merged.entry_points.iter_mut().zip(&run.entry_points) {
+                into.merge(from);
+            }
             merged.seeds.push(seed);
         }
         if !rest.is_empty() {
@@ -1236,7 +1467,7 @@ impl SimulationDriver {
 /// workers than the run that wrote the file.
 fn config_digest(config: &ScenarioConfig) -> u64 {
     let repr = format!(
-        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
         config.name,
         config.seed,
         config.duration,
@@ -1256,6 +1487,7 @@ fn config_digest(config: &ScenarioConfig) -> u64 {
         config.control_plane,
         config.cohort_arrivals,
         config.time_warp,
+        config.graph,
     );
     fnv1a(repr.as_bytes())
 }
@@ -1287,6 +1519,7 @@ struct DriverState<'a> {
     respawns_total: u64,
     recovery_failures_total: u64,
     warp_ticks: u64,
+    graph: Option<&'a GraphTracker>,
 }
 
 /// Serializes the complete run state into an (unframed) snapshot payload.
@@ -1364,6 +1597,13 @@ fn serialize_state(cfg_digest: u64, s: &DriverState<'_>) -> SnapWriter {
     w.put_u64(s.respawns_total);
     w.put_u64(s.recovery_failures_total);
     w.put_u64(s.warp_ticks);
+    match s.graph {
+        None => w.put_u8(0),
+        Some(tracker) => {
+            w.put_u8(1);
+            tracker.snapshot_write(&mut w);
+        }
+    }
     w
 }
 
@@ -1541,6 +1781,7 @@ impl ScenarioBuilder {
                 parallelism: parallelism_from_env(),
                 cohort_arrivals: false,
                 time_warp: false,
+                graph: None,
                 snapshot: None,
                 resume: None,
             },
@@ -1684,6 +1925,14 @@ impl ScenarioBuilder {
     /// [`ScenarioConfig::time_warp`].
     pub fn time_warp(mut self, on: bool) -> Self {
         self.config.time_warp = on;
+        self
+    }
+
+    /// Installs a service dependency DAG: client load attaches only to
+    /// its entry points and completed hops spawn child work along its
+    /// edges. See [`ScenarioConfig::graph`].
+    pub fn graph(mut self, graph: ServiceGraph) -> Self {
+        self.config.graph = Some(graph);
         self
     }
 

@@ -1,0 +1,696 @@
+//! Runtime tracking of multi-tier request flow over a
+//! [`ServiceGraph`](hyscale_workload::ServiceGraph).
+//!
+//! The graph itself (in `hyscale-workload`) is pure topology; this module
+//! owns the driver-side state that walks it. Every client arrival on an
+//! entry-point service opens a *root* — one logical user request. Each
+//! admitted batch of work on some tier is a *hop*, keyed by the cluster's
+//! aggregate [`RequestId`](hyscale_cluster::RequestId) base. When a hop
+//! completes, one [`EventKind::Span`] is journaled (so the whole request
+//! can be stitched back together from the trace by root id) and one child
+//! hop per outgoing edge is queued; the driver admits queued hops at the
+//! next tick, which is the inter-tier queueing delay. A root resolves
+//! when no hops remain in flight or queued: end-to-end latency is the
+//! last hop's finish minus the root's arrival, attributed to the entry
+//! point that opened it.
+//!
+//! Failure is all-or-nothing: any failed or unadmitted hop marks the
+//! whole root failed, and its member count lands in the entry point's
+//! failed tally — a user request that lost any downstream RPC did not
+//! succeed, even if sibling branches finished.
+//!
+//! All containers are `BTreeMap`s / in-order `Vec`s so snapshot
+//! serialization is deterministic and resume is bit-exact.
+
+use std::collections::BTreeMap;
+
+use hyscale_cluster::{CompletedRequest, FailedRequest, ServiceId};
+use hyscale_metrics::Summary;
+use hyscale_sim::{SimTime, SnapReader, SnapWriter, SnapshotError};
+use hyscale_trace::{EventKind, TraceSink};
+use hyscale_workload::ServiceGraph;
+use hyscale_workload::ServiceSpec;
+
+/// End-to-end outcomes for one entry-point service of a
+/// [`ServiceGraph`](hyscale_workload::ServiceGraph) scenario.
+///
+/// Counts are in *root* (logical user request) and *member* units: a
+/// cohort of `n` arrivals on the entry point opens one root with `n`
+/// members, and every member of a successful root contributes one
+/// end-to-end latency sample.
+#[derive(Debug, Clone)]
+pub struct EntryPointStats {
+    /// The entry-point service these outcomes belong to.
+    pub service: ServiceId,
+    /// Roots opened (one per entry-point arrival event or cohort batch).
+    pub roots_started: u64,
+    /// Roots whose every hop completed.
+    pub roots_completed: u64,
+    /// Roots that lost at least one hop (admission rejection, timeout,
+    /// abort, or infrastructure failure anywhere in the graph).
+    pub roots_failed: u64,
+    /// Members of completed roots.
+    pub members_completed: u64,
+    /// Members of failed roots.
+    pub members_failed: u64,
+    /// End-to-end latency (seconds) of completed roots, one sample per
+    /// member: last hop finish minus entry arrival.
+    pub e2e_secs: Summary,
+}
+
+impl EntryPointStats {
+    fn new(service: ServiceId) -> Self {
+        EntryPointStats {
+            service,
+            roots_started: 0,
+            roots_completed: 0,
+            roots_failed: 0,
+            members_completed: 0,
+            members_failed: 0,
+            e2e_secs: Summary::new(),
+        }
+    }
+
+    /// End-to-end p95, in seconds (0.0 with no completed roots).
+    pub fn p95_secs(&self) -> f64 {
+        self.e2e_secs.percentile(95.0)
+    }
+
+    /// End-to-end p99, in seconds (0.0 with no completed roots).
+    pub fn p99_secs(&self) -> f64 {
+        self.e2e_secs.percentile(99.0)
+    }
+
+    /// Folds another seed's outcomes for the same entry point into this
+    /// one (used by `run_averaged`).
+    pub fn merge(&mut self, other: &EntryPointStats) {
+        self.roots_started += other.roots_started;
+        self.roots_completed += other.roots_completed;
+        self.roots_failed += other.roots_failed;
+        self.members_completed += other.members_completed;
+        self.members_failed += other.members_failed;
+        self.e2e_secs.merge(&other.e2e_secs);
+    }
+}
+
+/// A child hop queued by a completed parent, waiting for the next tick's
+/// admission pass. Demands are fully materialized at queue time (child
+/// base demands × edge multipliers) so processing needs no graph lookups
+/// — and, deliberately, no RNG draws: derived traffic must not perturb
+/// the workload streams shared with graph-free runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingHop {
+    /// Index of the child service in the scenario's service list.
+    pub service: usize,
+    /// Hop depth (entry point = 0).
+    pub depth: u32,
+    /// The root this hop belongs to.
+    pub root: u64,
+    /// Member requests in the hop.
+    pub count: u64,
+    /// CPU core-seconds per member.
+    pub cpu_secs: f64,
+    /// In-flight memory per member, MB.
+    pub mem_mb: f64,
+    /// Egress megabits per member.
+    pub megabits: f64,
+    /// Disk megabits per member.
+    pub disk_megabits: f64,
+    /// When the parent hop finished (the child's arrival time).
+    pub arrival: SimTime,
+}
+
+/// One logical user request in flight across the graph.
+#[derive(Debug, Clone, Copy)]
+struct RootRecord {
+    /// Slot in `entry_stats` of the entry point that opened this root.
+    entry: usize,
+    /// When the entry arrival happened.
+    arrival: SimTime,
+    /// Member requests that arrived at the entry point.
+    members: u64,
+    /// In-flight hop records plus queued [`PendingHop`]s; the root
+    /// resolves when this reaches zero.
+    pending: u32,
+    /// Whether any hop was lost.
+    failed: bool,
+    /// Latest hop finish time seen so far.
+    last_finish: SimTime,
+}
+
+/// An admitted batch of work on one tier, keyed by its aggregate request
+/// id base (the cluster reports exactly one completion or failure record
+/// per admitted batch).
+#[derive(Debug, Clone, Copy)]
+struct HopRecord {
+    root: u64,
+    depth: u32,
+}
+
+/// Driver-side runtime state for a graph scenario.
+#[derive(Debug, Clone)]
+pub(crate) struct GraphTracker {
+    graph: ServiceGraph,
+    /// ServiceId index → position in the scenario's service list.
+    id_to_idx: BTreeMap<u32, usize>,
+    /// Service-list position → slot in `entry_stats` (None for
+    /// non-entry services).
+    entry_slot: Vec<Option<usize>>,
+    next_root: u64,
+    roots: BTreeMap<u64, RootRecord>,
+    hops: BTreeMap<u64, HopRecord>,
+    pending: Vec<PendingHop>,
+    entry_stats: Vec<EntryPointStats>,
+}
+
+impl GraphTracker {
+    /// Builds the tracker for a validated graph over `services`.
+    pub fn new(graph: ServiceGraph, services: &[ServiceSpec]) -> Self {
+        let id_to_idx = services
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| (s.id.index(), idx))
+            .collect();
+        let mut entry_slot = vec![None; services.len()];
+        let mut entry_stats = Vec::new();
+        for idx in graph.entry_points() {
+            entry_slot[idx] = Some(entry_stats.len());
+            entry_stats.push(EntryPointStats::new(services[idx].id));
+        }
+        GraphTracker {
+            graph,
+            id_to_idx,
+            entry_slot,
+            next_root: 0,
+            roots: BTreeMap::new(),
+            hops: BTreeMap::new(),
+            pending: Vec::new(),
+            entry_stats,
+        }
+    }
+
+    /// Whether client load attaches to the service at list position
+    /// `idx`.
+    pub fn is_entry(&self, idx: usize) -> bool {
+        self.entry_slot.get(idx).is_some_and(Option::is_some)
+    }
+
+    /// Opens a root for `members` arrivals on the entry point at list
+    /// position `idx`; hops must then be registered (or the root failed)
+    /// before [`GraphTracker::seal_root`].
+    pub fn begin_root(&mut self, idx: usize, arrival: SimTime, members: u64) -> u64 {
+        let slot = self.entry_slot[idx].expect("begin_root on a non-entry service");
+        self.entry_stats[slot].roots_started += 1;
+        let id = self.next_root;
+        self.next_root += 1;
+        self.roots.insert(
+            id,
+            RootRecord {
+                entry: slot,
+                arrival,
+                members,
+                pending: 0,
+                failed: false,
+                last_finish: arrival,
+            },
+        );
+        id
+    }
+
+    /// Ties an admitted batch (aggregate id base `id_base`) at `depth` to
+    /// its root.
+    pub fn register_hop(&mut self, root: u64, id_base: u64, depth: u32) {
+        let record = self.roots.get_mut(&root).expect("hop for unknown root");
+        record.pending += 1;
+        self.hops.insert(id_base, HopRecord { root, depth });
+    }
+
+    /// Marks the root failed (lost members at admission or in flight).
+    /// The root still waits for its surviving hops before resolving.
+    pub fn fail_root(&mut self, root: u64) {
+        if let Some(record) = self.roots.get_mut(&root) {
+            record.failed = true;
+        }
+    }
+
+    /// Resolves the root immediately if nothing was admitted for it
+    /// (entry arrivals that were fully rejected never get a completion
+    /// sweep to resolve them).
+    pub fn seal_root(&mut self, root: u64) {
+        if self.roots.get(&root).is_some_and(|r| r.pending == 0) {
+            self.resolve(root);
+        }
+    }
+
+    /// Settles one processed [`PendingHop`] of `root`: the queued entry
+    /// no longer counts toward `pending` (any admitted shares were
+    /// re-counted by [`GraphTracker::register_hop`]).
+    pub fn settle_queued(&mut self, root: u64) {
+        let record = self
+            .roots
+            .get_mut(&root)
+            .expect("queued hop for unknown root");
+        record.pending -= 1;
+        if record.pending == 0 {
+            self.resolve(root);
+        }
+    }
+
+    /// Handles one completed batch from the cluster's sweep: journals the
+    /// hop's span, queues one child hop per outgoing edge (demands =
+    /// child base demands × edge multipliers, count = completed members ×
+    /// fan-out), and resolves the root if this was its last outstanding
+    /// hop.
+    pub fn on_completed(
+        &mut self,
+        done: &CompletedRequest,
+        services: &[ServiceSpec],
+        trace: &mut TraceSink,
+        traced: bool,
+    ) {
+        let Some(hop) = self.hops.remove(&done.id.index()) else {
+            return;
+        };
+        let record = self.roots.get_mut(&hop.root).expect("hop without root");
+        if traced {
+            trace.emit(
+                done.finished,
+                EventKind::Span {
+                    root: hop.root,
+                    entry: self.entry_stats[record.entry].service.index(),
+                    service: done.service.index(),
+                    depth: hop.depth,
+                    count: done.count,
+                    queue_us: (done.admitted - done.arrival).as_micros(),
+                    service_us: (done.finished - done.admitted).as_micros(),
+                },
+            );
+        }
+        if done.finished > record.last_finish {
+            record.last_finish = done.finished;
+        }
+        let parent_idx = self.id_to_idx[&done.service.index()];
+        let mut spawned = 0u32;
+        for edge in self.graph.children(parent_idx) {
+            let child = &services[edge.child];
+            self.pending.push(PendingHop {
+                service: edge.child,
+                depth: hop.depth + 1,
+                root: hop.root,
+                count: done.count * edge.fan_out,
+                cpu_secs: child.cpu_secs_per_req * edge.cpu_mult,
+                mem_mb: child.mem_per_req.get() * edge.mem_mult,
+                megabits: child.megabits_per_req * edge.net_mult,
+                disk_megabits: child.disk_megabits_per_req * edge.disk_mult,
+                arrival: done.finished,
+            });
+            spawned += 1;
+        }
+        let record = self.roots.get_mut(&hop.root).expect("hop without root");
+        record.pending += spawned;
+        record.pending -= 1;
+        if record.pending == 0 {
+            self.resolve(hop.root);
+        }
+    }
+
+    /// Handles one failed batch: the whole root is failed, no children
+    /// spawn, and the root resolves once its other hops drain.
+    pub fn on_failed(&mut self, failure: &FailedRequest) {
+        let Some(hop) = self.hops.remove(&failure.id.index()) else {
+            return;
+        };
+        let record = self.roots.get_mut(&hop.root).expect("hop without root");
+        record.failed = true;
+        record.pending -= 1;
+        if record.pending == 0 {
+            self.resolve(hop.root);
+        }
+    }
+
+    /// Moves the queued child hops out for the driver's admission pass
+    /// (in spawn order, which is deterministic).
+    pub fn take_pending(&mut self) -> Vec<PendingHop> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Returns the drained scratch vector for reuse next tick.
+    pub fn return_pending_scratch(&mut self, mut scratch: Vec<PendingHop>) {
+        if self.pending.is_empty() {
+            scratch.clear();
+            self.pending = scratch;
+        }
+    }
+
+    /// Whether any child hops await admission.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether the tracker holds no in-flight or queued work at all —
+    /// the time-warp fast path must not jump over queued child hops.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.hops.is_empty() && self.roots.is_empty()
+    }
+
+    fn resolve(&mut self, root: u64) {
+        let record = self.roots.remove(&root).expect("resolving unknown root");
+        let stats = &mut self.entry_stats[record.entry];
+        if record.failed {
+            stats.roots_failed += 1;
+            stats.members_failed += record.members;
+        } else {
+            stats.roots_completed += 1;
+            stats.members_completed += record.members;
+            let secs = (record.last_finish - record.arrival).as_secs();
+            for _ in 0..record.members {
+                stats.e2e_secs.record(secs);
+            }
+        }
+    }
+
+    /// Consumes the tracker into its per-entry-point report rows.
+    pub fn into_entry_stats(self) -> Vec<EntryPointStats> {
+        self.entry_stats
+    }
+
+    /// Read access for the end-of-run counter dump.
+    pub fn entry_stats(&self) -> &[EntryPointStats] {
+        &self.entry_stats
+    }
+
+    /// Serializes the full tracker state (mirrored by
+    /// [`GraphTracker::snapshot_restore`]).
+    pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.next_root);
+        w.put_usize(self.roots.len());
+        for (&id, r) in &self.roots {
+            w.put_u64(id);
+            w.put_usize(r.entry);
+            w.put_u64(r.arrival.as_micros());
+            w.put_u64(r.members);
+            w.put_u32(r.pending);
+            w.put_u8(r.failed as u8);
+            w.put_u64(r.last_finish.as_micros());
+        }
+        w.put_usize(self.hops.len());
+        for (&id_base, h) in &self.hops {
+            w.put_u64(id_base);
+            w.put_u64(h.root);
+            w.put_u32(h.depth);
+        }
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_usize(p.service);
+            w.put_u32(p.depth);
+            w.put_u64(p.root);
+            w.put_u64(p.count);
+            w.put_f64(p.cpu_secs);
+            w.put_f64(p.mem_mb);
+            w.put_f64(p.megabits);
+            w.put_f64(p.disk_megabits);
+            w.put_u64(p.arrival.as_micros());
+        }
+        w.put_usize(self.entry_stats.len());
+        for s in &self.entry_stats {
+            w.put_u32(s.service.index());
+            w.put_u64(s.roots_started);
+            w.put_u64(s.roots_completed);
+            w.put_u64(s.roots_failed);
+            w.put_u64(s.members_completed);
+            w.put_u64(s.members_failed);
+            let samples = s.e2e_secs.samples();
+            w.put_usize(samples.len());
+            for &v in samples {
+                w.put_f64(v);
+            }
+            w.put_u64(s.e2e_secs.nan_dropped());
+        }
+    }
+
+    /// Restores state written by [`GraphTracker::snapshot_write`] into a
+    /// freshly built tracker (topology comes from the config, which the
+    /// snapshot's config digest already pinned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] when the payload disagrees
+    /// with the scenario's entry-point layout.
+    pub fn snapshot_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.next_root = r.get_u64()?;
+        self.roots.clear();
+        for _ in 0..r.get_usize()? {
+            let id = r.get_u64()?;
+            let entry = r.get_usize()?;
+            if entry >= self.entry_stats.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "root {id} references entry slot {entry} of {}",
+                    self.entry_stats.len()
+                )));
+            }
+            self.roots.insert(
+                id,
+                RootRecord {
+                    entry,
+                    arrival: SimTime::from_micros(r.get_u64()?),
+                    members: r.get_u64()?,
+                    pending: r.get_u32()?,
+                    failed: r.get_u8()? != 0,
+                    last_finish: SimTime::from_micros(r.get_u64()?),
+                },
+            );
+        }
+        self.hops.clear();
+        for _ in 0..r.get_usize()? {
+            let id_base = r.get_u64()?;
+            let root = r.get_u64()?;
+            let depth = r.get_u32()?;
+            self.hops.insert(id_base, HopRecord { root, depth });
+        }
+        self.pending.clear();
+        for _ in 0..r.get_usize()? {
+            let service = r.get_usize()?;
+            if service >= self.entry_slot.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "pending hop references service index {service} of {}",
+                    self.entry_slot.len()
+                )));
+            }
+            self.pending.push(PendingHop {
+                service,
+                depth: r.get_u32()?,
+                root: r.get_u64()?,
+                count: r.get_u64()?,
+                cpu_secs: r.get_f64()?,
+                mem_mb: r.get_f64()?,
+                megabits: r.get_f64()?,
+                disk_megabits: r.get_f64()?,
+                arrival: SimTime::from_micros(r.get_u64()?),
+            });
+        }
+        let n = r.get_usize()?;
+        if n != self.entry_stats.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot carries {n} entry points, scenario has {}",
+                self.entry_stats.len()
+            )));
+        }
+        for s in self.entry_stats.iter_mut() {
+            let svc = r.get_u32()?;
+            if svc != s.service.index() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "entry point order mismatch: snapshot {svc}, scenario {}",
+                    s.service.index()
+                )));
+            }
+            s.roots_started = r.get_u64()?;
+            s.roots_completed = r.get_u64()?;
+            s.roots_failed = r.get_u64()?;
+            s.members_completed = r.get_u64()?;
+            s.members_failed = r.get_u64()?;
+            s.e2e_secs = Summary::new();
+            for _ in 0..r.get_usize()? {
+                s.e2e_secs.record(r.get_f64()?);
+            }
+            for _ in 0..r.get_u64()? {
+                s.e2e_secs.record(f64::NAN);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyscale_cluster::{ContainerId, FailureKind, RequestId};
+    use hyscale_workload::{LoadPattern, ServiceProfile};
+
+    fn services(n: u32) -> Vec<ServiceSpec> {
+        (0..n)
+            .map(|i| ServiceSpec::synthetic(i, ServiceProfile::CpuBound, LoadPattern::low_burst()))
+            .collect()
+    }
+
+    fn completed(id: u64, service: u32, count: u64, finished_secs: f64) -> CompletedRequest {
+        let finished = SimTime::from_secs(finished_secs);
+        CompletedRequest {
+            id: RequestId::new(id),
+            count,
+            service: ServiceId::new(service),
+            container: ContainerId::new(0),
+            arrival: SimTime::ZERO,
+            admitted: SimTime::from_secs(0.1),
+            finished,
+            response_time: finished - SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn three_tier_root_resolves_with_e2e_latency() {
+        let specs = services(3);
+        let graph = ServiceGraph::new(3).with_edge(0, 1, 2).with_edge(1, 2, 1);
+        let mut t = GraphTracker::new(graph, &specs);
+        assert!(t.is_entry(0));
+        assert!(!t.is_entry(1));
+
+        let root = t.begin_root(0, SimTime::ZERO, 5);
+        t.register_hop(root, 100, 0);
+        t.seal_root(root);
+        assert!(!t.is_idle());
+
+        let mut sink = TraceSink::disabled();
+        t.on_completed(&completed(100, 0, 5, 1.0), &specs, &mut sink, false);
+        // The entry hop spawned one pending child (service 1, 5×2
+        // members); the root is still open.
+        assert!(t.has_pending());
+        let pending = t.take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].service, 1);
+        assert_eq!(pending[0].count, 10);
+        assert_eq!(pending[0].depth, 1);
+
+        t.register_hop(root, 200, 1);
+        t.settle_queued(root);
+        t.on_completed(&completed(200, 1, 10, 2.0), &specs, &mut sink, false);
+        let pending = t.take_pending();
+        assert_eq!(pending[0].service, 2);
+        t.register_hop(root, 300, 2);
+        t.settle_queued(root);
+        t.on_completed(&completed(300, 2, 10, 3.5), &specs, &mut sink, false);
+
+        assert!(t.is_idle());
+        let stats = t.into_entry_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].roots_completed, 1);
+        assert_eq!(stats[0].members_completed, 5);
+        assert_eq!(stats[0].e2e_secs.count(), 5);
+        assert!((stats[0].e2e_secs.max() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn any_failed_hop_fails_the_whole_root() {
+        let specs = services(2);
+        let graph = ServiceGraph::new(2).with_edge(0, 1, 1);
+        let mut t = GraphTracker::new(graph, &specs);
+        let root = t.begin_root(0, SimTime::ZERO, 3);
+        t.register_hop(root, 10, 0);
+        t.seal_root(root);
+        let mut sink = TraceSink::disabled();
+        t.on_completed(&completed(10, 0, 3, 1.0), &specs, &mut sink, false);
+        let _ = t.take_pending();
+        t.register_hop(root, 20, 1);
+        t.settle_queued(root);
+        t.on_failed(&FailedRequest {
+            id: RequestId::new(20),
+            count: 3,
+            service: ServiceId::new(1),
+            container: Some(ContainerId::new(0)),
+            arrival: SimTime::from_secs(1.0),
+            failed_at: SimTime::from_secs(2.0),
+            kind: FailureKind::Connection,
+        });
+        assert!(t.is_idle());
+        let stats = t.into_entry_stats();
+        assert_eq!(stats[0].roots_failed, 1);
+        assert_eq!(stats[0].members_failed, 3);
+        assert_eq!(stats[0].roots_completed, 0);
+        assert!(stats[0].e2e_secs.is_empty());
+    }
+
+    #[test]
+    fn fully_rejected_entry_resolves_as_failed_on_seal() {
+        let specs = services(1);
+        let mut t = GraphTracker::new(ServiceGraph::new(1), &specs);
+        let root = t.begin_root(0, SimTime::ZERO, 4);
+        t.fail_root(root);
+        t.seal_root(root);
+        assert!(t.is_idle());
+        let stats = t.into_entry_stats();
+        assert_eq!(stats[0].roots_started, 1);
+        assert_eq!(stats[0].roots_failed, 1);
+        assert_eq!(stats[0].members_failed, 4);
+    }
+
+    #[test]
+    fn edge_multipliers_scale_child_demands() {
+        let specs = services(2);
+        let graph = ServiceGraph::new(2).with_edge_spec(
+            hyscale_workload::GraphEdge::new(0, 1, 3)
+                .with_costs(2.0, 0.5)
+                .with_mem_disk(4.0, 8.0),
+        );
+        let mut t = GraphTracker::new(graph, &specs);
+        let root = t.begin_root(0, SimTime::ZERO, 1);
+        t.register_hop(root, 1, 0);
+        let mut sink = TraceSink::disabled();
+        t.on_completed(&completed(1, 0, 1, 1.0), &specs, &mut sink, false);
+        let pending = t.take_pending();
+        let child = &specs[1];
+        assert_eq!(pending[0].count, 3);
+        assert!((pending[0].cpu_secs - child.cpu_secs_per_req * 2.0).abs() < 1e-12);
+        assert!((pending[0].megabits - child.megabits_per_req * 0.5).abs() < 1e-12);
+        assert!((pending[0].mem_mb - child.mem_per_req.get() * 4.0).abs() < 1e-12);
+        assert!((pending[0].disk_megabits - child.disk_megabits_per_req * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_flight_state() {
+        let specs = services(3);
+        let graph = ServiceGraph::new(3).with_edge(0, 1, 2).with_edge(0, 2, 1);
+        let mut t = GraphTracker::new(graph.clone(), &specs);
+        let root = t.begin_root(0, SimTime::from_secs(1.0), 2);
+        t.register_hop(root, 50, 0);
+        let mut sink = TraceSink::disabled();
+        t.on_completed(&completed(50, 0, 2, 2.0), &specs, &mut sink, false);
+        // Two pending children, root open. Also one fully resolved root.
+        let done_root = t.begin_root(0, SimTime::ZERO, 1);
+        t.register_hop(done_root, 60, 0);
+        // Complete it on a childless path by failing it instead.
+        t.fail_root(done_root);
+        t.on_failed(&FailedRequest {
+            id: RequestId::new(60),
+            count: 1,
+            service: ServiceId::new(0),
+            container: Some(ContainerId::new(0)),
+            arrival: SimTime::ZERO,
+            failed_at: SimTime::from_secs(1.0),
+            kind: FailureKind::Removal,
+        });
+
+        let mut w = SnapWriter::new();
+        t.snapshot_write(&mut w);
+        let first = w.finish();
+
+        let mut restored = GraphTracker::new(graph, &specs);
+        let mut r = SnapReader::open(&first).unwrap();
+        restored.snapshot_restore(&mut r).unwrap();
+        r.expect_done().unwrap();
+
+        let mut w2 = SnapWriter::new();
+        restored.snapshot_write(&mut w2);
+        assert_eq!(first, w2.finish(), "restore must be bit-exact");
+        assert!(restored.has_pending());
+        assert_eq!(restored.entry_stats()[0].roots_failed, 1);
+    }
+}

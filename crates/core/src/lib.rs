@@ -57,6 +57,7 @@ mod balancer;
 mod controlplane;
 mod driver;
 mod error;
+mod flowgraph;
 mod monitor;
 mod nodemanager;
 mod recovery;
@@ -77,6 +78,7 @@ pub use driver::{
     SnapshotPolicy,
 };
 pub use error::CoreError;
+pub use flowgraph::EntryPointStats;
 pub use monitor::{Monitor, MonitorReport};
 pub use nodemanager::NodeManager;
 pub use recovery::{RecoveryConfig, RecoveryManager, RecoveryReport};

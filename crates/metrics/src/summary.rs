@@ -145,14 +145,19 @@ impl Summary {
         }
     }
 
-    /// Exact percentile (nearest-rank with linear interpolation), `p` in
-    /// `[0, 100]`; 0.0 when empty.
+    /// Exact percentile (nearest-rank with linear interpolation).
     ///
-    /// # Panics
+    /// The rank `p` is defined for every `f64`:
     ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// * out-of-range `p` is clamped into `[0, 100]`, so `p < 0` returns
+    ///   the minimum and `p > 100` the maximum — never an interpolation
+    ///   with a negative or past-the-end rank;
+    /// * a NaN `p` is treated as 0 (the minimum), keeping the return
+    ///   value a real sample instead of poisoning downstream arithmetic;
+    /// * an empty summary returns 0.0 for every `p`, matching
+    ///   [`Summary::mean`]/[`Summary::min`]/[`Summary::max`].
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -372,10 +377,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn out_of_range_percentile_panics() {
-        let s: Summary = vec![1.0].into_iter().collect();
-        s.percentile(101.0);
+    fn out_of_range_percentile_clamps() {
+        let s: Summary = vec![1.0, 2.0, 3.0].into_iter().collect();
+        // Below 0 clamps to the minimum, above 100 to the maximum.
+        assert_eq!(s.percentile(-5.0), 1.0);
+        assert_eq!(s.percentile(-0.0), 1.0);
+        assert_eq!(s.percentile(101.0), 3.0);
+        assert_eq!(s.percentile(f64::INFINITY), 3.0);
+        assert_eq!(s.percentile(f64::NEG_INFINITY), 1.0);
+        // NaN ranks are treated as 0 — a real sample, never NaN out.
+        assert_eq!(s.percentile(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn empty_summary_percentile_is_zero_for_every_rank() {
+        let s = Summary::new();
+        for p in [-10.0, 0.0, 50.0, 100.0, 250.0, f64::NAN] {
+            assert_eq!(s.percentile(p), 0.0);
+        }
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HYSN";
 ///
 /// Bump this on ANY change to the payload layout; old files then fail with
 /// [`SnapshotError::VersionMismatch`] instead of misdecoding.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial format; 2 = driver payloads append the
+/// service-graph tracker state (a presence tag plus roots, hops, queued
+/// child hops, and per-entry-point outcomes) and the cohort table carries
+/// a per-slot admission time.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash of a byte slice.
 ///

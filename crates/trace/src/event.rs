@@ -357,6 +357,27 @@ pub enum EventKind {
         /// The simulated clock at the boundary, microseconds.
         now_us: u64,
     },
+    /// One hop of a multi-tier request finished on a service: the
+    /// per-hop span record from which a user request's end-to-end path
+    /// is reconstructed (stitch journal lines sharing one `root`).
+    Span {
+        /// The entry-point request (root) id this hop belongs to —
+        /// unique per user arrival, monotonic per run.
+        root: u64,
+        /// Numeric id of the entry-point service the root arrived at.
+        entry: u32,
+        /// Numeric id of the service that executed this hop.
+        service: u32,
+        /// Hop depth below the entry point (0 = the entry hop itself).
+        depth: u32,
+        /// Member requests carried by this hop record (cohorts > 1).
+        count: u64,
+        /// Time spent between arrival and admission, microseconds
+        /// (inter-tier queueing for derived hops).
+        queue_us: u64,
+        /// Time spent in service after admission, microseconds.
+        service_us: u64,
+    },
     /// A capacity-reducing action was vetoed because the service's view
     /// was older than the staleness budget.
     StaleVeto {
@@ -393,6 +414,7 @@ impl EventKind {
             EventKind::CohortFlow { .. } => "cohort_flow",
             EventKind::TimeWarp { .. } => "time_warp",
             EventKind::Snapshot { .. } => "snapshot",
+            EventKind::Span { .. } => "span",
             EventKind::StaleVeto { .. } => "stale_veto",
         }
     }
@@ -529,6 +551,15 @@ mod tests {
             EventKind::Snapshot {
                 tick: 120,
                 now_us: 12_000_000,
+            },
+            EventKind::Span {
+                root: 17,
+                entry: 0,
+                service: 2,
+                depth: 1,
+                count: 32,
+                queue_us: 150_000,
+                service_us: 820_000,
             },
             EventKind::StaleVeto {
                 algorithm: "hybrid",

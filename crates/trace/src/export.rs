@@ -233,6 +233,20 @@ fn jsonl_event(out: &mut String, event: &TraceEvent) {
         EventKind::Snapshot { tick, now_us } => {
             let _ = write!(out, ",\"tick\":{tick},\"now_us\":{now_us}");
         }
+        EventKind::Span {
+            root,
+            entry,
+            service,
+            depth,
+            count,
+            queue_us,
+            service_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"root\":{root},\"entry\":{entry},\"service\":{service},\"depth\":{depth},\"count\":{count},\"queue_us\":{queue_us},\"service_us\":{service_us}"
+            );
+        }
         EventKind::StaleVeto {
             algorithm,
             service,
@@ -525,6 +539,24 @@ pub fn csv(sink: &TraceSink) -> String {
                 now_us.to_string(),
                 String::new(),
             ),
+            EventKind::Span {
+                root,
+                entry,
+                service,
+                depth,
+                count,
+                queue_us,
+                service_us,
+            } => (
+                String::new(),
+                format!("root{root}.entry{entry}.d{depth}"),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                count.to_string(),
+                queue_us.to_string(),
+                service_us.to_string(),
+            ),
             EventKind::StaleVeto {
                 algorithm,
                 service,
@@ -756,6 +788,15 @@ mod tests {
                 tick: 450,
                 now_us: 45_000_000,
             },
+            EventKind::Span {
+                root: 9,
+                entry: 0,
+                service: 2,
+                depth: 1,
+                count: 16,
+                queue_us: 250_000,
+                service_us: 1_750_000,
+            },
         ];
         for kind in kinds {
             sink.emit(SimTime::from_secs(1.0), kind);
@@ -779,10 +820,13 @@ mod tests {
             "\"ticks\":37,\"span_us\":3700000",
             "\"ev\":\"snapshot\"",
             "\"tick\":450,\"now_us\":45000000",
+            "\"ev\":\"span\"",
+            "\"root\":9,\"entry\":0,\"service\":2,\"depth\":1,\"count\":16,\"queue_us\":250000,\"service_us\":1750000",
         ] {
             assert!(journal.contains(needle), "missing {needle} in {journal}");
         }
         let table = csv(&sink);
-        assert_eq!(table.lines().count(), 15);
+        assert_eq!(table.lines().count(), 16);
+        assert!(table.contains("root9.entry0.d1"));
     }
 }

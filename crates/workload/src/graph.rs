@@ -1,0 +1,300 @@
+//! Service dependency graphs: multi-tier request fan-out.
+//!
+//! HyScale's experiments drive independent microservices, but real
+//! traffic traverses *call graphs*: a user request lands on an
+//! entry-point service, and each completed hop spawns downstream RPCs on
+//! its child services. A [`ServiceGraph`] declares that topology as a DAG
+//! over the scenario's service indices, with per-edge fan-out (how many
+//! child requests each parent request spawns) and per-edge demand
+//! multipliers (how much heavier or lighter the child's work is relative
+//! to its base profile).
+//!
+//! The graph is *pure topology*: it owns no runtime state. The driver in
+//! `hyscale-core` walks it at completion time — admitting child work when
+//! a parent hop finishes, which is exactly the inter-tier queueing the
+//! paper's single-service experiments cannot express. Entry points are
+//! the services with no parents; client load (arrival processes) is
+//! attached only to them, while downstream tiers see purely derived
+//! traffic.
+
+/// One parent → child dependency: each completed parent request spawns
+/// `fan_out` child requests whose per-request demands are the child
+/// service's base demands scaled by the edge multipliers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphEdge {
+    /// Index of the upstream service (into the scenario's service list).
+    pub parent: usize,
+    /// Index of the downstream service.
+    pub child: usize,
+    /// Child requests spawned per completed parent request.
+    pub fan_out: u64,
+    /// Multiplier on the child's CPU core-seconds per request.
+    pub cpu_mult: f64,
+    /// Multiplier on the child's in-flight memory per request.
+    pub mem_mult: f64,
+    /// Multiplier on the child's egress megabits per request.
+    pub net_mult: f64,
+    /// Multiplier on the child's disk megabits per request.
+    pub disk_mult: f64,
+}
+
+impl GraphEdge {
+    /// An edge with unit cost multipliers.
+    pub fn new(parent: usize, child: usize, fan_out: u64) -> Self {
+        GraphEdge {
+            parent,
+            child,
+            fan_out,
+            cpu_mult: 1.0,
+            mem_mult: 1.0,
+            net_mult: 1.0,
+            disk_mult: 1.0,
+        }
+    }
+
+    /// Builder-style override of the CPU and network multipliers (the
+    /// two cost dimensions the tentpole calls out); memory and disk keep
+    /// their current values.
+    pub fn with_costs(mut self, cpu_mult: f64, net_mult: f64) -> Self {
+        self.cpu_mult = cpu_mult;
+        self.net_mult = net_mult;
+        self
+    }
+
+    /// Builder-style override of the memory and disk multipliers.
+    pub fn with_mem_disk(mut self, mem_mult: f64, disk_mult: f64) -> Self {
+        self.mem_mult = mem_mult;
+        self.disk_mult = disk_mult;
+        self
+    }
+}
+
+/// A DAG of services describing multi-tier request flow.
+///
+/// Nodes are service *indices* (positions in the scenario's service
+/// list), edges are [`GraphEdge`]s. A graph with no edges — in
+/// particular the single-node graph — degenerates to the classic
+/// independent-services model: every service is an entry point and no
+/// derived traffic exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceGraph {
+    nodes: usize,
+    edges: Vec<GraphEdge>,
+}
+
+impl ServiceGraph {
+    /// A graph over `nodes` services with no edges yet.
+    pub fn new(nodes: usize) -> Self {
+        ServiceGraph {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builder-style edge with unit cost multipliers.
+    pub fn with_edge(self, parent: usize, child: usize, fan_out: u64) -> Self {
+        self.with_edge_spec(GraphEdge::new(parent, child, fan_out))
+    }
+
+    /// Builder-style fully-specified edge.
+    pub fn with_edge_spec(mut self, edge: GraphEdge) -> Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Number of services the graph spans.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// All edges, in insertion order (the driver spawns child work in
+    /// this order, which keeps runs deterministic).
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// Whether the graph carries no dependencies at all (every service
+    /// independent — the legacy model).
+    pub fn is_trivial(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Edges whose parent is `service`, in insertion order.
+    pub fn children(&self, service: usize) -> impl Iterator<Item = &GraphEdge> {
+        self.edges.iter().filter(move |e| e.parent == service)
+    }
+
+    /// Whether `service` has no incoming edges (client load attaches
+    /// only to entry points).
+    pub fn is_entry(&self, service: usize) -> bool {
+        self.edges.iter().all(|e| e.child != service)
+    }
+
+    /// The entry-point services (no parents), ascending.
+    pub fn entry_points(&self) -> Vec<usize> {
+        (0..self.nodes).filter(|&s| self.is_entry(s)).collect()
+    }
+
+    /// Validates the graph: every edge endpoint in range, no self-loops,
+    /// positive fan-out, finite positive multipliers, no duplicate
+    /// parent→child edge, and no cycles (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("service graph must span at least one service".into());
+        }
+        let mut seen: Vec<(usize, usize)> = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            if e.parent >= self.nodes || e.child >= self.nodes {
+                return Err(format!(
+                    "edge {} -> {} references a service outside 0..{}",
+                    e.parent, e.child, self.nodes
+                ));
+            }
+            if e.parent == e.child {
+                return Err(format!("self-loop on service {}", e.parent));
+            }
+            if e.fan_out == 0 {
+                return Err(format!(
+                    "edge {} -> {} must have fan_out >= 1",
+                    e.parent, e.child
+                ));
+            }
+            for (name, m) in [
+                ("cpu_mult", e.cpu_mult),
+                ("mem_mult", e.mem_mult),
+                ("net_mult", e.net_mult),
+                ("disk_mult", e.disk_mult),
+            ] {
+                if !(m.is_finite() && m > 0.0) {
+                    return Err(format!(
+                        "edge {} -> {}: {name} must be finite and positive, got {m}",
+                        e.parent, e.child
+                    ));
+                }
+            }
+            if seen.contains(&(e.parent, e.child)) {
+                return Err(format!("duplicate edge {} -> {}", e.parent, e.child));
+            }
+            seen.push((e.parent, e.child));
+        }
+        // Kahn's algorithm: repeatedly strip nodes with no remaining
+        // parents; leftovers mean a cycle.
+        let mut indegree = vec![0usize; self.nodes];
+        for e in &self.edges {
+            indegree[e.child] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.nodes).filter(|&s| indegree[s] == 0).collect();
+        let mut stripped = 0usize;
+        while let Some(s) = queue.pop() {
+            stripped += 1;
+            for e in self.children(s) {
+                indegree[e.child] -= 1;
+                if indegree[e.child] == 0 {
+                    queue.push(e.child);
+                }
+            }
+        }
+        if stripped != self.nodes {
+            return Err("service graph contains a cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_graph_is_trivial_and_valid() {
+        let g = ServiceGraph::new(1);
+        assert!(g.validate().is_ok());
+        assert!(g.is_trivial());
+        assert_eq!(g.entry_points(), vec![0]);
+        assert!(g.is_entry(0));
+    }
+
+    #[test]
+    fn three_tier_fan_out_topology() {
+        let g = ServiceGraph::new(4)
+            .with_edge(0, 1, 2)
+            .with_edge(0, 2, 1)
+            .with_edge(1, 3, 3)
+            .with_edge(2, 3, 1);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.entry_points(), vec![0]);
+        assert!(!g.is_entry(3));
+        let kids: Vec<usize> = g.children(0).map(|e| e.child).collect();
+        assert_eq!(kids, vec![1, 2]);
+        assert_eq!(g.children(3).count(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_cycles() {
+        let g = ServiceGraph::new(3)
+            .with_edge(0, 1, 1)
+            .with_edge(1, 2, 1)
+            .with_edge(2, 0, 1);
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_edges() {
+        assert!(ServiceGraph::new(0).validate().is_err());
+        assert!(ServiceGraph::new(2)
+            .with_edge(0, 5, 1)
+            .validate()
+            .unwrap_err()
+            .contains("outside"));
+        assert!(ServiceGraph::new(2)
+            .with_edge(1, 1, 1)
+            .validate()
+            .unwrap_err()
+            .contains("self-loop"));
+        assert!(ServiceGraph::new(2)
+            .with_edge(0, 1, 0)
+            .validate()
+            .unwrap_err()
+            .contains("fan_out"));
+        assert!(ServiceGraph::new(2)
+            .with_edge_spec(GraphEdge::new(0, 1, 1).with_costs(f64::NAN, 1.0))
+            .validate()
+            .unwrap_err()
+            .contains("cpu_mult"));
+        assert!(ServiceGraph::new(2)
+            .with_edge(0, 1, 1)
+            .with_edge(0, 1, 2)
+            .validate()
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn edge_builders_set_multipliers() {
+        let e = GraphEdge::new(0, 1, 4)
+            .with_costs(2.0, 0.5)
+            .with_mem_disk(3.0, 4.0);
+        assert_eq!(e.fan_out, 4);
+        assert_eq!(e.cpu_mult, 2.0);
+        assert_eq!(e.net_mult, 0.5);
+        assert_eq!(e.mem_mult, 3.0);
+        assert_eq!(e.disk_mult, 4.0);
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let g = ServiceGraph::new(4)
+            .with_edge(0, 1, 1)
+            .with_edge(0, 2, 1)
+            .with_edge(1, 3, 1)
+            .with_edge(2, 3, 1);
+        assert!(g.validate().is_ok());
+        // Node 3 has two parents but the graph is still a DAG.
+        assert_eq!(g.entry_points(), vec![0]);
+    }
+}

@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod bitbrains;
+mod graph;
 mod pattern;
 mod profile;
 
+pub use graph::{GraphEdge, ServiceGraph};
 pub use pattern::{ArrivalProcess, LoadPattern};
 pub use profile::{ServiceProfile, ServiceSpec};

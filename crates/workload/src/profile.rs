@@ -306,6 +306,39 @@ mod tests {
     }
 
     #[test]
+    fn from_str_round_trips_display_labels() {
+        for p in [
+            ServiceProfile::CpuBound,
+            ServiceProfile::MemBound,
+            ServiceProfile::NetBound,
+            ServiceProfile::DiskBound,
+            ServiceProfile::Mixed,
+        ] {
+            assert_eq!(p.to_string().parse::<ServiceProfile>(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_names() {
+        let err = "gpu-bound".parse::<ServiceProfile>().unwrap_err();
+        assert!(err.contains("unknown service profile 'gpu-bound'"), "{err}");
+        assert!(
+            err.contains("cpu-bound"),
+            "error should list options: {err}"
+        );
+        // Case matters: the display labels are lowercase.
+        assert!("CPU-BOUND".parse::<ServiceProfile>().is_err());
+        // Surrounding whitespace is not trimmed.
+        assert!(" cpu-bound".parse::<ServiceProfile>().is_err());
+    }
+
+    #[test]
+    fn from_str_rejects_empty_string() {
+        let err = "".parse::<ServiceProfile>().unwrap_err();
+        assert!(err.contains("unknown service profile ''"), "{err}");
+    }
+
+    #[test]
     fn display_of_profiles() {
         assert_eq!(ServiceProfile::CpuBound.to_string(), "cpu-bound");
         assert_eq!(ServiceProfile::MemBound.to_string(), "mem-bound");
