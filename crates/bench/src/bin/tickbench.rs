@@ -20,6 +20,11 @@
 //!    1,056,000 concurrent members in flight, drained to empty serially
 //!    and in parallel with digests compared, then the post-drain idle
 //!    stretch is jumped with `Cluster::advance_warp`.
+//! 5. **Scale sweep** — total node count sweeps 24 / 240 / 2400 / 10000
+//!    while the traffic footprint stays pinned to (a fraction of) the
+//!    first 24 nodes: with the active-set engine, per-tick cost tracks
+//!    the footprint rather than the cluster, so the big clusters must
+//!    tick within `SCALE_GATE_FLOOR` of the 24-node rate.
 //!
 //! Results land in `BENCH_tick.json`; the top-level `requests_per_sec`
 //! and `bit_identical` fields summarize the cohort headline and the
@@ -32,6 +37,11 @@
 //!   falls below this machine's floor (see `gate_floor`) or the cohort
 //!   path stops beating request mode by at least `COHORT_GATE_FACTOR`.
 //! * `--million-only` — run only the million-user section (CI smoke).
+//! * `--nodes N` — run *only* the scale sweep, over {24, N}, leaving
+//!   `BENCH_tick.json` untouched (CI uses `--smoke --nodes 2400 --gate`);
+//!   the full default run sweeps 24 / 240 / 2400 / 10000 instead.
+//! * `--active-fraction F` — fraction of the 24-node traffic footprint
+//!   that receives load in the scale sweep (default 1.0).
 //! * `--initial-rps N` / `--increment-rps N` / `--max-rps N` — ramp
 //!   staircase parameters (defaults 20000 / 20000 / 160000).
 
@@ -76,13 +86,38 @@ const COHORT_GATE_FACTOR: f64 = 5.0;
 const MILLION_MEMBERS_PER_CONTAINER: u64 = 11_000;
 const MILLION_FLOOR: u64 = 1_000_000;
 
+/// Node counts the full-run scale sweep visits at a fixed traffic
+/// footprint. The sub-linearity gate covers every point up to
+/// `SCALE_GATE_SPAN_NODES`; the 10,000-node point only has to complete.
+const SCALE_SWEEP_NODES: [usize; 4] = [24, 240, 2_400, 10_000];
+
+/// Lowest acceptable ticks/s ratio between a big swept cluster and the
+/// 24-node baseline at the same traffic footprint. A full-scan engine
+/// scores ~0.01 at 2,400 nodes; the active-set engine should stay near
+/// 1.0, so 0.5 catches any reintroduced O(total-nodes) per-tick work
+/// while absorbing cache and allocator noise.
+const SCALE_GATE_FLOOR: f64 = 0.5;
+
+/// Largest swept cluster the sub-linearity gate is enforced at (and
+/// where the serial-vs-parallel digest spot check runs).
+const SCALE_GATE_SPAN_NODES: usize = 2_400;
+
 /// The 24-node / 15-service steady-state scenario: four replicas per node,
 /// services striped round-robin across the replica grid.
 fn build_cluster(parallelism: usize, queue_cap: usize) -> (Cluster, Vec<ContainerId>) {
+    build_cluster_n(NODES, parallelism, queue_cap)
+}
+
+/// The same replica grid at an arbitrary node count (scale sweep).
+fn build_cluster_n(
+    nodes: usize,
+    parallelism: usize,
+    queue_cap: usize,
+) -> (Cluster, Vec<ContainerId>) {
     let mut cluster = Cluster::new(ClusterConfig::default());
     cluster.set_parallelism(parallelism);
     let mut containers = Vec::new();
-    for n in 0..NODES {
+    for n in 0..nodes {
         let node = cluster.add_node(NodeSpec::uniform_worker());
         for c in 0..CONTAINERS_PER_NODE {
             let service = ServiceId::new(((n * CONTAINERS_PER_NODE + c) % SERVICES) as u32);
@@ -473,6 +508,174 @@ fn million_users() -> MillionOutcome {
     parallel
 }
 
+/// One point of the node-count scale sweep.
+struct ScalePoint {
+    nodes: usize,
+    outcome: RunOutcome,
+}
+
+/// Drives a `nodes`-node cluster whose traffic is confined to the first
+/// `footprint` nodes: cohort-mode admissions identical in shape to the
+/// steady-state scenario land only on the footprint's containers, so
+/// every node beyond it goes idle after warmup and parks. The active-set
+/// engine must then keep per-tick cost proportional to the footprint,
+/// not the cluster — that is what the sub-linearity gate measures.
+fn scale_drive(
+    nodes: usize,
+    footprint: usize,
+    parallelism: usize,
+    warmup_ticks: usize,
+    measured_ticks: usize,
+) -> RunOutcome {
+    assert!(
+        footprint <= nodes,
+        "traffic footprint cannot exceed the cluster"
+    );
+    let (mut cluster, containers) = build_cluster_n(nodes, parallelism, 1024);
+    let mut rng = SimRng::seed_from(0x5CA1E);
+    let dt = SimDuration::from_millis(100);
+    let mut now = SimTime::ZERO;
+    let mut report = TickReport::default();
+
+    let hot = &containers[..footprint * CONTAINERS_PER_NODE];
+    let services: Vec<ServiceId> = hot
+        .iter()
+        .map(|&id| cluster.container(id).expect("live").spec().service)
+        .collect();
+    let admit = |cluster: &mut Cluster, rng: &mut SimRng, now: SimTime| {
+        for (idx, &id) in hot.iter().enumerate() {
+            let cpu_secs = rng.uniform_range(0.07, 0.10) / COHORT_MEMBERS as f64;
+            let megabits = rng.uniform_range(0.2, 0.8) / COHORT_MEMBERS as f64;
+            let cohort = Cohort::new(
+                services[idx],
+                now,
+                COHORT_MEMBERS,
+                cpu_secs,
+                MemMb(8.0 / COHORT_MEMBERS as f64),
+                megabits,
+            );
+            let _ = cluster.admit_cohort(id, cohort, now);
+        }
+    };
+
+    for _ in 0..warmup_ticks.max(1) {
+        admit(&mut cluster, &mut rng, now);
+        cluster.advance_into(now, dt, &mut report);
+        now += dt;
+    }
+
+    let mut completed = 0u64;
+    let mut checksum = 0u64;
+    let mut tick_ns: Vec<u64> = Vec::with_capacity(measured_ticks);
+    let start = Instant::now();
+    for _ in 0..measured_ticks {
+        admit(&mut cluster, &mut rng, now);
+        let t0 = Instant::now();
+        cluster.advance_into(now, dt, &mut report);
+        tick_ns.push(t0.elapsed().as_nanos() as u64);
+        completed += fold_completions(&report, &mut checksum);
+        now += dt;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let outcome = RunOutcome {
+        workers: parallelism,
+        ticks_per_sec: measured_ticks as f64 / elapsed,
+        requests_per_sec: completed as f64 / elapsed,
+        latency: Latency::from_ns(&mut tick_ns),
+        checksum,
+    };
+    println!(
+        "  nodes={:<6} workers={:<2} {:>9.0} ticks/s {:>12.0} req/s  p50 {:>7.1}us p99 {:>7.1}us  (checksum {:016x})",
+        nodes,
+        outcome.workers,
+        outcome.ticks_per_sec,
+        outcome.requests_per_sec,
+        outcome.latency.p50,
+        outcome.latency.p99,
+        outcome.checksum
+    );
+    outcome
+}
+
+/// The scale sweep's traffic footprint: `active_fraction` of the 24-node
+/// baseline, at least one node.
+fn footprint_nodes(active_fraction: f64) -> usize {
+    ((NODES as f64 * active_fraction).ceil() as usize).clamp(1, NODES)
+}
+
+/// Sweeps total cluster size at a fixed traffic footprint, measuring
+/// serial ticks/s per point, and spot-checks serial-vs-parallel digest
+/// identity at the largest gated point.
+fn scale_sweep(node_counts: &[usize], active_fraction: f64, smoke: bool) -> Vec<ScalePoint> {
+    let footprint = footprint_nodes(active_fraction);
+    let (warmup_ticks, measured_ticks) = if smoke { (300, 3_000) } else { (500, 10_000) };
+    println!(
+        "scale sweep: footprint {footprint} of 24 nodes (active fraction {active_fraction}), \
+         {measured_ticks} ticks per point"
+    );
+    let points: Vec<ScalePoint> = node_counts
+        .iter()
+        .map(|&nodes| ScalePoint {
+            nodes,
+            outcome: scale_drive(nodes, footprint, 1, warmup_ticks, measured_ticks),
+        })
+        .collect();
+
+    // Digest spot check: the biggest gated cluster must tick
+    // bit-identically under the pooled engine.
+    if let Some(p) = points
+        .iter()
+        .filter(|p| p.nodes > NODES && p.nodes <= SCALE_GATE_SPAN_NODES)
+        .max_by_key(|p| p.nodes)
+    {
+        let parallel = scale_drive(
+            p.nodes,
+            footprint,
+            HEADLINE_WORKERS,
+            warmup_ticks,
+            measured_ticks,
+        );
+        assert_eq!(
+            p.outcome.checksum, parallel.checksum,
+            "scale sweep: {} nodes diverged between serial and {HEADLINE_WORKERS} workers",
+            p.nodes
+        );
+        println!(
+            "  {}-node point is bit-identical at {HEADLINE_WORKERS} workers",
+            p.nodes
+        );
+    }
+    points
+}
+
+/// Sub-linearity gate: every swept cluster up to `SCALE_GATE_SPAN_NODES`
+/// must tick within `SCALE_GATE_FLOOR` of the 24-node baseline rate at
+/// the same traffic footprint. Larger points only have to complete.
+fn scale_gate(points: &[ScalePoint]) {
+    let base = points
+        .iter()
+        .find(|p| p.nodes == NODES)
+        .expect("sweep includes the 24-node baseline");
+    for p in points {
+        if p.nodes <= NODES || p.nodes > SCALE_GATE_SPAN_NODES {
+            continue;
+        }
+        let ratio = p.outcome.ticks_per_sec / base.outcome.ticks_per_sec;
+        assert!(
+            ratio >= SCALE_GATE_FLOOR,
+            "scale gate: {} nodes tick at {ratio:.2}x the {NODES}-node rate, below the \
+             {SCALE_GATE_FLOOR:.2}x floor — per-tick cost is no longer proportional to the \
+             active set",
+            p.nodes
+        );
+        println!(
+            "  scale gate: {} nodes at {ratio:.2}x the {NODES}-node rate (floor {SCALE_GATE_FLOOR:.2}x)",
+            p.nodes
+        );
+    }
+}
+
 /// The lowest acceptable parallel(4)/serial throughput ratio for a
 /// machine with `hardware_threads` cores. With 4+ cores the persistent
 /// pool must win outright; with fewer, parallel cannot beat serial in
@@ -516,12 +719,39 @@ fn main() {
     let initial_rps = flag_value(&args, "--initial-rps").unwrap_or(20_000.0);
     let increment_rps = flag_value(&args, "--increment-rps").unwrap_or(20_000.0);
     let max_rps = flag_value(&args, "--max-rps").unwrap_or(160_000.0);
+    let nodes_flag = flag_value(&args, "--nodes").map(|v| v as usize);
+    let active_fraction = flag_value(&args, "--active-fraction").unwrap_or(1.0);
+    assert!(
+        active_fraction > 0.0 && active_fraction <= 1.0,
+        "--active-fraction must be in (0, 1]"
+    );
     let (warmup_ticks, measured_ticks) = if smoke { (500, 5_000) } else { (2_000, 30_000) };
     let (ramp_warmup, ramp_measured) = if smoke { (30, 100) } else { (60, 200) };
 
     if million_only {
         million_users();
         println!("million-user smoke passed");
+        return;
+    }
+
+    if let Some(nodes) = nodes_flag {
+        // Scale-sweep-only mode: {24, N} at the fixed footprint, gated on
+        // request, BENCH_tick.json untouched (the full run records it).
+        assert!(nodes >= NODES, "--nodes must be >= {NODES}");
+        let counts: Vec<usize> = if nodes == NODES {
+            vec![NODES]
+        } else {
+            vec![NODES, nodes]
+        };
+        let points = scale_sweep(&counts, active_fraction, smoke);
+        if gate {
+            scale_gate(&points);
+            println!("scale gates passed");
+        }
+        println!(
+            "scale sweep done ({} point(s); BENCH_tick.json untouched)",
+            points.len()
+        );
         return;
     }
 
@@ -581,8 +811,10 @@ fn main() {
         ramp_measured,
     );
     let million = million_users();
+    let scale_points = scale_sweep(&SCALE_SWEEP_NODES, active_fraction, smoke);
 
     if gate {
+        scale_gate(&scale_points);
         let floor = gate_floor(hardware_threads);
         assert!(
             speedup_parallel >= floor,
@@ -622,6 +854,23 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n")
     };
+    let scale_base_tps = scale_points
+        .iter()
+        .find(|p| p.nodes == NODES)
+        .map(|p| p.outcome.ticks_per_sec)
+        .expect("sweep includes the 24-node baseline");
+    let scale_json: Vec<String> = scale_points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"nodes\": {}, \"ticks_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \"vs_24_nodes\": {:.3} }}",
+                p.nodes,
+                p.outcome.ticks_per_sec,
+                p.outcome.requests_per_sec,
+                p.outcome.ticks_per_sec / scale_base_tps
+            )
+        })
+        .collect();
     let ramp_json: Vec<String> = ramp_steps
         .iter()
         .map(|s| {
@@ -649,6 +898,10 @@ fn main() {
          \"million_users\": {{\n    \"containers\": {},\n    \"members_per_container\": {MILLION_MEMBERS_PER_CONTAINER},\n    \
          \"peak_in_flight\": {},\n    \"drain_ticks\": {},\n    \"requests_per_sec\": {:.1},\n    \
          \"bit_identical\": true,\n    \"warp_ticks_skipped\": {}\n  }},\n  \
+         \"scale_sweep\": {{\n    \"footprint_nodes\": {},\n    \"active_fraction\": {active_fraction:.2},\n    \
+         \"workers\": 1,\n    \"sublinear_gate_floor\": {SCALE_GATE_FLOOR:.2},\n    \
+         \"gate_span_nodes\": {SCALE_GATE_SPAN_NODES},\n    \"bit_identical\": true,\n    \
+         \"points\": [\n{}\n    ]\n  }},\n  \
          \"requests_per_sec\": {headline_rps:.1},\n  \
          \"bit_identical\": true,\n  \
          \"speedup_parallel_vs_serial\": {speedup_parallel:.2},\n  \
@@ -670,6 +923,8 @@ fn main() {
         million.drain_ticks,
         million.requests_per_sec,
         million.warp_ticks,
+        footprint_nodes(active_fraction),
+        scale_json.join(",\n"),
     );
     std::fs::write("BENCH_tick.json", json).expect("write BENCH_tick.json");
     println!("wrote BENCH_tick.json");

@@ -76,6 +76,7 @@ pub fn fig2_cpu_point(replicas: usize, total_share: f64) -> StudyPoint {
             fanout_latency_alpha: 0.02,
             ..OverheadModel::default()
         },
+        ..ClusterConfig::default()
     });
     let svc = ServiceId::new(0);
     let per_replica = total_share / replicas as f64;
@@ -140,6 +141,7 @@ pub fn fig3_net_point(replicas: usize) -> StudyPoint {
             txq_contention_coeff: 2.0,
             ..OverheadModel::default()
         },
+        ..ClusterConfig::default()
     });
     let svc = ServiceId::new(0);
     let cap = Mbps(100.0 / replicas as f64);

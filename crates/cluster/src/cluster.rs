@@ -22,6 +22,7 @@
 //!   which is node order — so results are bit-identical to the serial
 //!   engine at any worker count.
 
+use std::collections::BTreeSet;
 use std::ops::Range;
 
 use hyscale_exec::WorkerPool;
@@ -40,11 +41,32 @@ use crate::stats::{ContainerUsage, NodeUsage};
 use crate::{Cores, MemMb};
 
 /// Global configuration of the cluster model.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Empirical overhead coefficients (Sec. III calibration).
     pub overheads: OverheadModel,
+    /// Tick only nodes with runnable work (the active set), applying the
+    /// closed-form idle physics to parked nodes lazily when they are next
+    /// observed. Semantically invisible — state is bit-identical to the
+    /// eager full-scan engine once a node is caught up — and on by
+    /// default; the differential tests turn it off to drive the
+    /// reference engine.
+    pub active_set: bool,
 }
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            overheads: OverheadModel::default(),
+            active_set: true,
+        }
+    }
+}
+
+/// Below this much total tick weight per worker the pool handoff costs
+/// more than the tick itself; `advance` then runs the tick on the calling
+/// thread (see [`Cluster::serial_fallback_ticks`]).
+const SERIAL_FALLBACK_WEIGHT: u64 = 1024;
 
 use crate::overhead::OverheadModel;
 
@@ -148,12 +170,15 @@ struct TickCtx<'a> {
 }
 
 /// Ticks one node, honouring the panic-injection test hook. This is the
-/// unit of work a pool job executes per node.
-fn tick_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
+/// unit of work a pool job executes per node. Returns `true` when the
+/// node is park-eligible: the tick took the idle closed form (or had no
+/// live slots) and every slot is past its startup, so every future tick
+/// is the same closed form until something external changes.
+fn tick_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) -> bool {
     if ctx.poison == Some(node.id()) {
         panic!("injected tick panic on node {:?}", node.id());
     }
-    advance_node(node, ctx, scratch);
+    advance_node(node, ctx, scratch)
 }
 
 /// The simulated cluster: nodes, containers, and in-flight work.
@@ -200,6 +225,41 @@ pub struct Cluster {
     /// Test hook: node whose advance panics (pool panic-propagation
     /// coverage). Never set outside tests.
     poison_node: Option<NodeId>,
+    // --- Active-set engine (`config.active_set`) ----------------------
+    /// Dense membership bitmap: `node_active[i]` ⇔ node `i` is visited by
+    /// the next tick. Nodes not in the set are *parked*: provably idle,
+    /// with their per-tick idle physics deferred until reactivation.
+    node_active: Vec<bool>,
+    /// Compact sorted list of active node indices (the iteration order of
+    /// a tick, which is node order — determinism depends on it).
+    active_list: Vec<u32>,
+    /// Nodes activated since the last tick, merged into `active_list` at
+    /// the top of `advance_into`.
+    newly_active: Vec<u32>,
+    /// Tick sequence number at which each node parked; pending idle ticks
+    /// for a parked node = `tick_seq - park_seq[i]`.
+    park_seq: Vec<u64>,
+    /// Ticks advanced so far (each `advance` with `dt > 0` is one).
+    tick_seq: u64,
+    /// Tick duration of the current parked span. Lazy replay is exact
+    /// only while `dt` is constant, so a duration change flushes every
+    /// parked node first.
+    span_dt: SimDuration,
+    /// Per-tick park verdicts, aligned with `active_list` (scratch).
+    park_flags: Vec<bool>,
+    // --- Incrementally-maintained routing/counting state ---------------
+    /// Per-service order index over live non-antagonist replicas, keyed
+    /// `(in-flight members, container id)` — the exact candidate order
+    /// the balancer's scan-and-sort produced, maintained on admission,
+    /// settlement, and removal so routing is O(answer).
+    route_index: Vec<BTreeSet<(u64, u32)>>,
+    /// Last member count published to `route_index`, per container id.
+    index_members: Vec<u64>,
+    /// Cluster-wide in-flight members (requests + cohort members).
+    in_flight_total: u64,
+    /// Ticks the parallel engine ran on the calling thread because the
+    /// active weight was below [`SERIAL_FALLBACK_WEIGHT`] per worker.
+    serial_fallback_ticks: u64,
 }
 
 impl Clone for Cluster {
@@ -222,6 +282,17 @@ impl Clone for Cluster {
             // pool on its first parallel `advance`.
             pool: None,
             poison_node: self.poison_node,
+            node_active: self.node_active.clone(),
+            active_list: self.active_list.clone(),
+            newly_active: self.newly_active.clone(),
+            park_seq: self.park_seq.clone(),
+            tick_seq: self.tick_seq,
+            span_dt: self.span_dt,
+            park_flags: self.park_flags.clone(),
+            route_index: self.route_index.clone(),
+            index_members: self.index_members.clone(),
+            in_flight_total: self.in_flight_total,
+            serial_fallback_ticks: self.serial_fallback_ticks,
         }
     }
 }
@@ -245,6 +316,17 @@ impl Cluster {
             partitions: Vec::new(),
             pool: None,
             poison_node: None,
+            node_active: Vec::new(),
+            active_list: Vec::new(),
+            newly_active: Vec::new(),
+            park_seq: Vec::new(),
+            tick_seq: 0,
+            span_dt: SimDuration::ZERO,
+            park_flags: Vec::new(),
+            route_index: Vec::new(),
+            index_members: Vec::new(),
+            in_flight_total: 0,
+            serial_fallback_ticks: 0,
         }
     }
 
@@ -263,6 +345,12 @@ impl Cluster {
     /// lazily on the first parallel `advance` after a restore, and the
     /// scratch is rebuilt every tick.
     pub fn snapshot_write(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            !self.config.active_set
+                || (0..self.nodes.len())
+                    .all(|i| self.node_active[i] || self.park_seq[i] == self.tick_seq),
+            "snapshot with pending lazy idle ticks; call flush_pending first"
+        );
         w.put_usize(self.nodes.len());
         for node in &self.nodes {
             node.snapshot_write(w);
@@ -329,7 +417,52 @@ impl Cluster {
         self.node_ids.set_cursor(node_cursor);
         self.container_ids.set_cursor(container_cursor);
         self.request_ids.set_cursor(request_cursor);
+        self.rebuild_derived();
         Ok(())
+    }
+
+    /// Rebuilds every incrementally-maintained structure from the ground
+    /// truth (node slots): the per-service replica counts, the in-flight
+    /// total, the routing index, and the active set. Everything restores
+    /// *active* — a parked node and a caught-up active node are
+    /// byte-identical, and the first tick re-parks whatever is idle.
+    fn rebuild_derived(&mut self) {
+        self.replica_counts.clear();
+        self.route_index.clear();
+        self.index_members.clear();
+        self.index_members.resize(self.locs.len(), 0);
+        self.in_flight_total = 0;
+        for node in &self.nodes {
+            for c in &node.slots {
+                if c.state() == ContainerState::Removed {
+                    continue;
+                }
+                let members = c.in_flight_members();
+                self.in_flight_total += members;
+                if c.spec().antagonist {
+                    continue;
+                }
+                let svc = c.service().as_usize();
+                if svc >= self.replica_counts.len() {
+                    self.replica_counts.resize(svc + 1, 0);
+                }
+                self.replica_counts[svc] += 1;
+                if svc >= self.route_index.len() {
+                    self.route_index.resize_with(svc + 1, BTreeSet::new);
+                }
+                self.route_index[svc].insert((members, c.id().index()));
+                self.index_members[c.id().as_usize()] = members;
+            }
+        }
+        self.tick_seq = 0;
+        self.span_dt = SimDuration::ZERO;
+        self.node_active.clear();
+        self.node_active.resize(self.nodes.len(), true);
+        self.park_seq.clear();
+        self.park_seq.resize(self.nodes.len(), 0);
+        self.active_list.clear();
+        self.active_list.extend(0..self.nodes.len() as u32);
+        self.newly_active.clear();
     }
 
     /// Sets how many OS threads [`Cluster::advance`] may use to tick nodes
@@ -375,7 +508,144 @@ impl Cluster {
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId::new(self.node_ids.next_u32());
         self.nodes.push(Node::new(id, spec));
+        // New nodes start active (and up to date); the first tick parks
+        // them if they are idle.
+        self.node_active.push(true);
+        self.park_seq.push(self.tick_seq);
+        if self.config.active_set {
+            self.newly_active.push(id.index());
+        }
         id
+    }
+
+    /// Applies the idle-tick physics a parked node missed: `tick_seq -
+    /// park_seq` repetitions of the closed-form idle fast path, replayed
+    /// container-major (bit-identical to tick-major because idle slots
+    /// share no state within a tick). A parked node is guaranteed idle —
+    /// nothing in flight, no antagonist, every slot past its startup —
+    /// and the span is dt-constant, so demands, grants, and the
+    /// contention factor are constant across the span; only the
+    /// throughput-EWMA decay and the usage window advance per tick.
+    fn catch_up_node(&mut self, idx: usize) {
+        let pending = self.tick_seq - self.park_seq[idx];
+        self.park_seq[idx] = self.tick_seq;
+        if pending == 0 {
+            return;
+        }
+        let dt_secs = self.span_dt.as_secs();
+        debug_assert!(dt_secs > 0.0, "parked span with zero dt");
+        let node = &mut self.nodes[idx];
+        let scratch = &mut self.scratch[0];
+        scratch.live.clear();
+        scratch.cpu_demands.clear();
+        for (slot, c) in node.slots.iter().enumerate() {
+            if c.state() == ContainerState::Removed {
+                continue;
+            }
+            debug_assert!(c.in_flight.is_empty() && c.cohorts.is_empty());
+            debug_assert!(!c.spec().antagonist);
+            scratch.live.push(slot);
+            scratch.cpu_demands.push(CpuDemand::new(
+                c.id(),
+                c.spec().base_cpu.get() * dt_secs,
+                c.spec().cpu_request.get(),
+            ));
+        }
+        if scratch.live.is_empty() {
+            return;
+        }
+        let active = scratch
+            .cpu_demands
+            .iter()
+            .filter(|d| d.demand > 1e-12)
+            .count();
+        let capacity =
+            node.spec().cores.get() * dt_secs * self.config.overheads.cpu_contention_factor(active);
+        // Feasibility held when the node parked and its inputs have not
+        // changed since, so this cannot fail; bail rather than corrupt
+        // state if it somehow does.
+        if !idle_grants(capacity, &scratch.cpu_demands, &mut scratch.cpu_grants) {
+            debug_assert!(false, "parked node lost round-1 feasibility");
+            return;
+        }
+        for (i, &s) in scratch.live.iter().enumerate() {
+            let c = &mut node.slots[s];
+            let granted = scratch.cpu_grants[i].granted;
+            for _ in 0..pending {
+                // Pressure is sampled before the tick's EWMA decay, the
+                // same order the eager engine's demand pass uses.
+                let swapping = self
+                    .mem_model
+                    .pressure(c.resident_mem(), c.spec().mem_limit)
+                    .is_swapping();
+                let used = if granted > 0.0 {
+                    c.cpu_used_total += granted;
+                    granted
+                } else {
+                    0.0
+                };
+                c.record_throughput(0, dt_secs, THROUGHPUT_TAU_SECS);
+                let resident = c.resident_mem_with(0.0);
+                c.window
+                    .record_tick(dt_secs, used, 0.0, 0.0, resident, 0, swapping);
+            }
+        }
+    }
+
+    /// Catches a parked node up and marks it active so the next tick
+    /// visits it. Every mutation that can change a node's tick behaviour
+    /// calls this *before* mutating, so the lazy replay always sees the
+    /// state the missed ticks actually ran on. No-op for active nodes
+    /// (they are always up to date) and when the engine is off.
+    fn activate(&mut self, idx: usize) {
+        if !self.config.active_set || self.node_active[idx] {
+            return;
+        }
+        self.catch_up_node(idx);
+        self.node_active[idx] = true;
+        self.newly_active.push(idx as u32);
+    }
+
+    /// Activates the node hosting container `id` (no-op for unknown ids).
+    fn activate_container_node(&mut self, id: ContainerId) {
+        if let Some(loc) = self.locs.get(id.as_usize()) {
+            let node = loc.node as usize;
+            self.activate(node);
+        }
+    }
+
+    /// Catches every parked node up to the present, applying all pending
+    /// lazily-deferred idle ticks. Nodes stay parked. Call before reading
+    /// per-container usage state wholesale (snapshots, monitor
+    /// collection); cheap when nothing is pending, a no-op when the
+    /// active-set engine is off.
+    pub fn flush_pending(&mut self) {
+        if !self.config.active_set {
+            return;
+        }
+        for idx in 0..self.nodes.len() {
+            if !self.node_active[idx] {
+                self.catch_up_node(idx);
+            }
+        }
+    }
+
+    /// Node indices the next tick will visit, sorted (test hook for the
+    /// active-set differential tests).
+    #[doc(hidden)]
+    pub fn active_node_indices(&self) -> Vec<u32> {
+        let mut v = self.active_list.clone();
+        v.extend(self.newly_active.iter().copied());
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Ticks the parallel engine ran on the calling thread because the
+    /// active tick weight was too small to amortize the pool handoff
+    /// (the tracking counter for the cohort-mode parallel regression).
+    pub fn serial_fallback_ticks(&self) -> u64 {
+        self.serial_fallback_ticks
     }
 
     /// Looks up a node. Decommissioned and crashed (offline) machines are
@@ -453,6 +723,61 @@ impl Cluster {
             .collect()
     }
 
+    /// Least-loaded accepting replica of `service` via the incremental
+    /// routing index: first accepting entry in `(in_flight, id)` order,
+    /// which equals the minimum over accepting replicas of
+    /// `(in_flight_members(), id)` — the exact tie-break the balancer's
+    /// brute-force scan uses. O(answer) instead of O(replicas).
+    pub fn route_least_loaded(&self, service: ServiceId, now: SimTime) -> Option<ContainerId> {
+        let set = self.route_index.get(service.as_usize())?;
+        for &(_, raw) in set {
+            let id = ContainerId::new(raw);
+            let Some(c) = self.container(id) else {
+                continue;
+            };
+            if c.accepting(now) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Waterfills `count` cohort members over the accepting replicas of
+    /// `service` in ascending `(in_flight, id)` order, honouring each
+    /// replica's queue headroom. Appends `(replica, members)` pairs to
+    /// `out` and returns the members that could not be placed. The
+    /// visit order matches sorting `(in_flight, id, headroom)` — ids are
+    /// unique, so headroom never participates in the tie-break.
+    pub fn route_waterfill(
+        &self,
+        service: ServiceId,
+        count: u64,
+        now: SimTime,
+        out: &mut Vec<(ContainerId, u64)>,
+    ) -> u64 {
+        let mut remaining = count;
+        let Some(set) = self.route_index.get(service.as_usize()) else {
+            return remaining;
+        };
+        for &(_, raw) in set {
+            if remaining == 0 {
+                break;
+            }
+            let id = ContainerId::new(raw);
+            let Some(c) = self.container(id) else {
+                continue;
+            };
+            let headroom = c.queue_headroom(now);
+            if headroom == 0 {
+                continue;
+            }
+            let take = remaining.min(headroom);
+            out.push((id, take));
+            remaining -= take;
+        }
+        remaining
+    }
+
     /// CPU and memory not yet promised to live containers on `node`
     /// (capacity minus the sum of requests/limits). This is the quantity
     /// nodes "advertise" to the Monitor for placement decisions.
@@ -522,8 +847,13 @@ impl Cluster {
             return Err(ClusterError::UnknownNode(node));
         }
         spec.validate().map_err(ClusterError::InvalidSpec)?;
+        // Catch the node up *before* the new slot exists: the missed idle
+        // ticks ran without it.
+        self.activate(node.as_usize());
         let id = ContainerId::new(self.container_ids.next_u32());
         debug_assert_eq!(self.locs.len(), id.as_usize());
+        let antagonist = spec.antagonist;
+        let service = spec.service;
         let entry = &mut self.nodes[node.as_usize()];
         self.locs.push(ContainerLoc {
             node: node.index(),
@@ -531,6 +861,18 @@ impl Cluster {
         });
         entry.slots.push(Container::new(id, node, spec, now));
         entry.attach(id);
+        self.index_members.push(0);
+        if !antagonist {
+            let svc = service.as_usize();
+            if svc >= self.replica_counts.len() {
+                self.replica_counts.resize(svc + 1, 0);
+            }
+            self.replica_counts[svc] += 1;
+            if svc >= self.route_index.len() {
+                self.route_index.resize_with(svc + 1, BTreeSet::new);
+            }
+            self.route_index[svc].insert((0, id.index()));
+        }
         Ok(id)
     }
 
@@ -577,6 +919,9 @@ impl Cluster {
         now: SimTime,
         kind: FailureKind,
     ) -> Result<Vec<FailedRequest>, ClusterError> {
+        // Catch up and wake the host before the slot changes state: the
+        // missed idle ticks ran with the container still live.
+        self.activate_container_node(id);
         let c = self
             .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
@@ -584,6 +929,9 @@ impl Cluster {
             return Err(ClusterError::UnknownContainer(id));
         }
         let node = c.node();
+        let drained = c.in_flight_members();
+        let antagonist = c.spec().antagonist;
+        let service = c.service();
         c.mark_removed();
         let mut failures: Vec<FailedRequest> = c
             .in_flight
@@ -615,6 +963,12 @@ impl Cluster {
         }
         c.cohorts.clear();
         self.nodes[node.as_usize()].detach(id);
+        self.in_flight_total -= drained;
+        if !antagonist {
+            let svc = service.as_usize();
+            self.replica_counts[svc] -= 1;
+            self.route_index[svc].remove(&(self.index_members[id.as_usize()], id.index()));
+        }
         Ok(failures)
     }
 
@@ -682,6 +1036,9 @@ impl Cluster {
         match self.nodes.get_mut(id.as_usize()) {
             Some(n) if !n.decommissioned() => {
                 n.set_nic_factor(factor);
+                // The NIC does not enter the idle closed form, but a
+                // changed link belongs in the next tick's visit set.
+                self.activate(id.as_usize());
                 Ok(())
             }
             _ => Err(ClusterError::UnknownNode(id)),
@@ -721,6 +1078,9 @@ impl Cluster {
         cpu: Cores,
         mem: MemMb,
     ) -> Result<(), ClusterError> {
+        // Pending idle ticks ran under the old resources; replay them
+        // before the spec changes.
+        self.activate_container_node(id);
         let c = self.live_container_mut(id)?;
         c.update_resources(cpu, mem);
         Ok(())
@@ -737,6 +1097,7 @@ impl Cluster {
         id: ContainerId,
         cap: Option<crate::Mbps>,
     ) -> Result<(), ClusterError> {
+        self.activate_container_node(id);
         let c = self.live_container_mut(id)?;
         c.update_net_cap(cap);
         Ok(())
@@ -757,6 +1118,7 @@ impl Cluster {
         now: SimTime,
     ) -> Result<RequestId, ClusterError> {
         let req_id = RequestId::new(self.request_ids.next_u64());
+        self.activate_container_node(id);
         let c = self
             .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
@@ -766,7 +1128,10 @@ impl Cluster {
         if c.in_flight_members() >= c.spec().queue_cap as u64 {
             return Err(ClusterError::QueueFull(id));
         }
+        let service = c.service();
         c.in_flight.push(InFlight::new(req_id, request, now));
+        self.in_flight_total += 1;
+        self.bump_index(id, service, 1);
         Ok(req_id)
     }
 
@@ -793,6 +1158,7 @@ impl Cluster {
         now: SimTime,
     ) -> Result<RequestId, ClusterError> {
         let count = cohort.count;
+        self.activate_container_node(id);
         let c = self
             .slot_mut(id)
             .ok_or(ClusterError::UnknownContainer(id))?;
@@ -802,13 +1168,26 @@ impl Cluster {
         if c.in_flight_members() + count > c.spec().queue_cap as u64 {
             return Err(ClusterError::QueueFull(id));
         }
+        let service = c.service();
         // Reserve ids only once admission is certain, so failed admissions
         // do not burn id space (mirrors `admit_request`, which allocates
         // eagerly but singly).
         let base = self.request_ids.next_range(count);
         let c = self.slot_mut(id).expect("container existed above");
         c.cohorts.push(&cohort, base, now);
+        self.in_flight_total += count;
+        self.bump_index(id, service, count);
         Ok(RequestId::new(base))
+    }
+
+    /// Republishes a container's routing-index key after `delta` members
+    /// were admitted to it.
+    fn bump_index(&mut self, id: ContainerId, service: ServiceId, delta: u64) {
+        let m = self.index_members[id.as_usize()];
+        let set = &mut self.route_index[service.as_usize()];
+        set.remove(&(m, id.index()));
+        set.insert((m + delta, id.index()));
+        self.index_members[id.as_usize()] = m + delta;
     }
 
     /// Splits an in-flight cohort in place: slot `idx` of the container's
@@ -829,10 +1208,12 @@ impl Cluster {
         idx: usize,
         left: u64,
     ) -> Result<bool, ClusterError> {
+        self.activate_container_node(id);
         let c = self.live_container_mut(id)?;
         if idx >= c.cohorts.len() {
             return Ok(false);
         }
+        // Members are conserved, so the routing index is unaffected.
         Ok(c.cohorts.split(idx, left))
     }
 
@@ -851,19 +1232,25 @@ impl Cluster {
         i: usize,
         j: usize,
     ) -> Result<bool, ClusterError> {
+        self.activate_container_node(id);
         let c = self.live_container_mut(id)?;
         Ok(c.cohorts.merge(i, j))
     }
 
     /// Total in-flight members across the whole cluster (individual
-    /// requests plus cohort members). One pass over all containers.
+    /// requests plus cohort members). O(1) — maintained incrementally on
+    /// admission, settlement, and removal.
     pub fn total_in_flight(&self) -> u64 {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.slots.iter())
-            .filter(|c| c.state() != ContainerState::Removed)
-            .map(|c| c.in_flight_members())
-            .sum()
+        debug_assert_eq!(
+            self.in_flight_total,
+            self.nodes
+                .iter()
+                .flat_map(|n| n.slots.iter())
+                .filter(|c| c.state() != ContainerState::Removed)
+                .map(|c| c.in_flight_members())
+                .sum::<u64>()
+        );
+        self.in_flight_total
     }
 
     /// Advances the fluid model by one tick starting at `now` and lasting
@@ -894,11 +1281,61 @@ impl Cluster {
         }
         let end = now + dt;
 
-        // Serial prepass: lifecycle transitions, the per-service replica
-        // table that prices fan-out latency, and the per-node weights
+        if self.config.active_set {
+            self.advance_active(now, end, dt, dt_secs, report);
+        } else {
+            self.advance_full(now, end, dt_secs, report);
+        }
+
+        // Post-tick bookkeeping shared by both engines: the in-flight
+        // counter and the routing index follow the records this tick
+        // settled (O(report), not O(cluster)).
+        self.in_flight_total = self
+            .in_flight_total
+            .saturating_sub(report.completed_members() + report.failed_members());
+        self.reindex_from_report(report);
+    }
+
+    /// Republishes the routing-index key of every container named by a
+    /// settled record. A container appearing in several records converges
+    /// after the first (the published count already matches).
+    fn reindex_from_report(&mut self, report: &TickReport) {
+        for i in 0..report.completed.len() {
+            let id = report.completed[i].container;
+            self.republish_index(id);
+        }
+        for i in 0..report.failed.len() {
+            let Some(id) = report.failed[i].container else {
+                continue;
+            };
+            self.republish_index(id);
+        }
+    }
+
+    /// Syncs one container's `(members, id)` key with its actual state.
+    fn republish_index(&mut self, id: ContainerId) {
+        let Some(c) = self.container(id) else { return };
+        debug_assert!(!c.spec().antagonist, "antagonists never settle records");
+        let members = c.in_flight_members();
+        let service = c.service();
+        let published = self.index_members[id.as_usize()];
+        if published == members {
+            return;
+        }
+        let set = &mut self.route_index[service.as_usize()];
+        set.remove(&(published, id.index()));
+        set.insert((members, id.index()));
+        self.index_members[id.as_usize()] = members;
+    }
+
+    /// The reference engine (`config.active_set == false`): visits every
+    /// node every tick, exactly the pre-active-set behaviour. Kept as the
+    /// brute-force twin the differential tests drive.
+    fn advance_full(&mut self, now: SimTime, end: SimTime, dt_secs: f64, report: &mut TickReport) {
+        // Serial prepass: lifecycle transitions and the per-node weights
         // (1 + live containers + in-flight requests ≈ tick cost) that
-        // drive the parallel partition.
-        self.replica_counts.clear();
+        // drive the parallel partition. The per-service replica table is
+        // maintained incrementally on start/remove.
         self.node_weights.clear();
         for node in &mut self.nodes {
             let mut weight: u64 = 1;
@@ -911,13 +1348,6 @@ impl Cluster {
                 // costs about as much as one request regardless of its
                 // member count.
                 weight += 1 + c.in_flight.len() as u64 + c.cohorts.len() as u64;
-                if !c.spec().antagonist {
-                    let idx = c.service().as_usize();
-                    if idx >= self.replica_counts.len() {
-                        self.replica_counts.resize(idx + 1, 0);
-                    }
-                    self.replica_counts[idx] += 1;
-                }
             }
             self.node_weights.push(weight);
         }
@@ -1001,6 +1431,167 @@ impl Cluster {
         }
     }
 
+    /// The active-set engine: visits only nodes with runnable work, so a
+    /// tick costs O(active), not O(nodes). Nodes whose tick proves idle
+    /// park afterwards; parked nodes accrue pending closed-form ticks
+    /// that [`Cluster::catch_up_node`] replays bit-exactly on demand.
+    fn advance_active(
+        &mut self,
+        now: SimTime,
+        end: SimTime,
+        dt: SimDuration,
+        dt_secs: f64,
+        report: &mut TickReport,
+    ) {
+        // Lazy replay is exact only across a dt-constant span: flush
+        // every parked node before the duration changes.
+        if dt != self.span_dt {
+            self.flush_pending();
+            self.span_dt = dt;
+        }
+        // Fold nodes activated since the last tick into the sorted list.
+        if !self.newly_active.is_empty() {
+            let newly = std::mem::take(&mut self.newly_active);
+            self.active_list.extend_from_slice(&newly);
+            self.active_list.sort_unstable();
+            self.active_list.dedup();
+            self.newly_active = newly;
+            self.newly_active.clear();
+        }
+
+        // Prepass over the active set only: lifecycle transitions plus
+        // the compact per-active-node weights feeding the partition.
+        self.node_weights.clear();
+        for &i in &self.active_list {
+            let node = &mut self.nodes[i as usize];
+            let mut weight: u64 = 1;
+            for c in &mut node.slots {
+                c.mark_running_if_ready(now);
+                if c.state() == ContainerState::Removed {
+                    continue;
+                }
+                weight += 1 + c.in_flight.len() as u64 + c.cohorts.len() as u64;
+            }
+            self.node_weights.push(weight);
+        }
+
+        let active_count = self.active_list.len();
+        let workers = self.parallelism.min(active_count).max(1);
+        let total_weight: u64 = self.node_weights.iter().sum();
+        // Handing jobs to the pool costs microseconds; a tick lighter
+        // than this per worker finishes faster on the calling thread
+        // (this is what fixed the cohort-mode parallel regression).
+        let parallel = if workers > 1 {
+            if total_weight >= SERIAL_FALLBACK_WEIGHT * workers as u64 {
+                crate::partition::weighted_partition(
+                    &self.node_weights,
+                    workers,
+                    &mut self.partitions,
+                );
+                self.partitions.len() > 1
+            } else {
+                self.serial_fallback_ticks += 1;
+                false
+            }
+        } else {
+            false
+        };
+        if parallel && self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.parallelism - 1));
+        }
+
+        let nodes = &mut self.nodes;
+        let scratch_pool = &mut self.scratch;
+        let active_list = &self.active_list;
+        let park_flags = &mut self.park_flags;
+        park_flags.clear();
+        park_flags.resize(active_count, false);
+        let ctx = TickCtx {
+            config: &self.config,
+            mem_model: &self.mem_model,
+            net_alloc: &self.net_alloc,
+            replica_counts: &self.replica_counts,
+            now,
+            end,
+            dt_secs,
+            poison: self.poison_node,
+        };
+
+        if !parallel {
+            let scratch = &mut scratch_pool[0];
+            scratch.completed.clear();
+            scratch.failed.clear();
+            for (k, &i) in active_list.iter().enumerate() {
+                park_flags[k] = tick_node(&mut nodes[i as usize], &ctx, scratch);
+            }
+            report.completed.append(&mut scratch.completed);
+            report.failed.append(&mut scratch.failed);
+        } else {
+            let partitions = &self.partitions;
+            debug_assert!(partitions.len() <= scratch_pool.len());
+            let pool = self.pool.as_mut().expect("pool exists while parallel");
+            let ctx = &ctx;
+            // Each partition is a contiguous range of `active_list`; the
+            // node indices inside it are sorted, so successive
+            // `split_at_mut` calls carve the node table into disjoint
+            // windows (idle gaps fall between windows) — no worker can
+            // alias another's nodes, and no `unsafe` is needed.
+            let mut rest: &mut [Node] = nodes;
+            let mut offset = 0usize; // index of rest[0] within self.nodes
+            let mut flags_rest: &mut [bool] = park_flags;
+            let mut scratches = scratch_pool.iter_mut();
+            let mut closures: Vec<_> = Vec::with_capacity(partitions.len());
+            for range in partitions.iter() {
+                let ids = &active_list[range.start..range.end];
+                let lo = ids[0] as usize;
+                let hi = *ids.last().expect("partitions are non-empty") as usize;
+                let (_, tail) = rest.split_at_mut(lo - offset);
+                let (chunk, tail) = tail.split_at_mut(hi - lo + 1);
+                rest = tail;
+                offset = hi + 1;
+                let (flags, ftail) = flags_rest.split_at_mut(range.end - range.start);
+                flags_rest = ftail;
+                let scratch = scratches.next().expect("scratch per partition");
+                closures.push(move || {
+                    scratch.completed.clear();
+                    scratch.failed.clear();
+                    for (k, &i) in ids.iter().enumerate() {
+                        flags[k] = tick_node(&mut chunk[i as usize - lo], ctx, scratch);
+                    }
+                });
+            }
+            let mut jobs: Vec<hyscale_exec::Job<'_>> = closures
+                .iter_mut()
+                .map(|c| c as &mut (dyn FnMut() + Send))
+                .collect();
+            pool.run(&mut jobs);
+            drop(jobs);
+            drop(closures);
+            for scratch in scratch_pool.iter_mut().take(partitions.len()) {
+                report.completed.append(&mut scratch.completed);
+                report.failed.append(&mut scratch.failed);
+            }
+        }
+
+        // Park the nodes this tick proved idle: every later tick would be
+        // the same closed form, so defer them until something changes.
+        self.tick_seq += 1;
+        let node_active = &mut self.node_active;
+        let park_seq = &mut self.park_seq;
+        let park_flags = &self.park_flags;
+        let tick_seq = self.tick_seq;
+        let mut k = 0usize;
+        self.active_list.retain(|&i| {
+            let parked = park_flags[k];
+            k += 1;
+            if parked {
+                node_active[i as usize] = false;
+                park_seq[i as usize] = tick_seq;
+            }
+            !parked
+        });
+    }
+
     /// Advances the cluster across up to `max_ticks` consecutive *idle*
     /// ticks in closed form — the time-warp extension of the per-node
     /// idle fast path. During an idle span every tick performs the same
@@ -1052,6 +1643,11 @@ impl Cluster {
         if ticks == 0 {
             return 0;
         }
+        // The precondition scan above only reads fields the lazy
+        // catch-up never changes (state, in-flight, ready_at), so a
+        // refused warp stays cheap; a committed warp replays any parked
+        // span-ticks first so window/EWMA state is current.
+        self.flush_pending();
         let config = self.config;
         let mem_model = self.mem_model;
         let nodes = &mut self.nodes;
@@ -1129,6 +1725,11 @@ impl Cluster {
         if self.node(node).is_none() {
             return Err(ClusterError::UnknownNode(node));
         }
+        if self.config.active_set && !self.node_active[node.as_usize()] {
+            // A parked node's windows are stale; replay its idle span
+            // before sampling so the report matches the full engine.
+            self.catch_up_node(node.as_usize());
+        }
         let n = &mut self.nodes[node.as_usize()];
         let mut usage = NodeUsage {
             node,
@@ -1152,6 +1753,11 @@ impl Cluster {
     }
 
     /// Peeks at one container's usage window without resetting it.
+    ///
+    /// This is a `&self` peek, so it cannot replay a parked node's
+    /// pending idle ticks; on an active-set cluster the sample may lag
+    /// until the next [`Self::flush_pending`] / mutation reactivates
+    /// the node. Callers that need exact values should flush first.
     pub fn container_usage(&self, id: ContainerId) -> Option<ContainerUsage> {
         self.container(id).map(|c| c.window.peek(id))
     }
@@ -1235,7 +1841,12 @@ fn idle_grants(capacity: f64, demands: &[CpuDemand], grants: &mut Vec<CpuGrant>)
 /// parallel engine can fan nodes out across scoped threads; all shared
 /// inputs are read-only in [`TickCtx`] and all temporaries live in the
 /// worker's [`TickScratch`].
-fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
+///
+/// Returns `true` when the node may park: this tick took the idle
+/// closed form (or the node had no live slots) *and* no slot is still
+/// inside its startup window, so every subsequent tick repeats the same
+/// arithmetic until an external mutation arrives.
+fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) -> bool {
     let mut node_spec = *node.spec();
     // Fault injection can degrade the NIC; multiplying by the default 1.0
     // factor is exact in IEEE arithmetic, so healthy nodes are bit-for-bit
@@ -1266,9 +1877,12 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
     } = scratch;
 
     // Live containers on this node, in placement order; also detect the
-    // idle fast-path precondition (nothing in flight, no active hog).
+    // idle fast-path precondition (nothing in flight, no active hog) and
+    // whether any slot is still starting up (a pending liveness
+    // transition forbids parking).
     live.clear();
     let mut idle = true;
+    let mut all_ready = true;
     for (slot, c) in node.slots.iter().enumerate() {
         if c.state() == ContainerState::Removed {
             continue;
@@ -1280,9 +1894,12 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
         {
             idle = false;
         }
+        if c.ready_at() > ctx.now {
+            all_ready = false;
+        }
     }
     if live.is_empty() {
-        return;
+        return true;
     }
 
     // --- Pressure + demands: one fused pass per container -------------
@@ -1419,7 +2036,10 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
             c.window
                 .record_tick(ctx.dt_secs, used, 0.0, 0.0, resident, 0, swapping[i]);
         }
-        return;
+        // Park-eligible only once every slot is past its startup: an
+        // idle node with a starting container still has a liveness
+        // transition (and a demand change) ahead of it.
+        return all_ready;
     }
 
     // --- Allocations (node-level; no container state is read) ----------
@@ -1755,6 +2375,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) {
             swapping[i],
         );
     }
+    false
 }
 
 #[cfg(test)]
@@ -2476,6 +3097,9 @@ mod tests {
             cl.advance(now, dt);
             now += dt;
         }
+        // The node parks once idle; replay the pending idle ticks so
+        // the EWMA read below sees the decayed value.
+        cl.flush_pending();
         let idle_rps = cl.container(ctr).unwrap().throughput_rps();
         assert!(
             idle_rps < busy_rps * 0.5,

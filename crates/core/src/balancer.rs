@@ -107,10 +107,11 @@ struct Breaker {
 pub struct LoadBalancer {
     /// `Some` in snapshot mode (control plane enabled), `None` live.
     snapshot: Option<Snapshot>,
-    /// Candidate scratch reused across [`LoadBalancer::route_cohort`]
-    /// calls (like the tick engine's reusable buffers): cleared, filled,
-    /// and sorted per call, never dropped — so the steady state allocates
-    /// nothing. Transient: deliberately absent from snapshots.
+    /// Candidate scratch reused across snapshot-mode
+    /// [`LoadBalancer::route_cohort`] calls (live mode waterfills off
+    /// the cluster's routing index and needs no scratch): cleared,
+    /// filled, and sorted per call, never dropped — so the steady state
+    /// allocates nothing. Transient: deliberately absent from snapshots.
     cohort_scratch: Vec<(u64, ContainerId, u64)>,
 }
 
@@ -119,8 +120,13 @@ pub struct LoadBalancer {
 struct Snapshot {
     config: BreakerConfig,
     rng: SimRng,
-    /// Backend lists as of the last [`LoadBalancer::refresh`].
-    backends: BTreeMap<ServiceId, Vec<ContainerId>>,
+    /// Backend lists as of the last [`LoadBalancer::refresh`], densely
+    /// indexed by service index (service ids are dense small integers),
+    /// so the per-request path does plain vector loads instead of tree
+    /// walks. `None` means the service has never been refreshed —
+    /// distinct from `Some(vec![])`, a refreshed service with zero
+    /// replicas.
+    backends: Vec<Option<Vec<ContainerId>>>,
     breakers: BTreeMap<ContainerId, Breaker>,
     breaker_opens: u64,
 }
@@ -139,7 +145,7 @@ impl LoadBalancer {
             snapshot: Some(Snapshot {
                 config,
                 rng,
-                backends: BTreeMap::new(),
+                backends: Vec::new(),
                 breakers: BTreeMap::new(),
                 breaker_opens: 0,
             }),
@@ -176,12 +182,18 @@ impl LoadBalancer {
         let Some(snap) = self.snapshot.as_mut() else {
             return;
         };
-        snap.backends.clear();
+        for entry in &mut snap.backends {
+            *entry = None;
+        }
         let mut known: Vec<ContainerId> = Vec::new();
         for &service in services {
             let replicas = cluster.service_replicas(service);
             known.extend_from_slice(&replicas);
-            snap.backends.insert(service, replicas);
+            let idx = service.as_usize();
+            if idx >= snap.backends.len() {
+                snap.backends.resize_with(idx + 1, || None);
+            }
+            snap.backends[idx] = Some(replicas);
         }
         known.sort_unstable();
         snap.breakers
@@ -208,18 +220,14 @@ impl LoadBalancer {
         now: SimTime,
     ) -> Option<ContainerId> {
         let Some(snap) = self.snapshot.as_ref() else {
-            return cluster
-                .service_replicas(service)
-                .into_iter()
-                .filter_map(|id| {
-                    let c = cluster.container(id)?;
-                    c.accepting(now).then_some((c.in_flight_count(), id))
-                })
-                .min()
-                .map(|(_, id)| id);
+            // Live mode reads the cluster's incremental routing index:
+            // the first accepting entry in (in-flight, id) order is
+            // exactly the minimum the old full scan computed.
+            return cluster.route_least_loaded(service, now);
         };
         snap.backends
-            .get(&service)?
+            .get(service.as_usize())?
+            .as_ref()?
             .iter()
             .filter_map(|&id| {
                 if self.breaker_blocks(id, now) {
@@ -264,38 +272,35 @@ impl LoadBalancer {
         now: SimTime,
         out: &mut Vec<(ContainerId, u64)>,
     ) -> u64 {
+        if self.snapshot.is_none() {
+            // Live mode waterfills straight off the cluster's routing
+            // index — already in (in-flight, id) order, so there is no
+            // candidate collection and no sort at all.
+            return cluster.route_waterfill(service, count, now, out);
+        }
         let mut candidates = std::mem::take(&mut self.cohort_scratch);
         candidates.clear();
-        match self.snapshot.as_ref() {
-            None => {
-                for id in cluster.service_replicas(service) {
-                    let Some(c) = cluster.container(id) else {
-                        continue;
-                    };
+        let snap = self.snapshot.as_ref().expect("checked above");
+        // An unknown service has no candidates: the whole batch falls
+        // through the waterfill below as unrouted.
+        let backends = snap
+            .backends
+            .get(service.as_usize())
+            .and_then(|e| e.as_deref())
+            .unwrap_or(&[]);
+        for &id in backends {
+            if self.breaker_blocks(id, now) {
+                continue;
+            }
+            match cluster.container(id) {
+                None => candidates.push((0, id, u64::MAX)),
+                Some(c) if c.state() == ContainerState::Removed => {
+                    candidates.push((0, id, u64::MAX));
+                }
+                Some(c) => {
                     let headroom = c.queue_headroom(now);
                     if headroom > 0 {
                         candidates.push((c.in_flight_members(), id, headroom));
-                    }
-                }
-            }
-            Some(snap) => {
-                // An unknown service has no candidates: the whole batch
-                // falls through the waterfill below as unrouted.
-                for &id in snap.backends.get(&service).map_or(&[][..], Vec::as_slice) {
-                    if self.breaker_blocks(id, now) {
-                        continue;
-                    }
-                    match cluster.container(id) {
-                        None => candidates.push((0, id, u64::MAX)),
-                        Some(c) if c.state() == ContainerState::Removed => {
-                            candidates.push((0, id, u64::MAX));
-                        }
-                        Some(c) => {
-                            let headroom = c.queue_headroom(now);
-                            if headroom > 0 {
-                                candidates.push((c.in_flight_members(), id, headroom));
-                            }
-                        }
                     }
                 }
             }
@@ -398,9 +403,12 @@ impl LoadBalancer {
         for word in s.rng.state() {
             w.put_u64(word);
         }
-        w.put_usize(s.backends.len());
-        for (&svc, list) in &s.backends {
-            w.put_u32(svc.index());
+        // Present entries in ascending service index — the same order
+        // the former BTreeMap serialized in, so bytes are unchanged.
+        w.put_usize(s.backends.iter().filter(|e| e.is_some()).count());
+        for (idx, entry) in s.backends.iter().enumerate() {
+            let Some(list) = entry else { continue };
+            w.put_u32(idx as u32);
             w.put_usize(list.len());
             for &c in list {
                 w.put_u32(c.index());
@@ -448,7 +456,11 @@ impl LoadBalancer {
             for _ in 0..n {
                 list.push(ContainerId::new(r.get_u32()?));
             }
-            s.backends.insert(svc, list);
+            let idx = svc.as_usize();
+            if idx >= s.backends.len() {
+                s.backends.resize_with(idx + 1, || None);
+            }
+            s.backends[idx] = Some(list);
         }
         s.breakers.clear();
         for _ in 0..r.get_usize()? {
@@ -631,8 +643,10 @@ mod tests {
         LoadBalancer::with_breakers(BreakerConfig::default(), SimRng::seed_from(7))
     }
 
-    /// Regression: repeated cohort routing reuses one scratch buffer
-    /// instead of allocating a fresh candidates Vec per call.
+    /// Regression: repeated snapshot-mode cohort routing reuses one
+    /// scratch buffer instead of allocating a fresh candidates Vec per
+    /// call. (Live mode routes via the cluster's incremental index and
+    /// touches no scratch at all — asserted too.)
     #[test]
     fn route_cohort_reuses_scratch_without_reallocating() {
         let (mut cl, svc) = setup();
@@ -641,7 +655,8 @@ mod tests {
             cl.start_container(node, spec(svc).with_queue_cap(64), SimTime::ZERO)
                 .unwrap();
         }
-        let mut lb = LoadBalancer::new();
+        let mut lb = snapshot_lb();
+        lb.refresh(&cl, &[svc]);
         let mut out = Vec::new();
         // First call sizes the scratch to the candidate count.
         lb.route_cohort(&cl, svc, 100, SimTime::ZERO, &mut out);
@@ -656,6 +671,107 @@ mod tests {
             cap,
             "steady-state routing reallocated the scratch"
         );
+
+        let mut live = LoadBalancer::new();
+        out.clear();
+        live.route_cohort(&cl, svc, 100, SimTime::ZERO, &mut out);
+        assert_eq!(
+            live.cohort_scratch_capacity(),
+            0,
+            "live mode should not touch the candidate scratch"
+        );
+        assert!(!out.is_empty());
+    }
+
+    /// Differential gate for the incremental routing index: under random
+    /// start/remove/admit churn the index-backed live `route` and
+    /// `route_cohort` must match brute-force re-implementations of the
+    /// old full-scan-and-sort paths exactly — same pick, same shares in
+    /// the same order, same unrouted remainder.
+    #[test]
+    fn index_routing_matches_brute_force_sort() {
+        use hyscale_cluster::{Cohort, MemMb};
+        use hyscale_sim::SimDuration;
+
+        let mut rng = SimRng::seed_from(0xD1FF);
+        let mut cl = Cluster::new(ClusterConfig::default());
+        let n0 = cl.add_node(NodeSpec::uniform_worker());
+        let n1 = cl.add_node(NodeSpec::uniform_worker());
+        let svc = ServiceId::new(0);
+        let mut lb = LoadBalancer::new();
+        let mut live: Vec<ContainerId> = Vec::new();
+        let dt = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+
+        for step in 0..300u32 {
+            match rng.uniform_usize(8) {
+                0 if live.len() < 10 => {
+                    let node = if live.len().is_multiple_of(2) { n0 } else { n1 };
+                    let cap = 2 + rng.uniform_usize(14);
+                    let c = cl
+                        .start_container(node, spec(svc).with_queue_cap(cap), now)
+                        .unwrap();
+                    live.push(c);
+                }
+                1 if !live.is_empty() => {
+                    let victim = live.swap_remove(rng.uniform_usize(live.len()));
+                    cl.remove_container(victim, now).unwrap();
+                }
+                _ => {}
+            }
+
+            // Brute-force route: the pre-index full scan.
+            let brute = cl
+                .service_replicas(svc)
+                .into_iter()
+                .filter_map(|id| {
+                    let c = cl.container(id)?;
+                    c.accepting(now).then_some((c.in_flight_count(), id))
+                })
+                .min()
+                .map(|(_, id)| id);
+            assert_eq!(
+                lb.route(&cl, svc, now),
+                brute,
+                "route diverged, step {step}"
+            );
+
+            // Brute-force waterfill: the pre-index collect-and-sort.
+            let mut candidates: Vec<(u64, ContainerId, u64)> = cl
+                .service_replicas(svc)
+                .into_iter()
+                .filter_map(|id| {
+                    let c = cl.container(id)?;
+                    let headroom = c.queue_headroom(now);
+                    (headroom > 0).then_some((c.in_flight_members(), id, headroom))
+                })
+                .collect();
+            candidates.sort_unstable();
+            let count = 1 + rng.uniform_usize(9) as u64;
+            let mut expected = Vec::new();
+            let mut expected_rem = count;
+            for &(_, id, headroom) in &candidates {
+                if expected_rem == 0 {
+                    break;
+                }
+                let take = expected_rem.min(headroom);
+                expected.push((id, take));
+                expected_rem -= take;
+            }
+            let mut got = Vec::new();
+            let got_rem = lb.route_cohort(&cl, svc, count, now, &mut got);
+            assert_eq!(got, expected, "waterfill diverged, step {step}");
+            assert_eq!(got_rem, expected_rem, "remainder diverged, step {step}");
+
+            // Actually admit the routed shares so load (and the index)
+            // evolves, then tick so work completes and frees headroom.
+            for &(id, n) in &got {
+                let cohort = Cohort::new(svc, now, n, 0.004, MemMb(0.1), 0.0);
+                cl.admit_cohort(id, cohort, now).unwrap();
+            }
+            cl.advance(now, dt);
+            now += dt;
+        }
     }
 
     /// All replicas with zero queue headroom: every member bounces as

@@ -1203,6 +1203,9 @@ impl SimulationDriver {
                             },
                         );
                     }
+                    // Replay any lazily-parked idle ticks so the
+                    // serialized windows/EWMAs match a full-scan run.
+                    cluster.flush_pending();
                     let writer = serialize_state(
                         cfg_digest,
                         &DriverState {
@@ -1259,6 +1262,10 @@ impl SimulationDriver {
         // End-of-horizon state digest: cheap bit-exactness witness for
         // the resume-equivalence battery. Skipped for halted runs (their
         // state is mid-flight by design).
+        // Any nodes still parked at the horizon replay their pending
+        // idle ticks now, so end-of-run reads (and the digest below)
+        // match the full-scan engine exactly.
+        cluster.flush_pending();
         let state_digest = if !halted
             && engine.finished()
             && (config.snapshot.is_some() || config.resume.is_some())

@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 
 use hyscale_cluster::{
-    Cluster, ContainerId, ContainerSpec, ContainerState, FailedRequest, NodeId, ServiceId,
+    Cluster, ContainerId, ContainerSpec, ContainerState, ContainerUsage, FailedRequest, NodeId,
+    ServiceId,
 };
 use hyscale_sim::{SimTime, SnapReader, SnapWriter, SnapshotError};
 use hyscale_trace::{ActionTag, EventKind, TraceSink};
@@ -64,6 +65,11 @@ pub struct Monitor {
     /// Whether the previous period ran in safe mode, for emitting
     /// entry/exit transitions exactly once.
     in_safe_mode: bool,
+    /// Usage samples from the current collection, densely indexed by
+    /// container id. Reused across periods (cleared, refilled) so the
+    /// steady-state collect path neither hashes nor allocates.
+    /// Transient: deliberately absent from snapshots.
+    usage_scratch: Vec<Option<ContainerUsage>>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -93,6 +99,7 @@ impl Monitor {
             expected_replicas: Vec::new(),
             control_plane: None,
             in_safe_mode: false,
+            usage_scratch: Vec::new(),
         };
         monitor.expected_replicas = monitor.roll_call(cluster);
         monitor
@@ -332,11 +339,23 @@ impl Monitor {
 
     /// Collects the periodic snapshot without acting (exposed for tests
     /// and for recording utilization time series).
-    pub fn collect(&self, cluster: &mut Cluster, now: SimTime, period_secs: f64) -> ClusterView {
-        // Usage per container, gathered node by node (what the NMs report).
-        // Muted nodes (stat outage) contribute nothing; their containers
-        // fall back to the stale defaults below.
-        let mut usage_by_container = HashMap::new();
+    pub fn collect(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        period_secs: f64,
+    ) -> ClusterView {
+        // Usage per container, gathered node by node (what the NMs
+        // report) into a dense id-indexed scratch reused across periods —
+        // no hashing, no steady-state allocation. Muted nodes (stat
+        // outage) contribute nothing; their containers fall back to the
+        // stale defaults below. Idle (parked) nodes cannot be skipped
+        // outright — their base-tax usage samples are still part of the
+        // view — but sampling them replays their deferred idle ticks
+        // lazily inside `node_usage_and_reset`, not per tick.
+        for entry in &mut self.usage_scratch {
+            *entry = None;
+        }
         for nm in &self.node_managers {
             // `stat_outages` is kept sorted by `set_stat_outages`, so the
             // muted check is O(log outages) instead of a linear scan per
@@ -346,7 +365,11 @@ impl Monitor {
             }
             if let Ok(report) = nm.report(cluster) {
                 for sample in report.containers {
-                    usage_by_container.insert(sample.container, sample);
+                    let idx = sample.container.as_usize();
+                    if idx >= self.usage_scratch.len() {
+                        self.usage_scratch.resize_with(idx + 1, || None);
+                    }
+                    self.usage_scratch[idx] = Some(sample);
                 }
             }
         }
@@ -375,7 +398,10 @@ impl Monitor {
             else {
                 continue; // a container of a service the Monitor doesn't manage
             };
-            let usage = usage_by_container.get(&container.id());
+            let usage = self
+                .usage_scratch
+                .get(container.id().as_usize())
+                .and_then(Option::as_ref);
             service_view.replicas.push(ReplicaView {
                 container: container.id(),
                 node: container.node(),
@@ -430,6 +456,12 @@ impl Monitor {
                 .map(|cp| cp.config().staleness_budget_ticks)
                 .unwrap_or(u32::MAX),
         }
+    }
+
+    /// Capacity of the dense usage-sample scratch (regression hook:
+    /// steady-state collection must not reallocate it).
+    pub fn usage_scratch_capacity(&self) -> usize {
+        self.usage_scratch.capacity()
     }
 
     /// Collects the periodic snapshot through the degraded control
@@ -700,7 +732,7 @@ mod tests {
     #[test]
     fn collect_builds_consistent_view() {
         let (mut cl, svc) = cluster_with_one_service();
-        let monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
         let view = monitor.collect(&mut cl, SimTime::from_secs(5.0), 5.0);
         assert_eq!(view.services.len(), 1);
         assert_eq!(view.services[0].replica_count(), 1);
@@ -708,6 +740,37 @@ mod tests {
         assert!(view.nodes[0].hosts(svc));
         assert!(!view.nodes[1].hosts(svc));
         assert_eq!(view.period_secs, 5.0);
+    }
+
+    /// Regression (mirrors the balancer's `route_cohort` scratch test):
+    /// repeated collection reuses one dense usage scratch instead of
+    /// building a fresh map per period.
+    #[test]
+    fn collect_reuses_usage_scratch_without_reallocating() {
+        let (mut cl, svc) = cluster_with_one_service();
+        let node = cl.nodes().next().unwrap().id();
+        for _ in 0..7 {
+            cl.start_container(
+                node,
+                ContainerSpec::new(svc).with_startup_secs(0.0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        // First collection sizes the scratch to the container-id space.
+        monitor.collect(&mut cl, SimTime::from_secs(5.0), 5.0);
+        let cap = monitor.usage_scratch_capacity();
+        assert!(cap >= 8, "scratch should hold all samples, cap {cap}");
+        for i in 0..50u64 {
+            let now = SimTime::from_secs(5.0 + i as f64);
+            monitor.collect(&mut cl, now, 5.0);
+        }
+        assert_eq!(
+            monitor.usage_scratch_capacity(),
+            cap,
+            "steady-state collection reallocated the scratch"
+        );
     }
 
     #[test]
@@ -726,7 +789,7 @@ mod tests {
             cl.advance(now, dt);
             now += dt;
         }
-        let monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
+        let mut monitor = Monitor::new(Box::new(NoScaling), &cl, templates(svc));
         let view = monitor.collect(&mut cl, now, 5.0);
         let replica = &view.services[0].replicas[0];
         assert!(replica.cpu_used.get() > 0.5, "cpu {:?}", replica.cpu_used);

@@ -480,6 +480,8 @@ fn cluster_round_trip_mid_churn_conserves_members_and_ids() {
             }
 
             if tick == snap_tick {
+                // Snapshots require all lazy idle ticks replayed first.
+                cluster.flush_pending();
                 let mut w = SnapWriter::new();
                 cluster.snapshot_write(&mut w);
                 let bytes = w.finish();
