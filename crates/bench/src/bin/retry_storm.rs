@@ -1,0 +1,113 @@
+//! Retry-storm experiment: the three-tier call graph under a seeded
+//! fault storm, with per-hop retries enabled, run in two arms — one
+//! with no brakes (unlimited retries, no deadline, no shedding) and one
+//! with the full resilience kit (10% retry budget, 30 s root deadline,
+//! admission shedding). Reports the goodput-vs-wasted-work split per
+//! algorithm for both arms, plus a serial-vs-parallel and repeat-run
+//! bit-identity check of the whole resilience path (backoff jitter,
+//! token buckets, deadlines, shedding).
+//!
+//! ```sh
+//! cargo run --release -p hyscale-bench --bin retry_storm [-- --full | --smoke]
+//! ```
+
+use hyscale_bench::runner::{perf_table, sweep_all, FigureRow};
+use hyscale_bench::scenarios::{retry_storm, Scale};
+use hyscale_core::{AlgorithmKind, SimulationDriver};
+use hyscale_metrics::Table;
+
+/// The resilience scoreboard: how much retrying happened, which brake
+/// stopped it, and whether the work that completed was worth doing.
+fn resilience_table(rows: &[FigureRow]) -> Table {
+    let mut table = Table::new(vec![
+        "algorithm",
+        "retries",
+        "retried members",
+        "budget out",
+        "deadline out",
+        "shed roots",
+        "goodput",
+        "wasted",
+        "goodput %",
+    ]);
+    for row in rows {
+        let r = &row.report.resilience;
+        table.row(vec![
+            row.algorithm.label().to_string(),
+            r.retries.to_string(),
+            r.retried_members.to_string(),
+            r.budget_exhausted.to_string(),
+            r.deadline_exceeded.to_string(),
+            r.shed_roots.to_string(),
+            r.goodput_members.to_string(),
+            r.wasted_members.to_string(),
+            format!("{:.2}", r.goodput_pct()),
+        ]);
+    }
+    table
+}
+
+fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        println!("[scale: full — 19 workers, 15 services, 3600 s, 5 seeds]");
+        Scale::full()
+    } else if std::env::args().any(|a| a == "--smoke") {
+        println!("[scale: smoke — 4 workers, 3 services, 300 s, 1 seed]");
+        Scale::bench()
+    } else {
+        println!("[scale: quick — pass --full for the paper-size run]");
+        Scale::quick()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_args();
+
+    // Determinism gate: every resilience mechanism draws from a
+    // dedicated serial-phase RNG stream, so the storm must be
+    // bit-identical serial vs node-parallel and across repeated runs.
+    let mut serial = retry_storm(&scale, AlgorithmKind::HyScaleCpu, true);
+    serial.seed = scale.seeds[0];
+    serial.parallelism = 1;
+    let mut parallel = serial.clone();
+    parallel.parallelism = 4;
+    let a = SimulationDriver::run(&serial)?;
+    let b = SimulationDriver::run(&parallel)?;
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "retry-storm run diverged between serial and parallel execution"
+    );
+    let c = SimulationDriver::run(&serial)?;
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{c:?}"),
+        "retry-storm run diverged across repeated identical runs"
+    );
+    println!("[determinism: serial == parallelism(4) == repeat, bit-identical]");
+    assert!(
+        a.resilience.retries > 0,
+        "the storm must actually trigger retries"
+    );
+
+    for budgeted in [false, true] {
+        let rows = sweep_all(|k| retry_storm(&scale, k, budgeted), &scale.seeds)?;
+        let arm = if budgeted {
+            "budgeted: 10% retry budget, 30 s root deadline, admission shedding"
+        } else {
+            "unbudgeted: unlimited retries, no deadline, no shedding"
+        };
+        println!("\n=== Retry storm ({arm}) ===");
+        println!("{}", perf_table(&rows));
+        println!("{}", resilience_table(&rows));
+    }
+    println!("expectation: both arms face the identical fault storm and");
+    println!("retry policy. Without brakes, failed bursts re-enter the");
+    println!("struggling tiers as fresh load, so retries snowball and a");
+    println!("growing share of completed work belongs to roots that fail");
+    println!("anyway — goodput % collapses. With the budget, deadline, and");
+    println!("shedding engaged, retries are capped at a fixed fraction of");
+    println!("successes and hopeless roots are cut early, so wasted work");
+    println!("stays bounded and goodput % recovers.");
+    Ok(())
+}

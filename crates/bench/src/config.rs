@@ -6,7 +6,8 @@
 //!
 //! The grammar is a strict subset of TOML:
 //!
-//! * `[experiment]`, `[ramp]`, `[snapshot]` — singleton sections;
+//! * `[experiment]`, `[ramp]`, `[retry]`, `[snapshot]` — singleton
+//!   sections;
 //! * `[[scenario]]` — repeatable, one per workload class in the mix;
 //! * `key = value` lines where a value is a number, a `"quoted string"`,
 //!   or a `["list", "of", "strings"]`;
@@ -18,8 +19,8 @@
 use std::fmt;
 use std::path::PathBuf;
 
-use hyscale_core::{AlgorithmKind, ScenarioBuilder, ScenarioConfig};
-use hyscale_workload::{LoadPattern, ServiceProfile, ServiceSpec};
+use hyscale_core::{AlgorithmKind, ResilienceConfig, ScenarioBuilder, ScenarioConfig};
+use hyscale_workload::{LoadPattern, RetryPolicy, ServiceGraph, ServiceProfile, ServiceSpec};
 
 /// A parse or validation failure, pointing at the offending line
 /// (`line == 0` for file-level problems such as a missing section).
@@ -93,6 +94,23 @@ pub struct ScenarioMix {
     pub profile: ServiceProfile,
 }
 
+/// Optional request-resilience layer applied to every run in the grid:
+/// per-hop retries with the standard backoff, a per-service retry
+/// budget, and admission shedding. Services in the mix become graph
+/// entry points (an edge-free service graph) so retries act on
+/// admission failures and shedding acts on client roots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySpec {
+    /// Total delivery attempts per hop (first try + retries).
+    pub max_attempts: u32,
+    /// Retry budget as a percentage of successful completions
+    /// (`0` = unlimited retries).
+    pub budget_pct: f64,
+    /// Shed new client roots once a service's in-flight member count
+    /// reaches this watermark (`0` = shedding off).
+    pub shed_watermark: u64,
+}
+
 /// Optional snapshotting of every run in the grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotSpec {
@@ -123,6 +141,8 @@ pub struct ExperimentSpec {
     pub ramp: Ramp,
     /// The weighted scenario mix every run serves.
     pub scenarios: Vec<ScenarioMix>,
+    /// Optional resilience layer (retries, budgets, shedding).
+    pub retry: Option<RetrySpec>,
     /// Optional snapshotting policy applied to every run.
     pub snapshot: Option<SnapshotSpec>,
 }
@@ -163,6 +183,22 @@ impl ExperimentSpec {
                     );
                     spec.name = format!("{}-{}", mix.name, mix.profile);
                     builder = builder.service(spec);
+                }
+                if let Some(retry) = &self.retry {
+                    // An edge-free graph makes every mix class an entry
+                    // point, which is what the resilience layer hooks.
+                    let mut resilience = ResilienceConfig::with_policy(
+                        RetryPolicy::standard().with_max_attempts(retry.max_attempts),
+                    )
+                    .with_shed_watermark(retry.shed_watermark);
+                    if retry.budget_pct > 0.0 {
+                        // A fixed 32-member floor lets cold services
+                        // retry before their first completions.
+                        resilience = resilience.with_budget(retry.budget_pct, 32.0);
+                    }
+                    builder = builder
+                        .graph(ServiceGraph::new(self.scenarios.len()))
+                        .resilience(resilience);
                 }
                 if let Some(snap) = &self.snapshot {
                     let subdir = PathBuf::from(&snap.dir).join(label.replace('/', "_"));
@@ -329,6 +365,7 @@ enum Section {
     None,
     Experiment,
     Ramp,
+    Retry,
     Snapshot,
     Scenario,
 }
@@ -352,6 +389,13 @@ struct RampDraft {
     initial_rps: Option<f64>,
     increment_rps: Option<f64>,
     max_rps: Option<f64>,
+}
+
+#[derive(Default)]
+struct RetryDraft {
+    max_attempts: Option<u32>,
+    budget_pct: Option<f64>,
+    shed_watermark: Option<u64>,
 }
 
 #[derive(Default)]
@@ -395,6 +439,7 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
     let mut section_line = 0usize;
     let mut experiment: Option<ExperimentDraft> = None;
     let mut ramp: Option<RampDraft> = None;
+    let mut retry: Option<RetryDraft> = None;
     let mut snapshot: Option<SnapshotDraft> = None;
     let mut scenarios: Vec<ScenarioDraft> = Vec::new();
 
@@ -449,6 +494,13 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
                     });
                     Section::Ramp
                 }
+                "retry" => {
+                    if retry.is_some() {
+                        return Err(ConfigError::at(line, "duplicate [retry] section"));
+                    }
+                    retry = Some(RetryDraft::default());
+                    Section::Retry
+                }
                 "snapshot" => {
                     if snapshot.is_some() {
                         return Err(ConfigError::at(line, "duplicate [snapshot] section"));
@@ -461,7 +513,8 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
                         line,
                         format!(
                             "unknown section '[{other}]' \
-                             (expected [experiment], [ramp], [snapshot], or [[scenario]])"
+                             (expected [experiment], [ramp], [retry], [snapshot], \
+                             or [[scenario]])"
                         ),
                     ))
                 }
@@ -536,6 +589,38 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
                         return Err(ConfigError::at(
                             line,
                             format!("unknown key '{other}' in [ramp]"),
+                        ))
+                    }
+                }
+            }
+            Section::Retry => {
+                let draft = retry.as_mut().expect("section implies draft");
+                match key {
+                    "max_attempts" => {
+                        let attempts = value.integer(key, line)?;
+                        if attempts == 0 || attempts > 16 {
+                            return Err(ConfigError::at(
+                                line,
+                                format!("'max_attempts' must be in 1..=16, got {attempts}"),
+                            ));
+                        }
+                        draft.max_attempts = Some(attempts as u32);
+                    }
+                    "budget_pct" => {
+                        let pct = value.num(key, line)?;
+                        if !(pct.is_finite() && (0.0..=100.0).contains(&pct)) {
+                            return Err(ConfigError::at(
+                                line,
+                                format!("'budget_pct' must be in 0..=100, got {pct}"),
+                            ));
+                        }
+                        draft.budget_pct = Some(pct);
+                    }
+                    "shed_watermark" => draft.shed_watermark = Some(value.integer(key, line)?),
+                    other => {
+                        return Err(ConfigError::at(
+                            line,
+                            format!("unknown key '{other}' in [retry]"),
                         ))
                     }
                 }
@@ -645,6 +730,11 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
             "scenario weights must sum to exactly 100, got {total_weight}"
         )));
     }
+    let retry = retry.map(|draft| RetrySpec {
+        max_attempts: draft.max_attempts.unwrap_or(3),
+        budget_pct: draft.budget_pct.unwrap_or(10.0),
+        shed_watermark: draft.shed_watermark.unwrap_or(0),
+    });
     let snapshot = match snapshot {
         Some(draft) => Some(SnapshotSpec {
             every_ticks: require(draft.every_ticks, "[snapshot]", "every_ticks", 0)?,
@@ -666,6 +756,7 @@ pub fn parse(text: &str) -> Result<ExperimentSpec, ConfigError> {
         algorithms: require(draft.algorithms, "[experiment]", "algorithms", 0)?,
         ramp,
         scenarios: mix,
+        retry,
         snapshot,
     })
 }
@@ -693,6 +784,14 @@ mod tests {
         assert_eq!(spec.scenarios[2].profile, ServiceProfile::NetBound);
         assert_eq!(spec.ramp.steps(), vec![2.0, 4.0, 6.0]);
         assert!(spec.snapshot.is_some());
+        assert_eq!(
+            spec.retry,
+            Some(RetrySpec {
+                max_attempts: 3,
+                budget_pct: 10.0,
+                shed_watermark: 0,
+            })
+        );
     }
 
     #[test]
@@ -703,6 +802,15 @@ mod tests {
         for run in &runs {
             assert_eq!(run.config.services.len(), 3);
             run.config.validate().expect("expanded config is valid");
+            // The sample's [retry] section enables the resilience layer
+            // over an edge-free graph (every class an entry point).
+            assert!(run.config.resilience.enabled);
+            assert_eq!(run.config.resilience.default_policy.max_attempts, 3);
+            assert!(run.config.resilience.has_retry_budget());
+            assert_eq!(run.config.resilience.shed_watermark, 0);
+            let g = run.config.graph.as_ref().expect("retry implies a graph");
+            assert_eq!(g.nodes(), 3);
+            assert!(g.is_trivial());
             // The weighted split reconstructs the total offered load.
             let total: f64 = run
                 .config
@@ -744,7 +852,48 @@ mod tests {
         assert_eq!(spec.scale_period_secs, 12.0);
         assert_eq!(spec.initial_replicas, 1);
         assert!(spec.snapshot.is_none());
+        assert!(spec.retry.is_none());
         assert_eq!(spec.ramp.steps(), vec![1.0]);
+        // With no [retry] section the expanded grid keeps the classic
+        // graph-free, resilience-free shape.
+        for run in spec.runs() {
+            assert!(!run.config.resilience.enabled);
+            assert!(run.config.graph.is_none());
+        }
+    }
+
+    #[test]
+    fn empty_retry_section_applies_defaults_and_expands() {
+        let spec = parse(
+            r#"
+            [experiment]
+            name = "tiny"
+            duration_secs = 30
+            nodes = 2
+            algorithms = ["hybrid"]
+            [ramp]
+            initial_rps = 1
+            increment_rps = 1
+            max_rps = 1
+            [retry]
+            shed_watermark = 40
+            [[scenario]]
+            name = "only"
+            weight = 100
+            profile = "cpu-bound"
+            "#,
+        )
+        .expect("retry config parses");
+        let retry = spec.retry.as_ref().expect("retry section parsed");
+        assert_eq!(retry.max_attempts, 3);
+        assert_eq!(retry.budget_pct, 10.0);
+        assert_eq!(retry.shed_watermark, 40);
+        for run in spec.runs() {
+            run.config.validate().expect("expanded config is valid");
+            assert!(run.config.resilience.enabled);
+            assert_eq!(run.config.resilience.shed_watermark, 40);
+            assert!(run.config.graph.is_some());
+        }
     }
 
     #[test]
@@ -797,6 +946,29 @@ mod tests {
                 2,
                 "unknown service profile 'gpu-bound'",
             ),
+            (
+                "[retry]\nmax_attempts = 0\n",
+                2,
+                "'max_attempts' must be in 1..=16",
+            ),
+            (
+                "[retry]\nmax_attempts = 99\n",
+                2,
+                "'max_attempts' must be in 1..=16",
+            ),
+            (
+                "[retry]\nbudget_pct = -5\n",
+                2,
+                "'budget_pct' must be in 0..=100",
+            ),
+            (
+                "[retry]\nbudget_pct = 250\n",
+                2,
+                "'budget_pct' must be in 0..=100",
+            ),
+            ("[retry]\nshed_watermark = 1.5\n", 2, "non-negative integer"),
+            ("[retry]\nbogus = 1\n", 2, "unknown key 'bogus' in [retry]"),
+            ("[retry]\n[retry]\n", 2, "duplicate [retry] section"),
         ];
         for (text, line, fragment) in cases {
             let err = err_of(text);

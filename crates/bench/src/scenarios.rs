@@ -8,10 +8,14 @@
 //! ratio (which is what the algorithms actually react to).
 
 use hyscale_cluster::{FaultPlan, FaultPlanConfig, Mbps, MemMb, NodeSpec};
-use hyscale_core::{AlgorithmKind, ControlPlaneConfig, ScenarioBuilder, ScenarioConfig};
+use hyscale_core::{
+    AlgorithmKind, ControlPlaneConfig, ResilienceConfig, ScenarioBuilder, ScenarioConfig,
+};
 use hyscale_sim::SimRng;
 use hyscale_workload::bitbrains::{trace_to_load_pattern, SyntheticTrace};
-use hyscale_workload::{GraphEdge, LoadPattern, ServiceGraph, ServiceProfile, ServiceSpec};
+use hyscale_workload::{
+    GraphEdge, LoadPattern, RetryPolicy, ServiceGraph, ServiceProfile, ServiceSpec,
+};
 
 /// The paper's five-run averaging protocol, as seeds.
 pub const PAPER_SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
@@ -323,6 +327,67 @@ pub fn graph(scale: &Scale, algorithm: AlgorithmKind) -> ScenarioConfig {
     config
 }
 
+/// Retry storm: the three-tier call graph under a seeded fault storm,
+/// with per-hop retries enabled — in two arms that differ only in their
+/// brakes.
+///
+/// Both arms retry queue aborts and infrastructure deaths with the same
+/// exponential backoff. The *unbudgeted* arm retries with no brake at
+/// all (no token budget, no deadline, no shedding): every burst of
+/// failures multiplies into fresh load on the already-struggling tier,
+/// so an ever-larger share of the work that does complete belongs to
+/// roots that ultimately fail anyway — the goodput collapse. The
+/// *budgeted* arm caps retries at 10% of completions per service,
+/// bounds every root to a 30 s end-to-end deadline, and sheds new
+/// client roots at the entry points once in-flight work passes a
+/// capacity-proportional watermark — giving up a little edge
+/// availability to keep the completed work useful.
+///
+/// Tight container queues (cap 24) turn overload into fast, retryable
+/// queue aborts rather than long waits, and the chaos-style fault storm
+/// supplies mid-flight infrastructure deaths; both failure kinds feed
+/// the retry loop.
+pub fn retry_storm(scale: &Scale, algorithm: AlgorithmKind, budgeted: bool) -> ScenarioConfig {
+    let mut config = graph(scale, algorithm);
+    let arm = if budgeted { "budgeted" } else { "unbudgeted" };
+    config.name = format!("retry-storm-{arm}-{algorithm}");
+    for spec in &mut config.services {
+        // Push the client load past saturation at peak (the graph base
+        // sizes peaks at 60% of capacity; 1.8x lands them at 108%) so
+        // bursts already queue without faults and the crash windows
+        // leave no spare capacity at all to absorb retries.
+        spec.load = spec.load.scaled(1.8);
+        spec.container = spec.container.clone().with_queue_cap(24);
+    }
+    let plan_cfg = FaultPlanConfig {
+        horizon_secs: scale.duration_secs,
+        nodes: scale.nodes,
+        services: scale.services,
+        // Harsher than `chaos`: a third of the nodes crash and stay
+        // down long enough for the backlog (and the retry echo of it)
+        // to build.
+        node_crashes: (scale.nodes / 3).max(2),
+        oom_kills: (scale.services / 2).max(1),
+        nic_degradations: (scale.nodes / 6).max(1),
+        stat_outages: (scale.nodes / 4).max(1),
+        min_down_secs: scale.duration_secs * 0.05,
+        max_down_secs: scale.duration_secs * 0.15,
+    };
+    // Fixed storm seed, independent of the run seeds: every algorithm
+    // and both arms face the identical sequence of disasters.
+    config.faults = FaultPlan::random(&plan_cfg, &mut SimRng::seed_from(0x570A));
+    let policy = RetryPolicy::standard().with_max_attempts(5);
+    config.resilience = if budgeted {
+        ResilienceConfig::with_policy(policy)
+            .with_root_budget_secs(30.0)
+            .with_budget(10.0, 64.0)
+            .with_shed_watermark((scale.capacity_cores() * 4.0) as u64)
+    } else {
+        ResilienceConfig::with_policy(policy)
+    };
+    config
+}
+
 /// Figures 9–10: the Bitbrains `Rnd` replay.
 ///
 /// The synthetic GWA-T-12-like trace (see `hyscale-workload::bitbrains`)
@@ -483,6 +548,33 @@ mod tests {
         assert_eq!(healthy.faults, degraded.faults);
         assert!(healthy.name.contains("healthy"));
         assert!(degraded.name.contains("degraded"));
+    }
+
+    #[test]
+    fn retry_storm_arms_differ_only_in_the_brakes() {
+        let scale = Scale::bench();
+        let loose = retry_storm(&scale, AlgorithmKind::HyScaleCpu, false);
+        let tight = retry_storm(&scale, AlgorithmKind::HyScaleCpu, true);
+        loose.validate().unwrap();
+        tight.validate().unwrap();
+        // Both arms retry with the same policy over the same storm...
+        assert!(loose.resilience.enabled && tight.resilience.enabled);
+        assert_eq!(
+            loose.resilience.default_policy,
+            tight.resilience.default_policy
+        );
+        assert_eq!(loose.faults, tight.faults);
+        assert!(!loose.faults.is_empty());
+        assert!(loose.graph.is_some());
+        // ...but only the budgeted arm has brakes.
+        assert!(!loose.resilience.has_retry_budget());
+        assert!(!loose.resilience.has_root_budget());
+        assert_eq!(loose.resilience.shed_watermark, 0);
+        assert!(tight.resilience.has_retry_budget());
+        assert!(tight.resilience.has_root_budget());
+        assert!(tight.resilience.shed_watermark > 0);
+        assert!(loose.name.contains("unbudgeted"));
+        assert!(tight.name.contains("-budgeted"));
     }
 
     #[test]

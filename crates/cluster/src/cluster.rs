@@ -778,6 +778,16 @@ impl Cluster {
         remaining
     }
 
+    /// Total in-flight member requests across the replicas of `service`,
+    /// read straight off the incremental routing index (the same counts
+    /// routing orders by). Drives the resilience layer's overload
+    /// shedding watermark; O(replicas of the service).
+    pub fn service_in_flight(&self, service: ServiceId) -> u64 {
+        self.route_index
+            .get(service.as_usize())
+            .map_or(0, |set| set.iter().map(|&(members, _)| members).sum())
+    }
+
     /// CPU and memory not yet promised to live containers on `node`
     /// (capacity minus the sum of requests/limits). This is the quantity
     /// nodes "advertise" to the Monitor for placement decisions.
@@ -892,10 +902,10 @@ impl Cluster {
     }
 
     /// Kills a container the way the kernel OOM killer does: the process
-    /// dies, its in-flight requests are aborted as *connection* failures
-    /// (clients see a reset, not a scaling decision — the paper's failure
-    /// taxonomy charges scale-in aborts, and only those, as removal
-    /// failures).
+    /// dies, its in-flight requests are aborted as
+    /// [`FailureKind::InfraDeath`] failures (clients see a reset, not a
+    /// scaling decision — the paper's failure taxonomy charges scale-in
+    /// aborts, and only those, as removal failures).
     ///
     /// # Errors
     ///
@@ -906,13 +916,13 @@ impl Cluster {
         id: ContainerId,
         now: SimTime,
     ) -> Result<Vec<FailedRequest>, ClusterError> {
-        self.remove_container_with_kind(id, now, FailureKind::Connection)
+        self.remove_container_with_kind(id, now, FailureKind::InfraDeath)
     }
 
     /// Tears down one container, draining its in-flight requests as
     /// failures of the given kind. Scale-in removals abort with
     /// [`FailureKind::Removal`]; infrastructure deaths (node crash, OOM
-    /// kill) abort with [`FailureKind::Connection`].
+    /// kill) abort with [`FailureKind::InfraDeath`].
     fn remove_container_with_kind(
         &mut self,
         id: ContainerId,
@@ -974,9 +984,10 @@ impl Cluster {
 
     /// Crashes a node: the machine drops off the network, every container
     /// on it dies, and their in-flight requests are aborted as
-    /// *connection* failures (the client's TCP connection resets with the
-    /// machine). Unlike [`Cluster::decommission_node`] the node keeps its
-    /// identity and can return via [`Cluster::reboot_node`].
+    /// [`FailureKind::InfraDeath`] failures (the client's TCP connection
+    /// resets with the machine). Unlike [`Cluster::decommission_node`] the
+    /// node keeps its identity and can return via
+    /// [`Cluster::reboot_node`].
     ///
     /// # Errors
     ///
@@ -994,7 +1005,7 @@ impl Cluster {
         let mut failures = Vec::new();
         for ctr in containers {
             if let Ok(mut aborted) =
-                self.remove_container_with_kind(ctr, now, FailureKind::Connection)
+                self.remove_container_with_kind(ctr, now, FailureKind::InfraDeath)
             {
                 failures.append(&mut aborted);
             }
@@ -2315,7 +2326,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) -
                     container: Some(id),
                     arrival: inflight.request.arrival,
                     failed_at: ctx.end,
-                    kind: FailureKind::Connection,
+                    kind: FailureKind::Timeout,
                 });
             } else {
                 req_mem += mem;
@@ -2354,7 +2365,7 @@ fn advance_node(node: &mut Node, ctx: &TickCtx<'_>, scratch: &mut TickScratch) -
                     container: Some(id),
                     arrival: t.arrival[ci],
                     failed_at: ctx.end,
-                    kind: FailureKind::Connection,
+                    kind: FailureKind::Timeout,
                 });
                 c.cohorts.swap_remove(ci);
             } else {
@@ -2520,7 +2531,7 @@ mod tests {
     }
 
     #[test]
-    fn timeouts_become_connection_failures() {
+    fn timeouts_become_timeout_failures() {
         let mut cl = cluster();
         let node = cl.add_node(NodeSpec::small().with_cores(Cores(0.1)));
         let ctr = cl
@@ -2532,7 +2543,7 @@ mod tests {
         let (completed, failed) = run_until_drained(&mut cl, SimTime::ZERO, 5.0);
         assert!(completed.is_empty());
         assert_eq!(failed.len(), 1);
-        assert_eq!(failed[0].kind, FailureKind::Connection);
+        assert_eq!(failed[0].kind, FailureKind::Timeout);
     }
 
     #[test]

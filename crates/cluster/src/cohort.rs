@@ -45,6 +45,11 @@ pub struct Cohort {
     /// Members fail as connection failures if not done by
     /// `arrival + timeout`.
     pub timeout: SimDuration,
+    /// Delivery attempts already made for this work before this one
+    /// (0 = first attempt). Carried so retried hops remain
+    /// distinguishable in flight; the cluster itself never branches on
+    /// it.
+    pub attempt: u32,
 }
 
 impl Cohort {
@@ -83,6 +88,7 @@ impl Cohort {
             megabits_out,
             disk_megabits: 0.0,
             timeout: Request::DEFAULT_TIMEOUT,
+            attempt: 0,
         }
     }
 
@@ -121,6 +127,12 @@ impl Cohort {
     /// Overrides the timeout.
     pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Marks the cohort as a retry: `attempt` prior delivery attempts.
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
         self
     }
 
@@ -174,6 +186,8 @@ pub(crate) struct CohortTable {
     pub disk_rem: Vec<f64>,
     /// In-flight memory *per member*, MB.
     pub mem_per: Vec<f64>,
+    /// Prior delivery attempts of the slot's work (0 = first attempt).
+    pub attempt: Vec<u32>,
     /// Running total of members across all slots.
     members: u64,
 }
@@ -203,6 +217,7 @@ impl CohortTable {
         self.net_rem.push(cohort.megabits_out);
         self.disk_rem.push(cohort.disk_megabits);
         self.mem_per.push(cohort.mem.get());
+        self.attempt.push(cohort.attempt);
         self.members += cohort.count;
     }
 
@@ -220,6 +235,7 @@ impl CohortTable {
         self.net_rem.swap_remove(i);
         self.disk_rem.swap_remove(i);
         self.mem_per.swap_remove(i);
+        self.attempt.swap_remove(i);
         self.members -= n;
         n
     }
@@ -235,6 +251,7 @@ impl CohortTable {
         self.net_rem.clear();
         self.disk_rem.clear();
         self.mem_per.clear();
+        self.attempt.clear();
         self.members = 0;
     }
 
@@ -269,6 +286,7 @@ impl CohortTable {
         self.net_rem.push(self.net_rem[i]);
         self.disk_rem.push(self.disk_rem[i]);
         self.mem_per.push(self.mem_per[i]);
+        self.attempt.push(self.attempt[i]);
         true
     }
 
@@ -288,7 +306,8 @@ impl CohortTable {
             && self.cpu_rem[i] == self.cpu_rem[j]
             && self.net_rem[i] == self.net_rem[j]
             && self.disk_rem[i] == self.disk_rem[j]
-            && self.mem_per[i] == self.mem_per[j];
+            && self.mem_per[i] == self.mem_per[j]
+            && self.attempt[i] == self.attempt[j];
         if !rejoinable {
             return false;
         }
@@ -324,6 +343,7 @@ impl CohortTable {
             w.put_f64(self.net_rem[i]);
             w.put_f64(self.disk_rem[i]);
             w.put_f64(self.mem_per[i]);
+            w.put_u32(self.attempt[i]);
         }
     }
 
@@ -349,6 +369,7 @@ impl CohortTable {
             t.net_rem.push(r.get_f64()?);
             t.disk_rem.push(r.get_f64()?);
             t.mem_per.push(r.get_f64()?);
+            t.attempt.push(r.get_u32()?);
             t.members += count;
         }
         Ok(t)

@@ -698,7 +698,7 @@ mod tests {
 
         let aborted = injector.apply_due(&mut cl, SimTime::from_secs(1.0));
         assert_eq!(aborted.len(), 1);
-        assert_eq!(aborted[0].kind, crate::FailureKind::Connection);
+        assert_eq!(aborted[0].kind, crate::FailureKind::InfraDeath);
         assert!(cl.node(nodes[0]).is_none(), "crashed node is unreachable");
         assert_eq!(cl.node_count(), 1);
         assert!(!injector.drained());

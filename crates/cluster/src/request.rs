@@ -240,21 +240,38 @@ pub struct CompletedRequest {
 }
 
 /// Why a request failed.
+///
+/// The paper reports two stacked bars — removal vs "connection"
+/// failures — but retry policies need finer grain than clients do:
+/// a timeout is usually worth retrying, a queue rejection signals
+/// overload, and an infrastructure death is a reset outside the
+/// service's control. [`FailureKind::Removal`] stays its own class
+/// (the paper charges scale-in aborts, and only those, to the
+/// scaler); the other three roll up into the paper's "connection"
+/// bucket for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// The request ended prematurely because its replica was removed by a
     /// scaling decision (the paper's "removal failures").
     Removal,
-    /// The request failed at the microservice: queue overflow, no live
-    /// replica, or timeout (the paper's "connection failures").
-    Connection,
+    /// The request was not done by `arrival + timeout` (client SLA
+    /// expired while queued or in service).
+    Timeout,
+    /// The request never got a slot: queue overflow or no accepting
+    /// replica at admission time.
+    QueueAbort,
+    /// The replica died underneath the request — node crash or OOM kill
+    /// (clients see a connection reset, not a scaling decision).
+    InfraDeath,
 }
 
 impl std::fmt::Display for FailureKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FailureKind::Removal => write!(f, "removal"),
-            FailureKind::Connection => write!(f, "connection"),
+            FailureKind::Timeout => write!(f, "timeout"),
+            FailureKind::QueueAbort => write!(f, "queue_abort"),
+            FailureKind::InfraDeath => write!(f, "infra_death"),
         }
     }
 }
@@ -275,7 +292,8 @@ pub struct FailedRequest {
     pub arrival: SimTime,
     /// When the failure was detected.
     pub failed_at: SimTime,
-    /// The failure class (removal vs connection, as in Fig. 6).
+    /// The failure class (removal vs the connection sub-classes, as in
+    /// Fig. 6).
     pub kind: FailureKind,
 }
 
@@ -353,6 +371,8 @@ mod tests {
     #[test]
     fn failure_kind_display() {
         assert_eq!(FailureKind::Removal.to_string(), "removal");
-        assert_eq!(FailureKind::Connection.to_string(), "connection");
+        assert_eq!(FailureKind::Timeout.to_string(), "timeout");
+        assert_eq!(FailureKind::QueueAbort.to_string(), "queue_abort");
+        assert_eq!(FailureKind::InfraDeath.to_string(), "infra_death");
     }
 }

@@ -30,9 +30,10 @@ use crate::algorithms::{AlgorithmKind, HpaConfig, HyScaleConfig};
 use crate::balancer::LoadBalancer;
 use crate::controlplane::{ControlPlane, ControlPlaneConfig, ControlPlaneStats};
 use crate::error::CoreError;
-use crate::flowgraph::{EntryPointStats, GraphTracker};
+use crate::flowgraph::{EntryPointStats, GraphTracker, PendingHop};
 use crate::monitor::Monitor;
 use crate::recovery::{RecoveryConfig, RecoveryManager};
+use crate::resilience::{ResilienceConfig, ResilienceStats};
 use hyscale_cluster::FailedRequest;
 
 /// Complete description of one experiment run.
@@ -106,6 +107,15 @@ pub struct ScenarioConfig {
     /// multipliers, so an edge-free graph reproduces the graph-free run
     /// byte for byte (every service is then an entry point).
     pub graph: Option<ServiceGraph>,
+    /// Request-lifecycle resilience: per-hop retries with exponential
+    /// backoff and seeded jitter, end-to-end deadline propagation,
+    /// per-service retry budgets, and admission-control load shedding.
+    /// Requires [`ScenarioConfig::graph`] when enabled; disabled (the
+    /// default) leaves every run bit-identical to a build without the
+    /// layer. All stochastic draws come from a dedicated RNG split in
+    /// the serial phase, so results stay bit-identical at any worker
+    /// count.
+    pub resilience: ResilienceConfig,
     /// Periodic full-state snapshots: write the complete deterministic
     /// simulation state to disk at tick boundaries. `None` = no
     /// snapshots. Does not perturb the simulation: a run with snapshots
@@ -240,6 +250,16 @@ impl ScenarioConfig {
                 )));
             }
         }
+        self.resilience
+            .validate()
+            .map_err(|e| CoreError::InvalidScenario(format!("resilience: {e}")))?;
+        if self.resilience.enabled && self.graph.is_none() {
+            return Err(CoreError::InvalidScenario(
+                "resilience requires a service graph (retries, deadlines, and \
+                 shedding act on graph roots and hops)"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -308,6 +328,10 @@ pub struct RunReport {
     /// End-to-end outcomes per entry point, in ascending service order
     /// (empty unless [`ScenarioConfig::graph`] was set).
     pub entry_points: Vec<EntryPointStats>,
+    /// Resilience-layer counters — retries, budget/deadline refusals,
+    /// shed load, and the goodput-vs-wasted-work split (all zero unless
+    /// [`ScenarioConfig::resilience`] was enabled).
+    pub resilience: ResilienceStats,
     /// FNV-1a digest of the full serialized end-of-run state. `Some`
     /// only for single-seed runs that finished the horizon with
     /// snapshotting or resume enabled; two runs with equal digests ended
@@ -354,35 +378,44 @@ impl RunReport {
 
 /// Tallies one aborted/failed request exactly once, into both the overall
 /// and the per-service outcomes, according to the paper's taxonomy:
-/// scale-in and decommission aborts are **removal** failures,
-/// infrastructure deaths / queue / timeout aborts are **connection**
-/// failures. Every failure-recording site in the driver funnels through
-/// here, so a request can never be double-counted or dropped — and, in
-/// graph mode, so every lost hop reliably fails its root.
+/// scale-in and decommission aborts are **removal** failures, while
+/// timeouts, queue aborts, and infrastructure deaths are tallied
+/// separately and rolled up as **connection** failures in reports. Every
+/// failure-recording site in the driver funnels through here, so a
+/// request can never be double-counted or dropped — and, in graph mode,
+/// so every lost hop reliably fails its root (or, with the resilience
+/// layer enabled and a retryable failure, re-queues as a retry hop).
+/// The failed attempt is tallied either way: retries are extra issued
+/// load, so per-attempt accounting keeps `completed + failures ≤
+/// issued` intact.
+#[allow(clippy::too_many_arguments)]
 fn record_failure(
     requests: &mut RequestOutcomes,
     per_service: &mut BTreeMap<ServiceId, RequestOutcomes>,
     graph: Option<&mut GraphTracker>,
     failure: &FailedRequest,
+    rng: &mut SimRng,
+    trace: &mut TraceSink,
+    traced: bool,
 ) {
     if let Some(tracker) = graph {
-        tracker.on_failed(failure);
+        tracker.on_failed(failure, rng, trace, traced);
     }
     // Per-request paths always carry count 1; aborted cohorts arrive as
     // one aggregate record carrying their member count.
-    match failure.kind {
-        FailureKind::Removal => {
-            requests.record_removal_failures(failure.count);
-            if let Some(out) = per_service.get_mut(&failure.service) {
-                out.record_removal_failures(failure.count);
-            }
-        }
-        FailureKind::Connection => {
-            requests.record_connection_failures(failure.count);
-            if let Some(out) = per_service.get_mut(&failure.service) {
-                out.record_connection_failures(failure.count);
-            }
-        }
+    record_failure_tally(requests, failure.kind, failure.count);
+    if let Some(out) = per_service.get_mut(&failure.service) {
+        record_failure_tally(out, failure.kind, failure.count);
+    }
+}
+
+/// Bumps one outcome record's failure tally by kind.
+fn record_failure_tally(out: &mut RequestOutcomes, kind: FailureKind, count: u64) {
+    match kind {
+        FailureKind::Removal => out.record_removal_failures(count),
+        FailureKind::Timeout => out.record_timeout_failures(count),
+        FailureKind::QueueAbort => out.record_queue_abort_failures(count),
+        FailureKind::InfraDeath => out.record_infra_death_failures(count),
     }
 }
 
@@ -493,6 +526,10 @@ impl SimulationDriver {
         // configs that only toggle `control_plane.enabled`).
         let cp_rng = master_rng.split();
         let lb_rng = master_rng.split();
+        // The resilience stream (retry-backoff jitter) splits last and
+        // unconditionally, so toggling the layer never shifts any other
+        // stream; it is only ever drawn from in the serial phase.
+        let mut resilience_rng = master_rng.split();
 
         let degraded_control = config.control_plane.enabled;
         let service_ids: Vec<ServiceId> = config.services.iter().map(|s| s.id).collect();
@@ -520,7 +557,7 @@ impl SimulationDriver {
         let mut graph_tracker: Option<GraphTracker> = config
             .graph
             .as_ref()
-            .map(|g| GraphTracker::new(g.clone(), &config.services));
+            .map(|g| GraphTracker::new(g.clone(), &config.services, config.resilience));
         let takes_client_load = |idx: usize, tracker: &Option<GraphTracker>| {
             tracker.as_ref().is_none_or(|t| t.is_entry(idx))
         };
@@ -622,6 +659,7 @@ impl SimulationDriver {
             injector.snapshot_restore(&mut r)?;
             restore_rngs(&mut r, &mut arrival_rngs)?;
             restore_rngs(&mut r, &mut demand_rngs)?;
+            restore_rngs(&mut r, std::slice::from_mut(&mut resilience_rng))?;
             events = EventQueue::new();
             for _ in 0..r.get_usize()? {
                 let time = SimTime::from_micros(r.get_u64()?);
@@ -720,6 +758,9 @@ impl SimulationDriver {
                             &mut per_service,
                             graph_tracker.as_mut(),
                             &failure,
+                            &mut resilience_rng,
+                            trace,
+                            traced,
                         );
                     }
                 }
@@ -729,56 +770,115 @@ impl SimulationDriver {
                     match event {
                         Event::Arrival(idx) => {
                             let service = &config.services[idx];
-                            requests.record_issued();
-                            let outcomes = per_service.get_mut(&service.id).expect("known service");
-                            outcomes.record_issued();
-                            let request = service.make_request(event_time, &mut demand_rngs[idx]);
-                            // In graph mode every arrival opens a root; a
-                            // request the balancer or admission rejects
-                            // fails it on the spot (seal resolves roots
-                            // that registered no hop).
-                            let root = graph_tracker
-                                .as_mut()
-                                .map(|t| t.begin_root(idx, event_time, 1));
-                            match balancer.route(&cluster, service.id, now) {
-                                Some(target) => {
-                                    balancer_deltas[idx].0 += 1;
-                                    balancer_total.0 += 1;
-                                    match cluster.admit_request(target, request, now) {
-                                        Ok(id) => {
-                                            if let (Some(t), Some(root)) =
-                                                (graph_tracker.as_mut(), root)
-                                            {
-                                                t.register_hop(root, id.index(), 0);
+                            // Overload shedding: at or above the in-flight
+                            // watermark the root is dropped unissued (counted
+                            // as shed, not failed) so queued work can drain.
+                            // The watermark reads serial-phase cluster state,
+                            // so the decision is identical at any worker
+                            // count; the skipped demand draw is deterministic
+                            // per config for the same reason.
+                            let shed = match graph_tracker.as_mut() {
+                                Some(t) if t.sheds() => {
+                                    let in_flight = cluster.service_in_flight(service.id);
+                                    if in_flight >= t.shed_watermark() {
+                                        t.record_shed(idx, 1, in_flight, event_time, trace, traced);
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                }
+                                _ => false,
+                            };
+                            if !shed {
+                                requests.record_issued();
+                                let outcomes =
+                                    per_service.get_mut(&service.id).expect("known service");
+                                outcomes.record_issued();
+                                let mut request =
+                                    service.make_request(event_time, &mut demand_rngs[idx]);
+                                // In graph mode every arrival opens a root; a
+                                // request the balancer or admission rejects
+                                // either retries (resilience on) or fails it
+                                // on the spot (seal resolves roots that
+                                // registered no hop). Entry hops inherit
+                                // `min(service timeout, deadline budget)`.
+                                let root = graph_tracker
+                                    .as_mut()
+                                    .map(|t| t.begin_root(idx, event_time, 1));
+                                let entry_hop = root.map(|root| {
+                                    let t = graph_tracker.as_mut().expect("root implies tracker");
+                                    request.timeout =
+                                        t.hop_timeout(root, event_time, request.timeout);
+                                    PendingHop {
+                                        service: idx,
+                                        depth: 0,
+                                        root,
+                                        count: 1,
+                                        cpu_secs: request.cpu_secs,
+                                        mem_mb: request.mem.0,
+                                        megabits: request.megabits_out,
+                                        disk_megabits: request.disk_megabits,
+                                        arrival: event_time,
+                                        attempt: 0,
+                                        policy: 0,
+                                    }
+                                });
+                                match balancer.route(&cluster, service.id, now) {
+                                    Some(target) => {
+                                        balancer_deltas[idx].0 += 1;
+                                        balancer_total.0 += 1;
+                                        match cluster.admit_request(target, request, now) {
+                                            Ok(id) => {
+                                                if let (Some(t), Some(hop)) =
+                                                    (graph_tracker.as_mut(), entry_hop.as_ref())
+                                                {
+                                                    t.register_hop(hop.root, id.index(), hop);
+                                                }
+                                                balancer.record_success(target, now, trace);
                                             }
-                                            balancer.record_success(target, now, trace);
-                                        }
-                                        Err(_) => {
-                                            requests.record_connection_failure();
-                                            outcomes.record_connection_failure();
-                                            // Feeds the replica's circuit breaker
-                                            // (no-op for the live-mode balancer).
-                                            balancer.record_failure(target, now, trace);
-                                            if let (Some(t), Some(root)) =
-                                                (graph_tracker.as_mut(), root)
-                                            {
-                                                t.fail_root(root);
+                                            Err(_) => {
+                                                requests.record_queue_abort_failure();
+                                                outcomes.record_queue_abort_failure();
+                                                // Feeds the replica's circuit breaker
+                                                // (no-op for the live-mode balancer).
+                                                balancer.record_failure(target, now, trace);
+                                                if let (Some(t), Some(hop)) =
+                                                    (graph_tracker.as_mut(), entry_hop.as_ref())
+                                                {
+                                                    t.on_unadmitted(
+                                                        hop,
+                                                        1,
+                                                        now,
+                                                        &mut resilience_rng,
+                                                        trace,
+                                                        traced,
+                                                    );
+                                                }
                                             }
                                         }
                                     }
-                                }
-                                None => {
-                                    balancer_deltas[idx].1 += 1;
-                                    balancer_total.1 += 1;
-                                    requests.record_connection_failure();
-                                    outcomes.record_connection_failure();
-                                    if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
-                                        t.fail_root(root);
+                                    None => {
+                                        balancer_deltas[idx].1 += 1;
+                                        balancer_total.1 += 1;
+                                        requests.record_queue_abort_failure();
+                                        outcomes.record_queue_abort_failure();
+                                        if let (Some(t), Some(hop)) =
+                                            (graph_tracker.as_mut(), entry_hop.as_ref())
+                                        {
+                                            t.on_unadmitted(
+                                                hop,
+                                                1,
+                                                now,
+                                                &mut resilience_rng,
+                                                trace,
+                                                traced,
+                                            );
+                                        }
                                     }
                                 }
-                            }
-                            if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
-                                t.seal_root(root);
+                                if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
+                                    t.seal_root(root);
+                                }
                             }
                             let next =
                                 arrivals[idx].next_arrival(event_time, &mut arrival_rngs[idx]);
@@ -799,6 +899,9 @@ impl SimulationDriver {
                                             &mut per_service,
                                             graph_tracker.as_mut(),
                                             failure,
+                                            &mut resilience_rng,
+                                            trace,
+                                            traced,
                                         );
                                     }
                                 }
@@ -834,6 +937,9 @@ impl SimulationDriver {
                                     &mut per_service,
                                     graph_tracker.as_mut(),
                                     failure,
+                                    &mut resilience_rng,
+                                    trace,
+                                    traced,
                                 );
                             }
 
@@ -945,11 +1051,40 @@ impl SimulationDriver {
                         if n == 0 {
                             continue;
                         }
+                        // Overload shedding (see the per-request arm): the
+                        // whole tick's cohort is dropped unissued when the
+                        // entry point is at or above its in-flight watermark.
+                        if let Some(t) = graph_tracker.as_mut() {
+                            if t.sheds() {
+                                let in_flight = cluster.service_in_flight(service.id);
+                                if in_flight >= t.shed_watermark() {
+                                    t.record_shed(idx, n, in_flight, now, trace, traced);
+                                    continue;
+                                }
+                            }
+                        }
                         requests.record_issued_n(n);
                         let outcomes = per_service.get_mut(&service.id).expect("known service");
                         outcomes.record_issued_n(n);
-                        let cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
+                        let mut cohort = service.make_cohort(now, n, &mut demand_rngs[idx]);
                         let root = graph_tracker.as_mut().map(|t| t.begin_root(idx, now, n));
+                        let entry_hop = root.map(|root| {
+                            let t = graph_tracker.as_mut().expect("root implies tracker");
+                            cohort.timeout = t.hop_timeout(root, now, cohort.timeout);
+                            PendingHop {
+                                service: idx,
+                                depth: 0,
+                                root,
+                                count: n,
+                                cpu_secs: cohort.cpu_secs,
+                                mem_mb: cohort.mem.0,
+                                megabits: cohort.megabits_out,
+                                disk_megabits: cohort.disk_megabits,
+                                arrival: now,
+                                attempt: 0,
+                                policy: 0,
+                            }
+                        });
                         cohort_routes.clear();
                         let unrouted =
                             balancer.route_cohort(&cluster, service.id, n, now, &mut cohort_routes);
@@ -961,15 +1096,17 @@ impl SimulationDriver {
                             match cluster.admit_cohort(target, share, now) {
                                 Ok(base) => {
                                     routed_members += members;
-                                    if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
-                                        t.register_hop(root, base.index(), 0);
+                                    if let (Some(t), Some(hop)) =
+                                        (graph_tracker.as_mut(), entry_hop.as_ref())
+                                    {
+                                        t.register_hop(hop.root, base.index(), hop);
                                     }
                                     balancer.record_success(target, now, trace);
                                 }
                                 Err(_) => {
                                     rejected_members += members;
-                                    requests.record_connection_failures(members);
-                                    outcomes.record_connection_failures(members);
+                                    requests.record_queue_abort_failures(members);
+                                    outcomes.record_queue_abort_failures(members);
                                     // Feeds the replica's circuit breaker (no-op
                                     // for the live-mode balancer).
                                     balancer.record_failure(target, now, trace);
@@ -977,16 +1114,25 @@ impl SimulationDriver {
                             }
                         }
                         if unrouted > 0 {
-                            requests.record_connection_failures(unrouted);
-                            outcomes.record_connection_failures(unrouted);
+                            requests.record_queue_abort_failures(unrouted);
+                            outcomes.record_queue_abort_failures(unrouted);
                         }
-                        if let (Some(t), Some(root)) = (graph_tracker.as_mut(), root) {
-                            // Any lost member fails the whole root; a root
-                            // with no admitted hop resolves right here.
+                        if let (Some(t), Some(hop)) = (graph_tracker.as_mut(), entry_hop.as_ref()) {
+                            // Lost members either re-queue as one retry hop
+                            // (resilience on, retryable) or fail the whole
+                            // root; a root with no admitted hop and no
+                            // queued retry resolves right here.
                             if rejected_members > 0 {
-                                t.fail_root(root);
+                                t.on_unadmitted(
+                                    hop,
+                                    rejected_members,
+                                    now,
+                                    &mut resilience_rng,
+                                    trace,
+                                    traced,
+                                );
                             }
-                            t.seal_root(root);
+                            t.seal_root(hop.root);
                         }
                         balancer_deltas[idx].0 += routed_members;
                         balancer_deltas[idx].1 += rejected_members;
@@ -1017,7 +1163,7 @@ impl SimulationDriver {
                     .is_some_and(GraphTracker::has_pending)
                 {
                     let tracker = graph_tracker.as_mut().expect("checked above");
-                    let pending = tracker.take_pending();
+                    let pending = tracker.take_due(now);
                     for hop in &pending {
                         let service = &config.services[hop.service];
                         let svc_idx = hop.service;
@@ -1032,8 +1178,13 @@ impl SimulationDriver {
                             hop.megabits,
                         )
                         .with_disk(hop.disk_megabits)
-                        .with_timeout(service.timeout);
-                        let cohort = Cohort::from_request(&child, hop.count);
+                        .with_timeout(tracker.hop_timeout(
+                            hop.root,
+                            hop.arrival,
+                            service.timeout,
+                        ));
+                        let cohort =
+                            Cohort::from_request(&child, hop.count).with_attempt(hop.attempt);
                         cohort_routes.clear();
                         let unrouted = balancer.route_cohort(
                             &cluster,
@@ -1050,23 +1201,33 @@ impl SimulationDriver {
                             match cluster.admit_cohort(target, share, now) {
                                 Ok(base) => {
                                     routed_members += members;
-                                    tracker.register_hop(hop.root, base.index(), hop.depth);
+                                    tracker.register_hop(hop.root, base.index(), hop);
                                     balancer.record_success(target, now, trace);
                                 }
                                 Err(_) => {
                                     rejected_members += members;
-                                    requests.record_connection_failures(members);
-                                    outcomes.record_connection_failures(members);
+                                    requests.record_queue_abort_failures(members);
+                                    outcomes.record_queue_abort_failures(members);
                                     balancer.record_failure(target, now, trace);
                                 }
                             }
                         }
                         if unrouted > 0 {
-                            requests.record_connection_failures(unrouted);
-                            outcomes.record_connection_failures(unrouted);
+                            requests.record_queue_abort_failures(unrouted);
+                            outcomes.record_queue_abort_failures(unrouted);
                         }
                         if rejected_members > 0 {
-                            tracker.fail_root(hop.root);
+                            // Retryable rejections re-queue (counting toward
+                            // the root's pending total) before the settle
+                            // below, so the root cannot resolve under them.
+                            tracker.on_unadmitted(
+                                hop,
+                                rejected_members,
+                                now,
+                                &mut resilience_rng,
+                                trace,
+                                traced,
+                            );
                         }
                         // The queued entry itself is settled last, so the
                         // root cannot resolve before its shares register.
@@ -1102,6 +1263,9 @@ impl SimulationDriver {
                         &mut per_service,
                         graph_tracker.as_mut(),
                         &failed,
+                        &mut resilience_rng,
+                        trace,
+                        traced,
                     );
                 }
 
@@ -1218,6 +1382,7 @@ impl SimulationDriver {
                             injector: &injector,
                             arrival_rngs: &arrival_rngs,
                             demand_rngs: &demand_rngs,
+                            resilience_rng: &resilience_rng,
                             events: &events,
                             requests: &requests,
                             per_service: &per_service,
@@ -1283,6 +1448,7 @@ impl SimulationDriver {
                         injector: &injector,
                         arrival_rngs: &arrival_rngs,
                         demand_rngs: &demand_rngs,
+                        resilience_rng: &resilience_rng,
                         events: &events,
                         requests: &requests,
                         per_service: &per_service,
@@ -1319,7 +1485,7 @@ impl SimulationDriver {
             let mut totals: Vec<(&'static str, u64)> = vec![
                 ("requests.issued", requests.issued),
                 ("requests.completed", requests.completed),
-                ("failures.connection", requests.failures.connection),
+                ("failures.connection", requests.failures.connection()),
                 ("failures.removal", requests.failures.removal),
                 ("scaling.vertical", scaling.vertical),
                 ("scaling.spawns", scaling.spawns),
@@ -1381,6 +1547,20 @@ impl SimulationDriver {
                     "graph.roots_failed",
                     stats.iter().map(|s| s.roots_failed).sum(),
                 ));
+                // Resilience counters only exist for resilience-enabled
+                // scenarios, so a resilience-free journal stays
+                // byte-identical to builds without the layer.
+                if config.resilience.enabled {
+                    let rs = tracker.resilience_stats();
+                    totals.push(("retry.attempts", rs.retries));
+                    totals.push(("retry.members", rs.retried_members));
+                    totals.push(("retry.budget_exhausted", rs.budget_exhausted));
+                    totals.push(("retry.deadline_exceeded", rs.deadline_exceeded));
+                    totals.push(("shed.roots", rs.shed_roots));
+                    totals.push(("shed.members", rs.shed_members));
+                    totals.push(("goodput.members", rs.goodput_members));
+                    totals.push(("wasted.members", rs.wasted_members));
+                }
             }
             for (name, value) in totals {
                 let id = registry.counter(name);
@@ -1391,6 +1571,10 @@ impl SimulationDriver {
             }
         }
 
+        let resilience = graph_tracker
+            .as_ref()
+            .map(|t| t.resilience_stats())
+            .unwrap_or_default();
         Ok(RunReport {
             name: config.name.clone(),
             algorithm: config.algorithm,
@@ -1412,6 +1596,7 @@ impl SimulationDriver {
             entry_points: graph_tracker
                 .map(GraphTracker::into_entry_stats)
                 .unwrap_or_default(),
+            resilience,
             state_digest,
         })
     }
@@ -1456,6 +1641,7 @@ impl SimulationDriver {
             for (into, from) in merged.entry_points.iter_mut().zip(&run.entry_points) {
                 into.merge(from);
             }
+            merged.resilience += run.resilience;
             merged.seeds.push(seed);
         }
         if !rest.is_empty() {
@@ -1474,7 +1660,7 @@ impl SimulationDriver {
 /// workers than the run that wrote the file.
 fn config_digest(config: &ScenarioConfig) -> u64 {
     let repr = format!(
-        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}",
         config.name,
         config.seed,
         config.duration,
@@ -1495,6 +1681,7 @@ fn config_digest(config: &ScenarioConfig) -> u64 {
         config.cohort_arrivals,
         config.time_warp,
         config.graph,
+        config.resilience,
     );
     fnv1a(repr.as_bytes())
 }
@@ -1511,6 +1698,7 @@ struct DriverState<'a> {
     injector: &'a FaultInjector,
     arrival_rngs: &'a [SimRng],
     demand_rngs: &'a [SimRng],
+    resilience_rng: &'a SimRng,
     events: &'a EventQueue<Event>,
     requests: &'a RequestOutcomes,
     per_service: &'a BTreeMap<ServiceId, RequestOutcomes>,
@@ -1546,6 +1734,7 @@ fn serialize_state(cfg_digest: u64, s: &DriverState<'_>) -> SnapWriter {
     s.injector.snapshot_write(&mut w);
     write_rngs(&mut w, s.arrival_rngs);
     write_rngs(&mut w, s.demand_rngs);
+    write_rngs(&mut w, std::slice::from_ref(s.resilience_rng));
     let entries = s.events.entries_in_order();
     w.put_usize(entries.len());
     for (time, event) in entries {
@@ -1651,7 +1840,9 @@ fn write_outcomes(w: &mut SnapWriter, o: &RequestOutcomes) {
     w.put_u64(o.issued);
     w.put_u64(o.completed);
     w.put_u64(o.failures.removal);
-    w.put_u64(o.failures.connection);
+    w.put_u64(o.failures.timeout);
+    w.put_u64(o.failures.queue_abort);
+    w.put_u64(o.failures.infra_death);
     let samples = o.response_times.samples();
     w.put_usize(samples.len());
     for &v in samples {
@@ -1666,7 +1857,9 @@ fn read_outcomes(r: &mut SnapReader<'_>) -> Result<RequestOutcomes, SnapshotErro
     o.issued = r.get_u64()?;
     o.completed = r.get_u64()?;
     o.failures.removal = r.get_u64()?;
-    o.failures.connection = r.get_u64()?;
+    o.failures.timeout = r.get_u64()?;
+    o.failures.queue_abort = r.get_u64()?;
+    o.failures.infra_death = r.get_u64()?;
     for _ in 0..r.get_usize()? {
         o.response_times.record(r.get_f64()?);
     }
@@ -1789,6 +1982,7 @@ impl ScenarioBuilder {
                 cohort_arrivals: false,
                 time_warp: false,
                 graph: None,
+                resilience: ResilienceConfig::disabled(),
                 snapshot: None,
                 resume: None,
             },
@@ -1940,6 +2134,15 @@ impl ScenarioBuilder {
     /// edges. See [`ScenarioConfig::graph`].
     pub fn graph(mut self, graph: ServiceGraph) -> Self {
         self.config.graph = Some(graph);
+        self
+    }
+
+    /// Installs the request-resilience layer: per-hop retries with
+    /// deadline propagation, retry budgets, and overload shedding.
+    /// Requires [`ScenarioBuilder::graph`]. See
+    /// [`ScenarioConfig::resilience`].
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
         self
     }
 

@@ -61,6 +61,7 @@ mod flowgraph;
 mod monitor;
 mod nodemanager;
 mod recovery;
+mod resilience;
 mod view;
 
 pub use actions::ScalingAction;
@@ -82,4 +83,5 @@ pub use flowgraph::EntryPointStats;
 pub use monitor::{Monitor, MonitorReport};
 pub use nodemanager::NodeManager;
 pub use recovery::{RecoveryConfig, RecoveryManager, RecoveryReport};
+pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use view::{ClusterView, NodeView, ReplicaView, ServiceView};

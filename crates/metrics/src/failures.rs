@@ -4,19 +4,37 @@
 use crate::summary::Summary;
 
 /// Counts of failed requests by class (the stacked bars of Fig. 6a/7a/8a).
+///
+/// The paper's charts stack two classes — removal vs connection — but
+/// the tally keeps the connection bucket split into its three causes
+/// (timeout, queue abort, infrastructure death) so retry policies and
+/// reports can tell retryable failures from fatal ones;
+/// [`FailureTally::connection`] recovers the paper's rollup.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FailureTally {
     /// Requests aborted because their replica was removed by scale-in.
     pub removal: u64,
-    /// Requests that failed at the microservice: queue overflow, no live
-    /// replica, or timeout.
-    pub connection: u64,
+    /// Requests not done by their deadline (client SLA expired).
+    pub timeout: u64,
+    /// Requests rejected at admission: queue overflow or no accepting
+    /// replica.
+    pub queue_abort: u64,
+    /// Requests whose replica died underneath them (node crash, OOM
+    /// kill).
+    pub infra_death: u64,
 }
 
 impl FailureTally {
     /// Total failed requests.
     pub fn total(&self) -> u64 {
-        self.removal + self.connection
+        self.removal + self.connection()
+    }
+
+    /// The paper's "connection failures" rollup: everything the client
+    /// experiences as a reset or an expired call rather than a scaling
+    /// decision.
+    pub fn connection(&self) -> u64 {
+        self.timeout + self.queue_abort + self.infra_death
     }
 }
 
@@ -25,7 +43,9 @@ impl std::ops::Add for FailureTally {
     fn add(self, rhs: FailureTally) -> FailureTally {
         FailureTally {
             removal: self.removal + rhs.removal,
-            connection: self.connection + rhs.connection,
+            timeout: self.timeout + rhs.timeout,
+            queue_abort: self.queue_abort + rhs.queue_abort,
+            infra_death: self.infra_death + rhs.infra_death,
         }
     }
 }
@@ -73,9 +93,19 @@ impl RequestOutcomes {
         self.failures.removal += 1;
     }
 
-    /// Records a connection failure.
-    pub fn record_connection_failure(&mut self) {
-        self.failures.connection += 1;
+    /// Records a timeout failure.
+    pub fn record_timeout_failure(&mut self) {
+        self.failures.timeout += 1;
+    }
+
+    /// Records a queue-abort failure (admission rejection).
+    pub fn record_queue_abort_failure(&mut self) {
+        self.failures.queue_abort += 1;
+    }
+
+    /// Records an infrastructure-death failure (node crash, OOM kill).
+    pub fn record_infra_death_failure(&mut self) {
+        self.failures.infra_death += 1;
     }
 
     /// Records `n` requests issued at once (a cohort arrival batch).
@@ -99,9 +129,19 @@ impl RequestOutcomes {
         self.failures.removal += n;
     }
 
-    /// Records `n` connection failures at once.
-    pub fn record_connection_failures(&mut self, n: u64) {
-        self.failures.connection += n;
+    /// Records `n` timeout failures at once.
+    pub fn record_timeout_failures(&mut self, n: u64) {
+        self.failures.timeout += n;
+    }
+
+    /// Records `n` queue-abort failures at once.
+    pub fn record_queue_abort_failures(&mut self, n: u64) {
+        self.failures.queue_abort += n;
+    }
+
+    /// Records `n` infrastructure-death failures at once.
+    pub fn record_infra_death_failures(&mut self, n: u64) {
+        self.failures.infra_death += n;
     }
 
     /// Fraction of issued requests that failed, in percent (Fig. 6–8's
@@ -123,12 +163,13 @@ impl RequestOutcomes {
         }
     }
 
-    /// Connection-failure percentage of issued requests.
+    /// Connection-failure percentage of issued requests (the rollup of
+    /// timeouts, queue aborts, and infrastructure deaths).
     pub fn connection_failed_pct(&self) -> f64 {
         if self.issued == 0 {
             0.0
         } else {
-            self.failures.connection as f64 / self.issued as f64 * 100.0
+            self.failures.connection() as f64 / self.issued as f64 * 100.0
         }
     }
 
@@ -176,9 +217,13 @@ mod tests {
         for i in 0..90 {
             o.record_completed(0.1 + i as f64 * 0.01);
         }
-        for _ in 0..6 {
-            o.record_connection_failure();
+        for _ in 0..3 {
+            o.record_timeout_failure();
         }
+        for _ in 0..2 {
+            o.record_queue_abort_failure();
+        }
+        o.record_infra_death_failure();
         for _ in 0..4 {
             o.record_removal_failure();
         }
@@ -218,7 +263,9 @@ mod tests {
         let mut batched = RequestOutcomes::new();
         batched.record_issued_n(10);
         batched.record_completed_n(0.25, 6);
-        batched.record_connection_failures(3);
+        batched.record_timeout_failures(1);
+        batched.record_queue_abort_failures(1);
+        batched.record_infra_death_failures(1);
         batched.record_removal_failures(1);
 
         let mut single = RequestOutcomes::new();
@@ -228,9 +275,9 @@ mod tests {
         for _ in 0..6 {
             single.record_completed(0.25);
         }
-        for _ in 0..3 {
-            single.record_connection_failure();
-        }
+        single.record_timeout_failure();
+        single.record_queue_abort_failure();
+        single.record_infra_death_failure();
         single.record_removal_failure();
 
         assert_eq!(batched.issued, single.issued);
@@ -248,16 +295,23 @@ mod tests {
     fn tally_arithmetic() {
         let a = FailureTally {
             removal: 1,
-            connection: 2,
+            timeout: 2,
+            queue_abort: 3,
+            infra_death: 4,
         };
         let b = FailureTally {
             removal: 10,
-            connection: 20,
+            timeout: 20,
+            queue_abort: 30,
+            infra_death: 40,
         };
         let c = a + b;
         assert_eq!(c.removal, 11);
-        assert_eq!(c.connection, 22);
-        assert_eq!(c.total(), 33);
+        assert_eq!(c.timeout, 22);
+        assert_eq!(c.queue_abort, 33);
+        assert_eq!(c.infra_death, 44);
+        assert_eq!(c.connection(), 99);
+        assert_eq!(c.total(), 110);
     }
 
     #[test]

@@ -93,7 +93,7 @@ mod tests {
         }
         for _ in 0..failures {
             o.record_issued();
-            o.record_connection_failure();
+            o.record_timeout_failure();
         }
         o
     }

@@ -29,8 +29,11 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HYSN";
 /// Version history: 1 = initial format; 2 = driver payloads append the
 /// service-graph tracker state (a presence tag plus roots, hops, queued
 /// child hops, and per-entry-point outcomes) and the cohort table carries
-/// a per-slot admission time.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// a per-slot admission time; 3 = the resilience layer — failure tallies
+/// split into four kinds, the graph tracker carries retry/deadline/budget
+/// state and stats, driver payloads append the resilience RNG stream, and
+/// the cohort table carries a per-slot attempt counter.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit hash of a byte slice.
 ///

@@ -378,6 +378,53 @@ pub enum EventKind {
         /// Time spent in service after admission, microseconds.
         service_us: u64,
     },
+    /// A lost hop was re-queued as a retry attempt instead of failing
+    /// its root (per-hop retry policy).
+    Retry {
+        /// The root whose hop is being retried.
+        root: u64,
+        /// Numeric id of the service the hop targets.
+        service: u32,
+        /// The delivery attempt number the retry will make (2 = first
+        /// retry).
+        attempt: u32,
+        /// Members re-issued by this retry.
+        count: u64,
+        /// When the backoff expires and the retry becomes admissible,
+        /// microseconds.
+        retry_at_us: u64,
+    },
+    /// A new client root was shed at admission by the overload
+    /// watermark (dropped unissued — counted as shed, not failed).
+    Shed {
+        /// Numeric id of the entry-point service.
+        service: u32,
+        /// Members the shed root would have carried.
+        count: u64,
+        /// The service's in-flight member count that tripped the
+        /// watermark.
+        in_flight: u64,
+    },
+    /// A retryable hop failure found its service's retry-budget bucket
+    /// empty; the root failed instead of retrying.
+    BudgetExhausted {
+        /// The root that failed.
+        root: u64,
+        /// Numeric id of the service whose bucket was empty.
+        service: u32,
+        /// Members the suppressed retry would have re-issued.
+        count: u64,
+    },
+    /// A retry's backoff landed past the root's end-to-end deadline;
+    /// the root failed instead of retrying.
+    DeadlineExceeded {
+        /// The root that failed.
+        root: u64,
+        /// Numeric id of the service the hop targeted.
+        service: u32,
+        /// The root's deadline, microseconds.
+        deadline_us: u64,
+    },
     /// A capacity-reducing action was vetoed because the service's view
     /// was older than the staleness budget.
     StaleVeto {
@@ -415,6 +462,10 @@ impl EventKind {
             EventKind::TimeWarp { .. } => "time_warp",
             EventKind::Snapshot { .. } => "snapshot",
             EventKind::Span { .. } => "span",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Shed { .. } => "shed",
+            EventKind::BudgetExhausted { .. } => "budget_exhausted",
+            EventKind::DeadlineExceeded { .. } => "deadline_exceeded",
             EventKind::StaleVeto { .. } => "stale_veto",
         }
     }
@@ -560,6 +611,28 @@ mod tests {
                 count: 32,
                 queue_us: 150_000,
                 service_us: 820_000,
+            },
+            EventKind::Retry {
+                root: 17,
+                service: 2,
+                attempt: 2,
+                count: 32,
+                retry_at_us: 2_500_000,
+            },
+            EventKind::Shed {
+                service: 0,
+                count: 64,
+                in_flight: 10_000,
+            },
+            EventKind::BudgetExhausted {
+                root: 17,
+                service: 2,
+                count: 32,
+            },
+            EventKind::DeadlineExceeded {
+                root: 17,
+                service: 2,
+                deadline_us: 30_000_000,
             },
             EventKind::StaleVeto {
                 algorithm: "hybrid",

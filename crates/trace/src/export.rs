@@ -247,6 +247,48 @@ fn jsonl_event(out: &mut String, event: &TraceEvent) {
                 ",\"root\":{root},\"entry\":{entry},\"service\":{service},\"depth\":{depth},\"count\":{count},\"queue_us\":{queue_us},\"service_us\":{service_us}"
             );
         }
+        EventKind::Retry {
+            root,
+            service,
+            attempt,
+            count,
+            retry_at_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"root\":{root},\"service\":{service},\"attempt\":{attempt},\"count\":{count},\"retry_at_us\":{retry_at_us}"
+            );
+        }
+        EventKind::Shed {
+            service,
+            count,
+            in_flight,
+        } => {
+            let _ = write!(
+                out,
+                ",\"service\":{service},\"count\":{count},\"in_flight\":{in_flight}"
+            );
+        }
+        EventKind::BudgetExhausted {
+            root,
+            service,
+            count,
+        } => {
+            let _ = write!(
+                out,
+                ",\"root\":{root},\"service\":{service},\"count\":{count}"
+            );
+        }
+        EventKind::DeadlineExceeded {
+            root,
+            service,
+            deadline_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"root\":{root},\"service\":{service},\"deadline_us\":{deadline_us}"
+            );
+        }
         EventKind::StaleVeto {
             algorithm,
             service,
@@ -557,6 +599,64 @@ pub fn csv(sink: &TraceSink) -> String {
                 queue_us.to_string(),
                 service_us.to_string(),
             ),
+            EventKind::Retry {
+                root,
+                service,
+                attempt,
+                count,
+                retry_at_us,
+            } => (
+                String::new(),
+                format!("root{root}.a{attempt}"),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                count.to_string(),
+                retry_at_us.to_string(),
+                String::new(),
+            ),
+            EventKind::Shed {
+                service,
+                count,
+                in_flight,
+            } => (
+                String::new(),
+                String::new(),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                count.to_string(),
+                in_flight.to_string(),
+                String::new(),
+            ),
+            EventKind::BudgetExhausted {
+                root,
+                service,
+                count,
+            } => (
+                String::new(),
+                format!("root{root}"),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                count.to_string(),
+                String::new(),
+                String::new(),
+            ),
+            EventKind::DeadlineExceeded {
+                root,
+                service,
+                deadline_us,
+            } => (
+                String::new(),
+                format!("root{root}"),
+                service.to_string(),
+                String::new(),
+                String::new(),
+                deadline_us.to_string(),
+                String::new(),
+                String::new(),
+            ),
             EventKind::StaleVeto {
                 algorithm,
                 service,
@@ -718,7 +818,7 @@ mod tests {
 
     #[test]
     fn every_event_kind_serializes() {
-        let mut sink = TraceSink::with_capacity(16);
+        let mut sink = TraceSink::with_capacity(32);
         let kinds = [
             EventKind::AllocatorPressure {
                 node: 1,
@@ -797,6 +897,28 @@ mod tests {
                 queue_us: 250_000,
                 service_us: 1_750_000,
             },
+            EventKind::Retry {
+                root: 9,
+                service: 2,
+                attempt: 2,
+                count: 16,
+                retry_at_us: 2_500_000,
+            },
+            EventKind::Shed {
+                service: 0,
+                count: 64,
+                in_flight: 9_000,
+            },
+            EventKind::BudgetExhausted {
+                root: 9,
+                service: 2,
+                count: 16,
+            },
+            EventKind::DeadlineExceeded {
+                root: 9,
+                service: 2,
+                deadline_us: 30_000_000,
+            },
         ];
         for kind in kinds {
             sink.emit(SimTime::from_secs(1.0), kind);
@@ -822,11 +944,19 @@ mod tests {
             "\"tick\":450,\"now_us\":45000000",
             "\"ev\":\"span\"",
             "\"root\":9,\"entry\":0,\"service\":2,\"depth\":1,\"count\":16,\"queue_us\":250000,\"service_us\":1750000",
+            "\"ev\":\"retry\"",
+            "\"root\":9,\"service\":2,\"attempt\":2,\"count\":16,\"retry_at_us\":2500000",
+            "\"ev\":\"shed\"",
+            "\"service\":0,\"count\":64,\"in_flight\":9000",
+            "\"ev\":\"budget_exhausted\"",
+            "\"ev\":\"deadline_exceeded\"",
+            "\"root\":9,\"service\":2,\"deadline_us\":30000000",
         ] {
             assert!(journal.contains(needle), "missing {needle} in {journal}");
         }
         let table = csv(&sink);
-        assert_eq!(table.lines().count(), 16);
+        assert_eq!(table.lines().count(), 20);
         assert!(table.contains("root9.entry0.d1"));
+        assert!(table.contains("root9.a2"));
     }
 }

@@ -36,6 +36,9 @@ pub struct GraphEdge {
     pub net_mult: f64,
     /// Multiplier on the child's disk megabits per request.
     pub disk_mult: f64,
+    /// Per-edge retry override; `None` inherits the scenario's default
+    /// policy (see `ResilienceConfig` in `hyscale-core`).
+    pub retry: Option<crate::RetryPolicy>,
 }
 
 impl GraphEdge {
@@ -49,6 +52,7 @@ impl GraphEdge {
             mem_mult: 1.0,
             net_mult: 1.0,
             disk_mult: 1.0,
+            retry: None,
         }
     }
 
@@ -65,6 +69,13 @@ impl GraphEdge {
     pub fn with_mem_disk(mut self, mem_mult: f64, disk_mult: f64) -> Self {
         self.mem_mult = mem_mult;
         self.disk_mult = disk_mult;
+        self
+    }
+
+    /// Builder-style per-edge retry policy, overriding the scenario
+    /// default for this dependency only.
+    pub fn with_retry(mut self, policy: crate::RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -176,6 +187,11 @@ impl ServiceGraph {
                     ));
                 }
             }
+            if let Some(policy) = &e.retry {
+                policy.validate().map_err(|reason| {
+                    format!("edge {} -> {}: retry: {reason}", e.parent, e.child)
+                })?;
+            }
             if seen.contains(&(e.parent, e.child)) {
                 return Err(format!("duplicate edge {} -> {}", e.parent, e.child));
             }
@@ -284,6 +300,22 @@ mod tests {
         assert_eq!(e.net_mult, 0.5);
         assert_eq!(e.mem_mult, 3.0);
         assert_eq!(e.disk_mult, 4.0);
+    }
+
+    #[test]
+    fn edge_retry_override_validates() {
+        let good = crate::RetryPolicy::standard();
+        let g = ServiceGraph::new(2).with_edge_spec(GraphEdge::new(0, 1, 1).with_retry(good));
+        assert!(g.validate().is_ok());
+        assert_eq!(g.edges()[0].retry, Some(good));
+
+        let bad = crate::RetryPolicy::standard().with_max_attempts(0);
+        let err = ServiceGraph::new(2)
+            .with_edge_spec(GraphEdge::new(0, 1, 1).with_retry(bad))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("retry"), "{err}");
+        assert!(err.contains("max_attempts"), "{err}");
     }
 
     #[test]

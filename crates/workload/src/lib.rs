@@ -36,7 +36,9 @@ pub mod bitbrains;
 mod graph;
 mod pattern;
 mod profile;
+mod retry;
 
 pub use graph::{GraphEdge, ServiceGraph};
 pub use pattern::{ArrivalProcess, LoadPattern};
 pub use profile::{ServiceProfile, ServiceSpec};
+pub use retry::RetryPolicy;

@@ -1,0 +1,226 @@
+//! Per-hop retry policies: how many times a lost hop may be re-issued,
+//! how long it backs off, and which failure kinds are worth retrying.
+//!
+//! A [`RetryPolicy`] is pure configuration — the driver's graph tracker
+//! owns the runtime state (attempt counters, backoff deadlines, budget
+//! tokens). Policies attach per scenario (a default for every edge) and
+//! per [`GraphEdge`](crate::GraphEdge) (an override for one dependency),
+//! mirroring how real service meshes configure retries per route.
+//!
+//! The failure taxonomy decides retryability: queue aborts and
+//! infrastructure deaths are transient (another replica may accept the
+//! work), client-deadline timeouts usually are not (the work already
+//! burned its latency budget), and scale-in removals are a *policy*
+//! decision, never retried — charging them back as load would hide the
+//! cost of aggressive scale-in the paper measures.
+
+use hyscale_cluster::FailureKind;
+
+/// Retry configuration for one service dependency hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in seconds; doubles per attempt.
+    pub base_backoff_secs: f64,
+    /// Ceiling on the exponential backoff, in seconds.
+    pub max_backoff_secs: f64,
+    /// Jitter amplitude as a fraction of the backoff: the drawn backoff
+    /// is `backoff * (1 + jitter_frac * u)` with `u` uniform in
+    /// `[-1, 1)`. Must be in `[0, 1)`.
+    pub jitter_frac: f64,
+    /// Whether deadline timeouts are retried.
+    pub retry_timeout: bool,
+    /// Whether admission rejections (queue aborts) are retried.
+    pub retry_queue_abort: bool,
+    /// Whether infrastructure deaths (node crash, OOM kill) are retried.
+    pub retry_infra_death: bool,
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, every failure is final. A
+    /// scenario whose every policy is `off()` behaves bit-identically to
+    /// a build without the resilience layer.
+    pub fn off() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_secs: 0.0,
+            max_backoff_secs: 0.0,
+            jitter_frac: 0.0,
+            retry_timeout: false,
+            retry_queue_abort: false,
+            retry_infra_death: false,
+        }
+    }
+
+    /// A sensible mesh-style default: 3 total attempts, 0.5 s base
+    /// backoff capped at 8 s with 10% jitter, retrying queue aborts and
+    /// infrastructure deaths but not client-deadline timeouts.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_secs: 0.5,
+            max_backoff_secs: 8.0,
+            jitter_frac: 0.1,
+            retry_timeout: false,
+            retry_queue_abort: true,
+            retry_infra_death: true,
+        }
+    }
+
+    /// Builder-style override of the attempt count.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Builder-style override of the backoff curve.
+    pub fn with_backoff(mut self, base_secs: f64, max_secs: f64, jitter_frac: f64) -> Self {
+        self.base_backoff_secs = base_secs;
+        self.max_backoff_secs = max_secs;
+        self.jitter_frac = jitter_frac;
+        self
+    }
+
+    /// Builder-style override of which failure kinds are retried.
+    pub fn with_retryable(mut self, timeout: bool, queue_abort: bool, infra_death: bool) -> Self {
+        self.retry_timeout = timeout;
+        self.retry_queue_abort = queue_abort;
+        self.retry_infra_death = infra_death;
+        self
+    }
+
+    /// Whether this policy can ever retry anything.
+    pub fn is_off(&self) -> bool {
+        self.max_attempts <= 1
+            || !(self.retry_timeout || self.retry_queue_abort || self.retry_infra_death)
+    }
+
+    /// Whether a failure of `kind` is retryable under this policy.
+    /// Scale-in removals never are: retrying them would charge the
+    /// scaler's own decisions back as client load.
+    pub fn retries(&self, kind: FailureKind) -> bool {
+        match kind {
+            FailureKind::Removal => false,
+            FailureKind::Timeout => self.retry_timeout,
+            FailureKind::QueueAbort => self.retry_queue_abort,
+            FailureKind::InfraDeath => self.retry_infra_death,
+        }
+    }
+
+    /// The un-jittered backoff before retry number `attempt + 1`, where
+    /// `attempt` counts delivery attempts already made minus one (the
+    /// first retry, after attempt 0, waits the base backoff).
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let doubling = 2f64.powi(attempt.min(62) as i32);
+        (self.base_backoff_secs * doubling).min(self.max_backoff_secs)
+    }
+
+    /// Validates the policy's numeric fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if !(self.base_backoff_secs.is_finite() && self.base_backoff_secs >= 0.0) {
+            return Err(format!(
+                "base_backoff_secs must be finite and non-negative, got {}",
+                self.base_backoff_secs
+            ));
+        }
+        if !(self.max_backoff_secs.is_finite() && self.max_backoff_secs >= self.base_backoff_secs) {
+            return Err(format!(
+                "max_backoff_secs must be finite and >= base_backoff_secs, got {}",
+                self.max_backoff_secs
+            ));
+        }
+        if !(self.jitter_frac.is_finite() && (0.0..1.0).contains(&self.jitter_frac)) {
+            return Err(format!(
+                "jitter_frac must be in [0, 1), got {}",
+                self.jitter_frac
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_policy_retries_nothing() {
+        let p = RetryPolicy::off();
+        assert!(p.is_off());
+        assert!(p.validate().is_ok());
+        for kind in [
+            FailureKind::Removal,
+            FailureKind::Timeout,
+            FailureKind::QueueAbort,
+            FailureKind::InfraDeath,
+        ] {
+            assert!(!p.retries(kind));
+        }
+    }
+
+    #[test]
+    fn standard_policy_retries_transient_kinds_only() {
+        let p = RetryPolicy::standard();
+        assert!(!p.is_off());
+        assert!(p.validate().is_ok());
+        assert!(p.retries(FailureKind::QueueAbort));
+        assert!(p.retries(FailureKind::InfraDeath));
+        assert!(!p.retries(FailureKind::Timeout));
+        assert!(!p.retries(FailureKind::Removal));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::standard().with_backoff(1.0, 5.0, 0.0);
+        assert_eq!(p.backoff_secs(0), 1.0);
+        assert_eq!(p.backoff_secs(1), 2.0);
+        assert_eq!(p.backoff_secs(2), 4.0);
+        assert_eq!(p.backoff_secs(3), 5.0);
+        assert_eq!(p.backoff_secs(200), 5.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(RetryPolicy::standard()
+            .with_max_attempts(0)
+            .validate()
+            .unwrap_err()
+            .contains("max_attempts"));
+        assert!(RetryPolicy::standard()
+            .with_backoff(-1.0, 8.0, 0.1)
+            .validate()
+            .unwrap_err()
+            .contains("base_backoff_secs"));
+        assert!(RetryPolicy::standard()
+            .with_backoff(2.0, 1.0, 0.1)
+            .validate()
+            .unwrap_err()
+            .contains("max_backoff_secs"));
+        assert!(RetryPolicy::standard()
+            .with_backoff(0.5, 8.0, 1.5)
+            .validate()
+            .unwrap_err()
+            .contains("jitter_frac"));
+    }
+
+    #[test]
+    fn removals_are_never_retryable() {
+        let p = RetryPolicy::standard().with_retryable(true, true, true);
+        assert!(!p.retries(FailureKind::Removal));
+        assert!(p.retries(FailureKind::Timeout));
+    }
+}

@@ -8,12 +8,13 @@
 use std::fs;
 use std::path::PathBuf;
 
-use hyscale::cluster::ServiceId;
+use hyscale::cluster::{ClusterConfig, FaultKind, FaultPlan, ServiceId};
 use hyscale::core::{
-    AlgorithmKind, RunReport, ScenarioBuilder, ScenarioConfig, SimulationDriver, SnapshotPolicy,
+    AlgorithmKind, ResilienceConfig, RunReport, ScenarioBuilder, ScenarioConfig, SimulationDriver,
+    SnapshotPolicy,
 };
 use hyscale::trace::{export, RunMeta, TraceSink};
-use hyscale::workload::{GraphEdge, LoadPattern, ServiceGraph, ServiceProfile};
+use hyscale::workload::{GraphEdge, LoadPattern, RetryPolicy, ServiceGraph, ServiceProfile};
 
 /// A three-tier fan-out: frontend 0 spawns two hops on aggregator 1 and
 /// one on aggregator 2; both aggregators call backend 3.
@@ -233,6 +234,171 @@ fn graph_run_resumes_bit_identically_from_a_snapshot() {
     assert!(full.state_digest.is_some());
     assert_eq!(full.state_digest, resumed.state_digest);
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The three-tier graph with the resilience layer live: a mid-run node
+/// crash and an OOM-kill feed retryable failures into tight container
+/// queues, while a 2 s root deadline (exactly 20 of the 100 ms ticks,
+/// so deadline comparisons land on tick boundaries), a 20% retry
+/// budget, and an admission watermark all engage. Every engine knob is
+/// explicit so tests can toggle them independently.
+fn resilient_graph_config(
+    parallelism: usize,
+    cohort: bool,
+    warp: bool,
+    active_set: bool,
+) -> ScenarioConfig {
+    let load = if cohort {
+        LoadPattern::Burst {
+            base: 0.0,
+            peak: 6.0,
+            period_secs: 20.0,
+            duty: 0.3,
+        }
+    } else {
+        LoadPattern::Constant { rate: 3.0 }
+    };
+    let mut config = ScenarioBuilder::new("graph-resilience")
+        .nodes(4)
+        .services(4, ServiceProfile::CpuBound, load)
+        .duration_secs(120.0)
+        .algorithm(AlgorithmKind::HyScaleCpu)
+        .seed(17)
+        .parallelism(parallelism)
+        .tick_millis(100)
+        .cohort_arrivals(cohort)
+        .time_warp(warp)
+        .cluster_config(ClusterConfig {
+            active_set,
+            ..ClusterConfig::default()
+        })
+        .graph(three_tier())
+        .faults(
+            FaultPlan::new()
+                .with(
+                    30.0,
+                    FaultKind::NodeCrash {
+                        node: 1,
+                        down_secs: 20.0,
+                    },
+                )
+                .with(60.0, FaultKind::OomKill { service: 3 }),
+        )
+        .resilience(
+            // Jitter-free backoff: retry times are exact multiples of
+            // 0.5 s past the failure, so deadline comparisons hit the
+            // boundary case deterministically.
+            ResilienceConfig::with_policy(RetryPolicy::standard().with_backoff(0.5, 4.0, 0.0))
+                .with_root_budget_secs(2.0)
+                .with_budget(20.0, 32.0)
+                .with_shed_watermark(500),
+        )
+        .build();
+    for spec in &mut config.services {
+        spec.container = spec.container.clone().with_queue_cap(16);
+    }
+    config
+}
+
+#[test]
+fn resilience_free_journal_carries_no_resilience_counters() {
+    // A graph run with the layer off: graph counters appear, but no
+    // retry/shed/goodput names and no resilience events — the journal
+    // stays byte-identical to builds without the layer.
+    let (plain, report) = journal(&graph_config(9, 1, false), 1 << 17);
+    assert!(plain.contains("graph.roots_completed"));
+    assert_eq!(report.resilience, Default::default());
+    for needle in [
+        "retry.",
+        "shed.",
+        "goodput.",
+        "wasted.",
+        "\"ev\":\"retry\"",
+        "\"ev\":\"shed\"",
+        "\"ev\":\"budget_exhausted\"",
+        "\"ev\":\"deadline_exceeded\"",
+    ] {
+        assert!(
+            !plain.contains(needle),
+            "resilience leaked into a resilience-free journal: {needle}"
+        );
+    }
+    // A disabled layer must ignore its other knobs entirely: junk
+    // budgets and watermarks produce a byte-identical journal.
+    let mut junk = graph_config(9, 1, false);
+    junk.resilience.budget_pct = 50.0;
+    junk.resilience.budget_floor = 8.0;
+    junk.resilience.root_budget_secs = 1.0;
+    junk.resilience.shed_watermark = 7;
+    let (still_plain, _) = journal(&junk, 1 << 17);
+    assert_eq!(
+        plain, still_plain,
+        "disabled resilience knobs perturbed the run"
+    );
+    // Positive control: an enabled layer does journal those counters
+    // (proving the needles above test the real names).
+    let (rich, report) = journal(&resilient_graph_config(1, false, false, true), 1 << 17);
+    assert!(report.resilience.retries > 0, "{:?}", report.resilience);
+    for needle in [
+        "retry.attempts",
+        "shed.roots",
+        "goodput.members",
+        "\"ev\":\"retry\"",
+    ] {
+        assert!(rich.contains(needle), "enabled journal missing {needle}");
+    }
+}
+
+#[test]
+fn deadline_ticks_are_identical_across_every_engine() {
+    // The 2 s root deadline is exactly 20 ticks, so deadline and
+    // backoff comparisons land on tick boundaries — where a serial,
+    // parallel, active-set, or time-warp engine disagreeing by one
+    // tick would show up immediately.
+    let base = SimulationDriver::run(&resilient_graph_config(1, false, false, true))
+        .expect("scenario runs");
+    assert!(base.resilience.retries > 0, "{:?}", base.resilience);
+    for (label, config) in [
+        ("parallel(4)", resilient_graph_config(4, false, false, true)),
+        (
+            "active-set off",
+            resilient_graph_config(2, false, false, false),
+        ),
+    ] {
+        let report = SimulationDriver::run(&config).expect("scenario runs");
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{report:?}"),
+            "{label} diverged from the serial baseline"
+        );
+    }
+    // Cohort mode, warp on: still bit-identical at any worker count.
+    let cohort = SimulationDriver::run(&resilient_graph_config(1, true, false, true))
+        .expect("scenario runs");
+    assert!(cohort.resilience.retries > 0, "{:?}", cohort.resilience);
+    let warped =
+        SimulationDriver::run(&resilient_graph_config(1, true, true, true)).expect("scenario runs");
+    let warped_par =
+        SimulationDriver::run(&resilient_graph_config(4, true, true, true)).expect("scenario runs");
+    assert_eq!(
+        format!("{warped:?}"),
+        format!("{warped_par:?}"),
+        "warped run diverged between worker counts"
+    );
+    // Warp on vs off: the fast path re-associates float sums (response
+    // samples, availability seconds), so full bit-equality is not the
+    // invariant — but every discrete outcome is: the warp must not jump
+    // a retry wake-up, a deadline boundary, or a budget decision.
+    assert_eq!(cohort.requests.issued, warped.requests.issued);
+    assert_eq!(cohort.requests.completed, warped.requests.completed);
+    assert_eq!(cohort.requests.failures, warped.requests.failures);
+    assert_eq!(cohort.resilience, warped.resilience);
+    for (a, b) in cohort.entry_points.iter().zip(&warped.entry_points) {
+        assert_eq!(a.roots_started, b.roots_started);
+        assert_eq!(a.roots_completed, b.roots_completed);
+        assert_eq!(a.roots_failed, b.roots_failed);
+        assert_eq!(a.members_completed, b.members_completed);
+    }
 }
 
 #[test]

@@ -15,14 +15,14 @@ use hyscale::cluster::{
     NodeSpec, Request, ServiceId,
 };
 use hyscale::core::{
-    AlgorithmKind, ControlPlaneConfig, CoreError, RunReport, ScenarioBuilder, ScenarioConfig,
-    SimulationDriver, SnapshotPolicy,
+    AlgorithmKind, ControlPlaneConfig, CoreError, ResilienceConfig, RunReport, ScenarioBuilder,
+    ScenarioConfig, SimulationDriver, SnapshotPolicy,
 };
 use hyscale::sim::{
     SimDuration, SimRng, SimTime, SnapReader, SnapWriter, SnapshotError, SNAPSHOT_VERSION,
 };
 use hyscale::trace::{export, RunMeta, TraceSink};
-use hyscale::workload::{LoadPattern, ServiceProfile};
+use hyscale::workload::{LoadPattern, RetryPolicy, ServiceGraph, ServiceProfile};
 
 /// Fresh scratch directory under the system temp dir; unique per test
 /// case so parallel test threads never collide.
@@ -259,6 +259,105 @@ fn resume_equivalence_hyscale_cpu_cohort_warp() {
 #[test]
 fn resume_equivalence_hyscale_cpu_mem_cohort_warp() {
     battery(AlgorithmKind::HyScaleCpuMem, true);
+}
+
+/// The resilience-enabled cell of the battery: a three-tier graph with
+/// retries, deadlines, budgets, and shedding all live, and a node crash
+/// at 12 s feeding retryable failures through tight queues. The
+/// snapshot lands at tick 130 (13 s) — one second into the crash, with
+/// retries sitting in backoff, budget tokens spent, and deadlines
+/// pending — all of which must round-trip bit-exactly.
+fn resilience_battery_config(parallelism: usize) -> ScenarioConfig {
+    let mut config = ScenarioBuilder::new("snap-battery-resilience")
+        .nodes(3)
+        .services(
+            3,
+            ServiceProfile::CpuBound,
+            LoadPattern::Constant { rate: 3.0 },
+        )
+        .duration_secs(60.0)
+        .algorithm(AlgorithmKind::HyScaleCpu)
+        .seed(4242)
+        .parallelism(parallelism)
+        .graph(ServiceGraph::new(3).with_edge(0, 1, 2).with_edge(1, 2, 1))
+        .faults(
+            FaultPlan::new()
+                .with(
+                    12.0,
+                    FaultKind::NodeCrash {
+                        node: 0,
+                        down_secs: 15.0,
+                    },
+                )
+                .with(20.0, FaultKind::OomKill { service: 1 }),
+        )
+        .resilience(
+            ResilienceConfig::with_policy(RetryPolicy::standard().with_backoff(1.0, 8.0, 0.1))
+                .with_root_budget_secs(20.0)
+                .with_budget(25.0, 64.0)
+                .with_shed_watermark(400),
+        )
+        .build();
+    for spec in &mut config.services {
+        spec.container = spec.container.clone().with_queue_cap(16);
+    }
+    config
+}
+
+#[test]
+fn resume_equivalence_with_live_resilience_state() {
+    let dir_full = scratch_dir("resilience-full");
+    let dir_cut = scratch_dir("resilience-cut");
+
+    let mut config = resilience_battery_config(2);
+    config.snapshot = Some(SnapshotPolicy {
+        every_ticks: 130,
+        dir: dir_full.clone(),
+        halt_after_first: false,
+    });
+    let (journal_full, report_full) = journal(&config, 16_384);
+    assert!(
+        report_full.resilience.retries > 0,
+        "the storm must trigger retries: {:?}",
+        report_full.resilience
+    );
+
+    let mut config = resilience_battery_config(2);
+    config.snapshot = Some(SnapshotPolicy {
+        every_ticks: 130,
+        dir: dir_cut.clone(),
+        halt_after_first: true,
+    });
+    let (journal_cut, _) = journal(&config, 16_384);
+    let snap = first_snapshot(&dir_cut);
+
+    // Resume at a different worker count, mid-backoff.
+    let mut config = resilience_battery_config(4);
+    config.snapshot = Some(SnapshotPolicy {
+        every_ticks: 130,
+        dir: dir_cut.clone(),
+        halt_after_first: false,
+    });
+    config.resume = Some(snap);
+    let (journal_resumed, report_resumed) = journal(&config, 16_384);
+
+    assert_eq!(
+        format!("{report_full:?}"),
+        format!("{report_resumed:?}"),
+        "resumed resilience run diverges from the uninterrupted one"
+    );
+    assert_eq!(report_full.state_digest, report_resumed.state_digest);
+    assert_eq!(
+        event_lines(&journal_full),
+        format!(
+            "{}{}",
+            event_lines(&journal_cut),
+            event_lines(&journal_resumed)
+        ),
+        "partial + resumed journals do not stitch into the full journal"
+    );
+    let _ = fs::remove_dir_all(&dir_full);
+    let _ = fs::remove_dir_all(&dir_cut);
 }
 
 #[test]
